@@ -1,0 +1,153 @@
+//! Breadth-first search over the directed topology.
+
+use ringo_concurrent::IntHashTable;
+use ringo_graph::{DirectedTopology, NodeId};
+use std::collections::VecDeque;
+
+/// Which edges a directed traversal follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (successors).
+    Out,
+    /// Follow in-edges (predecessors).
+    In,
+    /// Treat edges as undirected.
+    Both,
+}
+
+fn neighbors<'g, G: DirectedTopology>(
+    g: &'g G,
+    slot: usize,
+    dir: Direction,
+) -> Box<dyn Iterator<Item = NodeId> + 'g> {
+    match dir {
+        Direction::Out => Box::new(g.out_nbrs_of_slot(slot).iter().copied()),
+        Direction::In => Box::new(g.in_nbrs_of_slot(slot).iter().copied()),
+        Direction::Both => Box::new(
+            g.out_nbrs_of_slot(slot)
+                .iter()
+                .chain(g.in_nbrs_of_slot(slot))
+                .copied(),
+        ),
+    }
+}
+
+/// BFS hop distances from `src`, as a map id → distance (the source maps
+/// to 0). Unreachable nodes are absent. Returns an empty map when `src`
+/// is not in the graph.
+pub fn bfs_distances<G: DirectedTopology>(g: &G, src: NodeId, dir: Direction) -> IntHashTable<u32> {
+    let mut dist: IntHashTable<u32> = IntHashTable::new();
+    let src_slot = match g.slot_of(src) {
+        Some(s) => s,
+        None => return dist,
+    };
+    let mut queue = VecDeque::new();
+    dist.insert(src, 0);
+    queue.push_back(src_slot);
+    while let Some(slot) = queue.pop_front() {
+        let id = g.slot_id(slot).expect("queued slot is live");
+        let d = *dist.get(id).expect("queued node has distance");
+        for nbr in neighbors(g, slot, dir) {
+            if !dist.contains(nbr) {
+                dist.insert(nbr, d + 1);
+                queue.push_back(g.slot_of(nbr).expect("neighbor exists"));
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes in BFS visit order from `src` (the BFS "tree" order). Ties among
+/// same-level nodes follow adjacency order.
+pub fn bfs_order<G: DirectedTopology>(g: &G, src: NodeId, dir: Direction) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let src_slot = match g.slot_of(src) {
+        Some(s) => s,
+        None => return order,
+    };
+    let mut seen: IntHashTable<()> = IntHashTable::new();
+    let mut queue = VecDeque::new();
+    seen.insert(src, ());
+    queue.push_back(src_slot);
+    while let Some(slot) = queue.pop_front() {
+        let id = g.slot_id(slot).expect("queued slot is live");
+        order.push(id);
+        for nbr in neighbors(g, slot, dir) {
+            if !seen.contains(nbr) {
+                seen.insert(nbr, ());
+                queue.push_back(g.slot_of(nbr).expect("neighbor exists"));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_graph::DirectedGraph;
+
+    fn chain() -> DirectedGraph {
+        let mut g = DirectedGraph::new();
+        for i in 0..5 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn distances_along_a_chain() {
+        let g = chain();
+        let d = bfs_distances(&g, 0, Direction::Out);
+        for i in 0..=5 {
+            assert_eq!(d.get(i), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn direction_in_reverses_reachability() {
+        let g = chain();
+        let d = bfs_distances(&g, 5, Direction::Out);
+        assert_eq!(d.len(), 1, "sink reaches only itself");
+        let d = bfs_distances(&g, 5, Direction::In);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.get(0), Some(&5));
+    }
+
+    #[test]
+    fn direction_both_ignores_orientation() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(3, 2);
+        let d = bfs_distances(&g, 1, Direction::Both);
+        assert_eq!(d.get(3), Some(&2));
+    }
+
+    #[test]
+    fn missing_source_is_empty() {
+        let g = chain();
+        assert!(bfs_distances(&g, 99, Direction::Out).is_empty());
+        assert!(bfs_order(&g, 99, Direction::Out).is_empty());
+    }
+
+    #[test]
+    fn bfs_order_levels() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        let order = bfs_order(&g, 0, Direction::Out);
+        assert_eq!(order[0], 0);
+        assert_eq!(&order[1..3], &[1, 2]);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    fn unreachable_nodes_absent() {
+        let mut g = chain();
+        g.add_node(100);
+        let d = bfs_distances(&g, 0, Direction::Out);
+        assert!(!d.contains(100));
+        assert_eq!(d.len(), 6);
+    }
+}

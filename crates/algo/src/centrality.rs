@@ -1,0 +1,333 @@
+//! Node centrality measures: degree, closeness, betweenness.
+//!
+//! These are among the "various other node centrality measures" the demo
+//! scenario (§4.1) lets an analyst swap in for PageRank when ranking
+//! experts.
+
+use crate::bfs::{bfs_distances, Direction};
+use ringo_graph::{DirectedTopology, NodeId};
+use std::collections::VecDeque;
+
+/// Degree centrality: `deg(v) / (n - 1)`, using out-, in-, or total degree
+/// per `dir`. Returns `(id, score)` in slot order.
+pub fn degree_centrality<G: DirectedTopology>(g: &G, dir: Direction) -> Vec<(NodeId, f64)> {
+    let n = g.node_count();
+    let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+    (0..g.n_slots())
+        .filter_map(|s| {
+            let id = g.slot_id(s)?;
+            let d = match dir {
+                Direction::Out => g.out_nbrs_of_slot(s).len(),
+                Direction::In => g.in_nbrs_of_slot(s).len(),
+                Direction::Both => g.out_nbrs_of_slot(s).len() + g.in_nbrs_of_slot(s).len(),
+            };
+            Some((id, d as f64 / denom))
+        })
+        .collect()
+}
+
+/// Closeness centrality of one node: `(r - 1) / total_distance`, scaled by
+/// `(r - 1) / (n - 1)` for disconnected graphs (Wasserman–Faust), where
+/// `r` is the number of nodes reachable from `id`. Returns 0 when nothing
+/// is reachable.
+pub fn closeness_centrality<G: DirectedTopology>(g: &G, id: NodeId, dir: Direction) -> f64 {
+    let dist = bfs_distances(g, id, dir);
+    let r = dist.len(); // includes the source at distance 0
+    if r <= 1 {
+        return 0.0;
+    }
+    let total: u64 = dist.iter().map(|(_, &d)| u64::from(d)).sum();
+    let n = g.node_count();
+    let reach = (r - 1) as f64;
+    (reach / total as f64) * (reach / (n - 1) as f64)
+}
+
+/// Harmonic centrality of one node: `sum over reachable v of 1/dist(v)`,
+/// normalized by `n - 1`. Unlike closeness it is well-behaved on
+/// disconnected graphs (unreachable nodes simply contribute 0).
+pub fn harmonic_centrality<G: DirectedTopology>(g: &G, id: NodeId, dir: Direction) -> f64 {
+    let dist = bfs_distances(g, id, dir);
+    let n = g.node_count();
+    if n <= 1 {
+        return 0.0;
+    }
+    let total: f64 = dist
+        .iter()
+        .filter(|(_, &d)| d > 0)
+        .map(|(_, &d)| 1.0 / f64::from(d))
+        .sum();
+    total / (n - 1) as f64
+}
+
+/// Exact betweenness centrality via Brandes' algorithm over out-edges.
+/// Pass `normalized = true` to divide by `(n-1)(n-2)` (directed
+/// normalization). Returns `(id, score)` in slot order.
+///
+/// Runs in `O(V * E)`; for large graphs prefer
+/// [`betweenness_centrality_sampled`].
+pub fn betweenness_centrality<G: DirectedTopology>(g: &G, normalized: bool) -> Vec<(NodeId, f64)> {
+    let sources: Vec<usize> = (0..g.n_slots())
+        .filter(|&s| g.slot_id(s).is_some())
+        .collect();
+    brandes(g, &sources, normalized, sources.len())
+}
+
+/// Exact betweenness computed in parallel: Brandes is embarrassingly
+/// parallel over source nodes, so workers process disjoint source ranges
+/// with private accumulators which are summed at the end. Produces
+/// exactly the same values as [`betweenness_centrality`] for any thread
+/// count (per-slot partial sums are combined in chunk order).
+pub fn betweenness_centrality_parallel<G: DirectedTopology>(
+    g: &G,
+    normalized: bool,
+    threads: usize,
+) -> Vec<(NodeId, f64)> {
+    let sources: Vec<usize> = (0..g.n_slots())
+        .filter(|&s| g.slot_id(s).is_some())
+        .collect();
+    let n_live = sources.len();
+    let partials: Vec<Vec<(NodeId, f64)>> =
+        ringo_concurrent::parallel_map(sources.len(), threads, |range| {
+            // Pass the chunk length as the population so brandes applies
+            // no sample-extrapolation scaling (scale = len/len = 1).
+            let chunk = &sources[range];
+            brandes(g, chunk, false, chunk.len())
+        });
+    let n_slots = g.n_slots();
+    let mut acc = vec![0.0f64; n_slots];
+    for part in &partials {
+        for (id, v) in part {
+            let slot = g.slot_of(*id).expect("id from live slot");
+            acc[slot] += v;
+        }
+    }
+    let norm = if normalized && n_live > 2 {
+        1.0 / ((n_live - 1) as f64 * (n_live - 2) as f64)
+    } else {
+        1.0
+    };
+    (0..n_slots)
+        .filter_map(|s| g.slot_id(s).map(|id| (id, acc[s] * norm)))
+        .collect()
+}
+
+/// Approximate betweenness from a sample of source nodes (every
+/// `ceil(n / samples)`-th live slot), scaled up to estimate the exact
+/// values.
+pub fn betweenness_centrality_sampled<G: DirectedTopology>(
+    g: &G,
+    samples: usize,
+    normalized: bool,
+) -> Vec<(NodeId, f64)> {
+    let live: Vec<usize> = (0..g.n_slots())
+        .filter(|&s| g.slot_id(s).is_some())
+        .collect();
+    if live.is_empty() || samples == 0 {
+        return Vec::new();
+    }
+    let stride = live.len().div_ceil(samples).max(1);
+    let sources: Vec<usize> = live.iter().copied().step_by(stride).collect();
+    brandes(g, &sources, normalized, live.len())
+}
+
+fn brandes<G: DirectedTopology>(
+    g: &G,
+    sources: &[usize],
+    normalized: bool,
+    n_live: usize,
+) -> Vec<(NodeId, f64)> {
+    let n_slots = g.n_slots();
+    let mut centrality = vec![0.0f64; n_slots];
+    let scale = if sources.is_empty() {
+        1.0
+    } else {
+        n_live as f64 / sources.len() as f64
+    };
+
+    let mut sigma = vec![0.0f64; n_slots];
+    let mut dist = vec![-1i64; n_slots];
+    let mut delta = vec![0.0f64; n_slots];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n_slots];
+
+    for &s in sources {
+        // Reset per-source state lazily via the visit stack.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut queue = VecDeque::new();
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w_id in g.out_nbrs_of_slot(v) {
+                let w = g.slot_of(w_id).expect("neighbor exists");
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                centrality[w] += delta[w] * scale;
+            }
+            // Reset state for the next source.
+            sigma[w] = 0.0;
+            dist[w] = -1;
+            delta[w] = 0.0;
+            preds[w].clear();
+        }
+    }
+
+    let norm = if normalized && n_live > 2 {
+        1.0 / ((n_live - 1) as f64 * (n_live - 2) as f64)
+    } else {
+        1.0
+    };
+    (0..n_slots)
+        .filter_map(|s| g.slot_id(s).map(|id| (id, centrality[s] * norm)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_graph::DirectedGraph;
+
+    fn of(res: &[(NodeId, f64)], id: NodeId) -> f64 {
+        res.iter().find(|(n, _)| *n == id).unwrap().1
+    }
+
+    #[test]
+    fn degree_centrality_directions() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(3, 2);
+        let out = degree_centrality(&g, Direction::Out);
+        let inn = degree_centrality(&g, Direction::In);
+        assert_eq!(of(&out, 1), 0.5);
+        assert_eq!(of(&out, 2), 0.0);
+        assert_eq!(of(&inn, 2), 1.0);
+    }
+
+    #[test]
+    fn closeness_on_path() {
+        let mut g = DirectedGraph::new();
+        // Undirected path 0-1-2 via Both.
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let middle = closeness_centrality(&g, 1, Direction::Both);
+        let end = closeness_centrality(&g, 0, Direction::Both);
+        assert!(middle > end);
+        assert!((middle - 1.0).abs() < 1e-12, "middle reaches both at dist 1");
+    }
+
+    #[test]
+    fn closeness_of_isolated_node_is_zero() {
+        let mut g = DirectedGraph::new();
+        g.add_node(5);
+        g.add_edge(1, 2);
+        assert_eq!(closeness_centrality(&g, 5, Direction::Both), 0.0);
+    }
+
+    #[test]
+    fn harmonic_handles_disconnection() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_node(9); // unreachable island
+        // From 0: dist 1 to node 1, dist 2 to node 2, node 9 unreachable.
+        let h = harmonic_centrality(&g, 0, Direction::Out);
+        assert!((h - (1.0 + 0.5) / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_centrality(&g, 9, Direction::Out), 0.0);
+        // Closeness and harmonic agree on ordering here.
+        let c0 = closeness_centrality(&g, 0, Direction::Out);
+        let c2 = closeness_centrality(&g, 2, Direction::Out);
+        assert!(c0 > c2);
+        assert!(h > harmonic_centrality(&g, 2, Direction::Out));
+    }
+
+    #[test]
+    fn betweenness_path_middle_node() {
+        let mut g = DirectedGraph::new();
+        // Directed path 0 -> 1 -> 2: node 1 lies on the single 0->2 path.
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let bc = betweenness_centrality(&g, false);
+        assert_eq!(of(&bc, 1), 1.0);
+        assert_eq!(of(&bc, 0), 0.0);
+        assert_eq!(of(&bc, 2), 0.0);
+    }
+
+    #[test]
+    fn betweenness_splits_over_equal_paths() {
+        let mut g = DirectedGraph::new();
+        // Two equal-length paths 0->a->3 and 0->b->3.
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let bc = betweenness_centrality(&g, false);
+        assert!((of(&bc, 1) - 0.5).abs() < 1e-12);
+        assert!((of(&bc, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_bounds_scores() {
+        let mut g = DirectedGraph::new();
+        for i in 0..6 {
+            g.add_edge(i, i + 1);
+        }
+        let bc = betweenness_centrality(&g, true);
+        for (_, v) in bc {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn parallel_betweenness_matches_sequential_exactly() {
+        let mut g = DirectedGraph::new();
+        let mut x = 29u64;
+        for _ in 0..600 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let s = (x >> 33) % 70;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = (x >> 33) % 70;
+            g.add_edge(s as i64, d as i64);
+        }
+        let seq = betweenness_centrality(&g, true);
+        for threads in [1usize, 3, 8] {
+            let par = betweenness_centrality_parallel(&g, true, threads);
+            assert_eq!(seq.len(), par.len());
+            for ((ia, va), (ib, vb)) in seq.iter().zip(&par) {
+                assert_eq!(ia, ib);
+                assert!((va - vb).abs() < 1e-9, "id {ia}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_with_full_sample_matches_exact() {
+        let mut g = DirectedGraph::new();
+        let mut x = 17u64;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let s = (x >> 33) % 40;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = (x >> 33) % 40;
+            g.add_edge(s as i64, d as i64);
+        }
+        let exact = betweenness_centrality(&g, false);
+        let sampled = betweenness_centrality_sampled(&g, g.node_count(), false);
+        for ((ia, va), (ib, vb)) in exact.iter().zip(&sampled) {
+            assert_eq!(ia, ib);
+            assert!((va - vb).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Connected components: weak (edge direction ignored) and strong
+//! (mutually reachable). SCC decomposition is a Table 6 kernel.
+
+use ringo_concurrent::IntHashTable;
+use ringo_graph::{DirectedTopology, NodeId};
+
+/// Result of a component decomposition.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Map id → dense component index.
+    pub comp_of: IntHashTable<u32>,
+    /// Size of each component, indexed by component index.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn n_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Component index of a node, if present.
+    pub fn component(&self, id: NodeId) -> Option<u32> {
+        self.comp_of.get(id).copied()
+    }
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Weakly connected components: treats every edge as undirected and
+/// labels each node with its component, via slot-indexed BFS.
+pub fn weakly_connected_components<G: DirectedTopology>(g: &G) -> Components {
+    let n_slots = g.n_slots();
+    let mut comp = vec![UNVISITED; n_slots];
+    let mut sizes = Vec::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for start in 0..n_slots {
+        if g.slot_id(start).is_none() || comp[start] != UNVISITED {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        sizes.push(0usize);
+        comp[start] = c;
+        queue.push(start);
+        while let Some(slot) = queue.pop() {
+            sizes[c as usize] += 1;
+            for &nbr in g
+                .out_nbrs_of_slot(slot)
+                .iter()
+                .chain(g.in_nbrs_of_slot(slot))
+            {
+                let ns = g.slot_of(nbr).expect("neighbor exists");
+                if comp[ns] == UNVISITED {
+                    comp[ns] = c;
+                    queue.push(ns);
+                }
+            }
+        }
+    }
+    pack(g, &comp, sizes)
+}
+
+/// Strongly connected components via an iterative Tarjan traversal
+/// (explicit stack, no recursion — safe on deep graphs).
+pub fn strongly_connected_components<G: DirectedTopology>(g: &G) -> Components {
+    let n_slots = g.n_slots();
+    let mut index = vec![UNVISITED; n_slots];
+    let mut lowlink = vec![0u32; n_slots];
+    let mut on_stack = vec![false; n_slots];
+    let mut comp = vec![UNVISITED; n_slots];
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut tarjan_stack: Vec<usize> = Vec::new();
+    // Explicit DFS frames: (slot, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n_slots {
+        if g.slot_id(start).is_none() || index[start] != UNVISITED {
+            continue;
+        }
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        tarjan_stack.push(start);
+        on_stack[start] = true;
+        frames.push((start, 0));
+
+        while let Some(&mut (slot, ref mut child)) = frames.last_mut() {
+            let nbrs = g.out_nbrs_of_slot(slot);
+            if *child < nbrs.len() {
+                let nbr = nbrs[*child];
+                *child += 1;
+                let ns = g.slot_of(nbr).expect("neighbor exists");
+                if index[ns] == UNVISITED {
+                    index[ns] = next_index;
+                    lowlink[ns] = next_index;
+                    next_index += 1;
+                    tarjan_stack.push(ns);
+                    on_stack[ns] = true;
+                    frames.push((ns, 0));
+                } else if on_stack[ns] {
+                    lowlink[slot] = lowlink[slot].min(index[ns]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[slot]);
+                }
+                if lowlink[slot] == index[slot] {
+                    // Root of an SCC: pop the component.
+                    let c = sizes.len() as u32;
+                    sizes.push(0);
+                    loop {
+                        let v = tarjan_stack.pop().expect("SCC root on stack");
+                        on_stack[v] = false;
+                        comp[v] = c;
+                        sizes[c as usize] += 1;
+                        if v == slot {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pack(g, &comp, sizes)
+}
+
+fn pack<G: DirectedTopology>(g: &G, comp: &[u32], sizes: Vec<usize>) -> Components {
+    let mut comp_of = IntHashTable::with_capacity(g.node_count());
+    for (slot, &c) in comp.iter().enumerate() {
+        if let Some(id) = g.slot_id(slot) {
+            debug_assert_ne!(c, UNVISITED, "live node left unlabeled");
+            comp_of.insert(id, c);
+        }
+    }
+    Components { comp_of, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_graph::DirectedGraph;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = DirectedGraph::new();
+        let w = weakly_connected_components(&g);
+        assert_eq!(w.n_components(), 0);
+        assert_eq!(w.largest(), 0);
+        let s = strongly_connected_components(&g);
+        assert_eq!(s.n_components(), 0);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(3, 2); // same weak component despite orientation
+        g.add_node(9);
+        let w = weakly_connected_components(&g);
+        assert_eq!(w.n_components(), 2);
+        assert_eq!(w.largest(), 3);
+        assert_eq!(w.component(1), w.component(3));
+        assert_ne!(w.component(1), w.component(9));
+    }
+
+    #[test]
+    fn scc_cycle_is_one_component() {
+        let mut g = DirectedGraph::new();
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        let s = strongly_connected_components(&g);
+        assert_eq!(s.n_components(), 1);
+        assert_eq!(s.largest(), 5);
+    }
+
+    #[test]
+    fn scc_dag_is_all_singletons() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(1, 3);
+        let s = strongly_connected_components(&g);
+        assert_eq!(s.n_components(), 3);
+        assert_eq!(s.largest(), 1);
+    }
+
+    #[test]
+    fn scc_two_cycles_bridged_one_way() {
+        let mut g = DirectedGraph::new();
+        // Cycle A: 1->2->1; cycle B: 3->4->3; bridge 2->3.
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(3, 4);
+        g.add_edge(4, 3);
+        g.add_edge(2, 3);
+        let s = strongly_connected_components(&g);
+        assert_eq!(s.n_components(), 2);
+        assert_eq!(s.component(1), s.component(2));
+        assert_eq!(s.component(3), s.component(4));
+        assert_ne!(s.component(1), s.component(3));
+    }
+
+    #[test]
+    fn scc_handles_deep_chain_iteratively() {
+        // A 100k-node chain would blow a recursive Tarjan's stack.
+        let mut g = DirectedGraph::with_capacity(100_000);
+        for i in 0..100_000i64 {
+            g.add_edge(i, i + 1);
+        }
+        let s = strongly_connected_components(&g);
+        assert_eq!(s.n_components(), 100_001);
+    }
+
+    #[test]
+    fn component_sizes_sum_to_node_count() {
+        let mut g = DirectedGraph::new();
+        let mut x = 11u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let s = (x >> 33) % 150;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = (x >> 33) % 150;
+            g.add_edge(s as i64, d as i64);
+        }
+        for comps in [
+            weakly_connected_components(&g),
+            strongly_connected_components(&g),
+        ] {
+            let total: usize = comps.sizes.iter().sum();
+            assert_eq!(total, g.node_count());
+            assert_eq!(comps.comp_of.len(), g.node_count());
+        }
+    }
+
+    #[test]
+    fn scc_self_loop_is_its_own_component() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 1);
+        g.add_edge(1, 2);
+        let s = strongly_connected_components(&g);
+        assert_eq!(s.n_components(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! k-core decomposition — the paper's Table 6 includes the 3-core of
+//! LiveJournal as a representative sequential kernel.
+//!
+//! Uses the linear-time peeling algorithm (Batagelj–Zaveršnik): repeatedly
+//! remove the minimum-degree node, assigning each node the highest `k`
+//! such that it survives in a subgraph of minimum degree `k`.
+
+use ringo_concurrent::IntHashTable;
+use ringo_graph::{NodeId, UndirectedGraph};
+
+/// Computes the core number of every node, as id → core.
+///
+/// Self-loops contribute one to a node's degree, consistent with
+/// [`UndirectedGraph::degree`].
+pub fn core_numbers(g: &UndirectedGraph) -> IntHashTable<u32> {
+    let n_slots = g.n_slots();
+    // Dense arrays indexed by slot; vacant slots have degree 0 but are
+    // excluded from the ordering.
+    let mut degree: Vec<u32> = (0..n_slots)
+        .map(|s| g.nbrs_of_slot(s).len() as u32)
+        .collect();
+    let live: Vec<bool> = (0..n_slots).map(|s| g.slot_id(s).is_some()).collect();
+    let n = g.node_count();
+    let mut out = IntHashTable::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    let max_deg = degree
+        .iter()
+        .zip(&live)
+        .filter(|(_, &l)| l)
+        .map(|(&d, _)| d)
+        .max()
+        .unwrap_or(0) as usize;
+
+    // Bucket sort by degree.
+    let mut bin_start = vec![0usize; max_deg + 2];
+    for s in 0..n_slots {
+        if live[s] {
+            bin_start[degree[s] as usize + 1] += 1;
+        }
+    }
+    for i in 1..bin_start.len() {
+        bin_start[i] += bin_start[i - 1];
+    }
+    let mut pos = vec![0usize; n_slots]; // slot -> position in vert
+    let mut vert = vec![0usize; n]; // ordered slots
+    {
+        let mut cursor = bin_start.clone();
+        for s in 0..n_slots {
+            if live[s] {
+                let d = degree[s] as usize;
+                pos[s] = cursor[d];
+                vert[cursor[d]] = s;
+                cursor[d] += 1;
+            }
+        }
+    }
+    // bin[d] = index of first vertex with degree >= d during peeling.
+    let mut bin = bin_start;
+    bin.pop();
+
+    for i in 0..n {
+        let v = vert[i];
+        let v_id = g.slot_id(v).expect("ordered slots are live");
+        out.insert(v_id, degree[v]);
+        for &u_id in g.nbrs_of_slot(v) {
+            if u_id == v_id {
+                continue;
+            }
+            let u = g.slot_of(u_id).expect("neighbor exists");
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with the first vertex of
+                // its current bucket.
+                let du = degree[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the `k`-core: the maximal subgraph in which every node has
+/// degree at least `k`. Returns an empty graph when no such subgraph
+/// exists.
+pub fn k_core(g: &UndirectedGraph, k: u32) -> UndirectedGraph {
+    let cores = core_numbers(g);
+    let keep = |id: NodeId| cores.get(id).is_some_and(|&c| c >= k);
+    let mut parts: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+    for slot in 0..g.n_slots() {
+        let id = match g.slot_id(slot) {
+            Some(id) => id,
+            None => continue,
+        };
+        if !keep(id) {
+            continue;
+        }
+        let nbrs: Vec<NodeId> = g
+            .nbrs_of_slot(slot)
+            .iter()
+            .copied()
+            .filter(|&n| keep(n))
+            .collect();
+        parts.push((id, nbrs));
+    }
+    UndirectedGraph::from_parts(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraph::new();
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(k_core(&g, 1).node_count(), 0);
+    }
+
+    #[test]
+    fn path_has_core_one() {
+        let mut g = UndirectedGraph::new();
+        for i in 0..5 {
+            g.add_edge(i, i + 1);
+        }
+        let cores = core_numbers(&g);
+        for i in 0..=5 {
+            assert_eq!(cores.get(i), Some(&1));
+        }
+    }
+
+    #[test]
+    fn clique_core_is_n_minus_one() {
+        let mut g = UndirectedGraph::new();
+        for a in 0..5i64 {
+            for b in (a + 1)..5 {
+                g.add_edge(a, b);
+            }
+        }
+        let cores = core_numbers(&g);
+        for i in 0..5 {
+            assert_eq!(cores.get(i), Some(&4));
+        }
+    }
+
+    #[test]
+    fn clique_with_pendant_tail() {
+        let mut g = UndirectedGraph::new();
+        // Triangle 0-1-2 plus tail 2-3-4.
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        let cores = core_numbers(&g);
+        assert_eq!(cores.get(0), Some(&2));
+        assert_eq!(cores.get(1), Some(&2));
+        assert_eq!(cores.get(2), Some(&2));
+        assert_eq!(cores.get(3), Some(&1));
+        assert_eq!(cores.get(4), Some(&1));
+    }
+
+    #[test]
+    fn k_core_extraction_peels_tails() {
+        let mut g = UndirectedGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3); // pendant
+        let core2 = k_core(&g, 2);
+        assert_eq!(core2.node_count(), 3);
+        assert_eq!(core2.edge_count(), 3);
+        assert!(!core2.has_node(3));
+        let core3 = k_core(&g, 3);
+        assert_eq!(core3.node_count(), 0);
+    }
+
+    #[test]
+    fn min_degree_invariant_of_k_core() {
+        // Random graph: every node of k_core(g, k) must have degree >= k
+        // inside the core.
+        let mut g = UndirectedGraph::new();
+        let mut x = 5u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (x >> 33) % 120;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (x >> 33) % 120;
+            if a != b {
+                g.add_edge(a as i64, b as i64);
+            }
+        }
+        for k in [2u32, 3, 5] {
+            let core = k_core(&g, k);
+            for id in core.node_ids() {
+                assert!(
+                    core.degree(id).unwrap() >= k as usize,
+                    "node {id} has degree {} in {k}-core",
+                    core.degree(id).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_have_core_zero() {
+        let mut g = UndirectedGraph::new();
+        g.add_node(42);
+        g.add_edge(1, 2);
+        let cores = core_numbers(&g);
+        assert_eq!(cores.get(42), Some(&0));
+        assert_eq!(cores.get(1), Some(&1));
+    }
+}

@@ -1,0 +1,151 @@
+//! Single-source shortest paths — one of the paper's Table 6 sequential
+//! kernels ("runtime averaged over 10 random sources").
+
+use crate::bfs::{bfs_distances, Direction};
+use ringo_concurrent::IntHashTable;
+use ringo_graph::{DirectedTopology, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Unweighted shortest paths: BFS hop distances (id → hops). This is the
+/// SSSP variant Table 6 measures, as the benchmark graphs carry no weights.
+pub fn sssp_unweighted<G: DirectedTopology>(
+    g: &G,
+    src: NodeId,
+    dir: Direction,
+) -> IntHashTable<u32> {
+    bfs_distances(g, src, dir)
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    slot: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap over distance.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm over out-edges with a caller-supplied edge weight
+/// function (weights must be non-negative; negative weights panic in debug
+/// builds and silently produce wrong results otherwise — as with any
+/// Dijkstra). Returns id → distance; unreachable nodes are absent.
+pub fn sssp_dijkstra<G, W>(g: &G, src: NodeId, weight: W) -> IntHashTable<f64>
+where
+    G: DirectedTopology,
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    let mut dist: IntHashTable<f64> = IntHashTable::new();
+    let src_slot = match g.slot_of(src) {
+        Some(s) => s,
+        None => return dist,
+    };
+    let mut heap = BinaryHeap::new();
+    dist.insert(src, 0.0);
+    heap.push(HeapEntry {
+        dist: 0.0,
+        slot: src_slot,
+    });
+    while let Some(HeapEntry { dist: d, slot }) = heap.pop() {
+        let u = g.slot_id(slot).expect("heap slot is live");
+        let best = *dist.get(u).expect("popped node has distance");
+        if d > best {
+            continue; // stale entry
+        }
+        for &v in g.out_nbrs_of_slot(slot) {
+            let w = weight(u, v);
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let cand = d + w;
+            let better = match dist.get(v) {
+                Some(&cur) => cand < cur,
+                None => true,
+            };
+            if better {
+                dist.insert(v, cand);
+                heap.push(HeapEntry {
+                    dist: cand,
+                    slot: g.slot_of(v).expect("neighbor exists"),
+                });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_graph::DirectedGraph;
+
+    #[test]
+    fn unweighted_equals_bfs() {
+        let mut g = DirectedGraph::new();
+        for (s, d) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+            g.add_edge(s, d);
+        }
+        let d = sssp_unweighted(&g, 0, Direction::Out);
+        assert_eq!(d.get(3), Some(&2));
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_long_path() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(0, 1); // weight 10 (direct)
+        g.add_edge(0, 2); // weight 1
+        g.add_edge(2, 1); // weight 1
+        let weight = |a: NodeId, b: NodeId| match (a, b) {
+            (0, 1) => 10.0,
+            _ => 1.0,
+        };
+        let d = sssp_dijkstra(&g, 0, weight);
+        assert_eq!(d.get(1), Some(&2.0));
+        assert_eq!(d.get(2), Some(&1.0));
+    }
+
+    #[test]
+    fn unit_weights_match_bfs_hops() {
+        let mut g = DirectedGraph::new();
+        let mut x = 3u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let s = (x >> 33) % 60;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = (x >> 33) % 60;
+            g.add_edge(s as i64, d as i64);
+        }
+        let bfs = sssp_unweighted(&g, 0, Direction::Out);
+        let dij = sssp_dijkstra(&g, 0, |_, _| 1.0);
+        assert_eq!(bfs.len(), dij.len());
+        for (id, hops) in bfs.iter() {
+            assert_eq!(*dij.get(id).unwrap(), f64::from(*hops));
+        }
+    }
+
+    #[test]
+    fn missing_source() {
+        let g = DirectedGraph::new();
+        assert!(sssp_dijkstra(&g, 5, |_, _| 1.0).is_empty());
+    }
+
+    #[test]
+    fn unreachable_absent() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(2, 0); // 2 unreachable from 0 via out-edges
+        let d = sssp_dijkstra(&g, 0, |_, _| 1.0);
+        assert!(d.get(2).is_none());
+        assert_eq!(d.len(), 2);
+    }
+}

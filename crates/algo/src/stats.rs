@@ -1,0 +1,283 @@
+//! Structural statistics: degree distributions and diameter estimates.
+
+use crate::bfs::{bfs_distances, Direction};
+use ringo_graph::{DirectedTopology, NodeId};
+
+/// Histogram of out-degrees as sorted `(degree, node_count)` pairs.
+pub fn degree_histogram<G: DirectedTopology>(g: &G, dir: Direction) -> Vec<(usize, usize)> {
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for s in 0..g.n_slots() {
+        if g.slot_id(s).is_none() {
+            continue;
+        }
+        let d = match dir {
+            Direction::Out => g.out_nbrs_of_slot(s).len(),
+            Direction::In => g.in_nbrs_of_slot(s).len(),
+            Direction::Both => g.out_nbrs_of_slot(s).len() + g.in_nbrs_of_slot(s).len(),
+        };
+        *counts.entry(d).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Lower bound on the diameter via BFS double sweeps from `samples`
+/// starting nodes (edges treated per `dir`). Exact on trees; a tight lower
+/// bound in practice on real graphs.
+pub fn approx_diameter<G: DirectedTopology>(g: &G, samples: usize, dir: Direction) -> u32 {
+    let live: Vec<NodeId> = (0..g.n_slots()).filter_map(|s| g.slot_id(s)).collect();
+    if live.is_empty() {
+        return 0;
+    }
+    let stride = live.len().div_ceil(samples.max(1)).max(1);
+    let mut best = 0u32;
+    for &start in live.iter().step_by(stride) {
+        let d1 = bfs_distances(g, start, dir);
+        // Farthest node from start...
+        let (far, d) = match d1.iter().max_by_key(|(_, &d)| d) {
+            Some((id, &d)) => (id, d),
+            None => continue,
+        };
+        best = best.max(d);
+        // ...then sweep again from there.
+        let d2 = bfs_distances(g, far, dir);
+        if let Some((_, &d)) = d2.iter().max_by_key(|(_, &d)| d) {
+            best = best.max(d);
+        }
+    }
+    best
+}
+
+/// Effective diameter: the smallest hop count within which `quantile`
+/// (e.g. 0.9) of reachable node pairs lie, estimated from BFS out of
+/// `samples` evenly spaced source nodes.
+pub fn effective_diameter<G: DirectedTopology>(
+    g: &G,
+    samples: usize,
+    quantile: f64,
+    dir: Direction,
+) -> f64 {
+    let live: Vec<NodeId> = (0..g.n_slots()).filter_map(|s| g.slot_id(s)).collect();
+    if live.is_empty() {
+        return 0.0;
+    }
+    let stride = live.len().div_ceil(samples.max(1)).max(1);
+    let mut hist: Vec<u64> = Vec::new(); // hist[d] = #pairs at distance d
+    for &start in live.iter().step_by(stride) {
+        for (_, &d) in bfs_distances(g, start, dir).iter() {
+            if d == 0 {
+                continue;
+            }
+            if hist.len() <= d as usize {
+                hist.resize(d as usize + 1, 0);
+            }
+            hist[d as usize] += 1;
+        }
+    }
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = quantile * total as f64;
+    let mut acc = 0u64;
+    for (d, &c) in hist.iter().enumerate() {
+        let prev = acc;
+        acc += c;
+        if acc as f64 >= target {
+            // Linear interpolation within the final hop bucket.
+            let need = target - prev as f64;
+            let frac = if c > 0 { need / c as f64 } else { 0.0 };
+            return (d as f64 - 1.0) + frac;
+        }
+    }
+    (hist.len() - 1) as f64
+}
+
+/// Reciprocity of a directed graph: the fraction of directed edges whose
+/// reverse edge also exists (self-loops count as reciprocated). 0 for an
+/// edgeless graph.
+pub fn reciprocity<G: DirectedTopology>(g: &G) -> f64 {
+    let mut total = 0usize;
+    let mut mutual = 0usize;
+    for s in 0..g.n_slots() {
+        let u = match g.slot_id(s) {
+            Some(id) => id,
+            None => continue,
+        };
+        let ins = g.in_nbrs_of_slot(s);
+        for &v in g.out_nbrs_of_slot(s) {
+            total += 1;
+            // u -> v is mutual when v -> u exists, i.e. v in in(u).
+            if ins.binary_search(&v).is_ok() {
+                mutual += 1;
+            }
+            let _ = u;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        mutual as f64 / total as f64
+    }
+}
+
+/// Degree assortativity (Pearson correlation between the total degrees of
+/// edge endpoints, over directed edges). Positive: hubs link to hubs;
+/// negative: hubs link to the periphery (typical of social/web graphs).
+/// Returns 0 when undefined (fewer than 2 edges or zero variance).
+pub fn degree_assortativity<G: DirectedTopology>(g: &G) -> f64 {
+    let deg = |slot: usize| {
+        (g.out_nbrs_of_slot(slot).len() + g.in_nbrs_of_slot(slot).len()) as f64
+    };
+    let mut n = 0f64;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    for s in 0..g.n_slots() {
+        if g.slot_id(s).is_none() {
+            continue;
+        }
+        let x = deg(s);
+        for &v in g.out_nbrs_of_slot(s) {
+            let vs = g.slot_of(v).expect("neighbor exists");
+            let y = deg(vs);
+            n += 1.0;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+    }
+    if n < 2.0 {
+        return 0.0;
+    }
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sxx / n - (sx / n) * (sx / n);
+    let vy = syy / n - (sy / n) * (sy / n);
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_graph::DirectedGraph;
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        let h = degree_histogram(&g, Direction::Out);
+        // Node 2 has out-degree 0, node 1 has 1, node 0 has 2.
+        assert_eq!(h, vec![(0, 1), (1, 1), (2, 1)]);
+        let total: usize = h.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn diameter_of_path_is_exact() {
+        let mut g = DirectedGraph::new();
+        for i in 0..10 {
+            g.add_edge(i, i + 1);
+        }
+        assert_eq!(approx_diameter(&g, 4, Direction::Both), 10);
+    }
+
+    #[test]
+    fn diameter_of_empty_graph() {
+        let g = DirectedGraph::new();
+        assert_eq!(approx_diameter(&g, 4, Direction::Both), 0);
+        assert_eq!(effective_diameter(&g, 4, 0.9, Direction::Both), 0.0);
+    }
+
+    #[test]
+    fn effective_diameter_below_full_diameter() {
+        let mut g = DirectedGraph::new();
+        // A hub with many spokes plus one long tail: most pairs are close.
+        for i in 1..50 {
+            g.add_edge(0, i);
+        }
+        g.add_edge(50, 51);
+        g.add_edge(51, 52);
+        g.add_edge(52, 0);
+        let full = approx_diameter(&g, g.node_count(), Direction::Both);
+        let eff = effective_diameter(&g, g.node_count(), 0.9, Direction::Both);
+        assert!(eff < f64::from(full), "eff {eff} < full {full}");
+        assert!(eff > 0.0);
+    }
+
+    #[test]
+    fn reciprocity_counts_mutual_pairs() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 1); // mutual pair: 2 reciprocated edges
+        g.add_edge(2, 3); // one-way
+        assert!((reciprocity(&g) - 2.0 / 3.0).abs() < 1e-12);
+        g.add_edge(4, 4); // self-loop reciprocates itself
+        assert!((reciprocity(&g) - 3.0 / 4.0).abs() < 1e-12);
+        assert_eq!(reciprocity(&DirectedGraph::new()), 0.0);
+    }
+
+    #[test]
+    fn assortativity_sign_matches_structure() {
+        // Two cliques of different sizes: every edge joins equal-degree
+        // endpoints, but degree varies across edges → fully assortative.
+        let mut cliques = DirectedGraph::new();
+        for a in 0..3i64 {
+            for b in 0..3 {
+                if a != b {
+                    cliques.add_edge(a, b);
+                }
+            }
+        }
+        for a in 10..16i64 {
+            for b in 10..16 {
+                if a != b {
+                    cliques.add_edge(a, b);
+                }
+            }
+        }
+        assert!(degree_assortativity(&cliques) > 0.99);
+
+        // Two disjoint uniform cycles: every endpoint has equal degree →
+        // zero variance, defined as 0.
+        let mut cycles = DirectedGraph::new();
+        for i in 0..5i64 {
+            cycles.add_edge(i, (i + 1) % 5);
+            cycles.add_edge(10 + i, 10 + (i + 1) % 5);
+        }
+        assert_eq!(degree_assortativity(&cycles), 0.0);
+
+        // Core-periphery vs assorted: a clique whose members also chain
+        // to degree-1 pendants is disassortative on the pendant edges.
+        let mut mixed = DirectedGraph::new();
+        for a in 0..4i64 {
+            for b in 0..4 {
+                if a != b {
+                    mixed.add_edge(a, b);
+                }
+            }
+        }
+        for a in 0..4i64 {
+            mixed.add_edge(a, 100 + a);
+            mixed.add_edge(100 + a, a);
+        }
+        assert!(degree_assortativity(&mixed) < 0.0);
+    }
+
+    #[test]
+    fn clique_has_diameter_one() {
+        let mut g = DirectedGraph::new();
+        for a in 0..6i64 {
+            for b in 0..6 {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        assert_eq!(approx_diameter(&g, 2, Direction::Out), 1);
+    }
+}

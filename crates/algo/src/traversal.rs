@@ -1,0 +1,151 @@
+//! Depth-first traversal utilities: DFS order, topological sort, cycle
+//! detection.
+
+use ringo_graph::{DirectedTopology, NodeId};
+
+/// Nodes in iterative depth-first preorder from `src`, following
+/// out-edges. Neighbors are visited in adjacency (ascending id) order.
+pub fn dfs_order<G: DirectedTopology>(g: &G, src: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let src_slot = match g.slot_of(src) {
+        Some(s) => s,
+        None => return order,
+    };
+    let mut visited = vec![false; g.n_slots()];
+    // Stack holds (slot, next-neighbor index).
+    let mut stack: Vec<(usize, usize)> = vec![(src_slot, 0)];
+    visited[src_slot] = true;
+    order.push(src);
+    while let Some(&mut (slot, ref mut next)) = stack.last_mut() {
+        let nbrs = g.out_nbrs_of_slot(slot);
+        if *next >= nbrs.len() {
+            stack.pop();
+            continue;
+        }
+        let nbr = nbrs[*next];
+        *next += 1;
+        let ns = g.slot_of(nbr).expect("neighbor exists");
+        if !visited[ns] {
+            visited[ns] = true;
+            order.push(nbr);
+            stack.push((ns, 0));
+        }
+    }
+    order
+}
+
+/// Topological order of the whole graph, or `None` if it contains a
+/// directed cycle. Kahn's algorithm; ties resolved by slot order, so the
+/// result is deterministic.
+pub fn topological_sort<G: DirectedTopology>(g: &G) -> Option<Vec<NodeId>> {
+    let n_slots = g.n_slots();
+    let mut indeg = vec![0usize; n_slots];
+    let mut live = 0usize;
+    for (s, cell) in indeg.iter_mut().enumerate() {
+        if g.slot_id(s).is_some() {
+            live += 1;
+            *cell = g.in_nbrs_of_slot(s).len();
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> = (0..n_slots)
+        .filter(|&s| g.slot_id(s).is_some() && indeg[s] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(live);
+    while let Some(slot) = queue.pop_front() {
+        order.push(g.slot_id(slot).expect("queued slot live"));
+        for &nbr in g.out_nbrs_of_slot(slot) {
+            let ns = g.slot_of(nbr).expect("neighbor exists");
+            indeg[ns] -= 1;
+            if indeg[ns] == 0 {
+                queue.push_back(ns);
+            }
+        }
+    }
+    (order.len() == live).then_some(order)
+}
+
+/// True when the directed graph contains at least one cycle (self-loops
+/// count).
+pub fn has_cycle<G: DirectedTopology>(g: &G) -> bool {
+    topological_sort(g).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_graph::DirectedGraph;
+
+    fn dag() -> DirectedGraph {
+        let mut g = DirectedGraph::new();
+        for (s, d) in [(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)] {
+            g.add_edge(s, d);
+        }
+        g
+    }
+
+    #[test]
+    fn dfs_preorder_on_tree() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 5);
+        g.add_edge(2, 3);
+        g.add_edge(2, 4);
+        assert_eq!(dfs_order(&g, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dfs_visits_each_reachable_node_once() {
+        let g = dag();
+        let order = dfs_order(&g, 1);
+        assert_eq!(order.len(), 5);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        assert!(dfs_order(&g, 99).is_empty());
+        assert_eq!(dfs_order(&g, 5), vec![5]);
+    }
+
+    #[test]
+    fn topological_sort_respects_edges() {
+        let g = dag();
+        let order = topological_sort(&g).expect("acyclic");
+        let pos = |id: i64| order.iter().position(|&x| x == id).unwrap();
+        for (s, d) in g.edges() {
+            assert!(pos(s) < pos(d), "{s} before {d}");
+        }
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = dag();
+        assert!(!has_cycle(&g));
+        g.add_edge(5, 1);
+        assert!(has_cycle(&g));
+        assert!(topological_sort(&g).is_none());
+
+        let mut loopy = DirectedGraph::new();
+        loopy.add_edge(1, 1);
+        assert!(has_cycle(&loopy));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = DirectedGraph::new();
+        assert_eq!(topological_sort(&g), Some(vec![]));
+        let mut g = DirectedGraph::new();
+        g.add_node(3);
+        g.add_node(1);
+        assert_eq!(topological_sort(&g).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn deep_dfs_does_not_overflow_stack() {
+        let mut g = DirectedGraph::with_capacity(200_000);
+        for i in 0..200_000i64 {
+            g.add_edge(i, i + 1);
+        }
+        assert_eq!(dfs_order(&g, 0).len(), 200_001);
+    }
+}

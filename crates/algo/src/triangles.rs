@@ -1,0 +1,201 @@
+//! Undirected triangle counting — the paper's second parallel kernel
+//! (Table 3), "directly related to relational joins".
+//!
+//! We use the standard forward/node-iterator algorithm the paper describes
+//! as "a straightforward approach, similar to [PATRIC]": for every edge
+//! `(u, v)` with `u < v`, intersect the sorted adjacency lists of `u` and
+//! `v` counting common neighbors `w > v`, so each triangle is counted
+//! exactly once at its smallest vertex. Parallelism partitions nodes
+//! across workers; workers share nothing and reduce partial counts.
+
+use ringo_concurrent::parallel_map;
+use ringo_graph::{NodeId, UndirectedGraph};
+
+/// Counts the number of distinct triangles. Self-loops never form
+/// triangles and are ignored. `threads = 1` gives the sequential variant.
+pub fn count_triangles(g: &UndirectedGraph, threads: usize) -> u64 {
+    let n_slots = g.n_slots();
+    let parts = parallel_map(n_slots, threads, |range| {
+        let mut count = 0u64;
+        for slot in range {
+            let u = match g.slot_id(slot) {
+                Some(id) => id,
+                None => continue,
+            };
+            let u_nbrs = g.nbrs_of_slot(slot);
+            for &v in u_nbrs {
+                if v <= u {
+                    continue;
+                }
+                count += intersect_above(u_nbrs, g.nbrs(v), v);
+            }
+        }
+        count
+    });
+    parts.into_iter().sum()
+}
+
+/// Number of triangles incident to each node, as `(id, count)` pairs in
+/// slot order. `sum(counts) == 3 * count_triangles(g)`.
+pub fn node_triangles(g: &UndirectedGraph, threads: usize) -> Vec<(NodeId, u64)> {
+    let n_slots = g.n_slots();
+    let parts = parallel_map(n_slots, threads, |range| {
+        let mut out = Vec::new();
+        for slot in range {
+            let u = match g.slot_id(slot) {
+                Some(id) => id,
+                None => continue,
+            };
+            let u_nbrs = g.nbrs_of_slot(slot);
+            // Count unordered neighbor pairs (v, w), v < w, that are
+            // adjacent; each such pair closes one triangle at u.
+            let mut count = 0u64;
+            for (i, &v) in u_nbrs.iter().enumerate() {
+                if v == u {
+                    continue;
+                }
+                let v_nbrs = g.nbrs(v);
+                for &w in &u_nbrs[i + 1..] {
+                    if w == u {
+                        continue;
+                    }
+                    if v_nbrs.binary_search(&w).is_ok() {
+                        count += 1;
+                    }
+                }
+            }
+            out.push((u, count));
+        }
+        out
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Counts elements common to two sorted lists that are strictly greater
+/// than `floor`.
+fn intersect_above(a: &[NodeId], b: &[NodeId], floor: NodeId) -> u64 {
+    let mut i = match a.binary_search(&floor) {
+        Ok(p) => p + 1,
+        Err(p) => p,
+    };
+    let mut j = match b.binary_search(&floor) {
+        Ok(p) => p + 1,
+        Err(p) => p,
+    };
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> UndirectedGraph {
+        let mut g = UndirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(1, 3);
+        g
+    }
+
+    #[test]
+    fn single_triangle() {
+        assert_eq!(count_triangles(&triangle(), 1), 1);
+    }
+
+    #[test]
+    fn clique_counts_choose_3() {
+        let mut g = UndirectedGraph::new();
+        let n = 8i64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b);
+            }
+        }
+        // C(8,3) = 56.
+        assert_eq!(count_triangles(&g, 1), 56);
+        assert_eq!(count_triangles(&g, 4), 56);
+    }
+
+    #[test]
+    fn path_and_star_have_no_triangles() {
+        let mut path = UndirectedGraph::new();
+        for i in 0..10 {
+            path.add_edge(i, i + 1);
+        }
+        assert_eq!(count_triangles(&path, 2), 0);
+        let mut star = UndirectedGraph::new();
+        for i in 1..10 {
+            star.add_edge(0, i);
+        }
+        assert_eq!(count_triangles(&star, 2), 0);
+    }
+
+    #[test]
+    fn self_loops_do_not_create_triangles() {
+        let mut g = triangle();
+        g.add_edge(1, 1);
+        g.add_edge(2, 2);
+        assert_eq!(count_triangles(&g, 1), 1);
+        let per_node = node_triangles(&g, 1);
+        let total: u64 = per_node.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn node_counts_sum_to_three_times_total() {
+        let mut g = UndirectedGraph::new();
+        // Two triangles sharing an edge: (1,2,3) and (2,3,4).
+        for (a, b) in [(1, 2), (2, 3), (1, 3), (2, 4), (3, 4)] {
+            g.add_edge(a, b);
+        }
+        assert_eq!(count_triangles(&g, 1), 2);
+        let per_node = node_triangles(&g, 3);
+        let total: u64 = per_node.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 6);
+        let of = |id: i64| per_node.iter().find(|(n, _)| *n == id).unwrap().1;
+        assert_eq!(of(1), 1);
+        assert_eq!(of(2), 2);
+        assert_eq!(of(3), 2);
+        assert_eq!(of(4), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_graph() {
+        let mut g = UndirectedGraph::new();
+        let mut x = 7u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (x >> 33) % 200;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (x >> 33) % 200;
+            if a != b {
+                g.add_edge(a as i64, b as i64);
+            }
+        }
+        let seq = count_triangles(&g, 1);
+        let par = count_triangles(&g, 8);
+        assert_eq!(seq, par);
+        assert!(seq > 0, "random graph dense enough to have triangles");
+        let per_node: u64 = node_triangles(&g, 4).iter().map(|(_, c)| c).sum();
+        assert_eq!(per_node, 3 * seq);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraph::new();
+        assert_eq!(count_triangles(&g, 4), 0);
+        assert!(node_triangles(&g, 4).is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Breadth benchmarks over the wider algorithm library: the "over 200
+//! graph functions" story needs every family to stay interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_core::algo::{
+    anf_effective_diameter, approx_neighborhood_function, betweenness_centrality_sampled,
+    core_numbers, eigenvector_centrality, greedy_coloring, k_truss, label_propagation,
+    maximal_independent_set, triad_census,
+};
+use ringo_core::Ringo;
+
+fn bench(c: &mut Criterion) {
+    let ringo = Ringo::new();
+    let table = ringo.generate_lj_like(0.02, 42); // ~20k rows
+    let graph = ringo.to_graph(&table, "src", "dst").unwrap();
+    let undirected = ringo.to_undirected_graph(&table, "src", "dst").unwrap();
+
+    let mut g = c.benchmark_group("algo_breadth");
+    g.sample_size(10);
+    g.bench_function("triad_census", |b| {
+        b.iter(|| std::hint::black_box(triad_census(&graph)))
+    });
+    g.bench_function("betweenness_32_samples", |b| {
+        b.iter(|| std::hint::black_box(betweenness_centrality_sampled(&graph, 32, true)))
+    });
+    g.bench_function("eigenvector_20_iters", |b| {
+        b.iter(|| std::hint::black_box(eigenvector_centrality(&graph, 20, 0.0, 1)))
+    });
+    g.bench_function("label_propagation_10", |b| {
+        b.iter(|| std::hint::black_box(label_propagation(&undirected, 10, 42)))
+    });
+    g.bench_function("core_numbers", |b| {
+        b.iter(|| std::hint::black_box(core_numbers(&undirected)))
+    });
+    g.bench_function("k_truss_4", |b| {
+        b.iter(|| std::hint::black_box(k_truss(&undirected, 4)))
+    });
+    g.bench_function("anf_8_hops_32_sketches", |b| {
+        b.iter(|| {
+            let curve = approx_neighborhood_function(&graph, 8, 32, 7);
+            std::hint::black_box(anf_effective_diameter(&curve, 0.9))
+        })
+    });
+    g.bench_function("maximal_independent_set", |b| {
+        b.iter(|| std::hint::black_box(maximal_independent_set(&undirected)))
+    });
+    g.bench_function("greedy_coloring", |b| {
+        b.iter(|| std::hint::black_box(greedy_coloring(&undirected)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

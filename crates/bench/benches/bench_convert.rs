@@ -1,0 +1,37 @@
+//! Conversion benchmarks (Table 5) plus the DESIGN.md ablation 1:
+//! sort-first table→graph vs the naive row-at-a-time baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_core::convert::{
+    graph_to_edge_table, graph_to_node_table, table_to_graph, table_to_graph_naive,
+    table_to_undirected,
+};
+use ringo_core::Ringo;
+
+fn bench(c: &mut Criterion) {
+    let ringo = Ringo::new();
+    let table = ringo.generate_lj_like(0.03, 42); // ~30k rows
+    let graph = table_to_graph(&table, "src", "dst").unwrap();
+
+    let mut g = c.benchmark_group("convert");
+    g.sample_size(15);
+    g.bench_function("table_to_graph_sort_first", |b| {
+        b.iter(|| std::hint::black_box(table_to_graph(&table, "src", "dst").unwrap()))
+    });
+    g.bench_function("table_to_graph_naive", |b| {
+        b.iter(|| std::hint::black_box(table_to_graph_naive(&table, "src", "dst").unwrap()))
+    });
+    g.bench_function("table_to_undirected", |b| {
+        b.iter(|| std::hint::black_box(table_to_undirected(&table, "src", "dst").unwrap()))
+    });
+    g.bench_function("graph_to_edge_table", |b| {
+        b.iter(|| std::hint::black_box(graph_to_edge_table(&graph, ringo.threads())))
+    });
+    g.bench_function("graph_to_node_table", |b| {
+        b.iter(|| std::hint::black_box(graph_to_node_table(&graph, ringo.threads())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

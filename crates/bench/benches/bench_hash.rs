@@ -1,0 +1,84 @@
+//! DESIGN.md ablation 3: the open-addressing linear-probing hash table
+//! (paper §2.5) vs `std::collections::HashMap` for the integer-key
+//! workloads the graph engine performs (node-id lookups).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_core::concurrent::{ConcurrentIntTable, IntHashTable};
+use std::collections::HashMap;
+
+fn keys(n: usize) -> Vec<i64> {
+    // Pseudo-random 48-bit ids, like external node ids.
+    let mut state = 0xdead_beef_cafe_f00du64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 16) as i64
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000;
+    let ks = keys(n);
+
+    let mut ours: IntHashTable<u32> = IntHashTable::with_capacity(n);
+    let mut std_map: HashMap<i64, u32> = HashMap::with_capacity(n);
+    for (i, &k) in ks.iter().enumerate() {
+        ours.insert(k, i as u32);
+        std_map.insert(k, i as u32);
+    }
+
+    let mut g = c.benchmark_group("hash");
+    g.sample_size(20);
+    g.bench_function("insert_100k_open_addressing", |b| {
+        b.iter(|| {
+            let mut t: IntHashTable<u32> = IntHashTable::with_capacity(n);
+            for (i, &k) in ks.iter().enumerate() {
+                t.insert(k, i as u32);
+            }
+            t
+        })
+    });
+    g.bench_function("insert_100k_std_hashmap", |b| {
+        b.iter(|| {
+            let mut t: HashMap<i64, u32> = HashMap::with_capacity(n);
+            for (i, &k) in ks.iter().enumerate() {
+                t.insert(k, i as u32);
+            }
+            t
+        })
+    });
+    g.bench_function("get_100k_open_addressing", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &ks {
+                acc += u64::from(*ours.get(k).unwrap());
+            }
+            acc
+        })
+    });
+    g.bench_function("get_100k_std_hashmap", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &ks {
+                acc += u64::from(*std_map.get(&k).unwrap());
+            }
+            acc
+        })
+    });
+    g.bench_function("insert_100k_concurrent_cas", |b| {
+        b.iter(|| {
+            let t = ConcurrentIntTable::with_capacity(n);
+            for &k in &ks {
+                t.insert(k);
+            }
+            t
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

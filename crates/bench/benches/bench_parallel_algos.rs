@@ -1,0 +1,33 @@
+//! Table 3's parallel kernels: PageRank (10 iterations) and triangle
+//! counting, at the session's thread count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_core::algo::{count_triangles, hits, pagerank, PageRankConfig};
+use ringo_core::Ringo;
+
+fn bench(c: &mut Criterion) {
+    let ringo = Ringo::new();
+    let table = ringo.generate_lj_like(0.05, 42);
+    let graph = ringo.to_graph(&table, "src", "dst").unwrap();
+    let undirected = ringo.to_undirected_graph(&table, "src", "dst").unwrap();
+    let cfg = PageRankConfig {
+        threads: ringo.threads(),
+        ..PageRankConfig::default()
+    };
+
+    let mut g = c.benchmark_group("parallel_algos");
+    g.sample_size(15);
+    g.bench_function("pagerank_10_iters", |b| {
+        b.iter(|| std::hint::black_box(pagerank(&graph, &cfg)))
+    });
+    g.bench_function("triangle_counting", |b| {
+        b.iter(|| std::hint::black_box(count_triangles(&undirected, ringo.threads())))
+    });
+    g.bench_function("hits_10_iters", |b| {
+        b.iter(|| std::hint::black_box(hits(&graph, 10, ringo.threads())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

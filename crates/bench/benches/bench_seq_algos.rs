@@ -1,0 +1,45 @@
+//! Table 6's sequential kernels: 3-core, SSSP, SCC — plus the other
+//! traversal-style algorithms the library offers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_core::algo::{
+    bfs_distances, core_numbers, k_core, label_propagation, sssp_unweighted,
+    strongly_connected_components, weakly_connected_components, Direction,
+};
+use ringo_core::Ringo;
+
+fn bench(c: &mut Criterion) {
+    let ringo = Ringo::with_threads(1); // sequential, per the paper
+    let table = ringo.generate_lj_like(0.05, 42);
+    let graph = ringo.to_graph(&table, "src", "dst").unwrap();
+    let undirected = ringo.to_undirected_graph(&table, "src", "dst").unwrap();
+    let src = graph.node_ids().next().unwrap();
+
+    let mut g = c.benchmark_group("seq_algos");
+    g.sample_size(15);
+    g.bench_function("three_core", |b| {
+        b.iter(|| std::hint::black_box(k_core(&undirected, 3)))
+    });
+    g.bench_function("core_numbers", |b| {
+        b.iter(|| std::hint::black_box(core_numbers(&undirected)))
+    });
+    g.bench_function("sssp_bfs", |b| {
+        b.iter(|| std::hint::black_box(sssp_unweighted(&graph, src, Direction::Out)))
+    });
+    g.bench_function("scc_tarjan", |b| {
+        b.iter(|| std::hint::black_box(strongly_connected_components(&graph)))
+    });
+    g.bench_function("wcc", |b| {
+        b.iter(|| std::hint::black_box(weakly_connected_components(&graph)))
+    });
+    g.bench_function("bfs_both_directions", |b| {
+        b.iter(|| std::hint::black_box(bfs_distances(&graph, src, Direction::Both)))
+    });
+    g.bench_function("label_propagation_5_rounds", |b| {
+        b.iter(|| std::hint::black_box(label_propagation(&undirected, 5, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

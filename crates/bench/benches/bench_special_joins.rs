@@ -1,0 +1,59 @@
+//! Benchmarks for Ringo's graph-construction operators (paper §2.3):
+//! SimJoin and NextK, plus the join variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_core::{ColumnType, Ringo, Schema, Table, Value};
+
+fn event_log(users: i64, per_user: i64) -> Table {
+    let schema = Schema::new([
+        ("user", ColumnType::Int),
+        ("ts", ColumnType::Int),
+        ("value", ColumnType::Float),
+    ]);
+    let mut t = Table::new(schema);
+    let mut x = 77u64;
+    for u in 0..users {
+        for c in 0..per_user {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = (x >> 33) % 100;
+            t.push_row(&[
+                Value::Int(u),
+                Value::Int(u * 1000 + c * 10),
+                Value::Float(noise as f64),
+            ])
+            .unwrap();
+        }
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let _ringo = Ringo::new();
+    let log = event_log(1_000, 20); // 20k events
+    let keys = Table::from_int_column("user", (0..500).collect());
+
+    let mut g = c.benchmark_group("special_joins");
+    g.sample_size(10);
+    g.bench_function("next_k_1_grouped", |b| {
+        b.iter(|| std::hint::black_box(log.next_k(Some("user"), "ts", 1).unwrap()))
+    });
+    g.bench_function("next_k_3_grouped", |b| {
+        b.iter(|| std::hint::black_box(log.next_k(Some("user"), "ts", 3).unwrap()))
+    });
+    g.bench_function("sim_join_band_1d", |b| {
+        b.iter(|| std::hint::black_box(log.sim_join(&log, &["value"], &["value"], 0.5).unwrap()))
+    });
+    g.bench_function("semi_join", |b| {
+        b.iter(|| std::hint::black_box(log.semi_join(&keys, "user", "user").unwrap()))
+    });
+    g.bench_function("anti_join", |b| {
+        b.iter(|| std::hint::black_box(log.anti_join(&keys, "user", "user").unwrap()))
+    });
+    g.bench_function("top_k_100_by_ts", |b| {
+        b.iter(|| std::hint::black_box(log.top_k(&["ts"], 100, false).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

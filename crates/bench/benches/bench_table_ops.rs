@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for Table 4's operators: select (copying
+//! and in-place) and hash join, on a LiveJournal-like edge table.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ringo_core::{Cmp, Predicate, Ringo, Table};
+
+fn workload() -> (Table, Table) {
+    let ringo = Ringo::new();
+    let table = ringo.generate_lj_like(0.05, 42); // ~50k rows
+    let src = table.int_col("src").unwrap();
+    let mut distinct: Vec<i64> = src.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct.truncate(2_000);
+    (table.clone(), Table::from_int_column("key", distinct))
+}
+
+fn bench(c: &mut Criterion) {
+    let (table, partner) = workload();
+    let mid = {
+        let mut s = table.int_col("src").unwrap().to_vec();
+        s.sort_unstable();
+        s[s.len() / 2]
+    };
+    let pred = Predicate::int("src", Cmp::Lt, mid);
+
+    let mut g = c.benchmark_group("table_ops");
+    g.sample_size(20);
+    g.bench_function("select_copying_half", |b| {
+        b.iter(|| std::hint::black_box(table.select(&pred).unwrap()))
+    });
+    g.bench_function("select_in_place_half", |b| {
+        b.iter_batched(
+            || table.clone(),
+            |mut t| {
+                t.select_in_place(&pred).unwrap();
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("count_where_half", |b| {
+        b.iter(|| std::hint::black_box(table.count_where(&pred).unwrap()))
+    });
+    g.bench_function("join_2k_keys", |b| {
+        b.iter(|| std::hint::black_box(table.join(&partner, "src", "key").unwrap()))
+    });
+    g.bench_function("group_by_src_count", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                table
+                    .group_by(&["src"], None, ringo_core::AggOp::Count, "n")
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("order_by_dst", |b| {
+        b.iter_batched(
+            || table.clone(),
+            |mut t| {
+                t.order_by(&["dst"], true).unwrap();
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

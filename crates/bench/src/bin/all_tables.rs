@@ -1,0 +1,19 @@
+//! Runs every paper-table binary in sequence — the one-shot regenerator
+//! behind EXPERIMENTS.md. Each table also exists as its own binary
+//! (`cargo run --release -p ringo-bench --bin tableN`).
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["table1", "table2", "table3", "table4", "table5", "table6", "footprint"];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("binary directory");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} exited with {status}");
+        println!();
+    }
+}

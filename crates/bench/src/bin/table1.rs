@@ -1,0 +1,22 @@
+//! Regenerates **Table 1**: graph size statistics of the 71 graphs in the
+//! Stanford Large Network Collection.
+
+use ringo_core::gen::{snap_catalog, table1_histogram};
+
+fn main() {
+    ringo_bench::print_header("Table 1: SNAP collection graph sizes");
+    println!("{:<14} {:>18}", "Number of Edges", "Number of Graphs");
+    for (bucket, count) in table1_histogram() {
+        println!("{:<14} {:>18}", bucket.label(), count);
+    }
+    let total = snap_catalog().len();
+    let below: usize = snap_catalog()
+        .iter()
+        .filter(|e| e.edges < 100_000_000)
+        .count();
+    println!(
+        "\n{} graphs total; {:.0}% have fewer than 100M edges (paper: 90%).",
+        total,
+        100.0 * below as f64 / total as f64
+    );
+}

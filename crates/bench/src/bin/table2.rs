@@ -1,0 +1,42 @@
+//! Regenerates **Table 2**: experiment graphs — node/edge counts, text
+//! file size, in-memory graph size, in-memory table size.
+//!
+//! Paper values (absolute, at full scale): LiveJournal 4.8M nodes / 69M
+//! edges / 1.1GB text / 0.7GB graph / 1.1GB table; Twitter2010 42M / 1.5B
+//! / 26.2GB / 13.2GB / 23.5GB. The reproduction targets the *ratios*:
+//! graph object smaller than text file, table object about the text size.
+
+use ringo_bench::{lj_data, print_header, tsv_byte_size, tw_data};
+use ringo_core::mem::format_bytes;
+use ringo_core::Ringo;
+
+fn main() {
+    print_header("Table 2: experiment graphs");
+    let ringo = Ringo::new();
+    let datasets = [lj_data(&ringo), tw_data(&ringo)];
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Graph", "Nodes", "Edges", "TextFile", "GraphSize", "TableSize"
+    );
+    for d in &datasets {
+        let text = tsv_byte_size(&d.table);
+        let gsize = d.graph.mem_size();
+        let tsize = d.table.mem_size();
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            d.name,
+            d.graph.node_count(),
+            d.graph.edge_count(),
+            format_bytes(text),
+            format_bytes(gsize),
+            format_bytes(tsize),
+        );
+        println!(
+            "{:<22} {:>12} {:>12} graph/text = {:.2} (paper LJ 0.64, TW 0.50); bytes/edge = {:.1}",
+            "", "", "",
+            gsize as f64 / text as f64,
+            gsize as f64 / d.graph.edge_count() as f64
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Regenerates **Table 4**: Select and Join performance on the benchmark
+//! edge tables.
+//!
+//! Following the paper: selects compare a column with a constant chosen so
+//! the output has ~10,000 rows ("Select 10K") or all but ~10,000 rows
+//! ("Select all-10K"), measured in place. Joins pair the edge table with a
+//! single-column table whose values are chosen so the output has ~10,000
+//! rows or all rows except ~10,000; the join rate counts both input
+//! tables.
+
+use ringo_bench::{fmt_rate, fmt_secs, lj_data, print_header, tw_data, BenchData};
+use ringo_core::{Cmp, Predicate, Ringo, Table};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Constant c such that `src >= c` keeps roughly `tail` rows (and its
+/// complement `src < c` keeps the rest). The cut sits in the high end of
+/// the id space, where R-MAT assigns the low-degree nodes, so ties are
+/// small and the split is accurate even on heavily skewed columns.
+fn tail_threshold(src: &[i64], tail: usize) -> i64 {
+    let mut sorted = src.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len().saturating_sub(tail).min(sorted.len() - 1)]
+}
+
+/// Builds the single-column join partner choosing distinct `src` values
+/// whose occurrence counts sum to ~`target` output rows.
+fn join_partner(src: &[i64], target: usize, from_rare: bool) -> Table {
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for &v in src {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut by_count: Vec<(i64, usize)> = counts.into_iter().collect();
+    by_count.sort_unstable_by_key(|&(v, c)| (c, v));
+    if !from_rare {
+        by_count.reverse();
+    }
+    let mut chosen = Vec::new();
+    let mut total = 0usize;
+    for (v, c) in by_count {
+        if total >= target {
+            break;
+        }
+        chosen.push(v);
+        total += c;
+    }
+    Table::from_int_column("key", chosen)
+}
+
+fn bench_selects(d: &BenchData, runs: usize) -> [(usize, Duration); 2] {
+    let src = d.table.int_col("src").expect("src col");
+    let n = src.len();
+    let cut = tail_threshold(src, 10_000.min(n / 2));
+    let preds = [
+        Predicate::int("src", Cmp::Ge, cut), // ~10K rows
+        Predicate::int("src", Cmp::Lt, cut), // all but ~10K rows
+    ];
+    let mut out = [(0usize, Duration::ZERO); 2];
+    for (i, pred) in preds.iter().enumerate() {
+        let mut total = Duration::ZERO;
+        let mut kept = 0;
+        for _ in 0..runs {
+            let mut t = d.table.clone();
+            let start = Instant::now();
+            kept = t.select_in_place(pred).expect("valid predicate");
+            total += start.elapsed();
+        }
+        out[i] = (kept, total / runs as u32);
+    }
+    out
+}
+
+fn bench_joins(d: &BenchData, runs: usize) -> [(usize, usize, Duration); 2] {
+    let src = d.table.int_col("src").expect("src col");
+    let n = src.len();
+    let partners = [
+        join_partner(src, 10_000.min(n / 2), true),
+        join_partner(src, n.saturating_sub(10_000).max(n / 2), false),
+    ];
+    let mut out = [(0usize, 0usize, Duration::ZERO); 2];
+    for (i, partner) in partners.iter().enumerate() {
+        let mut total = Duration::ZERO;
+        let mut rows = 0usize;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let j = d.table.join(partner, "src", "key").expect("int join");
+            total += start.elapsed();
+            rows = j.n_rows();
+        }
+        out[i] = (rows, d.table.n_rows() + partner.n_rows(), total / runs as u32);
+    }
+    out
+}
+
+fn main() {
+    print_header("Table 4: Select and Join on tables");
+    let ringo = Ringo::new();
+    let runs = 3;
+    let datasets = [lj_data(&ringo), tw_data(&ringo)];
+
+    println!(
+        "{:<26} {:>22} {:>22}",
+        "Dataset", datasets[0].name, datasets[1].name
+    );
+    let sel: Vec<_> = datasets.iter().map(|d| bench_selects(d, runs)).collect();
+    for (row, label) in [(0usize, "Select 10K, in place"), (1, "Select all-10K, in place")] {
+        println!(
+            "{:<26} {:>22} {:>22}",
+            label,
+            fmt_secs(sel[0][row].1),
+            fmt_secs(sel[1][row].1)
+        );
+        println!(
+            "{:<26} {:>22} {:>22}",
+            "  Rows/s",
+            fmt_rate(datasets[0].table.n_rows(), sel[0][row].1),
+            fmt_rate(datasets[1].table.n_rows(), sel[1][row].1)
+        );
+    }
+    let joins: Vec<_> = datasets.iter().map(|d| bench_joins(d, runs)).collect();
+    for (row, label) in [(0usize, "Join 10K"), (1, "Join all-10K")] {
+        println!(
+            "{:<26} {:>22} {:>22}",
+            label,
+            fmt_secs(joins[0][row].2),
+            fmt_secs(joins[1][row].2)
+        );
+        println!(
+            "{:<26} {:>22} {:>22}",
+            "  Rows/s (both inputs)",
+            fmt_rate(joins[0][row].1, joins[0][row].2),
+            fmt_rate(joins[1][row].1, joins[1][row].2)
+        );
+    }
+    println!(
+        "\noutput sizes: selects kept {} / {} (LJ), {} / {} (TW); joins produced {} / {} (LJ), {} / {} (TW)",
+        sel[0][0].0, sel[0][1].0, sel[1][0].0, sel[1][1].0,
+        joins[0][0].0, joins[0][1].0, joins[1][0].0, joins[1][1].0
+    );
+    println!("shape target (paper): select >> join throughput; join all-10K slowest.");
+}

@@ -1,0 +1,487 @@
+//! Open-addressing hash tables with linear probing.
+//!
+//! The paper (§2.5) implements "an open addressing hash table with linear
+//! probing" as the backbone of both the graph's node index and the table
+//! engine's grouping/join operators, citing its cache friendliness for
+//! integer keys. [`IntHashTable`] is the sequential variant with proper
+//! deletion (backward-shift, no tombstones). [`ConcurrentIntTable`] is a
+//! fixed-capacity concurrent key set whose `insert` claims a slot with a
+//! compare-and-swap; callers attach per-slot payload in their own arrays of
+//! atomics — exactly the pattern Ringo uses when counting node degrees
+//! during parallel graph construction.
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+/// Sentinel marking an empty slot. `i64::MIN` is reserved and may not be
+/// used as a key.
+pub const EMPTY_KEY: i64 = i64::MIN;
+
+/// Finalizer from splitmix64: cheap, well-mixed hashing for integer keys.
+#[inline]
+pub fn hash_i64(key: i64) -> u64 {
+    let mut z = (key as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A sequential open-addressing hash map from `i64` keys to values of type
+/// `V`, using linear probing and backward-shift deletion.
+///
+/// Capacity is always a power of two; the table grows at 75% load.
+#[derive(Clone, Debug)]
+pub struct IntHashTable<V> {
+    keys: Vec<i64>,
+    vals: Vec<Option<V>>,
+    len: usize,
+    mask: usize,
+}
+
+impl<V> Default for IntHashTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> IntHashTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    /// Creates a table that can hold at least `cap` entries before growing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(4) * 4 / 3 + 1).next_power_of_two();
+        Self {
+            keys: vec![EMPTY_KEY; slots],
+            vals: (0..slots).map(|_| None).collect(),
+            len: 0,
+            mask: slots - 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots currently allocated (diagnostic / memory accounting).
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Approximate heap footprint of the table structure itself, excluding
+    /// any heap memory owned by the values.
+    pub fn mem_size(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<i64>()
+            + self.vals.len() * std::mem::size_of::<Option<V>>()
+    }
+
+    #[inline]
+    fn slot_of(&self, key: i64) -> usize {
+        (hash_i64(key) as usize) & self.mask
+    }
+
+    /// Finds the slot holding `key`, if present.
+    #[inline]
+    fn probe(&self, key: i64) -> Option<usize> {
+        debug_assert_ne!(key, EMPTY_KEY);
+        let mut i = self.slot_of(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts `key -> val`, returning the previous value if the key was
+    /// already present.
+    ///
+    /// # Panics
+    /// Panics if `key == EMPTY_KEY` (`i64::MIN` is reserved).
+    pub fn insert(&mut self, key: i64, val: V) -> Option<V> {
+        assert_ne!(key, EMPTY_KEY, "i64::MIN is a reserved key");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot_of(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return self.vals[i].replace(val);
+            }
+            if k == EMPTY_KEY {
+                self.keys[i] = key;
+                self.vals[i] = Some(val);
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Returns a reference to the value for `key`.
+    pub fn get(&self, key: i64) -> Option<&V> {
+        self.probe(key).map(|i| self.vals[i].as_ref().expect("occupied slot"))
+    }
+
+    /// Returns a mutable reference to the value for `key`.
+    pub fn get_mut(&mut self, key: i64) -> Option<&mut V> {
+        match self.probe(key) {
+            Some(i) => self.vals[i].as_mut(),
+            None => None,
+        }
+    }
+
+    /// Returns the value for `key`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: i64, default: impl FnOnce() -> V) -> &mut V {
+        if self.probe(key).is_none() {
+            self.insert(key, default());
+        }
+        let i = self.probe(key).expect("just inserted");
+        self.vals[i].as_mut().expect("occupied slot")
+    }
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: i64) -> bool {
+        self.probe(key).is_some()
+    }
+
+    /// Removes `key`, returning its value. Uses backward-shift deletion so
+    /// probe sequences stay compact (no tombstones accumulate).
+    pub fn remove(&mut self, key: i64) -> Option<V> {
+        let mut hole = self.probe(key)?;
+        let val = self.vals[hole].take();
+        self.keys[hole] = EMPTY_KEY;
+        self.len -= 1;
+        // Backward-shift: walk forward; any entry whose home slot does not
+        // lie in the (cyclic) open interval (hole, current] is moved into
+        // the hole.
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            let k = self.keys[i];
+            if k == EMPTY_KEY {
+                break;
+            }
+            let home = self.slot_of(k);
+            let in_between = if hole < i {
+                hole < home && home <= i
+            } else {
+                home > hole || home <= i
+            };
+            if !in_between {
+                self.keys[hole] = k;
+                self.vals[hole] = self.vals[i].take();
+                self.keys[i] = EMPTY_KEY;
+                hole = i;
+            }
+        }
+        val
+    }
+
+    /// Iterates over `(key, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &V)> {
+        self.keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(k, _)| **k != EMPTY_KEY)
+            .map(|(k, v)| (*k, v.as_ref().expect("occupied slot")))
+    }
+
+    /// Iterates over keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = i64> + '_ {
+        self.keys.iter().copied().filter(|k| *k != EMPTY_KEY)
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_slots]);
+        let old_vals = std::mem::replace(
+            &mut self.vals,
+            (0..new_slots).map(|_| None).collect(),
+        );
+        self.mask = new_slots - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY_KEY {
+                self.insert(k, v.expect("occupied slot"));
+            }
+        }
+    }
+}
+
+/// A fixed-capacity concurrent set of `i64` keys with CAS insertion.
+///
+/// `insert` returns a stable *slot index* for the key, usable as a dense-ish
+/// handle into caller-owned arrays of atomics (degree counters, write
+/// cursors, ...). The table never grows and never deletes — matching its
+/// role in Ringo's graph construction, where the number of distinct nodes is
+/// bounded by the number of edge endpoints and the table is sized up front.
+pub struct ConcurrentIntTable {
+    keys: Vec<AtomicI64>,
+    len: AtomicUsize,
+    mask: usize,
+}
+
+impl ConcurrentIntTable {
+    /// Creates a table that can absorb `cap` distinct keys while keeping
+    /// the load factor at or below 75%.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(4) * 4 / 3 + 1).next_power_of_two();
+        Self {
+            keys: (0..slots).map(|_| AtomicI64::new(EMPTY_KEY)).collect(),
+            len: AtomicUsize::new(0),
+            mask: slots - 1,
+        }
+    }
+
+    /// Number of distinct keys inserted so far.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no keys have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of slots allocated.
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Inserts `key` (idempotently) and returns `(slot, inserted_now)`.
+    ///
+    /// # Panics
+    /// Panics if `key == EMPTY_KEY` or the table is full.
+    pub fn insert(&self, key: i64) -> (usize, bool) {
+        assert_ne!(key, EMPTY_KEY, "i64::MIN is a reserved key");
+        let mut i = (hash_i64(key) as usize) & self.mask;
+        let mut probes = 0usize;
+        loop {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k == key {
+                return (i, false);
+            }
+            if k == EMPTY_KEY {
+                match self.keys[i].compare_exchange(
+                    EMPTY_KEY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.len.fetch_add(1, Ordering::AcqRel);
+                        return (i, true);
+                    }
+                    Err(current) => {
+                        if current == key {
+                            return (i, false);
+                        }
+                        // Lost the race to a different key: continue probing
+                        // from this slot.
+                        continue;
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+            assert!(probes <= self.keys.len(), "ConcurrentIntTable is full");
+        }
+    }
+
+    /// Looks up the slot of `key` without inserting.
+    pub fn find(&self, key: i64) -> Option<usize> {
+        debug_assert_ne!(key, EMPTY_KEY);
+        let mut i = (hash_i64(key) as usize) & self.mask;
+        let mut probes = 0usize;
+        loop {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k == key {
+                return Some(i);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+            probes += 1;
+            if probes > self.keys.len() {
+                return None;
+            }
+        }
+    }
+
+    /// Returns the key stored in `slot`, or `None` if the slot is empty.
+    pub fn key_at(&self, slot: usize) -> Option<i64> {
+        let k = self.keys[slot].load(Ordering::Acquire);
+        (k != EMPTY_KEY).then_some(k)
+    }
+
+    /// Iterates over `(slot, key)` pairs of occupied slots.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, i64)> + '_ {
+        self.keys.iter().enumerate().filter_map(|(i, k)| {
+            let k = k.load(Ordering::Acquire);
+            (k != EMPTY_KEY).then_some((i, k))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::parallel_for;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = IntHashTable::new();
+        assert!(t.is_empty());
+        for i in 0..1000i64 {
+            assert_eq!(t.insert(i * 3, i), None);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000i64 {
+            assert_eq!(t.get(i * 3), Some(&i));
+            assert_eq!(t.get(i * 3 + 1), None);
+        }
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut t = IntHashTable::new();
+        assert_eq!(t.insert(7, "a"), None);
+        assert_eq!(t.insert(7, "b"), Some("a"));
+        assert_eq!(t.get(7), Some(&"b"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn negative_keys_work() {
+        let mut t = IntHashTable::new();
+        t.insert(-5, 1);
+        t.insert(-1_000_000_007, 2);
+        assert_eq!(t.get(-5), Some(&1));
+        assert_eq!(t.get(-1_000_000_007), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved key")]
+    fn reserved_key_panics() {
+        let mut t = IntHashTable::new();
+        t.insert(EMPTY_KEY, 0);
+    }
+
+    #[test]
+    fn remove_backward_shift_preserves_others() {
+        let mut t = IntHashTable::with_capacity(8);
+        // Force collisions by filling densely.
+        for i in 0..200i64 {
+            t.insert(i, i * 10);
+        }
+        for i in (0..200i64).step_by(2) {
+            assert_eq!(t.remove(i), Some(i * 10));
+            assert_eq!(t.remove(i), None);
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..200i64 {
+            if i % 2 == 0 {
+                assert!(!t.contains(i));
+            } else {
+                assert_eq!(t.get(i), Some(&(i * 10)));
+            }
+        }
+    }
+
+    #[test]
+    fn get_or_insert_with_only_defaults_once() {
+        let mut t: IntHashTable<Vec<i64>> = IntHashTable::new();
+        t.get_or_insert_with(1, Vec::new).push(10);
+        t.get_or_insert_with(1, || panic!("should not run")).push(20);
+        assert_eq!(t.get(1), Some(&vec![10, 20]));
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut t = IntHashTable::new();
+        for i in 0..100i64 {
+            t.insert(i, i);
+        }
+        let mut seen: Vec<i64> = t.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn randomized_against_std_hashmap() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ours: IntHashTable<u64> = IntHashTable::new();
+        let mut reference: HashMap<i64, u64> = HashMap::new();
+        for step in 0..20_000u64 {
+            let key = rng.gen_range(-500..500i64);
+            match rng.gen_range(0..3) {
+                0 | 1 => {
+                    assert_eq!(ours.insert(key, step), reference.insert(key, step));
+                }
+                _ => {
+                    assert_eq!(ours.remove(key), reference.remove(&key));
+                }
+            }
+            assert_eq!(ours.len(), reference.len());
+        }
+        for (k, v) in &reference {
+            assert_eq!(ours.get(*k), Some(v));
+        }
+    }
+
+    #[test]
+    fn concurrent_table_sequential_semantics() {
+        let t = ConcurrentIntTable::with_capacity(100);
+        let (s1, fresh1) = t.insert(42);
+        let (s2, fresh2) = t.insert(42);
+        assert_eq!(s1, s2);
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find(42), Some(s1));
+        assert_eq!(t.find(43), None);
+        assert_eq!(t.key_at(s1), Some(42));
+    }
+
+    #[test]
+    fn concurrent_table_parallel_inserts_dedupe() {
+        let n = 10_000i64;
+        let t = ConcurrentIntTable::with_capacity(n as usize);
+        // Each key inserted by multiple threads; final count must be exact.
+        parallel_for(4 * n as usize, 8, |_, range| {
+            for i in range {
+                t.insert((i as i64) % n);
+            }
+        });
+        assert_eq!(t.len(), n as usize);
+        let mut keys: Vec<i64> = t.iter().map(|(_, k)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_table_slots_are_stable() {
+        let t = ConcurrentIntTable::with_capacity(1000);
+        let slots: Vec<usize> = (0..1000).map(|k| t.insert(k).0).collect();
+        for (k, s) in slots.iter().enumerate() {
+            assert_eq!(t.find(k as i64), Some(*s));
+        }
+    }
+}

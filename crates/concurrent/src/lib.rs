@@ -1,0 +1,32 @@
+//! Concurrency substrate for Ringo.
+//!
+//! The Ringo paper (§2.5) builds its graph engine on three low-level
+//! ingredients: OpenMP-style parallel loops, a fast open-addressing hash
+//! table with linear probing, and vectors that support thread-safe
+//! insertions by claiming cell indices with an atomic increment. This crate
+//! provides Rust equivalents of all three:
+//!
+//! * [`parallel`] — a fork-join runtime over scoped threads
+//!   ([`parallel::parallel_for`], [`parallel::parallel_map`], reductions),
+//!   the moral equivalent of `#pragma omp parallel for` with static
+//!   scheduling,
+//! * [`sort`] — parallel merge sort built on the runtime, used by the
+//!   "sort-first" table-to-graph conversion,
+//! * [`hash_table`] — [`hash_table::IntHashTable`], a sequential
+//!   open-addressing / linear-probing map keyed by `i64`, and
+//!   [`hash_table::ConcurrentIntTable`], a fixed-capacity concurrent set
+//!   with CAS insertion used during parallel graph construction,
+//! * [`atomic_vec`] — [`atomic_vec::ConcurrentVec`], a fixed-capacity
+//!   vector whose `push` claims an index with `fetch_add`.
+
+#![warn(missing_docs)]
+
+pub mod atomic_vec;
+pub mod hash_table;
+pub mod parallel;
+pub mod sort;
+
+pub use atomic_vec::ConcurrentVec;
+pub use hash_table::{ConcurrentIntTable, IntHashTable};
+pub use parallel::{num_threads, parallel_for, parallel_map, parallel_reduce};
+pub use sort::{parallel_sort, parallel_sort_by_key};

@@ -1,0 +1,272 @@
+//! OpenMP-style fork-join parallel loops over scoped threads.
+//!
+//! Ringo parallelizes its critical loops with a handful of OpenMP pragmas
+//! using static scheduling: an index range is cut into one contiguous chunk
+//! per worker and each worker processes its chunk independently. These
+//! helpers reproduce that model with `crossbeam::scope`, which lets the
+//! closures borrow from the caller's stack just like an OpenMP parallel
+//! region does.
+//!
+//! All entry points take an explicit thread count so benchmarks can sweep
+//! it; [`num_threads`] supplies a default honoring the `RINGO_THREADS`
+//! environment variable.
+
+use std::ops::Range;
+
+/// Default worker count: `RINGO_THREADS` if set and positive, otherwise the
+/// machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RINGO_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `len` items into at most `threads` contiguous chunks of nearly
+/// equal size. Returns the chunk boundaries; consecutive boundaries delimit
+/// one chunk. Never returns empty chunks.
+pub fn chunk_bounds(len: usize, threads: usize) -> Vec<usize> {
+    let threads = threads.max(1).min(len.max(1));
+    let base = len / threads;
+    let extra = len % threads;
+    let mut bounds = Vec::with_capacity(threads + 1);
+    let mut pos = 0;
+    bounds.push(0);
+    for t in 0..threads {
+        pos += base + usize::from(t < extra);
+        bounds.push(pos);
+    }
+    bounds
+}
+
+/// Runs `body(worker_index, index_range)` over `0..len` split statically
+/// across `threads` workers. Equivalent to
+/// `#pragma omp parallel for schedule(static)`.
+///
+/// With `threads <= 1` (or a single chunk) the body runs on the calling
+/// thread, so the function is cheap to call for small inputs.
+///
+/// ```
+/// use ringo_concurrent::{parallel_for, parallel_reduce};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let data: Vec<u64> = (0..10_000).collect();
+/// let sum = AtomicU64::new(0);
+/// parallel_for(data.len(), 4, |_worker, range| {
+///     let local: u64 = range.map(|i| data[i]).sum();
+///     sum.fetch_add(local, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 10_000 * 9_999 / 2);
+///
+/// // Or without shared state, via a reduction:
+/// let total = parallel_reduce(
+///     data.len(), 4, 0u64,
+///     |range| range.map(|i| data[i]).sum::<u64>(),
+///     |a, b| a + b,
+/// );
+/// assert_eq!(total, 10_000 * 9_999 / 2);
+/// ```
+pub fn parallel_for<F>(len: usize, threads: usize, body: F)
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let bounds = chunk_bounds(len, threads);
+    let chunks = bounds.len() - 1;
+    if chunks <= 1 {
+        body(0, 0..len);
+        return;
+    }
+    crossbeam::scope(|s| {
+        for t in 0..chunks {
+            let range = bounds[t]..bounds[t + 1];
+            let body = &body;
+            s.spawn(move |_| body(t, range));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `body(index_range)` per chunk and collects one result per chunk, in
+/// chunk order. The workhorse for "each thread produces a partial result,
+/// the caller combines them" patterns (histograms, partial sums, partial
+/// output buffers).
+pub fn parallel_map<T, F>(len: usize, threads: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let bounds = chunk_bounds(len, threads);
+    let chunks = bounds.len() - 1;
+    if chunks <= 1 {
+        return vec![body(0..len)];
+    }
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..chunks)
+            .map(|t| {
+                let range = bounds[t]..bounds[t + 1];
+                let body = &body;
+                s.spawn(move |_| body(range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("worker thread panicked")
+}
+
+/// Parallel reduction: maps each chunk with `body`, then folds the partial
+/// results with `combine` starting from `init`. The reduction order over
+/// chunks is deterministic (chunk 0 first), so floating-point reductions
+/// are reproducible for a fixed thread count.
+pub fn parallel_reduce<T, F, C>(len: usize, threads: usize, init: T, body: F, combine: C) -> T
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    parallel_map(len, threads, body)
+        .into_iter()
+        .fold(init, combine)
+}
+
+/// Applies `body(worker_index, chunk_start, chunk)` to disjoint mutable
+/// chunks of `data`, one chunk per worker. This is the write-side
+/// counterpart of [`parallel_for`]: threads share nothing, so no locking is
+/// needed — the pattern Ringo uses for graph-to-table export where each
+/// thread owns a pre-assigned partition of the output table.
+pub fn parallel_for_each_chunk_mut<T, F>(data: &mut [T], threads: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let bounds = chunk_bounds(len, threads);
+    let chunks = bounds.len() - 1;
+    if chunks <= 1 {
+        body(0, 0, data);
+        return;
+    }
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut consumed = 0;
+        for t in 0..chunks {
+            let take = bounds[t + 1] - bounds[t];
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start = consumed;
+            consumed += take;
+            let body = &body;
+            s.spawn(move |_| body(t, start, head));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_bounds_cover_range_exactly() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let b = chunk_bounds(len, threads);
+                assert_eq!(*b.first().unwrap(), 0);
+                assert_eq!(*b.last().unwrap(), len);
+                for w in b.windows(2) {
+                    assert!(w[0] <= w[1]);
+                    if len >= threads {
+                        assert!(w[1] > w[0], "empty chunk for len={len} threads={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 4, |_, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_single_thread_runs_inline() {
+        let mut sum = 0u64;
+        // With threads=1 the closure runs on this thread, so a non-Sync
+        // mutation through a cell is safe; use a plain loop to check range.
+        parallel_for(5, 1, |tid, range| {
+            assert_eq!(tid, 0);
+            assert_eq!(range, 0..5);
+        });
+        for i in 0..5u64 {
+            sum += i;
+        }
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn parallel_map_preserves_chunk_order() {
+        let parts = parallel_map(100, 4, |range| range.start);
+        let mut sorted = parts.clone();
+        sorted.sort_unstable();
+        assert_eq!(parts, sorted);
+        assert_eq!(parts.len(), 4);
+    }
+
+    #[test]
+    fn parallel_reduce_sums_correctly() {
+        let data: Vec<u64> = (0..100_000).collect();
+        let total = parallel_reduce(
+            data.len(),
+            8,
+            0u64,
+            |range| range.map(|i| data[i]).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn chunk_mut_writes_disjoint_partitions() {
+        let mut data = vec![0usize; 1000];
+        parallel_for_each_chunk_mut(&mut data, 7, |_, start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = start + off;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn zero_length_is_a_noop() {
+        parallel_for(0, 4, |_, range| assert!(range.is_empty()));
+        let parts = parallel_map(0, 4, |range| range.len());
+        assert_eq!(parts, vec![0]);
+    }
+
+    #[test]
+    fn more_threads_than_items_does_not_panic() {
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(3, 16, |_, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,229 @@
+//! Parallel merge sort.
+//!
+//! The "sort-first" table-to-graph conversion (paper §2.4) hinges on sorting
+//! the copied source/destination columns in parallel. We use a classic
+//! two-phase merge sort: sort one contiguous chunk per worker with the
+//! standard library's unstable sort, then merge pairs of runs in rounds,
+//! with the merges of one round running in parallel. An auxiliary buffer of
+//! the same length is ping-ponged between rounds so data is moved, never
+//! reallocated.
+
+use crate::parallel::{chunk_bounds, parallel_for};
+
+/// Sorts `data` in ascending order using `threads` workers.
+///
+/// Falls back to `sort_unstable` when `threads <= 1` or the input is small
+/// (< 8192 elements), where fork-join overhead would dominate.
+pub fn parallel_sort<T: Ord + Copy + Send + Sync>(data: &mut [T], threads: usize) {
+    parallel_sort_by_key(data, threads, |x| *x);
+}
+
+/// Sorts `data` ascending by the key extracted with `key`, in parallel.
+pub fn parallel_sort_by_key<T, K, F>(data: &mut [T], threads: usize, key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let len = data.len();
+    if threads <= 1 || len < 8192 {
+        data.sort_unstable_by_key(|a| key(a));
+        return;
+    }
+    let bounds = chunk_bounds(len, threads);
+    let runs = bounds.len() - 1;
+
+    // Phase 1: sort each chunk independently.
+    parallel_for_sorted_chunks(data, &bounds, threads, &key);
+    if runs == 1 {
+        return;
+    }
+
+    // Phase 2: merge pairs of adjacent runs, round by round.
+    let mut src: Vec<T> = data.to_vec();
+    let mut dst: Vec<T> = Vec::with_capacity(len);
+    // SAFETY-FREE alternative: initialize dst by cloning; contents are
+    // overwritten before use but T: Copy makes this a cheap memcpy.
+    dst.extend_from_slice(data);
+
+    let mut run_bounds = bounds;
+    while run_bounds.len() > 2 {
+        let pairs = (run_bounds.len() - 1) / 2;
+        let next_bounds: Vec<usize> = {
+            let mut nb = Vec::with_capacity(pairs + 2);
+            let mut i = 0;
+            nb.push(0);
+            while i + 2 < run_bounds.len() {
+                nb.push(run_bounds[i + 2]);
+                i += 2;
+            }
+            if i + 1 < run_bounds.len() && *nb.last().unwrap() != len {
+                nb.push(len);
+            }
+            nb
+        };
+        {
+            let src_ref = &src;
+            let dst_cell = SliceCell::new(&mut dst);
+            let rb = &run_bounds;
+            let key = &key;
+            parallel_for(pairs.max(1), threads, |_, pair_range| {
+                for p in pair_range {
+                    let lo = rb[2 * p];
+                    let mid = rb[2 * p + 1];
+                    let hi = if 2 * p + 2 < rb.len() { rb[2 * p + 2] } else { mid };
+                    // SAFETY: pairs own disjoint [lo, hi) output windows.
+                    let out = unsafe { dst_cell.slice_mut(lo, hi) };
+                    merge_runs(&src_ref[lo..mid], &src_ref[mid..hi], out, key);
+                }
+            });
+            // A trailing unpaired run is copied through unchanged.
+            if run_bounds.len().is_multiple_of(2) {
+                let lo = run_bounds[run_bounds.len() - 2];
+                let hi = run_bounds[run_bounds.len() - 1];
+                dst[lo..hi].copy_from_slice(&src[lo..hi]);
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+        run_bounds = next_bounds;
+    }
+    // `src` now holds the fully sorted data (after the final swap).
+    data.copy_from_slice(&src);
+}
+
+fn parallel_for_sorted_chunks<T, K, F>(data: &mut [T], bounds: &[usize], threads: usize, key: &F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    let cell = SliceCell::new(data);
+    parallel_for(bounds.len() - 1, threads, |_, chunk_range| {
+        for c in chunk_range {
+            // SAFETY: chunks are disjoint index windows of `data`.
+            let chunk = unsafe { cell.slice_mut(bounds[c], bounds[c + 1]) };
+            chunk.sort_unstable_by_key(|a| key(a));
+        }
+    });
+}
+
+fn merge_runs<T, K, F>(a: &[T], b: &[T], out: &mut [T], key: &F)
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => key(x) <= key(y),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("merge exhausted both runs early"),
+        };
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Shared mutable slice handed to workers that provably touch disjoint
+/// windows. The unsafe surface is confined to [`SliceCell::slice_mut`],
+/// whose callers must guarantee disjointness.
+struct SliceCell<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Sync for SliceCell<T> {}
+
+impl<T> SliceCell<T> {
+    fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// Callers must ensure `[lo, hi)` windows obtained concurrently are
+    /// pairwise disjoint and within bounds. The `&self` receiver is what
+    /// lets workers share the cell; disjointness is the aliasing argument.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_sorted(threads: usize, len: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data: Vec<i64> = (0..len).map(|_| rng.gen_range(-1000..1000)).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        parallel_sort(&mut data, threads);
+        assert_eq!(data, expect, "threads={threads} len={len}");
+    }
+
+    #[test]
+    fn sorts_small_inputs_inline() {
+        check_sorted(4, 0, 1);
+        check_sorted(4, 1, 2);
+        check_sorted(4, 100, 3);
+    }
+
+    #[test]
+    fn sorts_large_inputs_with_various_thread_counts() {
+        for threads in [2, 3, 4, 7, 8] {
+            check_sorted(threads, 50_000, threads as u64);
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates_and_already_sorted() {
+        let mut dup: Vec<i64> = (0..30_000).map(|i| i % 5).collect();
+        let mut expect = dup.clone();
+        expect.sort_unstable();
+        parallel_sort(&mut dup, 4);
+        assert_eq!(dup, expect);
+
+        let mut asc: Vec<i64> = (0..30_000).collect();
+        let expect = asc.clone();
+        parallel_sort(&mut asc, 4);
+        assert_eq!(asc, expect);
+
+        let mut desc: Vec<i64> = (0..30_000).rev().collect();
+        parallel_sort(&mut desc, 3);
+        let expect: Vec<i64> = (0..30_000).collect();
+        assert_eq!(desc, expect);
+    }
+
+    #[test]
+    fn sort_by_key_orders_pairs_by_first_component() {
+        let mut pairs: Vec<(i64, i64)> = (0..20_000).map(|i| ((i * 7919) % 1000, i)).collect();
+        parallel_sort_by_key(&mut pairs, 4, |p| p.0);
+        for w in pairs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn merge_runs_basic() {
+        let a = [1, 3, 5];
+        let b = [2, 4, 6];
+        let mut out = [0; 6];
+        merge_runs(&a, &b, &mut out, &|x| *x);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,501 @@
+//! Conversions between Ringo tables and graphs (paper §2.4).
+//!
+//! "Fast conversions between graph and table objects are essential for
+//! data exploration tasks involving graphs." Two directions:
+//!
+//! * **Table → graph** ([`table_to_graph`]): the paper's "sort-first"
+//!   algorithm — copy the source and destination columns, sort the copies
+//!   in parallel, compute each node's neighbor counts from the sorted
+//!   runs, and copy the neighbor vectors into the graph's node hash table.
+//!   Sorting parallelizes cleanly and the fill phase writes disjoint
+//!   per-node vectors, so "while concurrent access is still performed,
+//!   there is no contention among the threads". A naive row-at-a-time
+//!   baseline ([`table_to_graph_naive`]) is kept for the DESIGN.md
+//!   ablation.
+//! * **Graph → table** ([`graph_to_edge_table`], [`graph_to_node_table`]):
+//!   "easily performed in parallel by partitioning the graph's nodes or
+//!   edges among worker threads, pre-allocating the output table, and
+//!   assigning a corresponding partition in the output table to each
+//!   thread."
+
+#![warn(missing_docs)]
+
+use ringo_concurrent::{parallel_map, parallel_sort};
+use ringo_graph::{DirectedGraph, NodeId, UndirectedGraph};
+use ringo_table::{ColumnData, ColumnType, Schema, StringPool, Table, TableError};
+
+/// Result alias reusing the table error type (conversions validate column
+/// names/types exactly like table operators).
+pub type Result<T> = std::result::Result<T, TableError>;
+
+/// Per-node adjacency triple `(id, in_nbrs, out_nbrs)` produced by the
+/// parallel fill phase.
+type NodeParts = (NodeId, Vec<NodeId>, Vec<NodeId>);
+
+/// Builds a directed graph from two integer columns of `t` using the
+/// sort-first algorithm. Duplicate rows collapse to one edge; self-loops
+/// are preserved. Parallelism follows `t.threads()`.
+///
+/// ```
+/// use ringo_convert::{graph_to_edge_table, table_to_graph};
+/// use ringo_table::Table;
+///
+/// let mut t = Table::from_int_column("src", vec![1, 1, 2]);
+/// t.add_int_column("dst", vec![2, 2, 3]).unwrap();
+/// let g = table_to_graph(&t, "src", "dst").unwrap();
+/// assert_eq!(g.edge_count(), 2); // duplicate rows collapse
+/// let back = graph_to_edge_table(&g, 2);
+/// assert_eq!(back.n_rows(), 2);
+/// ```
+pub fn table_to_graph(t: &Table, src_col: &str, dst_col: &str) -> Result<DirectedGraph> {
+    let src = t.int_col(src_col)?;
+    let dst = t.int_col(dst_col)?;
+    let threads = t.threads();
+    let n = src.len();
+
+    // Step 1-2: copy the columns into (key, neighbor) pair arrays and sort
+    // both orientations in parallel.
+    let mut by_src: Vec<(NodeId, NodeId)> = src.iter().copied().zip(dst.iter().copied()).collect();
+    let mut by_dst: Vec<(NodeId, NodeId)> = dst.iter().copied().zip(src.iter().copied()).collect();
+    parallel_sort(&mut by_src, threads);
+    parallel_sort(&mut by_dst, threads);
+    debug_assert_eq!(by_src.len(), n);
+
+    // Step 3: per-node runs in each sorted array (node id, start, end).
+    let out_runs = runs_of(&by_src);
+    let in_runs = runs_of(&by_dst);
+
+    // Step 4: merge the two run lists (both ascending by id) into the
+    // global node list, remembering each node's runs.
+    let mut nodes: Vec<(NodeId, Option<usize>, Option<usize>)> = Vec::new();
+    {
+        let (mut i, mut j) = (0, 0);
+        while i < out_runs.len() || j < in_runs.len() {
+            match (out_runs.get(i), in_runs.get(j)) {
+                (Some(o), Some(ir)) if o.0 == ir.0 => {
+                    nodes.push((o.0, Some(i), Some(j)));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(o), Some(ir)) if o.0 < ir.0 => {
+                    nodes.push((o.0, Some(i), None));
+                    i += 1;
+                }
+                (Some(_), Some(_)) => {
+                    nodes.push((in_runs[j].0, None, Some(j)));
+                    j += 1;
+                }
+                (Some(o), None) => {
+                    nodes.push((o.0, Some(i), None));
+                    i += 1;
+                }
+                (None, Some(ir)) => {
+                    nodes.push((ir.0, None, Some(j)));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+    }
+
+    // Step 5: copy neighbor vectors per node, in parallel over disjoint
+    // node ranges (contention-free: each part is owned by one worker).
+    let parts: Vec<Vec<NodeParts>> =
+        parallel_map(nodes.len(), threads, |range| {
+            let mut out = Vec::with_capacity(range.len());
+            for k in range {
+                let (id, orun, irun) = nodes[k];
+                let out_nbrs = match orun {
+                    Some(r) => dedup_neighbors(&by_src[out_runs[r].1..out_runs[r].2]),
+                    None => Vec::new(),
+                };
+                let in_nbrs = match irun {
+                    Some(r) => dedup_neighbors(&by_dst[in_runs[r].1..in_runs[r].2]),
+                    None => Vec::new(),
+                };
+                out.push((id, in_nbrs, out_nbrs));
+            }
+            out
+        });
+
+    let mut flat = Vec::with_capacity(nodes.len());
+    for p in parts {
+        flat.extend(p);
+    }
+    Ok(DirectedGraph::from_parts(flat))
+}
+
+/// Builds an undirected graph from two integer columns: each row adds the
+/// undirected edge `{src, dst}` (duplicates and reciprocal rows collapse).
+pub fn table_to_undirected(t: &Table, src_col: &str, dst_col: &str) -> Result<UndirectedGraph> {
+    let src = t.int_col(src_col)?;
+    let dst = t.int_col(dst_col)?;
+    let threads = t.threads();
+
+    // Symmetrize, then one sorted pass yields each node's neighbor run.
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * src.len());
+    for (&s, &d) in src.iter().zip(dst) {
+        pairs.push((s, d));
+        if s != d {
+            pairs.push((d, s));
+        }
+    }
+    parallel_sort(&mut pairs, threads);
+    let runs = runs_of(&pairs);
+    let parts: Vec<Vec<(NodeId, Vec<NodeId>)>> = parallel_map(runs.len(), threads, |range| {
+        range
+            .map(|k| {
+                let (id, start, end) = runs[k];
+                (id, dedup_neighbors(&pairs[start..end]))
+            })
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(runs.len());
+    for p in parts {
+        flat.extend(p);
+    }
+    Ok(UndirectedGraph::from_parts(flat))
+}
+
+/// Builds a weighted digraph from an edge table: one edge per distinct
+/// `(src, dst)` pair, with weights from `weight_col` (int or float)
+/// accumulated across duplicate rows — or 1.0 per row when `weight_col`
+/// is `None`, making the weight a multiplicity count.
+pub fn table_to_weighted_graph(
+    t: &Table,
+    src_col: &str,
+    dst_col: &str,
+    weight_col: Option<&str>,
+) -> Result<ringo_graph::WeightedDigraph> {
+    let src = t.int_col(src_col)?;
+    let dst = t.int_col(dst_col)?;
+    enum W<'a> {
+        One,
+        Int(&'a [i64]),
+        Float(&'a [f64]),
+    }
+    let weights = match weight_col {
+        None => W::One,
+        Some(name) => {
+            let i = t.schema().index_of(name)?;
+            match t.column(i) {
+                ringo_table::ColumnData::Int(v) => W::Int(v),
+                ringo_table::ColumnData::Float(v) => W::Float(v),
+                ringo_table::ColumnData::Str(_) => {
+                    return Err(TableError::TypeMismatch {
+                        column: name.to_string(),
+                        expected: "int or float",
+                        actual: "str",
+                    })
+                }
+            }
+        }
+    };
+    let mut g = ringo_graph::WeightedDigraph::new();
+    for (row, (&s, &d)) in src.iter().zip(dst).enumerate() {
+        let w = match &weights {
+            W::One => 1.0,
+            W::Int(v) => v[row] as f64,
+            W::Float(v) => v[row],
+        };
+        g.add_edge(s, d, w);
+    }
+    Ok(g)
+}
+
+/// Baseline for the ablation: builds the same graph with row-at-a-time
+/// `add_edge` calls (binary-searched vector inserts, no parallelism).
+pub fn table_to_graph_naive(t: &Table, src_col: &str, dst_col: &str) -> Result<DirectedGraph> {
+    let src = t.int_col(src_col)?;
+    let dst = t.int_col(dst_col)?;
+    let mut g = DirectedGraph::new();
+    for (&s, &d) in src.iter().zip(dst) {
+        g.add_edge(s, d);
+    }
+    Ok(g)
+}
+
+/// Exports a directed graph as a two-column edge table (`src`, `dst`),
+/// partitioning nodes among `threads` workers which write pre-assigned
+/// output partitions.
+pub fn graph_to_edge_table(g: &DirectedGraph, threads: usize) -> Table {
+    use ringo_graph::DirectedTopology;
+    let n_slots = g.n_slots();
+    let parts: Vec<(Vec<i64>, Vec<i64>)> = parallel_map(n_slots, threads, |range| {
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for slot in range {
+            if let Some(id) = g.slot_id(slot) {
+                for &nbr in g.out_nbrs_of_slot(slot) {
+                    src.push(id);
+                    dst.push(nbr);
+                }
+            }
+        }
+        (src, dst)
+    });
+    let total: usize = parts.iter().map(|(s, _)| s.len()).sum();
+    let mut src = Vec::with_capacity(total);
+    let mut dst = Vec::with_capacity(total);
+    for (s, d) in parts {
+        src.extend(s);
+        dst.extend(d);
+    }
+    let schema = Schema::new([("src", ColumnType::Int), ("dst", ColumnType::Int)]);
+    let mut t = Table::from_parts(
+        schema,
+        vec![ColumnData::Int(src), ColumnData::Int(dst)],
+        StringPool::new(),
+    )
+    .expect("equal-length int columns");
+    t.set_threads(threads);
+    t
+}
+
+/// Exports a node table (`node`, `in_deg`, `out_deg`), one row per node.
+pub fn graph_to_node_table(g: &DirectedGraph, threads: usize) -> Table {
+    use ringo_graph::DirectedTopology;
+    let n_slots = g.n_slots();
+    let parts: Vec<(Vec<i64>, Vec<i64>, Vec<i64>)> = parallel_map(n_slots, threads, |range| {
+        let mut ids = Vec::new();
+        let mut ind = Vec::new();
+        let mut outd = Vec::new();
+        for slot in range {
+            if let Some(id) = g.slot_id(slot) {
+                ids.push(id);
+                ind.push(g.in_nbrs_of_slot(slot).len() as i64);
+                outd.push(g.out_nbrs_of_slot(slot).len() as i64);
+            }
+        }
+        (ids, ind, outd)
+    });
+    let total: usize = parts.iter().map(|(v, _, _)| v.len()).sum();
+    let mut ids = Vec::with_capacity(total);
+    let mut ind = Vec::with_capacity(total);
+    let mut outd = Vec::with_capacity(total);
+    for (a, b, c) in parts {
+        ids.extend(a);
+        ind.extend(b);
+        outd.extend(c);
+    }
+    let schema = Schema::new([
+        ("node", ColumnType::Int),
+        ("in_deg", ColumnType::Int),
+        ("out_deg", ColumnType::Int),
+    ]);
+    let mut t = Table::from_parts(
+        schema,
+        vec![
+            ColumnData::Int(ids),
+            ColumnData::Int(ind),
+            ColumnData::Int(outd),
+        ],
+        StringPool::new(),
+    )
+    .expect("equal-length int columns");
+    t.set_threads(threads);
+    t
+}
+
+/// Builds a table mapping node ids to float scores — the paper's
+/// `TableFromHashMap` used to pull algorithm results back into table land.
+pub fn scores_to_table(scores: &[(NodeId, f64)], id_col: &str, score_col: &str) -> Table {
+    let schema = Schema::new([
+        (id_col.to_string(), ColumnType::Int),
+        (score_col.to_string(), ColumnType::Float),
+    ]);
+    let ids: Vec<i64> = scores.iter().map(|(id, _)| *id).collect();
+    let vals: Vec<f64> = scores.iter().map(|(_, v)| *v).collect();
+    Table::from_parts(
+        schema,
+        vec![ColumnData::Int(ids), ColumnData::Float(vals)],
+        StringPool::new(),
+    )
+    .expect("equal-length columns")
+}
+
+/// `(node id, start, end)` for each maximal run of equal first elements.
+fn runs_of(pairs: &[(NodeId, NodeId)]) -> Vec<(NodeId, usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    while start < pairs.len() {
+        let id = pairs[start].0;
+        let mut end = start + 1;
+        while end < pairs.len() && pairs[end].0 == id {
+            end += 1;
+        }
+        runs.push((id, start, end));
+        start = end;
+    }
+    runs
+}
+
+/// Copies the second elements of a sorted run, dropping duplicates.
+fn dedup_neighbors(run: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(run.len());
+    for &(_, n) in run {
+        if out.last() != Some(&n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_gen::edges_to_table;
+
+    fn table_of(edges: &[(i64, i64)]) -> Table {
+        edges_to_table(edges)
+    }
+
+    #[test]
+    fn sort_first_matches_naive_small() {
+        let t = table_of(&[(1, 2), (2, 3), (1, 2), (3, 1), (3, 3)]);
+        let fast = table_to_graph(&t, "src", "dst").unwrap();
+        let naive = table_to_graph_naive(&t, "src", "dst").unwrap();
+        assert_eq!(fast.node_count(), naive.node_count());
+        assert_eq!(fast.edge_count(), naive.edge_count());
+        for id in naive.node_ids() {
+            assert_eq!(fast.out_nbrs(id), naive.out_nbrs(id), "out of {id}");
+            assert_eq!(fast.in_nbrs(id), naive.in_nbrs(id), "in of {id}");
+        }
+    }
+
+    #[test]
+    fn sort_first_matches_naive_random() {
+        let edges = ringo_gen::rmat(&ringo_gen::RmatConfig {
+            scale: 9,
+            edges: 5_000,
+            ..Default::default()
+        });
+        let mut t = table_of(&edges);
+        for threads in [1usize, 4] {
+            t.set_threads(threads);
+            let fast = table_to_graph(&t, "src", "dst").unwrap();
+            let naive = table_to_graph_naive(&t, "src", "dst").unwrap();
+            assert_eq!(fast.node_count(), naive.node_count());
+            assert_eq!(fast.edge_count(), naive.edge_count());
+            for id in naive.node_ids() {
+                assert_eq!(fast.out_nbrs(id), naive.out_nbrs(id));
+                assert_eq!(fast.in_nbrs(id), naive.in_nbrs(id));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_empty_graph() {
+        let t = table_of(&[]);
+        let g = table_to_graph(&t, "src", "dst").unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn bad_columns_error() {
+        let t = table_of(&[(1, 2)]);
+        assert!(table_to_graph(&t, "nope", "dst").is_err());
+        assert!(table_to_graph(&t, "src", "nope").is_err());
+    }
+
+    #[test]
+    fn undirected_conversion_symmetrizes() {
+        let t = table_of(&[(1, 2), (2, 1), (2, 3), (4, 4)]);
+        let g = table_to_undirected(&t, "src", "dst").unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3, "1-2 merged, 2-3, loop 4");
+        assert_eq!(g.nbrs(2), &[1, 3]);
+        assert_eq!(g.nbrs(4), &[4]);
+    }
+
+    #[test]
+    fn graph_roundtrip_table_graph_table() {
+        let edges = vec![(1i64, 2i64), (2, 3), (3, 1), (1, 3)];
+        let t = table_of(&edges);
+        let g = table_to_graph(&t, "src", "dst").unwrap();
+        let back = graph_to_edge_table(&g, 3);
+        assert_eq!(back.n_rows(), 4);
+        let mut pairs: Vec<(i64, i64)> = back
+            .int_col("src")
+            .unwrap()
+            .iter()
+            .zip(back.int_col("dst").unwrap())
+            .map(|(a, b)| (*a, *b))
+            .collect();
+        pairs.sort_unstable();
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        assert_eq!(pairs, expect);
+        // And back to a graph again: identical topology.
+        let g2 = table_to_graph(&back, "src", "dst").unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn node_table_has_degrees() {
+        let t = table_of(&[(1, 2), (1, 3), (2, 3)]);
+        let g = table_to_graph(&t, "src", "dst").unwrap();
+        let nt = graph_to_node_table(&g, 2);
+        assert_eq!(nt.n_rows(), 3);
+        let find = |id: i64| -> (i64, i64) {
+            let ids = nt.int_col("node").unwrap();
+            let row = ids.iter().position(|&x| x == id).unwrap();
+            (
+                nt.int_col("in_deg").unwrap()[row],
+                nt.int_col("out_deg").unwrap()[row],
+            )
+        };
+        assert_eq!(find(1), (0, 2));
+        assert_eq!(find(3), (2, 0));
+    }
+
+    #[test]
+    fn scores_roundtrip() {
+        let t = scores_to_table(&[(5, 0.25), (7, 0.75)], "User", "Score");
+        assert_eq!(t.int_col("User").unwrap(), &[5, 7]);
+        assert_eq!(t.float_col("Score").unwrap(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn weighted_conversion_counts_multiplicity() {
+        let t = table_of(&[(1, 2), (1, 2), (1, 2), (2, 3)]);
+        let g = table_to_weighted_graph(&t, "src", "dst", None).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.weight(1, 2), Some(3.0));
+        assert_eq!(g.weight(2, 3), Some(1.0));
+    }
+
+    #[test]
+    fn weighted_conversion_sums_weight_column() {
+        let mut t = table_of(&[(1, 2), (1, 2)]);
+        t.add_float_column("w", vec![0.25, 0.5]).unwrap();
+        let g = table_to_weighted_graph(&t, "src", "dst", Some("w")).unwrap();
+        assert_eq!(g.weight(1, 2), Some(0.75));
+        // Int weight columns widen.
+        let mut t2 = table_of(&[(5, 6)]);
+        t2.add_int_column("n", vec![7]).unwrap();
+        let g2 = table_to_weighted_graph(&t2, "src", "dst", Some("n")).unwrap();
+        assert_eq!(g2.weight(5, 6), Some(7.0));
+        // String weight columns rejected.
+        let mut t3 = table_of(&[(1, 2)]);
+        t3.add_str_column("s", &["x"]).unwrap();
+        assert!(table_to_weighted_graph(&t3, "src", "dst", Some("s")).is_err());
+    }
+
+    #[test]
+    fn parallel_and_sequential_exports_agree() {
+        let edges = ringo_gen::rmat(&ringo_gen::RmatConfig {
+            scale: 8,
+            edges: 2_000,
+            ..Default::default()
+        });
+        let t = table_of(&edges);
+        let g = table_to_graph(&t, "src", "dst").unwrap();
+        let seq = graph_to_edge_table(&g, 1);
+        let par = graph_to_edge_table(&g, 8);
+        assert_eq!(seq.int_col("src").unwrap(), par.int_col("src").unwrap());
+        assert_eq!(seq.int_col("dst").unwrap(), par.int_col("dst").unwrap());
+    }
+}

@@ -1,0 +1,454 @@
+//! Ringo — interactive graph analytics on big-memory machines.
+//!
+//! This crate is the user-facing facade of the Ringo reproduction: one
+//! [`Ringo`] context whose methods mirror the Python verbs of the paper's
+//! §4.1 demo —
+//!
+//! ```
+//! use ringo_core::{Ringo, Predicate};
+//!
+//! let ringo = Ringo::new();
+//! // P = ringo.LoadTableTSV(schema, 'posts.tsv')   (here: generated)
+//! let posts = ringo.generate_stackoverflow(&Default::default());
+//! // JP = ringo.Select(P, 'Tag=Java')
+//! let java = ringo.select(&posts, &Predicate::str_eq("Tag", "java")).unwrap();
+//! // Q = ringo.Select(JP, 'Type=question'); A = ...
+//! let questions = ringo.select(&java, &Predicate::str_eq("Type", "question")).unwrap();
+//! let answers = ringo.select(&java, &Predicate::str_eq("Type", "answer")).unwrap();
+//! // QA = ringo.Join(Q, A, 'AnswerId', 'PostId')
+//! let qa = ringo.join(&questions, &answers, "AcceptedAnswerId", "PostId").unwrap();
+//! // G = ringo.ToGraph(QA, 'UserId-1', 'UserId-2')
+//! let g = ringo.to_graph(&qa, "UserId", "UserId-1").unwrap();
+//! // PR = ringo.GetPageRank(G); S = ringo.TableFromHashMap(PR, 'User', 'Scr')
+//! let pr = ringo.pagerank(&g);
+//! let scores = ringo.table_from_scores(&pr, "User", "Scr");
+//! assert_eq!(scores.n_cols(), 2);
+//! ```
+//!
+//! The submodule crates remain directly accessible for power users:
+//! [`table`], [`graph`], [`algo`], [`gen`], [`convert`], [`concurrent`].
+
+#![warn(missing_docs)]
+
+pub mod mem;
+
+pub use ringo_algo as algo;
+pub use ringo_concurrent as concurrent;
+pub use ringo_convert as convert;
+pub use ringo_gen as gen;
+pub use ringo_graph as graph;
+pub use ringo_table as table;
+
+pub use ringo_algo::{Direction, PageRankConfig};
+pub use ringo_graph::{CsrGraph, DirectedGraph, NodeId, UndirectedGraph, WeightedDigraph};
+pub use ringo_table::{
+    AggOp, Cmp, ColumnType, Predicate, Schema, Table, TableError, Value,
+};
+
+use std::path::Path;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TableError>;
+
+/// The Ringo analytics context.
+///
+/// Holds the worker-thread count applied to every table and parallel
+/// kernel it creates; everything else is stateless, so one context can be
+/// shared freely.
+#[derive(Clone, Debug)]
+pub struct Ringo {
+    threads: usize,
+}
+
+impl Default for Ringo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ringo {
+    /// Context using the machine's available parallelism (respects the
+    /// `RINGO_THREADS` environment variable).
+    pub fn new() -> Self {
+        Self {
+            threads: ringo_concurrent::num_threads(),
+        }
+    }
+
+    /// Context with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker threads used by operations issued through this context.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    // ---- table I/O ----
+
+    /// Loads a TSV file under `schema` (the paper's `LoadTableTSV`).
+    pub fn load_table_tsv(&self, schema: &Schema, path: &Path) -> Result<Table> {
+        let mut t = ringo_table::load_tsv(path, schema)?;
+        t.set_threads(self.threads);
+        Ok(t)
+    }
+
+    /// Saves a table as TSV.
+    pub fn save_table_tsv(&self, table: &Table, path: &Path) -> Result<()> {
+        ringo_table::save_tsv(table, path)
+    }
+
+    /// Loads a delimiter-separated file (e.g. CSV with `,`).
+    pub fn load_table_dsv(&self, schema: &Schema, path: &Path, delimiter: char) -> Result<Table> {
+        let mut t = ringo_table::load_dsv(path, schema, delimiter)?;
+        t.set_threads(self.threads);
+        Ok(t)
+    }
+
+    /// Saves a graph as a SNAP-style text edge list.
+    pub fn save_graph(&self, g: &DirectedGraph, path: &Path) -> std::io::Result<()> {
+        ringo_graph::io::save_edge_list(g, path)
+    }
+
+    /// Loads a graph from a SNAP-style text edge list.
+    pub fn load_graph(&self, path: &Path) -> std::io::Result<DirectedGraph> {
+        ringo_graph::io::load_edge_list(path)
+    }
+
+    /// Saves a graph in the compact binary format (faster to reload;
+    /// keeps isolated nodes).
+    pub fn save_graph_binary(&self, g: &DirectedGraph, path: &Path) -> std::io::Result<()> {
+        ringo_graph::io::save_binary(g, path)
+    }
+
+    /// Loads a graph written by [`Ringo::save_graph_binary`].
+    pub fn load_graph_binary(&self, path: &Path) -> std::io::Result<DirectedGraph> {
+        ringo_graph::io::load_binary(path)
+    }
+
+    // ---- relational operators ----
+
+    /// Copying select (the paper's `Select`).
+    pub fn select(&self, table: &Table, predicate: &Predicate) -> Result<Table> {
+        table.select(predicate)
+    }
+
+    /// In-place select, modifying `table` (the Table 4 variant).
+    pub fn select_in_place(&self, table: &mut Table, predicate: &Predicate) -> Result<usize> {
+        table.select_in_place(predicate)
+    }
+
+    /// Hash join (the paper's `Join`).
+    pub fn join(&self, left: &Table, right: &Table, left_col: &str, right_col: &str) -> Result<Table> {
+        left.join(right, left_col, right_col)
+    }
+
+    /// Group & aggregate.
+    pub fn group_by(
+        &self,
+        table: &Table,
+        group_cols: &[&str],
+        agg_col: Option<&str>,
+        op: AggOp,
+        out_name: &str,
+    ) -> Result<Table> {
+        table.group_by(group_cols, agg_col, op, out_name)
+    }
+
+    /// Similarity join (Ringo's `SimJoin`).
+    pub fn sim_join(
+        &self,
+        left: &Table,
+        right: &Table,
+        left_cols: &[&str],
+        right_cols: &[&str],
+        threshold: f64,
+    ) -> Result<Table> {
+        left.sim_join(right, left_cols, right_cols, threshold)
+    }
+
+    /// Temporal predecessor–successor join (Ringo's `NextK`).
+    pub fn next_k(
+        &self,
+        table: &Table,
+        group_col: Option<&str>,
+        order_col: &str,
+        k: usize,
+    ) -> Result<Table> {
+        table.next_k(group_col, order_col, k)
+    }
+
+    // ---- conversions ----
+
+    /// Table → directed graph via the sort-first algorithm (the paper's
+    /// `ToGraph`).
+    pub fn to_graph(&self, table: &Table, src_col: &str, dst_col: &str) -> Result<DirectedGraph> {
+        let mut t = table.clone();
+        t.set_threads(self.threads);
+        ringo_convert::table_to_graph(&t, src_col, dst_col)
+    }
+
+    /// Table → undirected graph.
+    pub fn to_undirected_graph(
+        &self,
+        table: &Table,
+        src_col: &str,
+        dst_col: &str,
+    ) -> Result<UndirectedGraph> {
+        let mut t = table.clone();
+        t.set_threads(self.threads);
+        ringo_convert::table_to_undirected(&t, src_col, dst_col)
+    }
+
+    /// Graph → edge table.
+    pub fn to_edge_table(&self, g: &DirectedGraph) -> Table {
+        ringo_convert::graph_to_edge_table(g, self.threads)
+    }
+
+    /// Graph → node table with degrees.
+    pub fn to_node_table(&self, g: &DirectedGraph) -> Table {
+        ringo_convert::graph_to_node_table(g, self.threads)
+    }
+
+    /// Algorithm scores → table (the paper's `TableFromHashMap`).
+    pub fn table_from_scores(&self, scores: &[(NodeId, f64)], id_col: &str, score_col: &str) -> Table {
+        ringo_convert::scores_to_table(scores, id_col, score_col)
+    }
+
+    // ---- graph analytics (the paper's `GetPageRank` & friends) ----
+
+    /// PageRank with the paper's defaults (0.85 damping, 10 iterations),
+    /// parallelized over this context's threads.
+    pub fn pagerank(&self, g: &DirectedGraph) -> Vec<(NodeId, f64)> {
+        ringo_algo::pagerank(
+            g,
+            &PageRankConfig {
+                threads: self.threads,
+                ..PageRankConfig::default()
+            },
+        )
+    }
+
+    /// PageRank with full parameter control.
+    pub fn pagerank_with(&self, g: &DirectedGraph, config: &PageRankConfig) -> Vec<(NodeId, f64)> {
+        ringo_algo::pagerank(g, config)
+    }
+
+    /// HITS hub/authority scores.
+    pub fn hits(&self, g: &DirectedGraph, iterations: usize) -> Vec<(NodeId, ringo_algo::HitsScores)> {
+        ringo_algo::hits(g, iterations, self.threads)
+    }
+
+    /// Parallel triangle count of an undirected graph.
+    pub fn count_triangles(&self, g: &UndirectedGraph) -> u64 {
+        ringo_algo::count_triangles(g, self.threads)
+    }
+
+    /// BFS hop distances.
+    pub fn bfs(&self, g: &DirectedGraph, src: NodeId, dir: Direction) -> ringo_concurrent::IntHashTable<u32> {
+        ringo_algo::bfs_distances(g, src, dir)
+    }
+
+    /// Weakly connected components.
+    pub fn wcc(&self, g: &DirectedGraph) -> ringo_algo::Components {
+        ringo_algo::weakly_connected_components(g)
+    }
+
+    /// Strongly connected components.
+    pub fn scc(&self, g: &DirectedGraph) -> ringo_algo::Components {
+        ringo_algo::strongly_connected_components(g)
+    }
+
+    /// Parallel weakly connected components (concurrent union-find).
+    pub fn wcc_parallel(&self, g: &DirectedGraph) -> ringo_algo::Components {
+        ringo_algo::weakly_connected_components_parallel(g, self.threads)
+    }
+
+    /// k-core subgraph of an undirected graph.
+    pub fn k_core(&self, g: &UndirectedGraph, k: u32) -> UndirectedGraph {
+        ringo_algo::k_core(g, k)
+    }
+
+    /// Table → weighted digraph, with weights from a column or (when
+    /// `weight_col` is `None`) from row multiplicity.
+    pub fn to_weighted_graph(
+        &self,
+        table: &Table,
+        src_col: &str,
+        dst_col: &str,
+        weight_col: Option<&str>,
+    ) -> Result<WeightedDigraph> {
+        ringo_convert::table_to_weighted_graph(table, src_col, dst_col, weight_col)
+    }
+
+    /// Weighted PageRank over stored edge weights.
+    pub fn pagerank_weighted(&self, g: &WeightedDigraph) -> Vec<(NodeId, f64)> {
+        ringo_algo::pagerank_weighted(
+            g,
+            &PageRankConfig {
+                threads: self.threads,
+                ..PageRankConfig::default()
+            },
+        )
+    }
+
+    /// Personalized PageRank from a seed set.
+    pub fn personalized_pagerank(&self, g: &DirectedGraph, seeds: &[NodeId]) -> Vec<(NodeId, f64)> {
+        ringo_algo::personalized_pagerank(
+            g,
+            seeds,
+            &PageRankConfig {
+                threads: self.threads,
+                ..PageRankConfig::default()
+            },
+        )
+    }
+
+    /// Eigenvector centrality.
+    pub fn eigenvector_centrality(&self, g: &DirectedGraph) -> Vec<(NodeId, f64)> {
+        ringo_algo::eigenvector_centrality(g, 100, 1e-10, self.threads)
+    }
+
+    /// The 16-class directed triad census.
+    pub fn triad_census(&self, g: &DirectedGraph) -> ringo_algo::TriadCensus {
+        ringo_algo::triad_census(g)
+    }
+
+    // ---- data generation (stand-ins for the paper's datasets) ----
+
+    /// Synthetic StackOverflow-like posts table (§4.1 demo data).
+    pub fn generate_stackoverflow(&self, config: &ringo_gen::StackOverflowConfig) -> Table {
+        let mut t = ringo_gen::generate_posts(config);
+        t.set_threads(self.threads);
+        t
+    }
+
+    /// LiveJournal-like benchmark edge table (Table 2 stand-in).
+    pub fn generate_lj_like(&self, scale_factor: f64, seed: u64) -> Table {
+        let mut t = ringo_gen::edges_to_table(&ringo_gen::lj_like(scale_factor, seed));
+        t.set_threads(self.threads);
+        t
+    }
+
+    /// Twitter2010-like benchmark edge table (Table 2 stand-in).
+    pub fn generate_tw_like(&self, scale_factor: f64, seed: u64) -> Table {
+        let mut t = ringo_gen::edges_to_table(&ringo_gen::tw_like(scale_factor, seed));
+        t.set_threads(self.threads);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_thread_settings_propagate() {
+        let r = Ringo::with_threads(3);
+        assert_eq!(r.threads(), 3);
+        let t = r.generate_lj_like(0.001, 1);
+        assert_eq!(t.threads(), 3);
+        let zero = Ringo::with_threads(0);
+        assert_eq!(zero.threads(), 1, "clamped");
+    }
+
+    #[test]
+    fn demo_pipeline_end_to_end() {
+        let ringo = Ringo::with_threads(2);
+        let posts = ringo.generate_stackoverflow(&ringo_gen::StackOverflowConfig {
+            questions: 400,
+            answers: 800,
+            users: 150,
+            ..Default::default()
+        });
+        let java = ringo.select(&posts, &Predicate::str_eq("Tag", "java")).unwrap();
+        assert!(java.n_rows() > 0);
+        let q = ringo.select(&java, &Predicate::str_eq("Type", "question")).unwrap();
+        let a = ringo.select(&java, &Predicate::str_eq("Type", "answer")).unwrap();
+        let qa = ringo.join(&q, &a, "AcceptedAnswerId", "PostId").unwrap();
+        assert!(qa.n_rows() > 0, "some java questions have accepted answers");
+        // Asker (UserId) -> answerer (UserId-1).
+        let g = ringo.to_graph(&qa, "UserId", "UserId-1").unwrap();
+        assert!(g.node_count() > 0);
+        let pr = ringo.pagerank(&g);
+        let total: f64 = pr.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        let scores = ringo.table_from_scores(&pr, "User", "Scr");
+        assert_eq!(scores.n_rows(), pr.len());
+        // The top expert by PageRank is an answerer with many accepted
+        // answers: their in-degree in g must be positive.
+        let mut ranked = pr.clone();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let top = ranked[0].0;
+        assert!(g.in_degree(top).unwrap() > 0);
+    }
+
+    #[test]
+    fn graph_table_roundtrip_through_context() {
+        let ringo = Ringo::with_threads(2);
+        let edges = ringo.generate_lj_like(0.002, 7);
+        let g = ringo.to_graph(&edges, "src", "dst").unwrap();
+        let back = ringo.to_edge_table(&g);
+        assert_eq!(back.n_rows(), g.edge_count());
+        let nodes = ringo.to_node_table(&g);
+        assert_eq!(nodes.n_rows(), g.node_count());
+        let out_sum: i64 = nodes.int_col("out_deg").unwrap().iter().sum();
+        assert_eq!(out_sum as usize, g.edge_count());
+    }
+
+    #[test]
+    fn weighted_pipeline_through_context() {
+        let ringo = Ringo::with_threads(2);
+        let posts = ringo.generate_stackoverflow(&ringo_gen::StackOverflowConfig {
+            questions: 400,
+            answers: 900,
+            users: 120,
+            ..Default::default()
+        });
+        let q = ringo.select(&posts, &Predicate::str_eq("Type", "question")).unwrap();
+        let a = ringo.select(&posts, &Predicate::str_eq("Type", "answer")).unwrap();
+        let qa = ringo.join(&q, &a, "AcceptedAnswerId", "PostId").unwrap();
+        // Multiplicity-weighted influence graph.
+        let wg = ringo.to_weighted_graph(&qa, "UserId", "UserId-1", None).unwrap();
+        assert!(wg.edge_count() <= qa.n_rows());
+        let pr = ringo.pagerank_weighted(&wg);
+        let total: f64 = pr.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Seeded exploration around the top expert.
+        let g = ringo.to_graph(&qa, "UserId", "UserId-1").unwrap();
+        let top = pr
+            .iter()
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .map(|(id, _)| *id)
+            .unwrap();
+        let ppr = ringo.personalized_pagerank(&g, &[top]);
+        assert!(!ppr.is_empty());
+        let census = ringo.triad_census(&g);
+        let n = g.node_count() as u64;
+        assert_eq!(census.total(), n * (n - 1) * (n - 2) / 6);
+        let ev = ringo.eigenvector_centrality(&g);
+        assert_eq!(ev.len(), g.node_count());
+    }
+
+    #[test]
+    fn analytics_helpers_run() {
+        let ringo = Ringo::with_threads(2);
+        let edges = ringo.generate_lj_like(0.002, 9);
+        let g = ringo.to_graph(&edges, "src", "dst").unwrap();
+        let u = ringo.to_undirected_graph(&edges, "src", "dst").unwrap();
+        assert!(ringo.count_triangles(&u) > 0);
+        let w = ringo.wcc(&g);
+        assert!(w.largest() > g.node_count() / 2, "R-MAT has a giant WCC");
+        let s = ringo.scc(&g);
+        assert!(s.n_components() >= w.n_components());
+        let core = ringo.k_core(&u, 3);
+        assert!(core.node_count() < u.node_count());
+        let h = ringo.hits(&g, 10);
+        assert_eq!(h.len(), g.node_count());
+        let src = g.node_ids().next().unwrap();
+        let _ = ringo.bfs(&g, src, Direction::Out);
+    }
+}

@@ -1,0 +1,162 @@
+//! Classic random-graph models for tests and examples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ringo_graph::{NodeId, UndirectedGraph};
+
+/// G(n, m) Erdős–Rényi graph: `m` distinct undirected edges drawn
+/// uniformly among `n` nodes (no self-loops). Node ids are `0..n`.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> UndirectedGraph {
+    let possible = n * n.saturating_sub(1) / 2;
+    assert!(m <= possible, "m={m} exceeds {possible} possible edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UndirectedGraph::with_capacity(n);
+    for v in 0..n {
+        g.add_node(v as NodeId);
+    }
+    let mut added = 0usize;
+    while added < m {
+        let a = rng.gen_range(0..n) as NodeId;
+        let b = rng.gen_range(0..n) as NodeId;
+        if a != b && g.add_edge(a, b) {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: nodes arrive one at a time and
+/// attach `k` edges to existing nodes with probability proportional to
+/// degree. Produces the scale-free degree law typical of citation and
+/// social graphs. Node ids are `0..n`.
+pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> UndirectedGraph {
+    assert!(k >= 1, "attachment degree must be at least 1");
+    assert!(n > k, "need more nodes than the attachment degree");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UndirectedGraph::with_capacity(n);
+    // Endpoint pool: each entry is a node id repeated once per incident
+    // edge end, giving degree-proportional sampling in O(1).
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * n * k);
+    // Seed clique over the first k+1 nodes.
+    for a in 0..=(k as NodeId) {
+        for b in (a + 1)..=(k as NodeId) {
+            g.add_edge(a, b);
+            pool.push(a);
+            pool.push(b);
+        }
+    }
+    for v in (k + 1)..n {
+        let v = v as NodeId;
+        let mut attached = 0usize;
+        while attached < k {
+            let target = pool[rng.gen_range(0..pool.len())];
+            if target != v && g.add_edge(v, target) {
+                pool.push(v);
+                pool.push(target);
+                attached += 1;
+            }
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// its `k` nearest neighbors per side, with each edge rewired to a random
+/// endpoint with probability `beta`. Node ids are `0..n`.
+pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> UndirectedGraph {
+    assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UndirectedGraph::with_capacity(n);
+    for v in 0..n {
+        g.add_node(v as NodeId);
+    }
+    for v in 0..n {
+        for j in 1..=k {
+            let w = (v + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire: keep v, pick a random new endpoint.
+                let mut tries = 0;
+                loop {
+                    let r = rng.gen_range(0..n);
+                    if r != v && g.add_edge(v as NodeId, r as NodeId) {
+                        break;
+                    }
+                    tries += 1;
+                    if tries > 100 {
+                        // Dense corner case: fall back to the lattice edge.
+                        g.add_edge(v as NodeId, w as NodeId);
+                        break;
+                    }
+                }
+            } else {
+                g.add_edge(v as NodeId, w as NodeId);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_exact_counts() {
+        let g = erdos_renyi(100, 250, 7);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 250);
+        for id in g.node_ids() {
+            assert!(!g.has_edge(id, id), "no self-loops");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        let a = erdos_renyi(50, 100, 3);
+        let b = erdos_renyi(50, 100, 3);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible edges")]
+    fn erdos_renyi_rejects_impossible_m() {
+        erdos_renyi(3, 10, 1);
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(500, 3, 11);
+        assert_eq!(g.node_count(), 500);
+        // Every late node has degree >= k.
+        for v in 4..500 {
+            assert!(g.degree(v as NodeId).unwrap() >= 3);
+        }
+        // Hubs exist: max degree well above k.
+        let max_deg = g.node_ids().map(|v| g.degree(v).unwrap()).max().unwrap();
+        assert!(max_deg > 15, "max degree {max_deg}");
+    }
+
+    #[test]
+    fn small_world_without_rewiring_is_a_lattice() {
+        let g = small_world(20, 2, 0.0, 1);
+        assert_eq!(g.edge_count(), 40);
+        for v in 0..20i64 {
+            assert_eq!(g.degree(v).unwrap(), 4);
+        }
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && !g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn small_world_rewiring_keeps_graph_connected_enough() {
+        let g = small_world(200, 3, 0.3, 5);
+        assert_eq!(g.node_count(), 200);
+        // Rewiring never loses edges outright (up to rare dense fallback).
+        assert!(g.edge_count() >= 550, "edges {}", g.edge_count());
+    }
+}

@@ -1,0 +1,259 @@
+//! Synthetic StackOverflow-like posts, for the §4.1 expert-finding demo.
+//!
+//! The paper's demo loads the complete StackOverflow dump (8M questions,
+//! 14M answers) and runs: select the Java posts, split questions from
+//! answers, join questions to their accepted answers, build the
+//! asker → answerer graph, and rank with PageRank. This generator emits a
+//! posts table with the same schema and the skew that makes the demo
+//! interesting: user activity and answer acceptance follow power laws, so
+//! a small set of prolific answerers ("experts") exists by construction.
+
+use rand::distributions::WeightedIndex;
+use rand::prelude::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ringo_table::{ColumnData, ColumnType, Schema, StringPool, Table};
+
+/// Parameters for [`generate_posts`].
+#[derive(Clone, Debug)]
+pub struct StackOverflowConfig {
+    /// Number of question posts.
+    pub questions: usize,
+    /// Number of answer posts (>= questions keeps the forum plausible).
+    pub answers: usize,
+    /// Number of distinct users.
+    pub users: usize,
+    /// Tag vocabulary; questions pick one tag Zipf-weighted toward the
+    /// front of this list and answers inherit their question's tag.
+    pub tags: Vec<String>,
+    /// Fraction of questions that accept one of their answers.
+    pub acceptance_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StackOverflowConfig {
+    fn default() -> Self {
+        Self {
+            questions: 8_000,
+            answers: 14_000,
+            users: 3_000,
+            tags: ["java", "python", "c++", "rust", "sql", "javascript"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            acceptance_rate: 0.55,
+            seed: 2015,
+        }
+    }
+}
+
+/// The schema of the generated posts table:
+/// `PostId:int, Type:str("question"|"answer"), Tag:str, UserId:int,
+/// AcceptedAnswerId:int (questions; -1 = none), ParentId:int (answers;
+/// the question answered; -1 for questions), CreationDate:int`.
+pub fn posts_schema() -> Schema {
+    Schema::new([
+        ("PostId", ColumnType::Int),
+        ("Type", ColumnType::Str),
+        ("Tag", ColumnType::Str),
+        ("UserId", ColumnType::Int),
+        ("AcceptedAnswerId", ColumnType::Int),
+        ("ParentId", ColumnType::Int),
+        ("CreationDate", ColumnType::Int),
+    ])
+}
+
+/// Generates the posts table described by `config`.
+pub fn generate_posts(config: &StackOverflowConfig) -> Table {
+    assert!(config.questions > 0 && config.users > 1 && !config.tags.is_empty());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Zipf-ish weights: user u asks/answers with weight 1/(u+1)^0.8; tags
+    // likewise but steeper, so the first tag ("java") dominates.
+    let user_weights: Vec<f64> = (0..config.users)
+        .map(|u| 1.0 / ((u + 1) as f64).powf(0.8))
+        .collect();
+    let user_dist = WeightedIndex::new(&user_weights).expect("positive weights");
+    let tag_weights: Vec<f64> = (0..config.tags.len())
+        .map(|t| 1.0 / ((t + 1) as f64).powf(1.2))
+        .collect();
+    let tag_dist = WeightedIndex::new(&tag_weights).expect("positive weights");
+
+    let n = config.questions + config.answers;
+    let mut post_id: Vec<i64> = Vec::with_capacity(n);
+    let mut type_sym: Vec<u32> = Vec::with_capacity(n);
+    let mut tag_sym: Vec<u32> = Vec::with_capacity(n);
+    let mut user_id: Vec<i64> = Vec::with_capacity(n);
+    let mut accepted: Vec<i64> = Vec::with_capacity(n);
+    let mut parent: Vec<i64> = Vec::with_capacity(n);
+    let mut created: Vec<i64> = Vec::with_capacity(n);
+
+    let mut pool = StringPool::new();
+    let q_sym = pool.intern("question");
+    let a_sym = pool.intern("answer");
+    let tag_syms: Vec<u32> = config.tags.iter().map(|t| pool.intern(t)).collect();
+
+    // Questions occupy ids 0..questions.
+    let mut q_tag: Vec<usize> = Vec::with_capacity(config.questions);
+    let mut q_asker: Vec<i64> = Vec::with_capacity(config.questions);
+    for q in 0..config.questions {
+        let tag = tag_dist.sample(&mut rng);
+        let asker = user_dist.sample(&mut rng) as i64;
+        q_tag.push(tag);
+        q_asker.push(asker);
+        post_id.push(q as i64);
+        type_sym.push(q_sym);
+        tag_sym.push(tag_syms[tag]);
+        user_id.push(asker);
+        accepted.push(-1); // patched when an answer is accepted
+        parent.push(-1);
+        created.push(q as i64 * 10);
+    }
+
+    // Answers occupy ids questions..questions+answers; each answers a
+    // Zipf-weighted random question (popular questions get more answers).
+    let q_weights: Vec<f64> = (0..config.questions)
+        .map(|q| 1.0 / ((q + 1) as f64).powf(0.5))
+        .collect();
+    let q_dist = WeightedIndex::new(&q_weights).expect("positive weights");
+    for a in 0..config.answers {
+        let id = (config.questions + a) as i64;
+        let q = q_dist.sample(&mut rng);
+        let answerer = user_dist.sample(&mut rng) as i64;
+        post_id.push(id);
+        type_sym.push(a_sym);
+        tag_sym.push(tag_syms[q_tag[q]]);
+        user_id.push(answerer);
+        accepted.push(-1);
+        parent.push(q as i64);
+        created.push(q as i64 * 10 + 1 + (a % 7) as i64);
+        // First eligible answer wins acceptance, with the configured rate.
+        if accepted[q] == -1
+            && answerer != q_asker[q]
+            && rng.gen::<f64>() < config.acceptance_rate
+        {
+            accepted[q] = id;
+        }
+    }
+
+    let mut table = Table::from_parts(
+        posts_schema(),
+        vec![
+            ColumnData::Int(post_id),
+            ColumnData::Str(type_sym),
+            ColumnData::Str(tag_sym),
+            ColumnData::Int(user_id),
+            ColumnData::Int(accepted),
+            ColumnData::Int(parent),
+            ColumnData::Int(created),
+        ],
+        pool,
+    )
+    .expect("generator produces consistent columns");
+    table.set_threads(ringo_concurrent_threads());
+    table
+}
+
+fn ringo_concurrent_threads() -> usize {
+    // Small indirection so the generator does not depend on the
+    // concurrency crate directly; tables default sensibly anyway.
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_table::{Cmp, Predicate};
+
+    fn small() -> Table {
+        generate_posts(&StackOverflowConfig {
+            questions: 500,
+            answers: 900,
+            users: 200,
+            ..StackOverflowConfig::default()
+        })
+    }
+
+    #[test]
+    fn row_and_type_counts() {
+        let t = small();
+        assert_eq!(t.n_rows(), 1400);
+        let q = t.count_where(&Predicate::str_eq("Type", "question")).unwrap();
+        let a = t.count_where(&Predicate::str_eq("Type", "answer")).unwrap();
+        assert_eq!(q, 500);
+        assert_eq!(a, 900);
+    }
+
+    #[test]
+    fn accepted_answers_point_at_answer_posts() {
+        let t = small();
+        let accepted = t.int_col("AcceptedAnswerId").unwrap();
+        let types = t.str_sym_col("Type").unwrap();
+        let post_ids = t.int_col("PostId").unwrap();
+        let mut any = 0;
+        for (row, &acc) in accepted.iter().enumerate() {
+            if acc >= 0 {
+                any += 1;
+                assert_eq!(t.str_value(types[row]), "question");
+                // The accepted id is an answer post whose parent is us.
+                let apos = acc as usize; // ids are dense by construction
+                assert_eq!(post_ids[apos], acc);
+                assert_eq!(t.str_value(types[apos]), "answer");
+                assert_eq!(t.int_col("ParentId").unwrap()[apos], post_ids[row]);
+            }
+        }
+        assert!(any > 100, "acceptance should be common, got {any}");
+    }
+
+    #[test]
+    fn answers_inherit_question_tags() {
+        let t = small();
+        let tags = t.str_sym_col("Tag").unwrap();
+        let parents = t.int_col("ParentId").unwrap();
+        for row in 0..t.n_rows() {
+            let p = parents[row];
+            if p >= 0 {
+                assert_eq!(tags[row], tags[p as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn java_is_the_most_common_tag() {
+        let t = small();
+        let java = t.count_where(&Predicate::str_eq("Tag", "java")).unwrap();
+        for tag in ["python", "c++", "rust", "sql", "javascript"] {
+            let c = t.count_where(&Predicate::str_eq("Tag", tag)).unwrap();
+            assert!(java >= c, "java {java} vs {tag} {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.int_col("UserId").unwrap(), b.int_col("UserId").unwrap());
+        let c = generate_posts(&StackOverflowConfig {
+            questions: 500,
+            answers: 900,
+            users: 200,
+            seed: 1,
+            ..StackOverflowConfig::default()
+        });
+        assert_ne!(a.int_col("UserId").unwrap(), c.int_col("UserId").unwrap());
+    }
+
+    #[test]
+    fn no_self_acceptance() {
+        let t = small();
+        let accepted = t.int_col("AcceptedAnswerId").unwrap();
+        let users = t.int_col("UserId").unwrap();
+        for (row, &acc) in accepted.iter().enumerate() {
+            if acc >= 0 {
+                assert_ne!(users[row], users[acc as usize], "self-acceptance");
+            }
+        }
+        let _ = Cmp::Eq;
+    }
+}

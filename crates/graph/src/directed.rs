@@ -1,0 +1,521 @@
+//! The paper's dynamic directed graph: a node hash table with sorted
+//! in/out adjacency vectors per node.
+
+use crate::traits::DirectedTopology;
+use crate::NodeId;
+use ringo_concurrent::IntHashTable;
+
+/// Per-node storage: the external id plus sorted neighbor vectors.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NodeCell {
+    pub(crate) id: NodeId,
+    pub(crate) in_nbrs: Vec<NodeId>,
+    pub(crate) out_nbrs: Vec<NodeId>,
+}
+
+/// A dynamic directed graph (multi-edges disallowed, self-loops allowed).
+///
+/// Nodes live in a slot vector addressed through an open-addressing hash
+/// index (id → slot). Each node keeps its in-neighbors and out-neighbors in
+/// sorted vectors, so:
+///
+/// * `has_edge` is `O(log deg)`,
+/// * `add_edge` / `del_edge` are `O(deg)` (vector insert/remove at a binary-
+///   searched position) — the paper's headline contrast with CSR's `O(E)`,
+/// * neighbor iteration is a contiguous scan.
+///
+/// ```
+/// use ringo_graph::DirectedGraph;
+///
+/// let mut g = DirectedGraph::new();
+/// g.add_edge(10, 20);
+/// g.add_edge(10, 30);
+/// g.add_edge(30, 10);
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.out_nbrs(10), &[20, 30]); // always sorted
+/// assert_eq!(g.in_nbrs(10), &[30]);
+///
+/// g.del_edge(10, 20); // O(degree), not O(E)
+/// assert!(!g.has_edge(10, 20));
+/// assert!(g.in_nbrs(20).is_empty());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DirectedGraph {
+    index: IntHashTable<u32>,
+    nodes: Vec<Option<NodeCell>>,
+    free: Vec<u32>,
+    n_nodes: usize,
+    n_edges: usize,
+}
+
+impl DirectedGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph pre-sized for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self {
+            index: IntHashTable::with_capacity(nodes),
+            nodes: Vec::with_capacity(nodes),
+            free: Vec::new(),
+            n_nodes: 0,
+            n_edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.n_edges
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n_nodes == 0
+    }
+
+    /// True when `id` is a node of the graph.
+    pub fn has_node(&self, id: NodeId) -> bool {
+        self.index.contains(id)
+    }
+
+    /// True when the edge `src -> dst` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        match self.cell(src) {
+            Some(c) => c.out_nbrs.binary_search(&dst).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Adds node `id`. Returns `false` if it already existed.
+    pub fn add_node(&mut self, id: NodeId) -> bool {
+        if self.index.contains(id) {
+            return false;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s as usize] = Some(NodeCell {
+                    id,
+                    ..NodeCell::default()
+                });
+                s
+            }
+            None => {
+                self.nodes.push(Some(NodeCell {
+                    id,
+                    ..NodeCell::default()
+                }));
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.index.insert(id, slot);
+        self.n_nodes += 1;
+        true
+    }
+
+    /// Adds the edge `src -> dst`, creating missing endpoints. Returns
+    /// `false` if the edge already existed.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.add_node(src);
+        self.add_node(dst);
+        {
+            let sc = self.cell_mut(src).expect("src just ensured");
+            match sc.out_nbrs.binary_search(&dst) {
+                Ok(_) => return false,
+                Err(pos) => sc.out_nbrs.insert(pos, dst),
+            }
+        }
+        {
+            let dc = self.cell_mut(dst).expect("dst just ensured");
+            let pos = dc
+                .in_nbrs
+                .binary_search(&src)
+                .expect_err("in/out adjacency out of sync");
+            dc.in_nbrs.insert(pos, src);
+        }
+        self.n_edges += 1;
+        true
+    }
+
+    /// Deletes the edge `src -> dst`. Returns `false` if it did not exist.
+    /// Cost is `O(out_deg(src) + in_deg(dst))`, not `O(E)`.
+    pub fn del_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        let removed = match self.cell_mut(src) {
+            Some(sc) => match sc.out_nbrs.binary_search(&dst) {
+                Ok(pos) => {
+                    sc.out_nbrs.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            None => false,
+        };
+        if !removed {
+            return false;
+        }
+        let dc = self.cell_mut(dst).expect("edge endpoints must exist");
+        let pos = dc
+            .in_nbrs
+            .binary_search(&src)
+            .expect("in/out adjacency out of sync");
+        dc.in_nbrs.remove(pos);
+        self.n_edges -= 1;
+        true
+    }
+
+    /// Deletes node `id` and all incident edges. Returns `false` if absent.
+    pub fn del_node(&mut self, id: NodeId) -> bool {
+        let slot = match self.index.get(id) {
+            Some(s) => *s,
+            None => return false,
+        };
+        let cell = self.nodes[slot as usize].take().expect("indexed slot occupied");
+        // Remove `id` from the in-lists of its out-neighbors and from the
+        // out-lists of its in-neighbors.
+        for &nbr in &cell.out_nbrs {
+            if nbr == id {
+                continue; // self-loop, cell already removed
+            }
+            let nc = self.cell_mut(nbr).expect("neighbor must exist");
+            let pos = nc.in_nbrs.binary_search(&id).expect("adjacency in sync");
+            nc.in_nbrs.remove(pos);
+        }
+        for &nbr in &cell.in_nbrs {
+            if nbr == id {
+                continue;
+            }
+            let nc = self.cell_mut(nbr).expect("neighbor must exist");
+            let pos = nc.out_nbrs.binary_search(&id).expect("adjacency in sync");
+            nc.out_nbrs.remove(pos);
+        }
+        let self_loop = cell.out_nbrs.binary_search(&id).is_ok();
+        self.n_edges -= cell.out_nbrs.len() + cell.in_nbrs.len() - usize::from(self_loop);
+        self.index.remove(id);
+        self.free.push(slot);
+        self.n_nodes -= 1;
+        true
+    }
+
+    /// Out-degree of `id`, or `None` if the node is absent.
+    pub fn out_degree(&self, id: NodeId) -> Option<usize> {
+        self.cell(id).map(|c| c.out_nbrs.len())
+    }
+
+    /// In-degree of `id`, or `None` if the node is absent.
+    pub fn in_degree(&self, id: NodeId) -> Option<usize> {
+        self.cell(id).map(|c| c.in_nbrs.len())
+    }
+
+    /// Sorted out-neighbors of `id` (empty slice if absent).
+    pub fn out_nbrs(&self, id: NodeId) -> &[NodeId] {
+        self.cell(id).map_or(&[], |c| c.out_nbrs.as_slice())
+    }
+
+    /// Sorted in-neighbors of `id` (empty slice if absent).
+    pub fn in_nbrs(&self, id: NodeId) -> &[NodeId] {
+        self.cell(id).map_or(&[], |c| c.in_nbrs.as_slice())
+    }
+
+    /// Iterates over node ids in slot order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().flatten().map(|c| c.id)
+    }
+
+    /// Iterates over all directed edges as `(src, dst)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes
+            .iter()
+            .flatten()
+            .flat_map(|c| c.out_nbrs.iter().map(move |d| (c.id, *d)))
+    }
+
+    /// Approximate heap footprint in bytes: hash index + slot vector +
+    /// adjacency vector capacities. This is what the paper's Table 2
+    /// reports as "In-memory Graph Size".
+    pub fn mem_size(&self) -> usize {
+        let mut bytes = self.index.mem_size();
+        bytes += self.nodes.capacity() * std::mem::size_of::<Option<NodeCell>>();
+        bytes += self.free.capacity() * std::mem::size_of::<u32>();
+        for c in self.nodes.iter().flatten() {
+            bytes += (c.in_nbrs.capacity() + c.out_nbrs.capacity()) * std::mem::size_of::<NodeId>();
+        }
+        bytes
+    }
+
+    /// Builds a graph from per-node parts `(id, in_nbrs, out_nbrs)` whose
+    /// adjacency vectors are **already sorted and deduplicated** and
+    /// mutually consistent. Used by the bulk "sort-first" converter, which
+    /// produces the parts in parallel.
+    ///
+    /// # Panics
+    /// In debug builds, panics if a vector is unsorted.
+    pub fn from_parts(parts: Vec<(NodeId, Vec<NodeId>, Vec<NodeId>)>) -> Self {
+        let mut g = Self::with_capacity(parts.len());
+        let mut n_edges = 0usize;
+        for (id, in_nbrs, out_nbrs) in parts {
+            debug_assert!(in_nbrs.windows(2).all(|w| w[0] < w[1]));
+            debug_assert!(out_nbrs.windows(2).all(|w| w[0] < w[1]));
+            n_edges += out_nbrs.len();
+            let slot = g.nodes.len() as u32;
+            g.nodes.push(Some(NodeCell {
+                id,
+                in_nbrs,
+                out_nbrs,
+            }));
+            let prev = g.index.insert(id, slot);
+            assert!(prev.is_none(), "duplicate node id {id} in parts");
+        }
+        g.n_nodes = g.nodes.len();
+        g.n_edges = n_edges;
+        g
+    }
+
+    /// Collapses edge direction, returning the undirected version of this
+    /// graph (self-loops preserved, reciprocal edges merged).
+    pub fn to_undirected(&self) -> crate::UndirectedGraph {
+        let mut parts = Vec::with_capacity(self.nodes.len());
+        for c in self.nodes.iter().flatten() {
+            let mut nbrs = Vec::with_capacity(c.in_nbrs.len() + c.out_nbrs.len());
+            // Merge two sorted vectors, deduplicating.
+            let (a, b) = (&c.in_nbrs, &c.out_nbrs);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() || j < b.len() {
+                let v = match (a.get(i), b.get(j)) {
+                    (Some(x), Some(y)) if x == y => {
+                        i += 1;
+                        j += 1;
+                        *x
+                    }
+                    (Some(x), Some(y)) if x < y => {
+                        i += 1;
+                        *x
+                    }
+                    (Some(_), Some(y)) => {
+                        j += 1;
+                        *y
+                    }
+                    (Some(x), None) => {
+                        i += 1;
+                        *x
+                    }
+                    (None, Some(y)) => {
+                        j += 1;
+                        *y
+                    }
+                    (None, None) => unreachable!(),
+                };
+                nbrs.push(v);
+            }
+            parts.push((c.id, nbrs));
+        }
+        crate::UndirectedGraph::from_parts(parts)
+    }
+
+    #[inline]
+    fn cell(&self, id: NodeId) -> Option<&NodeCell> {
+        let slot = *self.index.get(id)?;
+        self.nodes[slot as usize].as_ref()
+    }
+
+    #[inline]
+    fn cell_mut(&mut self, id: NodeId) -> Option<&mut NodeCell> {
+        let slot = *self.index.get(id)?;
+        self.nodes[slot as usize].as_mut()
+    }
+}
+
+impl DirectedTopology for DirectedGraph {
+    fn n_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn slot_id(&self, slot: usize) -> Option<NodeId> {
+        self.nodes[slot].as_ref().map(|c| c.id)
+    }
+
+    fn slot_of(&self, id: NodeId) -> Option<usize> {
+        let slot = *self.index.get(id)?;
+        Some(slot as usize)
+    }
+
+    fn out_nbrs_of_slot(&self, slot: usize) -> &[NodeId] {
+        self.nodes[slot].as_ref().map_or(&[], |c| &c.out_nbrs)
+    }
+
+    fn in_nbrs_of_slot(&self, slot: usize) -> &[NodeId] {
+        self.nodes[slot].as_ref().map_or(&[], |c| &c.in_nbrs)
+    }
+
+    fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn edge_count(&self) -> usize {
+        self.n_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = DirectedGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+        assert!(!g.has_node(1));
+        assert!(!g.has_edge(1, 2));
+        assert!(g.out_nbrs(1).is_empty());
+    }
+
+    #[test]
+    fn add_edge_creates_endpoints() {
+        let mut g = DirectedGraph::new();
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(1, 2), "duplicate edge rejected");
+        assert!(g.add_edge(2, 1), "reverse edge is distinct");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert_eq!(g.out_nbrs(1), &[2]);
+        assert_eq!(g.in_nbrs(1), &[2]);
+    }
+
+    #[test]
+    fn adjacency_stays_sorted() {
+        let mut g = DirectedGraph::new();
+        for dst in [5, 1, 9, 3, 7] {
+            g.add_edge(0, dst);
+        }
+        assert_eq!(g.out_nbrs(0), &[1, 3, 5, 7, 9]);
+        assert_eq!(g.out_degree(0), Some(5));
+        assert_eq!(g.in_degree(0), Some(0));
+    }
+
+    #[test]
+    fn del_edge_maintains_both_sides() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        assert!(g.del_edge(1, 2));
+        assert!(!g.del_edge(1, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(1, 2));
+        assert!(g.in_nbrs(2).is_empty());
+        assert_eq!(g.out_nbrs(1), &[3]);
+    }
+
+    #[test]
+    fn self_loop_roundtrip() {
+        let mut g = DirectedGraph::new();
+        assert!(g.add_edge(4, 4));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_nbrs(4), &[4]);
+        assert_eq!(g.in_nbrs(4), &[4]);
+        assert!(g.del_edge(4, 4));
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.has_node(4));
+    }
+
+    #[test]
+    fn del_node_removes_incident_edges() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 1);
+        g.add_edge(2, 2);
+        assert!(g.del_node(2));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(3, 1));
+        assert!(g.out_nbrs(1).is_empty());
+        assert!(g.in_nbrs(3).is_empty());
+        assert!(!g.del_node(2));
+    }
+
+    #[test]
+    fn slot_reuse_after_del_node() {
+        let mut g = DirectedGraph::new();
+        g.add_node(1);
+        g.add_node(2);
+        g.del_node(1);
+        g.add_node(3);
+        assert_eq!(g.n_slots(), 2, "freed slot is recycled");
+        let ids: Vec<_> = g.node_ids().collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&2) && ids.contains(&3));
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let mut g = DirectedGraph::new();
+        let edges = [(1, 2), (1, 3), (2, 3), (3, 1)];
+        for (s, d) in edges {
+            g.add_edge(s, d);
+        }
+        let mut got: Vec<_> = g.edges().collect();
+        got.sort_unstable();
+        assert_eq!(got, edges.to_vec());
+    }
+
+    #[test]
+    fn from_parts_matches_incremental() {
+        let parts = vec![
+            (1, vec![3], vec![2, 3]),
+            (2, vec![1], vec![3]),
+            (3, vec![1, 2], vec![1]),
+        ];
+        let g = DirectedGraph::from_parts(parts);
+        let mut inc = DirectedGraph::new();
+        for (s, d) in [(1, 2), (1, 3), (2, 3), (3, 1)] {
+            inc.add_edge(s, d);
+        }
+        assert_eq!(g.node_count(), inc.node_count());
+        assert_eq!(g.edge_count(), inc.edge_count());
+        for id in [1i64, 2, 3] {
+            assert_eq!(g.out_nbrs(id), inc.out_nbrs(id));
+            assert_eq!(g.in_nbrs(id), inc.in_nbrs(id));
+        }
+    }
+
+    #[test]
+    fn to_undirected_merges_reciprocal_edges() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(2, 3);
+        g.add_edge(5, 5);
+        let u = g.to_undirected();
+        assert_eq!(u.node_count(), 4);
+        assert_eq!(u.edge_count(), 3, "1-2 merged, 2-3, 5-5");
+        assert_eq!(u.nbrs(2), &[1, 3]);
+        assert_eq!(u.nbrs(5), &[5]);
+    }
+
+    #[test]
+    fn mem_size_grows_with_edges() {
+        let mut g = DirectedGraph::new();
+        let empty = g.mem_size();
+        for i in 0..1000 {
+            g.add_edge(i, i + 1);
+        }
+        assert!(g.mem_size() > empty + 1000 * 16 / 2);
+    }
+
+    #[test]
+    fn negative_and_large_ids() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(-10, i64::MAX);
+        assert!(g.has_edge(-10, i64::MAX));
+        assert_eq!(g.out_nbrs(-10), &[i64::MAX]);
+    }
+}

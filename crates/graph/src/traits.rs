@@ -1,0 +1,31 @@
+//! Slot-addressed read access shared by the directed representations.
+
+use crate::NodeId;
+
+/// Read-only, slot-addressed view of a directed graph.
+///
+/// Slots are dense handles in `0..n_slots()`; a slot may be vacant (after a
+/// node deletion in [`crate::DirectedGraph`]) in which case
+/// [`DirectedTopology::slot_id`] returns `None`. Algorithms allocate their
+/// per-node state as flat arrays indexed by slot and translate neighbor
+/// *ids* back to slots with [`DirectedTopology::slot_of`] — the same
+/// id-to-position hash lookup SNAP performs per edge traversal. Running the
+/// identical algorithm over [`crate::DirectedGraph`] and [`crate::CsrGraph`]
+/// therefore isolates the cost of the representation itself, which is the
+/// ablation the paper's §2.2 design discussion calls for.
+pub trait DirectedTopology: Sync {
+    /// Upper bound (exclusive) on slot handles.
+    fn n_slots(&self) -> usize;
+    /// External id stored in `slot`, or `None` for vacant slots.
+    fn slot_id(&self, slot: usize) -> Option<NodeId>;
+    /// Slot holding node `id`.
+    fn slot_of(&self, id: NodeId) -> Option<usize>;
+    /// Sorted out-neighbor ids of the node in `slot`.
+    fn out_nbrs_of_slot(&self, slot: usize) -> &[NodeId];
+    /// Sorted in-neighbor ids of the node in `slot`.
+    fn in_nbrs_of_slot(&self, slot: usize) -> &[NodeId];
+    /// Number of (live) nodes.
+    fn node_count(&self) -> usize;
+    /// Number of directed edges.
+    fn edge_count(&self) -> usize;
+}

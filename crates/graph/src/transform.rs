@@ -1,0 +1,186 @@
+//! Graph transformations: induced subgraphs, edge reversal, and id
+//! renumbering — the "powerful operations to construct various types of
+//! graphs" an exploratory workflow composes between algorithm runs.
+
+use crate::{DirectedGraph, NodeId, UndirectedGraph};
+use ringo_concurrent::IntHashTable;
+
+impl DirectedGraph {
+    /// The subgraph induced by `nodes`: those nodes and every edge whose
+    /// endpoints are both in the set. Unknown ids are ignored.
+    pub fn subgraph(&self, nodes: &[NodeId]) -> DirectedGraph {
+        let mut keep: IntHashTable<()> = IntHashTable::with_capacity(nodes.len());
+        for &n in nodes {
+            if self.has_node(n) {
+                keep.insert(n, ());
+            }
+        }
+        let mut parts = Vec::with_capacity(keep.len());
+        for id in self.node_ids() {
+            if !keep.contains(id) {
+                continue;
+            }
+            let in_nbrs: Vec<NodeId> = self
+                .in_nbrs(id)
+                .iter()
+                .copied()
+                .filter(|n| keep.contains(*n))
+                .collect();
+            let out_nbrs: Vec<NodeId> = self
+                .out_nbrs(id)
+                .iter()
+                .copied()
+                .filter(|n| keep.contains(*n))
+                .collect();
+            parts.push((id, in_nbrs, out_nbrs));
+        }
+        DirectedGraph::from_parts(parts)
+    }
+
+    /// The reverse graph: every edge `u -> v` becomes `v -> u`. Cheap —
+    /// in/out adjacency vectors are swapped per node, no re-sorting.
+    pub fn reversed(&self) -> DirectedGraph {
+        let parts = self
+            .node_ids()
+            .map(|id| {
+                (
+                    id,
+                    self.out_nbrs(id).to_vec(), // old out becomes new in
+                    self.in_nbrs(id).to_vec(),  // old in becomes new out
+                )
+            })
+            .collect();
+        DirectedGraph::from_parts(parts)
+    }
+
+    /// Renumbers nodes to dense ids `0..n` (in ascending order of the old
+    /// ids). Returns the new graph and the old→new mapping. Useful before
+    /// exporting to array-indexed tools.
+    pub fn renumbered(&self) -> (DirectedGraph, IntHashTable<NodeId>) {
+        let mut old_ids: Vec<NodeId> = self.node_ids().collect();
+        old_ids.sort_unstable();
+        let mut mapping: IntHashTable<NodeId> = IntHashTable::with_capacity(old_ids.len());
+        for (new, &old) in old_ids.iter().enumerate() {
+            mapping.insert(old, new as NodeId);
+        }
+        let remap = |ids: &[NodeId]| -> Vec<NodeId> {
+            // Old adjacency is sorted by old id, and the mapping is
+            // monotone, so the remapped vector stays sorted.
+            ids.iter().map(|&n| *mapping.get(n).expect("node mapped")).collect()
+        };
+        let parts = old_ids
+            .iter()
+            .map(|&old| {
+                (
+                    *mapping.get(old).expect("node mapped"),
+                    remap(self.in_nbrs(old)),
+                    remap(self.out_nbrs(old)),
+                )
+            })
+            .collect();
+        (DirectedGraph::from_parts(parts), mapping)
+    }
+}
+
+impl UndirectedGraph {
+    /// The subgraph induced by `nodes` (see
+    /// [`DirectedGraph::subgraph`]).
+    pub fn subgraph(&self, nodes: &[NodeId]) -> UndirectedGraph {
+        let mut keep: IntHashTable<()> = IntHashTable::with_capacity(nodes.len());
+        for &n in nodes {
+            if self.has_node(n) {
+                keep.insert(n, ());
+            }
+        }
+        let mut parts = Vec::with_capacity(keep.len());
+        for id in self.node_ids() {
+            if !keep.contains(id) {
+                continue;
+            }
+            let nbrs: Vec<NodeId> = self
+                .nbrs(id)
+                .iter()
+                .copied()
+                .filter(|n| keep.contains(*n))
+                .collect();
+            parts.push((id, nbrs));
+        }
+        UndirectedGraph::from_parts(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DirectedGraph {
+        let mut g = DirectedGraph::new();
+        for (s, d) in [(1, 2), (2, 3), (3, 1), (3, 4), (4, 4)] {
+            g.add_edge(s, d);
+        }
+        g
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = sample();
+        let s = g.subgraph(&[1, 2, 3, 99]);
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.edge_count(), 3, "triangle kept, edges to 4 dropped");
+        assert!(s.has_edge(3, 1));
+        assert!(!s.has_node(4));
+        // Empty and full selections.
+        assert_eq!(g.subgraph(&[]).node_count(), 0);
+        let all: Vec<i64> = g.node_ids().collect();
+        let full = g.subgraph(&all);
+        assert_eq!(full.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn reversed_swaps_edge_direction() {
+        let g = sample();
+        let r = g.reversed();
+        assert_eq!(r.node_count(), g.node_count());
+        assert_eq!(r.edge_count(), g.edge_count());
+        for (s, d) in g.edges() {
+            assert!(r.has_edge(d, s));
+        }
+        assert!(r.has_edge(4, 4), "self-loop survives");
+        // Double reversal is the identity.
+        let rr = r.reversed();
+        for id in g.node_ids() {
+            assert_eq!(rr.out_nbrs(id), g.out_nbrs(id));
+        }
+    }
+
+    #[test]
+    fn renumbered_is_dense_and_isomorphic() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(100, 7);
+        g.add_edge(7, 55);
+        g.add_edge(55, 100);
+        let (r, mapping) = g.renumbered();
+        let mut new_ids: Vec<i64> = r.node_ids().collect();
+        new_ids.sort_unstable();
+        assert_eq!(new_ids, vec![0, 1, 2]);
+        for (s, d) in g.edges() {
+            let (ns, nd) = (*mapping.get(s).unwrap(), *mapping.get(d).unwrap());
+            assert!(r.has_edge(ns, nd));
+        }
+        assert_eq!(r.edge_count(), g.edge_count());
+        // Ascending old ids map to ascending new ids.
+        assert!(mapping.get(7).unwrap() < mapping.get(55).unwrap());
+    }
+
+    #[test]
+    fn undirected_subgraph() {
+        let mut g = UndirectedGraph::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 1), (3, 4)] {
+            g.add_edge(a, b);
+        }
+        let s = g.subgraph(&[1, 2, 3]);
+        assert_eq!(s.edge_count(), 3);
+        assert!(!s.has_node(4));
+        assert_eq!(s.nbrs(3), &[1, 2]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Dynamic undirected graph: node hash table with one sorted neighbor
+//! vector per node.
+
+use crate::NodeId;
+use ringo_concurrent::IntHashTable;
+
+#[derive(Clone, Debug, Default)]
+struct UNodeCell {
+    id: NodeId,
+    nbrs: Vec<NodeId>,
+}
+
+/// A dynamic undirected graph (no multi-edges; self-loops allowed and
+/// stored once).
+///
+/// Mirrors [`crate::DirectedGraph`] with a single sorted adjacency vector
+/// per node. Each undirected edge `{a, b}` appears in both endpoints'
+/// vectors (a self-loop appears once, in its own node's vector).
+#[derive(Clone, Debug, Default)]
+pub struct UndirectedGraph {
+    index: IntHashTable<u32>,
+    nodes: Vec<Option<UNodeCell>>,
+    free: Vec<u32>,
+    n_nodes: usize,
+    n_edges: usize,
+}
+
+impl UndirectedGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph pre-sized for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self {
+            index: IntHashTable::with_capacity(nodes),
+            nodes: Vec::with_capacity(nodes),
+            ..Self::default()
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of undirected edges (each counted once).
+    pub fn edge_count(&self) -> usize {
+        self.n_edges
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n_nodes == 0
+    }
+
+    /// True when `id` is a node of the graph.
+    pub fn has_node(&self, id: NodeId) -> bool {
+        self.index.contains(id)
+    }
+
+    /// True when the undirected edge `{a, b}` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        match self.cell(a) {
+            Some(c) => c.nbrs.binary_search(&b).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Adds node `id`. Returns `false` if it already existed.
+    pub fn add_node(&mut self, id: NodeId) -> bool {
+        if self.index.contains(id) {
+            return false;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s as usize] = Some(UNodeCell {
+                    id,
+                    nbrs: Vec::new(),
+                });
+                s
+            }
+            None => {
+                self.nodes.push(Some(UNodeCell {
+                    id,
+                    nbrs: Vec::new(),
+                }));
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.index.insert(id, slot);
+        self.n_nodes += 1;
+        true
+    }
+
+    /// Adds the undirected edge `{a, b}`, creating missing endpoints.
+    /// Returns `false` if the edge already existed.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.add_node(a);
+        self.add_node(b);
+        {
+            let ca = self.cell_mut(a).expect("endpoint ensured");
+            match ca.nbrs.binary_search(&b) {
+                Ok(_) => return false,
+                Err(pos) => ca.nbrs.insert(pos, b),
+            }
+        }
+        if a != b {
+            let cb = self.cell_mut(b).expect("endpoint ensured");
+            let pos = cb
+                .nbrs
+                .binary_search(&a)
+                .expect_err("adjacency out of sync");
+            cb.nbrs.insert(pos, a);
+        }
+        self.n_edges += 1;
+        true
+    }
+
+    /// Deletes the undirected edge `{a, b}`. Returns `false` if absent.
+    pub fn del_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let removed = match self.cell_mut(a) {
+            Some(ca) => match ca.nbrs.binary_search(&b) {
+                Ok(pos) => {
+                    ca.nbrs.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            None => false,
+        };
+        if !removed {
+            return false;
+        }
+        if a != b {
+            let cb = self.cell_mut(b).expect("edge endpoints exist");
+            let pos = cb.nbrs.binary_search(&a).expect("adjacency in sync");
+            cb.nbrs.remove(pos);
+        }
+        self.n_edges -= 1;
+        true
+    }
+
+    /// Deletes node `id` and all incident edges. Returns `false` if absent.
+    pub fn del_node(&mut self, id: NodeId) -> bool {
+        let slot = match self.index.get(id) {
+            Some(s) => *s,
+            None => return false,
+        };
+        let cell = self.nodes[slot as usize].take().expect("indexed slot occupied");
+        for &nbr in &cell.nbrs {
+            if nbr == id {
+                continue;
+            }
+            let nc = self.cell_mut(nbr).expect("neighbor exists");
+            let pos = nc.nbrs.binary_search(&id).expect("adjacency in sync");
+            nc.nbrs.remove(pos);
+        }
+        self.n_edges -= cell.nbrs.len();
+        self.index.remove(id);
+        self.free.push(slot);
+        self.n_nodes -= 1;
+        true
+    }
+
+    /// Degree of `id` (self-loop counts once), or `None` if absent.
+    pub fn degree(&self, id: NodeId) -> Option<usize> {
+        self.cell(id).map(|c| c.nbrs.len())
+    }
+
+    /// Sorted neighbors of `id` (empty slice if absent).
+    pub fn nbrs(&self, id: NodeId) -> &[NodeId] {
+        self.cell(id).map_or(&[], |c| c.nbrs.as_slice())
+    }
+
+    /// Iterates over node ids in slot order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().flatten().map(|c| c.id)
+    }
+
+    /// Iterates over undirected edges once each, as `(a, b)` with `a <= b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes.iter().flatten().flat_map(|c| {
+            c.nbrs
+                .iter()
+                .filter(move |n| **n >= c.id)
+                .map(move |n| (c.id, *n))
+        })
+    }
+
+    /// Upper bound (exclusive) on slot handles; see [`Self::slot_id`].
+    pub fn n_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// External id in `slot`, or `None` for vacant slots.
+    pub fn slot_id(&self, slot: usize) -> Option<NodeId> {
+        self.nodes[slot].as_ref().map(|c| c.id)
+    }
+
+    /// Slot holding node `id`.
+    pub fn slot_of(&self, id: NodeId) -> Option<usize> {
+        self.index.get(id).map(|s| *s as usize)
+    }
+
+    /// Sorted neighbors of the node in `slot` (empty for vacant slots).
+    pub fn nbrs_of_slot(&self, slot: usize) -> &[NodeId] {
+        self.nodes[slot].as_ref().map_or(&[], |c| c.nbrs.as_slice())
+    }
+
+    /// Approximate heap footprint in bytes (see
+    /// [`crate::DirectedGraph::mem_size`]).
+    pub fn mem_size(&self) -> usize {
+        let mut bytes = self.index.mem_size();
+        bytes += self.nodes.capacity() * std::mem::size_of::<Option<UNodeCell>>();
+        bytes += self.free.capacity() * std::mem::size_of::<u32>();
+        for c in self.nodes.iter().flatten() {
+            bytes += c.nbrs.capacity() * std::mem::size_of::<NodeId>();
+        }
+        bytes
+    }
+
+    /// Builds a graph from `(id, sorted deduplicated neighbors)` parts that
+    /// are mutually consistent. Bulk-loading counterpart of
+    /// [`crate::DirectedGraph::from_parts`].
+    pub fn from_parts(parts: Vec<(NodeId, Vec<NodeId>)>) -> Self {
+        let mut g = Self::with_capacity(parts.len());
+        let mut edge_ends = 0usize;
+        let mut self_loops = 0usize;
+        for (id, nbrs) in parts {
+            debug_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            edge_ends += nbrs.len();
+            self_loops += usize::from(nbrs.binary_search(&id).is_ok());
+            let slot = g.nodes.len() as u32;
+            g.nodes.push(Some(UNodeCell { id, nbrs }));
+            let prev = g.index.insert(id, slot);
+            assert!(prev.is_none(), "duplicate node id {id} in parts");
+        }
+        g.n_nodes = g.nodes.len();
+        g.n_edges = (edge_ends - self_loops) / 2 + self_loops;
+        g
+    }
+
+    #[inline]
+    fn cell(&self, id: NodeId) -> Option<&UNodeCell> {
+        let slot = *self.index.get(id)?;
+        self.nodes[slot as usize].as_ref()
+    }
+
+    #[inline]
+    fn cell_mut(&mut self, id: NodeId) -> Option<&mut UNodeCell> {
+        let slot = *self.index.get(id)?;
+        self.nodes[slot as usize].as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_is_symmetric() {
+        let mut g = UndirectedGraph::new();
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(2, 1), "same undirected edge");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert_eq!(g.nbrs(1), &[2]);
+        assert_eq!(g.nbrs(2), &[1]);
+    }
+
+    #[test]
+    fn self_loop_stored_once() {
+        let mut g = UndirectedGraph::new();
+        assert!(g.add_edge(3, 3));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(3), Some(1));
+        assert!(g.del_edge(3, 3));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn del_edge_both_directions() {
+        let mut g = UndirectedGraph::new();
+        g.add_edge(1, 2);
+        assert!(g.del_edge(2, 1), "delete by reversed endpoints");
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn del_node_updates_neighbors_and_count() {
+        let mut g = UndirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(1, 1);
+        assert!(g.del_node(1));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.nbrs(2), &[3]);
+    }
+
+    #[test]
+    fn edges_iterated_once_each() {
+        let mut g = UndirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 3);
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(1, 2), (2, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn from_parts_counts_edges_with_self_loops() {
+        let parts = vec![(1, vec![1, 2]), (2, vec![1])];
+        let g = UndirectedGraph::from_parts(parts);
+        assert_eq!(g.edge_count(), 2, "loop 1-1 plus edge 1-2");
+        assert!(g.has_edge(1, 1));
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn degree_and_missing_nodes() {
+        let mut g = UndirectedGraph::new();
+        g.add_edge(1, 2);
+        assert_eq!(g.degree(1), Some(1));
+        assert_eq!(g.degree(99), None);
+        assert!(g.nbrs(99).is_empty());
+        assert!(!g.del_edge(5, 6));
+        assert!(!g.del_node(99));
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for table operations.
+
+/// Errors produced by table construction and operators.
+#[derive(Debug)]
+pub enum TableError {
+    /// A referenced column name does not exist in the schema.
+    ColumnNotFound(String),
+    /// An operation expected a column of a different type.
+    TypeMismatch {
+        /// Column whose type did not match.
+        column: String,
+        /// What the operation expected.
+        expected: &'static str,
+        /// What the schema actually holds.
+        actual: &'static str,
+    },
+    /// Schemas of two tables are incompatible for the requested operation.
+    SchemaMismatch(String),
+    /// A value failed to parse during TSV ingestion.
+    Parse {
+        /// 1-based line number in the input file.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Any other invalid argument (bad `k`, negative threshold, ...).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            Self::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch on column {column:?}: expected {expected}, found {actual}"
+            ),
+            Self::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

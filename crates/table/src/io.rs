@@ -1,0 +1,178 @@
+//! TSV input/output — the paper's `LoadTableTSV` front door.
+
+use crate::{ColumnData, ColumnType, Result, Schema, StringPool, Table, TableError};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Loads a tab-separated file into a table under the given schema.
+///
+/// Each line must have exactly one field per schema column. A first line
+/// starting with `#` is treated as a header comment and skipped (SNAP
+/// dataset convention); empty lines are skipped.
+pub fn load_tsv(path: &Path, schema: &Schema) -> Result<Table> {
+    load_dsv(path, schema, '\t')
+}
+
+/// Loads a delimiter-separated file (e.g. `,` for CSV) into a table under
+/// the given schema. Same conventions as [`load_tsv`]; no quoting — fields
+/// may not contain the delimiter.
+pub fn load_dsv(path: &Path, schema: &Schema, delimiter: char) -> Result<Table> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut cols: Vec<ColumnData> = schema.iter().map(|(_, ty)| ColumnData::new(ty)).collect();
+    let mut pool = StringPool::new();
+    let types: Vec<ColumnType> = schema.iter().map(|(_, ty)| ty).collect();
+
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(delimiter);
+        for (i, ty) in types.iter().enumerate() {
+            let field = fields.next().ok_or_else(|| TableError::Parse {
+                line: lineno,
+                message: format!("expected {} fields, found {}", types.len(), i),
+            })?;
+            match (ty, &mut cols[i]) {
+                (ColumnType::Int, ColumnData::Int(v)) => {
+                    v.push(field.parse().map_err(|e| TableError::Parse {
+                        line: lineno,
+                        message: format!("bad int {field:?}: {e}"),
+                    })?);
+                }
+                (ColumnType::Float, ColumnData::Float(v)) => {
+                    v.push(field.parse().map_err(|e| TableError::Parse {
+                        line: lineno,
+                        message: format!("bad float {field:?}: {e}"),
+                    })?);
+                }
+                (ColumnType::Str, ColumnData::Str(v)) => {
+                    v.push(pool.intern(field));
+                }
+                _ => unreachable!("schema/type alignment"),
+            }
+        }
+        if fields.next().is_some() {
+            return Err(TableError::Parse {
+                line: lineno,
+                message: format!("more fields than the {} schema columns", types.len()),
+            });
+        }
+    }
+    Table::from_parts(schema.clone(), cols, pool)
+}
+
+/// Writes the table as tab-separated values with a `#`-prefixed header of
+/// column names.
+pub fn save_tsv(table: &Table, path: &Path) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let names: Vec<&str> = table.schema().iter().map(|(n, _)| n).collect();
+    writeln!(w, "# {}", names.join("\t"))?;
+    for row in 0..table.n_rows() {
+        for (i, _) in table.schema().iter().enumerate() {
+            if i > 0 {
+                w.write_all(b"\t")?;
+            }
+            match table.column(i) {
+                ColumnData::Int(v) => write!(w, "{}", v[row])?,
+                ColumnData::Float(v) => write!(w, "{}", v[row])?,
+                ColumnData::Str(v) => w.write_all(table.str_value(v[row]).as_bytes())?,
+            }
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ringo_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let schema = Schema::new([
+            ("id", ColumnType::Int),
+            ("w", ColumnType::Float),
+            ("tag", ColumnType::Str),
+        ]);
+        let mut t = Table::new(schema.clone());
+        t.push_row(&[Value::Int(1), Value::Float(0.5), "java".into()]).unwrap();
+        t.push_row(&[Value::Int(-2), Value::Float(1.25), "".into()]).unwrap();
+        let path = tmpfile("roundtrip.tsv");
+        save_tsv(&t, &path).unwrap();
+        let back = load_tsv(&path, &schema).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.int_col("id").unwrap(), &[1, -2]);
+        assert_eq!(back.float_col("w").unwrap(), &[0.5, 1.25]);
+        assert_eq!(back.get(0, "tag").unwrap(), Value::Str("java".into()));
+        assert_eq!(back.get(1, "tag").unwrap(), Value::Str("".into()));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let path = tmpfile("comments.tsv");
+        std::fs::write(&path, "# src\tdst\n1\t2\n\n3\t4\n").unwrap();
+        let schema = Schema::new([("src", ColumnType::Int), ("dst", ColumnType::Int)]);
+        let t = load_tsv(&path, &schema).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.int_col("dst").unwrap(), &[2, 4]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_delimiter_variant() {
+        let path = tmpfile("csv.csv");
+        std::fs::write(&path, "1,2.5,java\n2,0.5,rust\n").unwrap();
+        let schema = Schema::new([
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Float),
+            ("c", ColumnType::Str),
+        ]);
+        let t = super::load_dsv(&path, &schema, ',').unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.float_col("b").unwrap(), &[2.5, 0.5]);
+        assert_eq!(t.get(1, "c").unwrap(), Value::Str("rust".into()));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let path = tmpfile("bad.tsv");
+        std::fs::write(&path, "1\t2\nx\t4\n").unwrap();
+        let schema = Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]);
+        match load_tsv(&path, &schema) {
+            Err(TableError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn field_count_mismatches_rejected() {
+        let path = tmpfile("fields.tsv");
+        std::fs::write(&path, "1\n").unwrap();
+        let schema = Schema::new([("a", ColumnType::Int), ("b", ColumnType::Int)]);
+        assert!(load_tsv(&path, &schema).is_err());
+        std::fs::write(&path, "1\t2\t3\n").unwrap();
+        assert!(load_tsv(&path, &schema).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

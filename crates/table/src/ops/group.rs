@@ -1,0 +1,309 @@
+//! Group & aggregate, and distinct rows.
+//!
+//! Grouping hashes row keys over the grouping columns; Ringo's persistent
+//! row ids make "in-place grouping" (paper §2.3) possible by tagging each
+//! row with its group id instead of materializing per-group tables.
+
+use crate::ops::rowkey::RowKey;
+use crate::{ColumnData, ColumnType, Result, Schema, Table, TableError};
+use std::collections::HashMap;
+
+/// Aggregation functions for [`Table::group_by`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggOp {
+    /// Number of rows in the group (no aggregate column required).
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Minimum of a numeric column.
+    Min,
+    /// Maximum of a numeric column.
+    Max,
+    /// Arithmetic mean of a numeric column (always a float result).
+    Mean,
+    /// Population variance of a numeric column (float result).
+    Var,
+    /// Population standard deviation of a numeric column (float result).
+    Std,
+}
+
+impl Table {
+    /// Assigns each row a dense group id (`0..n_groups`) over the given
+    /// grouping columns, in first-appearance order. This is the "in-place
+    /// grouping" primitive: callers may attach the ids as a column via
+    /// [`Table::add_int_column`] without copying the table.
+    pub fn group_ids(&self, cols: &[&str]) -> Result<(Vec<i64>, usize)> {
+        let idx = self.col_indices(cols)?;
+        let mut groups: HashMap<RowKey, i64> = HashMap::new();
+        let mut ids = Vec::with_capacity(self.n_rows());
+        for row in 0..self.n_rows() {
+            let key = self.row_key(row, &idx);
+            let next = groups.len() as i64;
+            let id = *groups.entry(key).or_insert(next);
+            ids.push(id);
+        }
+        Ok((ids, groups.len()))
+    }
+
+    /// Groups by `group_cols` and aggregates `agg_col` with `op`, producing
+    /// one row per group: the grouping columns followed by a result column
+    /// named `out_name`. For [`AggOp::Count`], `agg_col` may be `None`.
+    pub fn group_by(
+        &self,
+        group_cols: &[&str],
+        agg_col: Option<&str>,
+        op: AggOp,
+        out_name: &str,
+    ) -> Result<Table> {
+        let gidx = self.col_indices(group_cols)?;
+        let (ids, n_groups) = self.group_ids(group_cols)?;
+
+        // First-row representative per group, for the key columns.
+        let mut rep = vec![usize::MAX; n_groups];
+        for (row, &g) in ids.iter().enumerate() {
+            if rep[g as usize] == usize::MAX {
+                rep[g as usize] = row;
+            }
+        }
+
+        enum Src<'a> {
+            None,
+            Int(&'a [i64]),
+            Float(&'a [f64]),
+        }
+        let src = match (agg_col, op) {
+            (None, AggOp::Count) => Src::None,
+            (None, _) => {
+                return Err(TableError::InvalidArgument(
+                    "aggregate column required for non-count aggregates".into(),
+                ))
+            }
+            (Some(name), _) => {
+                let i = self.schema.index_of(name)?;
+                match &self.cols[i] {
+                    ColumnData::Int(v) => Src::Int(v),
+                    ColumnData::Float(v) => Src::Float(v),
+                    ColumnData::Str(_) => {
+                        return Err(TableError::TypeMismatch {
+                            column: name.to_string(),
+                            expected: "int or float",
+                            actual: "str",
+                        })
+                    }
+                }
+            }
+        };
+
+        let mut counts = vec![0i64; n_groups];
+        for &g in &ids {
+            counts[g as usize] += 1;
+        }
+
+        // Aggregate as f64 throughout; emit Int only for count and for
+        // int-column sum/min/max (exact for |values| < 2^53 per group).
+        let mut acc = vec![0f64; n_groups];
+        let mut acc_sq = vec![0f64; n_groups]; // for Var/Std
+        let mut have = vec![false; n_groups];
+        let fold = |acc: &mut f64, acc_sq: &mut f64, have: &mut bool, x: f64| match op {
+            AggOp::Count => {}
+            AggOp::Sum | AggOp::Mean => *acc += x,
+            AggOp::Var | AggOp::Std => {
+                *acc += x;
+                *acc_sq += x * x;
+            }
+            AggOp::Min => {
+                if !*have || x < *acc {
+                    *acc = x;
+                }
+                *have = true;
+            }
+            AggOp::Max => {
+                if !*have || x > *acc {
+                    *acc = x;
+                }
+                *have = true;
+            }
+        };
+        match &src {
+            Src::None => {}
+            Src::Int(v) => {
+                for (row, &g) in ids.iter().enumerate() {
+                    let g = g as usize;
+                    fold(&mut acc[g], &mut acc_sq[g], &mut have[g], v[row] as f64);
+                }
+            }
+            Src::Float(v) => {
+                for (row, &g) in ids.iter().enumerate() {
+                    let g = g as usize;
+                    fold(&mut acc[g], &mut acc_sq[g], &mut have[g], v[row]);
+                }
+            }
+        }
+
+        let mut schema = Schema::default();
+        let mut cols: Vec<ColumnData> = Vec::new();
+        for &i in &gidx {
+            schema.push_unique(self.schema.name(i), self.schema.column_type(i));
+            cols.push(self.cols[i].gather(&rep));
+        }
+        let float_result = !matches!(op, AggOp::Count)
+            && (matches!(op, AggOp::Mean | AggOp::Var | AggOp::Std)
+                || matches!(src, Src::Float(_)));
+        if !float_result {
+            let data: Vec<i64> = (0..n_groups)
+                .map(|g| match op {
+                    AggOp::Count => counts[g],
+                    _ => acc[g] as i64,
+                })
+                .collect();
+            schema.push_unique(out_name, ColumnType::Int);
+            cols.push(ColumnData::Int(data));
+        } else {
+            let data: Vec<f64> = (0..n_groups)
+                .map(|g| {
+                    let n = counts[g] as f64;
+                    match op {
+                        AggOp::Mean => acc[g] / n,
+                        AggOp::Var | AggOp::Std => {
+                            let mean = acc[g] / n;
+                            let var = (acc_sq[g] / n - mean * mean).max(0.0);
+                            if op == AggOp::Std {
+                                var.sqrt()
+                            } else {
+                                var
+                            }
+                        }
+                        _ => acc[g],
+                    }
+                })
+                .collect();
+            schema.push_unique(out_name, ColumnType::Float);
+            cols.push(ColumnData::Float(data));
+        }
+
+        let mut out = Table::from_parts(schema, cols, self.pool.clone())?;
+        out.threads = self.threads;
+        Ok(out)
+    }
+
+    /// Returns a table keeping the first row of each distinct combination
+    /// of the given columns (row ids preserved).
+    pub fn unique(&self, cols: &[&str]) -> Result<Table> {
+        let idx = self.col_indices(cols)?;
+        let mut seen: HashMap<RowKey, ()> = HashMap::new();
+        let mut keep = Vec::new();
+        for row in 0..self.n_rows() {
+            let key = self.row_key(row, &idx);
+            if seen.insert(key, ()).is_none() {
+                keep.push(row);
+            }
+        }
+        Ok(self.gather_rows(&keep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn sales() -> Table {
+        let schema = Schema::new([
+            ("region", ColumnType::Str),
+            ("amount", ColumnType::Int),
+            ("rate", ColumnType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for (r, a, f) in [
+            ("east", 10i64, 1.0),
+            ("west", 20, 2.0),
+            ("east", 30, 3.0),
+            ("west", 5, 0.5),
+            ("east", 2, 4.0),
+        ] {
+            t.push_row(&[r.into(), Value::Int(a), Value::Float(f)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn group_ids_dense_first_appearance() {
+        let t = sales();
+        let (ids, n) = t.group_ids(&["region"]).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(ids, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn count_per_group() {
+        let t = sales();
+        let g = t.group_by(&["region"], None, AggOp::Count, "n").unwrap();
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.get(0, "region").unwrap(), Value::Str("east".into()));
+        assert_eq!(g.int_col("n").unwrap(), &[3, 2]);
+    }
+
+    #[test]
+    fn sum_min_max_int_stay_int() {
+        let t = sales();
+        let s = t.group_by(&["region"], Some("amount"), AggOp::Sum, "s").unwrap();
+        assert_eq!(s.int_col("s").unwrap(), &[42, 25]);
+        let m = t.group_by(&["region"], Some("amount"), AggOp::Min, "m").unwrap();
+        assert_eq!(m.int_col("m").unwrap(), &[2, 5]);
+        let x = t.group_by(&["region"], Some("amount"), AggOp::Max, "x").unwrap();
+        assert_eq!(x.int_col("x").unwrap(), &[30, 20]);
+    }
+
+    #[test]
+    fn mean_is_float() {
+        let t = sales();
+        let g = t.group_by(&["region"], Some("amount"), AggOp::Mean, "avg").unwrap();
+        assert_eq!(g.float_col("avg").unwrap(), &[14.0, 12.5]);
+    }
+
+    #[test]
+    fn float_aggregates() {
+        let t = sales();
+        let g = t.group_by(&["region"], Some("rate"), AggOp::Max, "mx").unwrap();
+        assert_eq!(g.float_col("mx").unwrap(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let t = sales();
+        // east amounts: 10, 30, 2 — mean 14, var ((16+256+144)/3)... compute:
+        // deviations -4, 16, -12 → squares 16, 256, 144 → var 416/3.
+        let v = t.group_by(&["region"], Some("amount"), AggOp::Var, "v").unwrap();
+        let vals = v.float_col("v").unwrap();
+        assert!((vals[0] - 416.0 / 3.0).abs() < 1e-9);
+        // west amounts: 20, 5 — mean 12.5, var 56.25.
+        assert!((vals[1] - 56.25).abs() < 1e-9);
+        let s = t.group_by(&["region"], Some("amount"), AggOp::Std, "s").unwrap();
+        assert!((s.float_col("s").unwrap()[1] - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_column_grouping() {
+        let t = sales();
+        let (_, n) = t.group_ids(&["region", "amount"]).unwrap();
+        assert_eq!(n, 5, "all rows distinct over both columns");
+    }
+
+    #[test]
+    fn errors_on_bad_arguments() {
+        let t = sales();
+        assert!(t.group_by(&["region"], None, AggOp::Sum, "s").is_err());
+        assert!(t.group_by(&["region"], Some("region"), AggOp::Sum, "s").is_err());
+        assert!(t.group_by(&["nope"], None, AggOp::Count, "n").is_err());
+    }
+
+    #[test]
+    fn unique_keeps_first_occurrence() {
+        let t = sales();
+        let u = t.unique(&["region"]).unwrap();
+        assert_eq!(u.n_rows(), 2);
+        assert_eq!(u.row_ids(), &[0, 1]);
+        let all = t.unique(&["region", "amount", "rate"]).unwrap();
+        assert_eq!(all.n_rows(), 5);
+    }
+}

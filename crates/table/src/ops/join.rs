@@ -1,0 +1,311 @@
+//! Equi hash join.
+//!
+//! The paper's Table 4 benchmarks join throughput; Ringo's "join operation
+//! always produces a new table object". We build an open-addressing hash
+//! index on the build side's key column (the smaller table) and probe with
+//! the larger side in parallel, each worker emitting a private match list —
+//! the contention-free pattern used throughout Ringo's engine.
+
+use crate::{ColumnData, Result, Table, TableError};
+use ringo_concurrent::{parallel_map, IntHashTable};
+use std::collections::HashMap;
+
+/// Key column view supporting both join key types.
+enum KeyCol<'a> {
+    Int(&'a [i64]),
+    /// Resolved strings (symbol → text via the owning table's pool).
+    Str(&'a Table, &'a [u32]),
+}
+
+impl Table {
+    /// Joins `self` with `other` on `self.left_col == other.right_col`,
+    /// producing a new table whose columns are all of `self`'s followed by
+    /// all of `other`'s (name clashes suffixed `-1`, `-2`, ... as in the
+    /// paper's §4.1 demo). Key columns must both be `Int` or both `Str`.
+    pub fn join(&self, other: &Table, left_col: &str, right_col: &str) -> Result<Table> {
+        let li = self.schema.index_of(left_col)?;
+        let ri = other.schema.index_of(right_col)?;
+        let lt = self.cols[li].column_type();
+        let rt = other.cols[ri].column_type();
+        if lt != rt {
+            return Err(TableError::TypeMismatch {
+                column: right_col.to_string(),
+                expected: lt.name(),
+                actual: rt.name(),
+            });
+        }
+
+        // Probe with the larger side.
+        let (build, bi, probe, pi, left_is_build) = if self.n_rows() <= other.n_rows() {
+            (self, li, other, ri, true)
+        } else {
+            (other, ri, self, li, false)
+        };
+
+        let pairs: Vec<(u32, u32)> = match &build.cols[bi] {
+            ColumnData::Int(bkeys) => {
+                let mut index: IntHashTable<Vec<u32>> = IntHashTable::with_capacity(bkeys.len());
+                for (row, &k) in bkeys.iter().enumerate() {
+                    index.get_or_insert_with(k, Vec::new).push(row as u32);
+                }
+                probe_pairs(
+                    KeyCol::Int(probe.cols[pi].as_int()),
+                    probe.threads,
+                    |k, emit| {
+                        let v = match k {
+                            ProbeKey::Int(v) => v,
+                            ProbeKey::Str(_) => unreachable!(),
+                        };
+                        if let Some(rows) = index.get(v) {
+                            for &b in rows {
+                                emit(b);
+                            }
+                        }
+                    },
+                )
+            }
+            ColumnData::Str(bsyms) => {
+                let mut index: HashMap<&str, Vec<u32>> = HashMap::with_capacity(bsyms.len());
+                for (row, &sym) in bsyms.iter().enumerate() {
+                    index.entry(build.pool.get(sym)).or_default().push(row as u32);
+                }
+                probe_pairs(
+                    KeyCol::Str(probe, probe.cols[pi].as_str_syms()),
+                    probe.threads,
+                    |k, emit| {
+                        let s = match k {
+                            ProbeKey::Str(s) => s,
+                            ProbeKey::Int(_) => unreachable!(),
+                        };
+                        if let Some(rows) = index.get(s) {
+                            for &b in rows {
+                                emit(b);
+                            }
+                        }
+                    },
+                )
+            }
+            ColumnData::Float(_) => {
+                return Err(TableError::InvalidArgument(
+                    "join keys must be int or str columns (use sim_join for floats)".into(),
+                ))
+            }
+        };
+
+        // Orient pairs as (left_row, right_row).
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = if left_is_build {
+            pairs.iter().map(|&(p, b)| (b as usize, p as usize)).unzip()
+        } else {
+            pairs.iter().map(|&(p, b)| (p as usize, b as usize)).unzip()
+        };
+
+        materialize_join(self, other, &left_rows, &right_rows)
+    }
+}
+
+enum ProbeKey<'a> {
+    Int(i64),
+    Str(&'a str),
+}
+
+/// Probes each row of the probe side, collecting `(probe_row, build_row)`
+/// pairs. Workers emit into private vectors, concatenated afterwards.
+fn probe_pairs<F>(probe: KeyCol<'_>, threads: usize, lookup: F) -> Vec<(u32, u32)>
+where
+    F: Fn(ProbeKey<'_>, &mut dyn FnMut(u32)) + Sync,
+{
+    let n = match &probe {
+        KeyCol::Int(v) => v.len(),
+        KeyCol::Str(_, v) => v.len(),
+    };
+    let probe = &probe;
+    let lookup = &lookup;
+    let parts = parallel_map(n, threads, |range| {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for row in range {
+            let mut emit = |b: u32| out.push((row as u32, b));
+            match probe {
+                KeyCol::Int(v) => lookup(ProbeKey::Int(v[row]), &mut emit),
+                KeyCol::Str(t, v) => lookup(ProbeKey::Str(t.pool.get(v[row])), &mut emit),
+            }
+        }
+        out
+    });
+    let total = parts.iter().map(Vec::len).sum();
+    let mut pairs = Vec::with_capacity(total);
+    for p in parts {
+        pairs.extend(p);
+    }
+    pairs
+}
+
+/// Builds the output table of a join given matched row positions.
+pub(crate) fn materialize_join(
+    left: &Table,
+    right: &Table,
+    left_rows: &[usize],
+    right_rows: &[usize],
+) -> Result<Table> {
+    debug_assert_eq!(left_rows.len(), right_rows.len());
+    let mut schema = crate::Schema::default();
+    let mut cols: Vec<ColumnData> = Vec::with_capacity(left.n_cols() + right.n_cols());
+    let mut pool = left.pool.clone();
+
+    for (i, (name, ty)) in left.schema.iter().enumerate() {
+        schema.push_unique(name, ty);
+        cols.push(left.cols[i].gather(left_rows));
+    }
+    for (i, (name, ty)) in right.schema.iter().enumerate() {
+        schema.push_unique(name, ty);
+        let gathered = right.cols[i].gather(right_rows);
+        // Right-side string symbols must be re-interned into the output
+        // pool, which was seeded from the left table.
+        let remapped = match gathered {
+            ColumnData::Str(syms) => ColumnData::Str(
+                syms.iter()
+                    .map(|&s| pool.intern(right.pool.get(s)))
+                    .collect(),
+            ),
+            other => other,
+        };
+        cols.push(remapped);
+    }
+
+    let mut out = Table::from_parts(schema, cols, pool)?;
+    out.threads = left.threads;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, ColumnType, Predicate, Schema, Value};
+
+    fn questions() -> Table {
+        let schema = Schema::new([
+            ("PostId", ColumnType::Int),
+            ("UserId", ColumnType::Int),
+            ("AcceptedAnswer", ColumnType::Int),
+        ]);
+        let mut t = Table::new(schema);
+        for (p, u, a) in [(1i64, 100i64, 11i64), (2, 101, 12), (3, 102, -1)] {
+            t.push_row(&[p.into(), u.into(), a.into()]).unwrap();
+        }
+        t
+    }
+
+    fn answers() -> Table {
+        let schema = Schema::new([("PostId", ColumnType::Int), ("UserId", ColumnType::Int)]);
+        let mut t = Table::new(schema);
+        for (p, u) in [(11i64, 200i64), (12, 201), (13, 202)] {
+            t.push_row(&[p.into(), u.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn int_join_matches_and_suffixes_columns() {
+        let q = questions();
+        let a = answers();
+        let j = q.join(&a, "AcceptedAnswer", "PostId").unwrap();
+        assert_eq!(j.n_rows(), 2);
+        // Clashing names from the right side get suffixes.
+        assert!(j.schema().contains("PostId"));
+        assert!(j.schema().contains("PostId-1"));
+        assert!(j.schema().contains("UserId"));
+        assert!(j.schema().contains("UserId-1"));
+        let askers = j.int_col("UserId").unwrap();
+        let answerers = j.int_col("UserId-1").unwrap();
+        let mut pairs: Vec<(i64, i64)> = askers
+            .iter()
+            .zip(answerers)
+            .map(|(a, b)| (*a, *b))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(100, 200), (101, 201)]);
+    }
+
+    #[test]
+    fn join_handles_duplicate_keys_cross_product() {
+        let mut l = Table::from_int_column("k", vec![1, 1, 2]);
+        let r = Table::from_int_column("k", vec![1, 1, 3]);
+        l.set_threads(2);
+        let j = l.join(&r, "k", "k").unwrap();
+        assert_eq!(j.n_rows(), 4, "2 left ones x 2 right ones");
+        assert!(j.schema().contains("k") && j.schema().contains("k-1"));
+    }
+
+    #[test]
+    fn join_is_symmetric_in_row_count() {
+        let big = Table::from_int_column("k", (0..1000).collect());
+        let small = Table::from_int_column("k", vec![5, 500, 999, 1000]);
+        let a = big.join(&small, "k", "k").unwrap();
+        let b = small.join(&big, "k", "k").unwrap();
+        assert_eq!(a.n_rows(), 3);
+        assert_eq!(b.n_rows(), 3);
+    }
+
+    #[test]
+    fn string_join_across_pools() {
+        let schema = Schema::new([("tag", ColumnType::Str)]);
+        let mut l = Table::new(schema.clone());
+        let mut r = Table::new(schema);
+        for s in ["java", "rust", "go"] {
+            l.push_row(&[s.into()]).unwrap();
+        }
+        // Different interning order in the right pool.
+        for s in ["go", "java", "python"] {
+            r.push_row(&[s.into()]).unwrap();
+        }
+        let j = l.join(&r, "tag", "tag").unwrap();
+        assert_eq!(j.n_rows(), 2);
+        let syms = j.str_sym_col("tag").unwrap();
+        let mut tags: Vec<&str> = syms.iter().map(|&s| j.str_value(s)).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec!["go", "java"]);
+        // Right-side string column re-interned correctly.
+        let syms1 = j.str_sym_col("tag-1").unwrap();
+        let mut tags1: Vec<&str> = syms1.iter().map(|&s| j.str_value(s)).collect();
+        tags1.sort_unstable();
+        assert_eq!(tags1, vec!["go", "java"]);
+    }
+
+    #[test]
+    fn join_type_mismatch_rejected() {
+        let l = Table::from_int_column("k", vec![1]);
+        let schema = Schema::new([("k", ColumnType::Str)]);
+        let mut r = Table::new(schema);
+        r.push_row(&["1".into()]).unwrap();
+        assert!(l.join(&r, "k", "k").is_err());
+    }
+
+    #[test]
+    fn float_join_key_rejected() {
+        let schema = Schema::new([("f", ColumnType::Float)]);
+        let mut l = Table::new(schema.clone());
+        l.push_row(&[Value::Float(1.0)]).unwrap();
+        let mut r = Table::new(schema);
+        r.push_row(&[Value::Float(1.0)]).unwrap();
+        assert!(l.join(&r, "f", "f").is_err());
+    }
+
+    #[test]
+    fn empty_join_result() {
+        let l = Table::from_int_column("k", vec![1, 2]);
+        let r = Table::from_int_column("k", vec![3, 4]);
+        let j = l.join(&r, "k", "k").unwrap();
+        assert_eq!(j.n_rows(), 0);
+        assert_eq!(j.n_cols(), 2);
+    }
+
+    #[test]
+    fn join_then_select_pipeline() {
+        // The paper's demo pattern: join, then filter the joined table.
+        let q = questions();
+        let a = answers();
+        let j = q.join(&a, "AcceptedAnswer", "PostId").unwrap();
+        let experts = j.select(&Predicate::int("UserId-1", Cmp::Gt, 200)).unwrap();
+        assert_eq!(experts.n_rows(), 1);
+        assert_eq!(experts.get(0, "UserId-1").unwrap(), Value::Int(201));
+    }
+}

@@ -1,0 +1,27 @@
+//! Relational and graph-construction operators on [`crate::Table`].
+//!
+//! Each submodule implements one operator family as inherent methods on
+//! `Table`:
+//!
+//! * [`select`] — predicate filtering, in-place and copying (paper Table 4),
+//! * [`join`] — equi hash join (paper Table 4),
+//! * [`project`] — projection, column addition, row concatenation,
+//! * [`group`] — group & aggregate, distinct,
+//! * [`order`] — multi-column sorting,
+//! * [`setops`] — union / intersect / minus over row values,
+//! * [`simjoin`] — Ringo's distance-threshold join (paper §2.3),
+//! * [`nextk`] — Ringo's predecessor–successor temporal join (paper §2.3).
+
+pub mod compute;
+pub mod counts;
+pub mod describe;
+pub mod group;
+pub mod join;
+pub mod join_variants;
+pub mod nextk;
+pub mod order;
+pub mod project;
+pub mod rowkey;
+pub mod select;
+pub mod setops;
+pub mod simjoin;

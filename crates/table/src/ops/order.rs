@@ -1,0 +1,118 @@
+//! Multi-column ordering (sort).
+
+use crate::{ColumnData, Result, Table};
+use std::cmp::Ordering;
+
+impl Table {
+    /// Sorts the table in place by the given columns (ties broken by the
+    /// next column). Floats use IEEE total order, so NaNs sort after all
+    /// numbers. Row ids travel with their rows. The sort is stable.
+    pub fn order_by(&mut self, cols: &[&str], ascending: bool) -> Result<()> {
+        let idx = self.col_indices(cols)?;
+        let mut perm: Vec<usize> = (0..self.n_rows()).collect();
+        let cmp = |&a: &usize, &b: &usize| -> Ordering {
+            for &c in &idx {
+                let ord = match &self.cols[c] {
+                    ColumnData::Int(v) => v[a].cmp(&v[b]),
+                    ColumnData::Float(v) => v[a].total_cmp(&v[b]),
+                    ColumnData::Str(v) => self.pool.get(v[a]).cmp(self.pool.get(v[b])),
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        };
+        if ascending {
+            perm.sort_by(cmp);
+        } else {
+            perm.sort_by(|a, b| cmp(b, a));
+        }
+        self.retain_rows(&perm);
+        Ok(())
+    }
+
+    /// Returns a sorted copy; see [`Table::order_by`].
+    pub fn ordered_by(&self, cols: &[&str], ascending: bool) -> Result<Table> {
+        let mut out = self.clone();
+        out.order_by(cols, ascending)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ColumnType, Schema, Table, Value};
+
+    fn t() -> Table {
+        let schema = Schema::new([
+            ("g", ColumnType::Str),
+            ("x", ColumnType::Int),
+            ("f", ColumnType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        for (g, x, f) in [
+            ("b", 2i64, 0.5),
+            ("a", 3, f64::NAN),
+            ("b", 1, 2.5),
+            ("a", 3, 1.5),
+        ] {
+            t.push_row(&[g.into(), Value::Int(x), Value::Float(f)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn single_int_column_ascending_and_descending() {
+        let mut a = t();
+        a.order_by(&["x"], true).unwrap();
+        assert_eq!(a.int_col("x").unwrap(), &[1, 2, 3, 3]);
+        let mut d = t();
+        d.order_by(&["x"], false).unwrap();
+        assert_eq!(d.int_col("x").unwrap(), &[3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn multi_column_with_string_primary() {
+        let mut s = t();
+        s.order_by(&["g", "x"], true).unwrap();
+        let g: Vec<String> = (0..4)
+            .map(|r| match s.get(r, "g").unwrap() {
+                Value::Str(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(g, vec!["a", "a", "b", "b"]);
+        assert_eq!(s.int_col("x").unwrap(), &[3, 3, 1, 2]);
+    }
+
+    #[test]
+    fn nan_sorts_last_ascending() {
+        let mut s = t();
+        s.order_by(&["f"], true).unwrap();
+        let f = s.float_col("f").unwrap();
+        assert!(f[3].is_nan());
+        assert_eq!(&f[..3], &[0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn row_ids_travel_with_rows() {
+        let mut s = t();
+        s.order_by(&["x"], true).unwrap();
+        assert_eq!(s.row_ids(), &[2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn stable_for_equal_keys() {
+        let mut s = t();
+        s.order_by(&["g"], true).unwrap();
+        // Rows 1 and 3 are both "a" — original order preserved.
+        assert_eq!(s.row_ids(), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let mut s = t();
+        assert!(s.order_by(&["nope"], true).is_err());
+    }
+}

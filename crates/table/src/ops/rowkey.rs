@@ -1,0 +1,67 @@
+//! Hashable row keys for distinct / grouping / set operations.
+
+use crate::{ColumnData, Result, Table};
+
+/// One cell of a row key. Floats are keyed by their bit pattern (so `-0.0`
+/// and `0.0` are distinct keys and `NaN` equals itself — adequate for
+/// dedup semantics); strings are resolved to owned text so keys compare
+/// correctly across tables with different pools.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum KeyAtom {
+    /// Integer cell.
+    I(i64),
+    /// Float cell (bit pattern).
+    F(u64),
+    /// String cell (resolved).
+    S(Box<str>),
+}
+
+/// A hashable tuple of row cells over a fixed column set.
+pub type RowKey = Vec<KeyAtom>;
+
+impl Table {
+    /// Resolves column names to indices.
+    pub(crate) fn col_indices(&self, names: &[&str]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.schema.index_of(n)).collect()
+    }
+
+    /// Builds the hashable key of `row` over `cols` (column indices).
+    pub(crate) fn row_key(&self, row: usize, cols: &[usize]) -> RowKey {
+        cols.iter()
+            .map(|&c| match &self.cols[c] {
+                ColumnData::Int(v) => KeyAtom::I(v[row]),
+                ColumnData::Float(v) => KeyAtom::F(v[row].to_bits()),
+                ColumnData::Str(v) => KeyAtom::S(self.pool.get(v[row]).into()),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnType, Schema, Value};
+
+    #[test]
+    fn keys_equal_across_pools() {
+        let schema = Schema::new([("s", ColumnType::Str), ("x", ColumnType::Int)]);
+        let mut a = Table::new(schema.clone());
+        let mut b = Table::new(schema);
+        // Interleave inserts so symbols differ between pools.
+        b.push_row(&["zzz".into(), Value::Int(0)]).unwrap();
+        a.push_row(&["k".into(), Value::Int(1)]).unwrap();
+        b.push_row(&["k".into(), Value::Int(1)]).unwrap();
+        let ka = a.row_key(0, &[0, 1]);
+        let kb = b.row_key(1, &[0, 1]);
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn float_bits_distinguish_zero_signs() {
+        let schema = Schema::new([("f", ColumnType::Float)]);
+        let mut t = Table::new(schema);
+        t.push_row(&[Value::Float(0.0)]).unwrap();
+        t.push_row(&[Value::Float(-0.0)]).unwrap();
+        assert_ne!(t.row_key(0, &[0]), t.row_key(1, &[0]));
+    }
+}

@@ -1,0 +1,415 @@
+//! Selection: filter rows by a predicate, in place or into a new table.
+//!
+//! The paper's Table 4 benchmarks exactly this operator: "rows are chosen
+//! based on a comparison with a constant value", with the in-place variant
+//! modifying the current table. Predicate evaluation is embarrassingly
+//! parallel; we evaluate per-chunk match lists with the fork-join runtime
+//! and concatenate (threads share nothing, mirroring Ringo's
+//! contention-free OpenMP loops).
+
+use crate::{ColumnData, Result, Table, TableError};
+use ringo_concurrent::parallel_map;
+
+/// Comparison operator for predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl Cmp {
+    #[inline]
+    fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            Self::Lt => a < b,
+            Self::Le => a <= b,
+            Self::Eq => a == b,
+            Self::Ne => a != b,
+            Self::Ge => a >= b,
+            Self::Gt => a > b,
+        }
+    }
+}
+
+/// A boolean predicate over one row, built from column-vs-constant
+/// comparisons composed with and/or/not.
+#[derive(Clone, Debug)]
+pub enum Predicate {
+    /// Compare an integer column against a constant.
+    Int {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        cmp: Cmp,
+        /// Constant operand.
+        value: i64,
+    },
+    /// Compare a float column against a constant.
+    Float {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        cmp: Cmp,
+        /// Constant operand.
+        value: f64,
+    },
+    /// Compare a string column against a constant (only `Eq`/`Ne` are
+    /// meaningful orders for interned strings; other operators compare the
+    /// resolved string lexicographically).
+    Str {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        cmp: Cmp,
+        /// Constant operand.
+        value: String,
+    },
+    /// Membership of an integer column in a value set (semi-join-style
+    /// filtering without materializing a join).
+    IntIn {
+        /// Column name.
+        column: String,
+        /// Accepted values.
+        values: Vec<i64>,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Matches every row.
+    True,
+}
+
+impl Predicate {
+    /// `column <cmp> value` over an integer column.
+    pub fn int(column: &str, cmp: Cmp, value: i64) -> Self {
+        Self::Int {
+            column: column.into(),
+            cmp,
+            value,
+        }
+    }
+
+    /// `column <cmp> value` over a float column.
+    pub fn float(column: &str, cmp: Cmp, value: f64) -> Self {
+        Self::Float {
+            column: column.into(),
+            cmp,
+            value,
+        }
+    }
+
+    /// `low <= column <= high` over an integer column.
+    pub fn int_between(column: &str, low: i64, high: i64) -> Self {
+        Self::int(column, Cmp::Ge, low).and(Self::int(column, Cmp::Le, high))
+    }
+
+    /// `column IN values` over an integer column.
+    pub fn int_in(column: &str, values: Vec<i64>) -> Self {
+        Self::IntIn {
+            column: column.into(),
+            values,
+        }
+    }
+
+    /// `column == value` over a string column.
+    pub fn str_eq(column: &str, value: &str) -> Self {
+        Self::Str {
+            column: column.into(),
+            cmp: Cmp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Self {
+        Self::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Self {
+        Self::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Self::Not(Box::new(self))
+    }
+}
+
+/// Predicate with column indices resolved and string constants mapped to
+/// pool symbols, cheap to evaluate per row.
+enum Compiled {
+    Int(usize, Cmp, i64),
+    Float(usize, Cmp, f64),
+    IntIn(usize, std::collections::HashSet<i64>),
+    /// Fast path: string equality against an interned symbol
+    /// (`None` = the constant is not in the pool, so `Eq` never matches).
+    StrEqSym(usize, Option<u32>, bool),
+    /// Slow path: lexicographic comparison of the resolved string.
+    StrOrd(usize, Cmp, String),
+    And(Box<Compiled>, Box<Compiled>),
+    Or(Box<Compiled>, Box<Compiled>),
+    Not(Box<Compiled>),
+    True,
+}
+
+impl Compiled {
+    #[inline]
+    fn eval(&self, t: &Table, row: usize) -> bool {
+        match self {
+            Self::Int(c, cmp, v) => cmp.eval(t.cols[*c].as_int()[row], *v),
+            Self::Float(c, cmp, v) => cmp.eval(t.cols[*c].as_float()[row], *v),
+            Self::IntIn(c, set) => set.contains(&t.cols[*c].as_int()[row]),
+            Self::StrEqSym(c, sym, negate) => {
+                let hit = match sym {
+                    Some(s) => t.cols[*c].as_str_syms()[row] == *s,
+                    None => false,
+                };
+                hit != *negate
+            }
+            Self::StrOrd(c, cmp, v) => {
+                let s = t.pool.get(t.cols[*c].as_str_syms()[row]);
+                cmp.eval(s, v.as_str())
+            }
+            Self::And(a, b) => a.eval(t, row) && b.eval(t, row),
+            Self::Or(a, b) => a.eval(t, row) || b.eval(t, row),
+            Self::Not(p) => !p.eval(t, row),
+            Self::True => true,
+        }
+    }
+}
+
+fn compile(pred: &Predicate, t: &Table) -> Result<Compiled> {
+    Ok(match pred {
+        Predicate::Int { column, cmp, value } => {
+            let i = t.schema.index_of(column)?;
+            if !matches!(t.cols[i], ColumnData::Int(_)) {
+                return Err(type_err(t, i, "int"));
+            }
+            Compiled::Int(i, *cmp, *value)
+        }
+        Predicate::Float { column, cmp, value } => {
+            let i = t.schema.index_of(column)?;
+            if !matches!(t.cols[i], ColumnData::Float(_)) {
+                return Err(type_err(t, i, "float"));
+            }
+            Compiled::Float(i, *cmp, *value)
+        }
+        Predicate::Str { column, cmp, value } => {
+            let i = t.schema.index_of(column)?;
+            if !matches!(t.cols[i], ColumnData::Str(_)) {
+                return Err(type_err(t, i, "str"));
+            }
+            match cmp {
+                Cmp::Eq => Compiled::StrEqSym(i, t.pool.lookup(value), false),
+                Cmp::Ne => Compiled::StrEqSym(i, t.pool.lookup(value), true),
+                other => Compiled::StrOrd(i, *other, value.clone()),
+            }
+        }
+        Predicate::IntIn { column, values } => {
+            let i = t.schema.index_of(column)?;
+            if !matches!(t.cols[i], ColumnData::Int(_)) {
+                return Err(type_err(t, i, "int"));
+            }
+            Compiled::IntIn(i, values.iter().copied().collect())
+        }
+        Predicate::And(a, b) => Compiled::And(Box::new(compile(a, t)?), Box::new(compile(b, t)?)),
+        Predicate::Or(a, b) => Compiled::Or(Box::new(compile(a, t)?), Box::new(compile(b, t)?)),
+        Predicate::Not(p) => Compiled::Not(Box::new(compile(p, t)?)),
+        Predicate::True => Compiled::True,
+    })
+}
+
+fn type_err(t: &Table, col: usize, expected: &'static str) -> TableError {
+    TableError::TypeMismatch {
+        column: t.schema.name(col).to_string(),
+        expected,
+        actual: t.cols[col].column_type().name(),
+    }
+}
+
+impl Table {
+    /// Positions of all rows matching `pred`, computed in parallel.
+    pub fn select_rows(&self, pred: &Predicate) -> Result<Vec<usize>> {
+        let compiled = compile(pred, self)?;
+        let compiled = &compiled;
+        let parts = parallel_map(self.n_rows(), self.threads, |range| {
+            let mut hits = Vec::new();
+            for row in range {
+                if compiled.eval(self, row) {
+                    hits.push(row);
+                }
+            }
+            hits
+        });
+        let total = parts.iter().map(Vec::len).sum();
+        let mut keep = Vec::with_capacity(total);
+        for p in parts {
+            keep.extend(p);
+        }
+        Ok(keep)
+    }
+
+    /// Returns a new table containing the rows matching `pred`; row ids are
+    /// preserved.
+    pub fn select(&self, pred: &Predicate) -> Result<Table> {
+        Ok(self.gather_rows(&self.select_rows(pred)?))
+    }
+
+    /// Filters this table in place (the paper's "Select, in place"),
+    /// keeping rows matching `pred`. Returns the number of surviving rows.
+    pub fn select_in_place(&mut self, pred: &Predicate) -> Result<usize> {
+        let keep = self.select_rows(pred)?;
+        self.retain_rows(&keep);
+        Ok(self.n_rows())
+    }
+
+    /// Counts matching rows without materializing them.
+    pub fn count_where(&self, pred: &Predicate) -> Result<usize> {
+        Ok(self.select_rows(pred)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnType, Schema, Value};
+
+    fn posts() -> Table {
+        let schema = Schema::new([
+            ("Tag", ColumnType::Str),
+            ("Type", ColumnType::Str),
+            ("Score", ColumnType::Int),
+            ("Weight", ColumnType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        let rows: [(&str, &str, i64, f64); 5] = [
+            ("java", "question", 10, 0.5),
+            ("java", "answer", 3, 1.5),
+            ("rust", "question", 7, 2.5),
+            ("java", "answer", -2, 3.5),
+            ("rust", "answer", 10, 4.5),
+        ];
+        for (tag, ty, score, w) in rows {
+            t.push_row(&[tag.into(), ty.into(), Value::Int(score), Value::Float(w)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn int_comparisons() {
+        let t = posts();
+        assert_eq!(t.count_where(&Predicate::int("Score", Cmp::Gt, 5)).unwrap(), 3);
+        assert_eq!(t.count_where(&Predicate::int("Score", Cmp::Eq, 10)).unwrap(), 2);
+        assert_eq!(t.count_where(&Predicate::int("Score", Cmp::Lt, 0)).unwrap(), 1);
+        assert_eq!(t.count_where(&Predicate::int("Score", Cmp::Ne, 10)).unwrap(), 3);
+    }
+
+    #[test]
+    fn string_equality_uses_pool_fast_path() {
+        let t = posts();
+        let java = t.select(&Predicate::str_eq("Tag", "java")).unwrap();
+        assert_eq!(java.n_rows(), 3);
+        // Constant not in pool: matches nothing, Ne matches everything.
+        assert_eq!(t.count_where(&Predicate::str_eq("Tag", "go")).unwrap(), 0);
+        let ne = Predicate::Str {
+            column: "Tag".into(),
+            cmp: Cmp::Ne,
+            value: "go".into(),
+        };
+        assert_eq!(t.count_where(&ne).unwrap(), 5);
+    }
+
+    #[test]
+    fn string_ordering_comparisons() {
+        let t = posts();
+        let p = Predicate::Str {
+            column: "Tag".into(),
+            cmp: Cmp::Gt,
+            value: "java".into(),
+        };
+        assert_eq!(t.count_where(&p).unwrap(), 2, "rust > java");
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let t = posts();
+        let p = Predicate::str_eq("Tag", "java").and(Predicate::str_eq("Type", "answer"));
+        assert_eq!(t.count_where(&p).unwrap(), 2);
+        let p = Predicate::str_eq("Tag", "rust").or(Predicate::int("Score", Cmp::Lt, 0));
+        assert_eq!(t.count_where(&p).unwrap(), 3);
+        let p = Predicate::str_eq("Tag", "rust").not();
+        assert_eq!(t.count_where(&p).unwrap(), 3);
+        assert_eq!(t.count_where(&Predicate::True).unwrap(), 5);
+    }
+
+    #[test]
+    fn float_predicate() {
+        let t = posts();
+        assert_eq!(
+            t.count_where(&Predicate::float("Weight", Cmp::Ge, 2.5)).unwrap(),
+            3
+        );
+    }
+
+    #[test]
+    fn int_in_and_between_helpers() {
+        let t = posts();
+        assert_eq!(
+            t.count_where(&Predicate::int_in("Score", vec![10, -2])).unwrap(),
+            3
+        );
+        assert_eq!(
+            t.count_where(&Predicate::int_in("Score", vec![])).unwrap(),
+            0
+        );
+        assert_eq!(
+            t.count_where(&Predicate::int_between("Score", 3, 10)).unwrap(),
+            4
+        );
+        assert!(t.count_where(&Predicate::int_in("Tag", vec![1])).is_err());
+    }
+
+    #[test]
+    fn select_preserves_row_ids_and_in_place_matches_copy() {
+        let t = posts();
+        let pred = Predicate::int("Score", Cmp::Ge, 7);
+        let copied = t.select(&pred).unwrap();
+        assert_eq!(copied.row_ids(), &[0, 2, 4]);
+
+        let mut inplace = t.clone();
+        let kept = inplace.select_in_place(&pred).unwrap();
+        assert_eq!(kept, 3);
+        assert_eq!(inplace.row_ids(), copied.row_ids());
+        assert_eq!(inplace.int_col("Score").unwrap(), copied.int_col("Score").unwrap());
+    }
+
+    #[test]
+    fn type_and_name_errors() {
+        let t = posts();
+        assert!(t.select(&Predicate::int("Tag", Cmp::Eq, 1)).is_err());
+        assert!(t.select(&Predicate::int("Nope", Cmp::Eq, 1)).is_err());
+        assert!(t.select(&Predicate::float("Score", Cmp::Eq, 1.0)).is_err());
+    }
+
+    #[test]
+    fn select_on_empty_table() {
+        let t = Table::new(Schema::new([("x", ColumnType::Int)]));
+        assert_eq!(t.count_where(&Predicate::True).unwrap(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Set operations over whole-row values: union, intersection, minus.
+//!
+//! Two rows are equal when all their cells compare equal (strings by text,
+//! so pools may differ between operands). All operations require identical
+//! schemas and return new tables.
+
+use crate::ops::rowkey::RowKey;
+use crate::{Result, Table, TableError};
+use std::collections::{HashMap, HashSet};
+
+impl Table {
+    fn check_same_schema(&self, other: &Table, op: &str) -> Result<Vec<usize>> {
+        if self.schema != other.schema {
+            return Err(TableError::SchemaMismatch(format!(
+                "{op} requires identical schemas"
+            )));
+        }
+        Ok((0..self.n_cols()).collect())
+    }
+
+    /// Set union: all distinct rows occurring in either table. Rows from
+    /// `self` keep their ids; rows contributed by `other` get fresh ids.
+    pub fn union(&self, other: &Table) -> Result<Table> {
+        let cols = self.check_same_schema(other, "union")?;
+        let mut seen: HashSet<RowKey> = HashSet::with_capacity(self.n_rows());
+        let mut keep_self = Vec::new();
+        for row in 0..self.n_rows() {
+            if seen.insert(self.row_key(row, &cols)) {
+                keep_self.push(row);
+            }
+        }
+        let mut out = self.gather_rows(&keep_self);
+        let mut keep_other = Vec::new();
+        for row in 0..other.n_rows() {
+            if seen.insert(other.row_key(row, &cols)) {
+                keep_other.push(row);
+            }
+        }
+        out.append_rows(&other.gather_rows(&keep_other))?;
+        Ok(out)
+    }
+
+    /// Bag union: simple concatenation preserving duplicates.
+    pub fn union_all(&self, other: &Table) -> Result<Table> {
+        self.check_same_schema(other, "union_all")?;
+        let mut out = self.clone();
+        out.append_rows(other)?;
+        Ok(out)
+    }
+
+    /// Set intersection: distinct rows of `self` that also occur in
+    /// `other` (ids from `self`).
+    pub fn intersect(&self, other: &Table) -> Result<Table> {
+        let cols = self.check_same_schema(other, "intersect")?;
+        let mut in_other: HashSet<RowKey> = HashSet::with_capacity(other.n_rows());
+        for row in 0..other.n_rows() {
+            in_other.insert(other.row_key(row, &cols));
+        }
+        let mut emitted: HashSet<RowKey> = HashSet::new();
+        let mut keep = Vec::new();
+        for row in 0..self.n_rows() {
+            let key = self.row_key(row, &cols);
+            if in_other.contains(&key) && emitted.insert(key) {
+                keep.push(row);
+            }
+        }
+        Ok(self.gather_rows(&keep))
+    }
+
+    /// Set difference: distinct rows of `self` that do not occur in
+    /// `other` (ids from `self`).
+    pub fn minus(&self, other: &Table) -> Result<Table> {
+        let cols = self.check_same_schema(other, "minus")?;
+        let mut in_other: HashSet<RowKey> = HashSet::with_capacity(other.n_rows());
+        for row in 0..other.n_rows() {
+            in_other.insert(other.row_key(row, &cols));
+        }
+        let mut emitted: HashMap<RowKey, ()> = HashMap::new();
+        let mut keep = Vec::new();
+        for row in 0..self.n_rows() {
+            let key = self.row_key(row, &cols);
+            if !in_other.contains(&key) && emitted.insert(key, ()).is_none() {
+                keep.push(row);
+            }
+        }
+        Ok(self.gather_rows(&keep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ColumnType, Schema, Table, Value};
+
+    fn make(rows: &[(i64, &str)]) -> Table {
+        let schema = Schema::new([("x", ColumnType::Int), ("s", ColumnType::Str)]);
+        let mut t = Table::new(schema);
+        for (x, s) in rows {
+            t.push_row(&[Value::Int(*x), (*s).into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn union_dedups_across_and_within() {
+        let a = make(&[(1, "a"), (2, "b"), (1, "a")]);
+        let b = make(&[(2, "b"), (3, "c")]);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.n_rows(), 3);
+        let mut xs = u.int_col("x").unwrap().to_vec();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_all_keeps_duplicates() {
+        let a = make(&[(1, "a")]);
+        let b = make(&[(1, "a"), (2, "b")]);
+        let u = a.union_all(&b).unwrap();
+        assert_eq!(u.n_rows(), 3);
+    }
+
+    #[test]
+    fn intersect_requires_text_equality_across_pools() {
+        let a = make(&[(1, "a"), (2, "b"), (3, "c")]);
+        // Build b with different interning order.
+        let b = make(&[(9, "zzz"), (3, "c"), (1, "a")]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.n_rows(), 2);
+        assert_eq!(i.row_ids(), &[0, 2], "self ids preserved");
+    }
+
+    #[test]
+    fn minus_removes_matches_and_dedups() {
+        let a = make(&[(1, "a"), (2, "b"), (2, "b"), (3, "c")]);
+        let b = make(&[(2, "b")]);
+        let m = a.minus(&b).unwrap();
+        let mut xs = m.int_col("x").unwrap().to_vec();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![1, 3]);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let a = make(&[(1, "a")]);
+        let b = Table::from_int_column("x", vec![1]);
+        assert!(a.union(&b).is_err());
+        assert!(a.intersect(&b).is_err());
+        assert!(a.minus(&b).is_err());
+        assert!(a.union_all(&b).is_err());
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = make(&[(1, "a")]);
+        let e = make(&[]);
+        assert_eq!(a.union(&e).unwrap().n_rows(), 1);
+        assert_eq!(e.union(&a).unwrap().n_rows(), 1);
+        assert_eq!(a.intersect(&e).unwrap().n_rows(), 0);
+        assert_eq!(a.minus(&e).unwrap().n_rows(), 1);
+    }
+}

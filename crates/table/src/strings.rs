@@ -1,0 +1,119 @@
+//! String interning pool shared by a table's string columns.
+
+use std::collections::HashMap;
+
+/// Interns strings to dense `u32` symbols.
+///
+/// String columns store symbols; the pool owns each distinct string once.
+/// Symbol 0 is always the empty string, so freshly grown columns are valid.
+#[derive(Clone, Debug)]
+pub struct StringPool {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Default for StringPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StringPool {
+    /// Creates a pool containing only the empty string (symbol 0).
+    pub fn new() -> Self {
+        let mut pool = Self {
+            strings: Vec::new(),
+            index: HashMap::new(),
+        };
+        pool.intern("");
+        pool
+    }
+
+    /// Returns the symbol for `s`, interning it if new.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = u32::try_from(self.strings.len()).expect("string pool overflow");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it is already interned.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves a symbol to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this pool.
+    pub fn get(&self, sym: u32) -> &str {
+        &self.strings[sym as usize]
+    }
+
+    /// Number of distinct interned strings (including the empty string).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when only the empty string is interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.len() <= 1
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn mem_size(&self) -> usize {
+        let payload: usize = self.strings.iter().map(|s| s.len()).sum();
+        // Each string stored twice (vec + index key) plus map/entry overhead.
+        2 * payload
+            + self.strings.capacity() * std::mem::size_of::<Box<str>>()
+            + self.index.capacity()
+                * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<u32>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut p = StringPool::new();
+        let a = p.intern("hello");
+        let b = p.intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(p.get(a), "hello");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn empty_string_is_symbol_zero() {
+        let mut p = StringPool::new();
+        assert_eq!(p.intern(""), 0);
+        assert_eq!(p.get(0), "");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let p = StringPool::new();
+        assert_eq!(p.lookup("x"), None);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut p = StringPool::new();
+        let syms: Vec<u32> = (0..100).map(|i| p.intern(&format!("s{i}"))).collect();
+        let mut dedup = syms.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100);
+        for (i, sym) in syms.iter().enumerate() {
+            assert_eq!(p.get(*sym), format!("s{i}"));
+        }
+    }
+}

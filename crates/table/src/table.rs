@@ -1,0 +1,436 @@
+//! The core [`Table`] object.
+
+use crate::{ColumnData, ColumnType, Result, Schema, StringPool, TableError};
+
+/// A single cell value, used at the row-at-a-time API boundary. Bulk
+/// operators work directly on columns and never materialize `Value`s.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Integer cell.
+    Int(i64),
+    /// Float cell.
+    Float(f64),
+    /// String cell.
+    Str(String),
+}
+
+impl Value {
+    /// The value's column type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Self::Int(_) => ColumnType::Int,
+            Self::Float(_) => ColumnType::Float,
+            Self::Str(_) => ColumnType::Str,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+/// A column-store relational table with persistent row identifiers.
+///
+/// See the crate docs for the design rationale. Rows are addressed by
+/// *position* (`0..n_rows()`); every row additionally carries a stable
+/// *row id* that survives selection, ordering and grouping, so results can
+/// be traced back to original records after "a complex set of operations"
+/// (paper §2.3).
+///
+/// ```
+/// use ringo_table::{Cmp, ColumnType, Predicate, Schema, Table, Value};
+///
+/// let schema = Schema::new([("user", ColumnType::Int), ("lang", ColumnType::Str)]);
+/// let mut t = Table::new(schema);
+/// t.push_row(&[Value::Int(1), "java".into()]).unwrap();
+/// t.push_row(&[Value::Int(2), "rust".into()]).unwrap();
+/// t.push_row(&[Value::Int(3), "java".into()]).unwrap();
+///
+/// let java = t.select(&Predicate::str_eq("lang", "java")).unwrap();
+/// assert_eq!(java.n_rows(), 2);
+/// assert_eq!(java.row_ids(), &[0, 2]); // ids trace back to the source
+///
+/// let heavy = t.select(&Predicate::int("user", Cmp::Ge, 2)).unwrap();
+/// let both = java.intersect(&heavy).unwrap();
+/// assert_eq!(both.int_col("user").unwrap(), &[3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    pub(crate) schema: Schema,
+    pub(crate) cols: Vec<ColumnData>,
+    pub(crate) row_ids: Vec<u64>,
+    pub(crate) next_row_id: u64,
+    pub(crate) pool: StringPool,
+    pub(crate) threads: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let cols = schema
+            .iter()
+            .map(|(_, ty)| ColumnData::new(ty))
+            .collect();
+        Self {
+            schema,
+            cols,
+            row_ids: Vec::new(),
+            next_row_id: 0,
+            pool: StringPool::new(),
+            threads: ringo_concurrent::num_threads(),
+        }
+    }
+
+    /// Builds a table directly from raw column data (fresh row ids are
+    /// assigned). String columns must hold symbols valid in `pool`.
+    pub fn from_parts(schema: Schema, cols: Vec<ColumnData>, pool: StringPool) -> Result<Self> {
+        if schema.len() != cols.len() {
+            return Err(TableError::SchemaMismatch(format!(
+                "{} columns declared, {} provided",
+                schema.len(),
+                cols.len()
+            )));
+        }
+        let n_rows = cols.first().map_or(0, ColumnData::len);
+        for (i, col) in cols.iter().enumerate() {
+            if col.column_type() != schema.column_type(i) {
+                return Err(TableError::TypeMismatch {
+                    column: schema.name(i).to_string(),
+                    expected: schema.column_type(i).name(),
+                    actual: col.column_type().name(),
+                });
+            }
+            if col.len() != n_rows {
+                return Err(TableError::SchemaMismatch(format!(
+                    "column {:?} has {} rows, expected {}",
+                    schema.name(i),
+                    col.len(),
+                    n_rows
+                )));
+            }
+        }
+        Ok(Self {
+            schema,
+            cols,
+            row_ids: (0..n_rows as u64).collect(),
+            next_row_id: n_rows as u64,
+            pool,
+            threads: ringo_concurrent::num_threads(),
+        })
+    }
+
+    /// Convenience constructor: a single-column integer table, as used by
+    /// the paper's join benchmark ("the input table is joined with a
+    /// second, single column table").
+    pub fn from_int_column(name: &str, data: Vec<i64>) -> Self {
+        let schema = Schema::new([(name, ColumnType::Int)]);
+        Self::from_parts(schema, vec![ColumnData::Int(data)], StringPool::new())
+            .expect("single int column is always consistent")
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_ids.is_empty()
+    }
+
+    /// Worker threads used by parallel operators on this table.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the worker-thread count used by parallel operators (tables
+    /// produced by operators inherit it).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Persistent id of the row at position `row`.
+    pub fn row_id(&self, row: usize) -> u64 {
+        self.row_ids[row]
+    }
+
+    /// All row ids in positional order.
+    pub fn row_ids(&self) -> &[u64] {
+        &self.row_ids
+    }
+
+    /// Appends a row of values matching the schema; returns its row id.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<u64> {
+        if values.len() != self.schema.len() {
+            return Err(TableError::SchemaMismatch(format!(
+                "row has {} values, schema has {} columns",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        for (i, v) in values.iter().enumerate() {
+            if v.column_type() != self.schema.column_type(i) {
+                return Err(TableError::TypeMismatch {
+                    column: self.schema.name(i).to_string(),
+                    expected: self.schema.column_type(i).name(),
+                    actual: v.column_type().name(),
+                });
+            }
+        }
+        for (col, v) in self.cols.iter_mut().zip(values) {
+            match (col, v) {
+                (ColumnData::Int(c), Value::Int(x)) => c.push(*x),
+                (ColumnData::Float(c), Value::Float(x)) => c.push(*x),
+                (ColumnData::Str(c), Value::Str(s)) => c.push(self.pool.intern(s)),
+                _ => unreachable!("types validated above"),
+            }
+        }
+        let id = self.next_row_id;
+        self.row_ids.push(id);
+        self.next_row_id += 1;
+        Ok(id)
+    }
+
+    /// Reads the cell at (`row`, column `name`).
+    pub fn get(&self, row: usize, name: &str) -> Result<Value> {
+        let c = self.schema.index_of(name)?;
+        Ok(match &self.cols[c] {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Str(v) => Value::Str(self.pool.get(v[row]).to_string()),
+        })
+    }
+
+    /// Borrows an integer column by name.
+    pub fn int_col(&self, name: &str) -> Result<&[i64]> {
+        let i = self.schema.index_of(name)?;
+        match &self.cols[i] {
+            ColumnData::Int(v) => Ok(v),
+            other => Err(TableError::TypeMismatch {
+                column: name.to_string(),
+                expected: "int",
+                actual: other.column_type().name(),
+            }),
+        }
+    }
+
+    /// Borrows a float column by name.
+    pub fn float_col(&self, name: &str) -> Result<&[f64]> {
+        let i = self.schema.index_of(name)?;
+        match &self.cols[i] {
+            ColumnData::Float(v) => Ok(v),
+            other => Err(TableError::TypeMismatch {
+                column: name.to_string(),
+                expected: "float",
+                actual: other.column_type().name(),
+            }),
+        }
+    }
+
+    /// Borrows a string column as pool symbols (resolve with
+    /// [`Table::str_value`]).
+    pub fn str_sym_col(&self, name: &str) -> Result<&[u32]> {
+        let i = self.schema.index_of(name)?;
+        match &self.cols[i] {
+            ColumnData::Str(v) => Ok(v),
+            other => Err(TableError::TypeMismatch {
+                column: name.to_string(),
+                expected: "str",
+                actual: other.column_type().name(),
+            }),
+        }
+    }
+
+    /// Resolves a string symbol from this table's pool.
+    pub fn str_value(&self, sym: u32) -> &str {
+        self.pool.get(sym)
+    }
+
+    /// The table's string pool.
+    pub fn pool(&self) -> &StringPool {
+        &self.pool
+    }
+
+    /// Interns `s` into this table's pool (for building columns in bulk).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        self.pool.intern(s)
+    }
+
+    /// Physical column data by index (bulk access for converters).
+    pub fn column(&self, i: usize) -> &ColumnData {
+        &self.cols[i]
+    }
+
+    /// Renames a column.
+    pub fn rename_column(&mut self, old: &str, new: &str) -> Result<()> {
+        self.schema.rename(old, new)
+    }
+
+    /// Approximate heap footprint in bytes: all column vectors, row ids,
+    /// and the string pool. This is the paper's Table 2 "In-memory Table
+    /// Size".
+    pub fn mem_size(&self) -> usize {
+        let cols: usize = self.cols.iter().map(ColumnData::mem_size).sum();
+        cols + self.row_ids.capacity() * 8 + self.pool.mem_size()
+    }
+
+    /// An empty table with the same schema, pool, and thread setting —
+    /// symbols remain valid across the copy, which operator
+    /// implementations rely on.
+    pub(crate) fn empty_like(&self) -> Self {
+        Self {
+            schema: self.schema.clone(),
+            cols: self
+                .schema
+                .iter()
+                .map(|(_, ty)| ColumnData::new(ty))
+                .collect(),
+            row_ids: Vec::new(),
+            next_row_id: 0,
+            pool: self.pool.clone(),
+            threads: self.threads,
+        }
+    }
+
+    /// Keeps only the row positions in `keep` (any order), rebuilding all
+    /// columns; row ids are carried over. Shared kernel of selection,
+    /// ordering and set operations.
+    pub(crate) fn gather_rows(&self, keep: &[usize]) -> Self {
+        let mut out = self.empty_like();
+        out.cols = self.cols.iter().map(|c| c.gather(keep)).collect();
+        out.row_ids = keep.iter().map(|&i| self.row_ids[i]).collect();
+        out.next_row_id = self.next_row_id;
+        out
+    }
+
+    /// In-place variant of [`Table::gather_rows`].
+    pub(crate) fn retain_rows(&mut self, keep: &[usize]) {
+        self.cols = self.cols.iter().map(|c| c.gather(keep)).collect();
+        self.row_ids = keep.iter().map(|&i| self.row_ids[i]).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let schema = Schema::new([
+            ("name", ColumnType::Str),
+            ("age", ColumnType::Int),
+            ("score", ColumnType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        t.push_row(&["ada".into(), 36i64.into(), 9.5.into()]).unwrap();
+        t.push_row(&["bob".into(), 25i64.into(), 7.25.into()]).unwrap();
+        t.push_row(&["cyd".into(), 31i64.into(), 8.0.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let t = people();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.get(0, "name").unwrap(), Value::Str("ada".into()));
+        assert_eq!(t.get(1, "age").unwrap(), Value::Int(25));
+        assert_eq!(t.get(2, "score").unwrap(), Value::Float(8.0));
+    }
+
+    #[test]
+    fn row_ids_are_stable_and_sequential() {
+        let t = people();
+        assert_eq!(t.row_ids(), &[0, 1, 2]);
+        let filtered = t.gather_rows(&[2, 0]);
+        assert_eq!(filtered.row_ids(), &[2, 0], "ids survive reordering");
+    }
+
+    #[test]
+    fn push_row_validates_arity_and_types() {
+        let mut t = people();
+        assert!(t.push_row(&[Value::Int(1)]).is_err());
+        assert!(t
+            .push_row(&[Value::Int(1), Value::Int(2), Value::Float(3.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn typed_column_accessors() {
+        let t = people();
+        assert_eq!(t.int_col("age").unwrap(), &[36, 25, 31]);
+        assert_eq!(t.float_col("score").unwrap(), &[9.5, 7.25, 8.0]);
+        assert!(t.int_col("score").is_err());
+        assert!(t.int_col("missing").is_err());
+        let syms = t.str_sym_col("name").unwrap();
+        assert_eq!(t.str_value(syms[1]), "bob");
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let schema = Schema::new([("a", ColumnType::Int), ("b", ColumnType::Float)]);
+        let ok = Table::from_parts(
+            schema.clone(),
+            vec![ColumnData::Int(vec![1, 2]), ColumnData::Float(vec![0.5, 1.5])],
+            StringPool::new(),
+        );
+        assert_eq!(ok.unwrap().n_rows(), 2);
+
+        let wrong_len = Table::from_parts(
+            schema.clone(),
+            vec![ColumnData::Int(vec![1]), ColumnData::Float(vec![0.5, 1.5])],
+            StringPool::new(),
+        );
+        assert!(wrong_len.is_err());
+
+        let wrong_type = Table::from_parts(
+            schema,
+            vec![ColumnData::Int(vec![1]), ColumnData::Int(vec![2])],
+            StringPool::new(),
+        );
+        assert!(wrong_type.is_err());
+    }
+
+    #[test]
+    fn from_int_column_shortcut() {
+        let t = Table::from_int_column("k", vec![5, 6, 7]);
+        assert_eq!(t.int_col("k").unwrap(), &[5, 6, 7]);
+        assert_eq!(t.n_rows(), 3);
+    }
+
+    #[test]
+    fn mem_size_positive_and_grows() {
+        let t = people();
+        let base = t.mem_size();
+        let mut bigger = t.clone();
+        for _ in 0..100 {
+            bigger
+                .push_row(&["x".into(), 1i64.into(), 0.0.into()])
+                .unwrap();
+        }
+        assert!(bigger.mem_size() > base);
+    }
+}

@@ -1,0 +1,111 @@
+//! Interactive-style exploration of a large synthetic social graph —
+//! the "trial-and-error data exploration and rapid experimentation"
+//! workflow the paper motivates.
+//!
+//! Run with `cargo run --release --example graph_explorer -- [scale]`
+//! where `scale` multiplies the default ~100k-edge graph (e.g. `10` for
+//! ~1M edges).
+
+use ringo::algo::{
+    approx_diameter, clustering_coefficient, count_triangles, degree_histogram,
+    effective_diameter, label_propagation,
+};
+use ringo::{Direction, Ringo};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1.0);
+    let ringo = Ringo::new();
+
+    let t0 = Instant::now();
+    let edges = ringo.generate_lj_like(0.1 * scale, 2015);
+    println!("edge table: {} rows, generated in {:.2?}", edges.n_rows(), t0.elapsed());
+    println!("edge table size in memory: {} bytes", edges.mem_size());
+
+    let t0 = Instant::now();
+    let g = ringo.to_graph(&edges, "src", "dst")?;
+    println!(
+        "\ndirected graph: {} nodes, {} edges (ToGraph in {:.2?}, {} bytes)",
+        g.node_count(),
+        g.edge_count(),
+        t0.elapsed(),
+        g.mem_size()
+    );
+
+    // Degree structure.
+    let hist = degree_histogram(&g, Direction::Out);
+    let max_deg = hist.last().map(|(d, _)| *d).unwrap_or(0);
+    let zero = hist.first().filter(|(d, _)| *d == 0).map(|(_, c)| *c).unwrap_or(0);
+    println!("out-degree: max {max_deg}, {zero} sinks, {} distinct degrees", hist.len());
+
+    // Connectivity.
+    let t0 = Instant::now();
+    let wcc = ringo.wcc(&g);
+    println!(
+        "weak components: {} (largest {} = {:.1}% of nodes) in {:.2?}",
+        wcc.n_components(),
+        wcc.largest(),
+        100.0 * wcc.largest() as f64 / g.node_count() as f64,
+        t0.elapsed()
+    );
+    let t0 = Instant::now();
+    let scc = ringo.scc(&g);
+    println!(
+        "strong components: {} (largest {}) in {:.2?}",
+        scc.n_components(),
+        scc.largest(),
+        t0.elapsed()
+    );
+
+    // Distances.
+    let t0 = Instant::now();
+    let diam = approx_diameter(&g, 4, Direction::Both);
+    let eff = effective_diameter(&g, 8, 0.9, Direction::Both);
+    println!("diameter >= {diam}, 90% effective diameter ~ {eff:.1} (in {:.2?})", t0.elapsed());
+
+    // Triangles & clustering on the undirected view.
+    let t0 = Instant::now();
+    let u = ringo.to_undirected_graph(&edges, "src", "dst")?;
+    let tri = count_triangles(&u, ringo.threads());
+    println!(
+        "\nundirected view: {} edges; {} triangles in {:.2?}",
+        u.edge_count(),
+        tri,
+        t0.elapsed()
+    );
+    let t0 = Instant::now();
+    let cc = clustering_coefficient(&u, ringo.threads());
+    println!("average clustering coefficient {cc:.4} in {:.2?}", t0.elapsed());
+
+    // Dense cores & communities.
+    let t0 = Instant::now();
+    let core3 = ringo.k_core(&u, 3);
+    println!(
+        "3-core: {} nodes, {} edges in {:.2?}",
+        core3.node_count(),
+        core3.edge_count(),
+        t0.elapsed()
+    );
+    let t0 = Instant::now();
+    let comms = label_propagation(&u, 10, 42);
+    println!(
+        "label propagation: {} communities (largest {}) in {:.2?}",
+        comms.n_components(),
+        comms.largest(),
+        t0.elapsed()
+    );
+
+    // Ranking.
+    let t0 = Instant::now();
+    let mut pr = ringo.pagerank(&g);
+    pr.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nPageRank top 5 (10 iterations in {:.2?}):", t0.elapsed());
+    for (id, score) in pr.iter().take(5) {
+        println!("  node {id}: {score:.6} (in-degree {})", g.in_degree(*id).unwrap());
+    }
+    Ok(())
+}

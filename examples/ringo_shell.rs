@@ -1,0 +1,396 @@
+//! An interactive Ringo shell — the reproduction's stand-in for the
+//! paper's Python front-end. Type commands at the prompt to load or
+//! generate tables, run relational operators, convert to graphs, and
+//! apply analytics, exactly in the spirit of the §4.1 demo session.
+//!
+//! Run with `cargo run --release --example ringo_shell`, then e.g.:
+//!
+//! ```text
+//! ringo> gen so posts
+//! ringo> select java posts Tag = java
+//! ringo> select q java Type = question
+//! ringo> select a java Type = answer
+//! ringo> join qa q a AcceptedAnswerId PostId
+//! ringo> tograph g qa UserId UserId-1
+//! ringo> pagerank g 5
+//! ringo> quit
+//! ```
+//!
+//! A sample TSV ships in `data/`:
+//!
+//! ```text
+//! ringo> load f data/example_follows.tsv follower:int,followee:int,weight:float
+//! ringo> tograph g f follower followee
+//! ringo> pagerank g
+//! ```
+//!
+//! Commands also stream from stdin, so the shell is scriptable:
+//! `echo "gen lj t 0.01\ntograph g t src dst\nwcc g" | cargo run --example ringo_shell`.
+
+use ringo::algo::{count_triangles, Direction};
+use ringo::gen::StackOverflowConfig;
+use ringo::{Cmp, ColumnType, DirectedGraph, Predicate, Ringo, Schema, Table};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+struct Shell {
+    ringo: Ringo,
+    tables: HashMap<String, Table>,
+    graphs: HashMap<String, DirectedGraph>,
+}
+
+const HELP: &str = "\
+commands:
+  gen so <name> [questions answers users]   synthetic StackOverflow posts
+  gen lj <name> [scale]                      LiveJournal-like edge table
+  load <name> <path> <col:type,...>          load a TSV (types: int,float,str)
+  save <table> <path>                        write a table as TSV
+  show <table> [rows]                        print the first rows
+  select <out> <table> <col> <op> <value>    op: = != < <= > >= (type-aware)
+  join <out> <left> <right> <lcol> <rcol>    inner hash join
+  group <out> <table> <col> count            group sizes
+  order <table> <col> [asc|desc]             sort in place
+  tograph <name> <table> <srccol> <dstcol>   build a directed graph
+  totable <name> <graph>                     export a graph's edge table
+  pagerank <graph> [top]                     PageRank, print top nodes
+  triangles <graph>                          triangle count (undirected view)
+  triads <graph>                             16-class triad census
+  wcc <graph> | scc <graph>                  connected components
+  bfs <graph> <node>                         reachability from a node
+  describe <table>                           per-column summary statistics
+  sample <out> <table> <n>                   uniform row sample
+  savegraph <graph> <path>                   write SNAP-style edge list
+  loadgraph <name> <path>                    read SNAP-style edge list
+  info <name>                                table or graph summary
+  ls                                         list everything
+  help | quit";
+
+impl Shell {
+    fn new() -> Self {
+        Self {
+            ringo: Ringo::new(),
+            tables: HashMap::new(),
+            graphs: HashMap::new(),
+        }
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, String> {
+        self.tables.get(name).ok_or(format!("no table named {name:?}"))
+    }
+
+    fn graph(&self, name: &str) -> Result<&DirectedGraph, String> {
+        self.graphs.get(name).ok_or(format!("no graph named {name:?}"))
+    }
+
+    fn exec(&mut self, line: &str) -> Result<bool, String> {
+        let args: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: &str| Err(msg.to_string());
+        match args.as_slice() {
+            [] => Ok(true),
+            ["quit"] | ["exit"] => Ok(false),
+            ["help"] => {
+                println!("{HELP}");
+                Ok(true)
+            }
+            ["ls"] => {
+                for (n, t) in &self.tables {
+                    println!("table {n}: {} rows x {} cols", t.n_rows(), t.n_cols());
+                }
+                for (n, g) in &self.graphs {
+                    println!("graph {n}: {} nodes, {} edges", g.node_count(), g.edge_count());
+                }
+                Ok(true)
+            }
+            ["gen", "so", name, rest @ ..] => {
+                let nums: Vec<usize> = rest.iter().filter_map(|s| s.parse().ok()).collect();
+                let cfg = StackOverflowConfig {
+                    questions: nums.first().copied().unwrap_or(8_000),
+                    answers: nums.get(1).copied().unwrap_or(14_000),
+                    users: nums.get(2).copied().unwrap_or(3_000),
+                    ..Default::default()
+                };
+                let t = self.ringo.generate_stackoverflow(&cfg);
+                println!("table {name}: {} rows", t.n_rows());
+                self.tables.insert(name.to_string(), t);
+                Ok(true)
+            }
+            ["gen", "lj", name, rest @ ..] => {
+                let scale: f64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0.01);
+                let t = self.ringo.generate_lj_like(scale, 42);
+                println!("table {name}: {} rows", t.n_rows());
+                self.tables.insert(name.to_string(), t);
+                Ok(true)
+            }
+            ["load", name, path, schema_spec] => {
+                let mut cols = Vec::new();
+                for part in schema_spec.split(',') {
+                    let (cname, ty) = part
+                        .split_once(':')
+                        .ok_or(format!("bad column spec {part:?} (want name:type)"))?;
+                    let ty = match ty {
+                        "int" => ColumnType::Int,
+                        "float" => ColumnType::Float,
+                        "str" => ColumnType::Str,
+                        other => return Err(format!("unknown type {other:?}")),
+                    };
+                    cols.push((cname.to_string(), ty));
+                }
+                let schema = Schema::new(cols);
+                let t = self
+                    .ringo
+                    .load_table_tsv(&schema, std::path::Path::new(path))
+                    .map_err(|e| e.to_string())?;
+                println!("table {name}: {} rows", t.n_rows());
+                self.tables.insert(name.to_string(), t);
+                Ok(true)
+            }
+            ["save", table, path] => {
+                let t = self.table(table)?;
+                self.ringo
+                    .save_table_tsv(t, std::path::Path::new(path))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+                Ok(true)
+            }
+            ["show", table, rest @ ..] => {
+                let t = self.table(table)?;
+                let n: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+                let names: Vec<&str> = t.schema().iter().map(|(n, _)| n).collect();
+                println!("{}", names.join("\t"));
+                for row in 0..n.min(t.n_rows()) {
+                    let cells: Vec<String> = names
+                        .iter()
+                        .map(|c| match t.get(row, c).expect("valid column") {
+                            ringo::Value::Int(v) => v.to_string(),
+                            ringo::Value::Float(v) => format!("{v:.4}"),
+                            ringo::Value::Str(v) => v,
+                        })
+                        .collect();
+                    println!("{}", cells.join("\t"));
+                }
+                Ok(true)
+            }
+            ["select", out, table, col, op, value] => {
+                let t = self.table(table)?;
+                let cmp = match *op {
+                    "=" => Cmp::Eq,
+                    "!=" => Cmp::Ne,
+                    "<" => Cmp::Lt,
+                    "<=" => Cmp::Le,
+                    ">" => Cmp::Gt,
+                    ">=" => Cmp::Ge,
+                    other => return Err(format!("unknown operator {other:?}")),
+                };
+                let ci = t.schema().index_of(col).map_err(|e| e.to_string())?;
+                let pred = match t.schema().column_type(ci) {
+                    ColumnType::Int => Predicate::int(
+                        col,
+                        cmp,
+                        value.parse().map_err(|_| format!("bad int {value:?}"))?,
+                    ),
+                    ColumnType::Float => Predicate::float(
+                        col,
+                        cmp,
+                        value.parse().map_err(|_| format!("bad float {value:?}"))?,
+                    ),
+                    ColumnType::Str => Predicate::Str {
+                        column: col.to_string(),
+                        cmp,
+                        value: value.to_string(),
+                    },
+                };
+                let r = t.select(&pred).map_err(|e| e.to_string())?;
+                println!("table {out}: {} rows", r.n_rows());
+                self.tables.insert(out.to_string(), r);
+                Ok(true)
+            }
+            ["join", out, left, right, lcol, rcol] => {
+                let l = self.table(left)?;
+                let r = self.table(right)?;
+                let j = l.join(r, lcol, rcol).map_err(|e| e.to_string())?;
+                println!("table {out}: {} rows x {} cols", j.n_rows(), j.n_cols());
+                self.tables.insert(out.to_string(), j);
+                Ok(true)
+            }
+            ["group", out, table, col, "count"] => {
+                let t = self.table(table)?;
+                let g = t
+                    .group_by(&[col], None, ringo::AggOp::Count, "count")
+                    .map_err(|e| e.to_string())?;
+                println!("table {out}: {} groups", g.n_rows());
+                self.tables.insert(out.to_string(), g);
+                Ok(true)
+            }
+            ["order", table, col, rest @ ..] => {
+                let asc = rest.first().is_none_or(|d| *d != "desc");
+                let t = self
+                    .tables
+                    .get_mut(*table)
+                    .ok_or(format!("no table named {table:?}"))?;
+                t.order_by(&[col], asc).map_err(|e| e.to_string())?;
+                println!("table {table} sorted by {col}");
+                Ok(true)
+            }
+            ["describe", table] => {
+                let t = self.table(table)?;
+                let d = t.describe();
+                println!("column\ttype\tcount\tdistinct\tmin\tmax\tmean");
+                for row in 0..d.n_rows() {
+                    let cell = |c: &str| match d.get(row, c).expect("describe schema") {
+                        ringo::Value::Int(v) => v.to_string(),
+                        ringo::Value::Float(v) => format!("{v:.3}"),
+                        ringo::Value::Str(v) => v,
+                    };
+                    println!(
+                        "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                        cell("column"),
+                        cell("type"),
+                        cell("count"),
+                        cell("distinct"),
+                        cell("min"),
+                        cell("max"),
+                        cell("mean")
+                    );
+                }
+                Ok(true)
+            }
+            ["sample", out, table, n] => {
+                let t = self.table(table)?;
+                let n: usize = n.parse().map_err(|_| "bad sample size".to_string())?;
+                let s = t.sample_rows(n, 42);
+                println!("table {out}: {} rows", s.n_rows());
+                self.tables.insert(out.to_string(), s);
+                Ok(true)
+            }
+            ["triads", graph] => {
+                let g = self.graph(graph)?;
+                let census = self.ringo.triad_census(g);
+                for (name, count) in ringo::algo::TRIAD_NAMES.iter().zip(census.counts) {
+                    if count > 0 {
+                        println!("  {name:>4}: {count}");
+                    }
+                }
+                Ok(true)
+            }
+            ["savegraph", graph, path] => {
+                let g = self.graph(graph)?;
+                self.ringo
+                    .save_graph(g, std::path::Path::new(path))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+                Ok(true)
+            }
+            ["loadgraph", name, path] => {
+                let g = self
+                    .ringo
+                    .load_graph(std::path::Path::new(path))
+                    .map_err(|e| e.to_string())?;
+                println!("graph {name}: {} nodes, {} edges", g.node_count(), g.edge_count());
+                self.graphs.insert(name.to_string(), g);
+                Ok(true)
+            }
+            ["tograph", name, table, src, dst] => {
+                let t = self.table(table)?;
+                let g = self.ringo.to_graph(t, src, dst).map_err(|e| e.to_string())?;
+                println!("graph {name}: {} nodes, {} edges", g.node_count(), g.edge_count());
+                self.graphs.insert(name.to_string(), g);
+                Ok(true)
+            }
+            ["totable", name, graph] => {
+                let g = self.graph(graph)?;
+                let t = self.ringo.to_edge_table(g);
+                println!("table {name}: {} rows", t.n_rows());
+                self.tables.insert(name.to_string(), t);
+                Ok(true)
+            }
+            ["pagerank", graph, rest @ ..] => {
+                let g = self.graph(graph)?;
+                let top: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+                let mut pr = self.ringo.pagerank(g);
+                pr.sort_by(|a, b| b.1.total_cmp(&a.1));
+                for (id, score) in pr.iter().take(top) {
+                    println!("  node {id}: {score:.6}");
+                }
+                Ok(true)
+            }
+            ["triangles", graph] => {
+                let g = self.graph(graph)?;
+                let u = g.to_undirected();
+                println!("{} triangles", count_triangles(&u, self.ringo.threads()));
+                Ok(true)
+            }
+            ["wcc", graph] => {
+                let g = self.graph(graph)?;
+                let c = self.ringo.wcc(g);
+                println!("{} weak components, largest {}", c.n_components(), c.largest());
+                Ok(true)
+            }
+            ["scc", graph] => {
+                let g = self.graph(graph)?;
+                let c = self.ringo.scc(g);
+                println!("{} strong components, largest {}", c.n_components(), c.largest());
+                Ok(true)
+            }
+            ["info", name] => {
+                if let Ok(t) = self.table(name) {
+                    println!(
+                        "table {name}: {} rows x {} cols, ~{} bytes",
+                        t.n_rows(),
+                        t.n_cols(),
+                        t.mem_size()
+                    );
+                    for (cn, ty) in t.schema().iter() {
+                        println!("  {cn}: {ty}");
+                    }
+                } else if let Ok(g) = self.graph(name) {
+                    println!(
+                        "graph {name}: {} nodes, {} edges, ~{} bytes",
+                        g.node_count(),
+                        g.edge_count(),
+                        g.mem_size()
+                    );
+                } else {
+                    return err("no table or graph with that name");
+                }
+                Ok(true)
+            }
+            ["bfs", graph, src] => {
+                let g = self.graph(graph)?;
+                let src: i64 = src.parse().map_err(|_| "bad node id".to_string())?;
+                let d = ringo::algo::bfs_distances(g, src, Direction::Out);
+                println!("{} nodes reachable from {src}", d.len());
+                Ok(true)
+            }
+            _ => err("unknown command; try `help`"),
+        }
+    }
+}
+
+fn main() {
+    let mut shell = Shell::new();
+    println!(
+        "Ringo interactive shell ({} threads). Type `help` for commands.",
+        shell.ringo.threads()
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("ringo> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let start = std::time::Instant::now();
+        match shell.exec(line.trim()) {
+            Ok(true) => println!("  [{:.1?}]", start.elapsed()),
+            Ok(false) => break,
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,89 @@
+//! The paper's §4.1 demo: find the top Java experts on StackOverflow.
+//!
+//! Mirrors the published Python session line by line, over a synthetic
+//! StackOverflow-like dataset (the real dump cannot ship with the repo):
+//!
+//! ```text
+//! P  = ringo.LoadTableTSV(schema, 'posts.tsv')
+//! JP = ringo.Select(P, 'Tag=Java')
+//! Q  = ringo.Select(JP, 'Type=question')
+//! A  = ringo.Select(JP, 'Type=answer')
+//! QA = ringo.Join(Q, A, 'AnswerId', 'PostId')
+//! G  = ringo.ToGraph(QA, 'UserId-1', 'UserId-2')
+//! PR = ringo.GetPageRank(G)
+//! S  = ringo.TableFromHashMap(PR, 'User', 'Scr')
+//! ```
+//!
+//! Run with `cargo run --release --example stackoverflow_experts -- [tag]`
+//! (default tag: java).
+
+use ringo::gen::StackOverflowConfig;
+use ringo::{Predicate, Ringo};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tag = std::env::args().nth(1).unwrap_or_else(|| "java".into());
+    let ringo = Ringo::new();
+
+    // P = ringo.LoadTableTSV(...) — generated instead of loaded.
+    let t0 = Instant::now();
+    let posts = ringo.generate_stackoverflow(&StackOverflowConfig {
+        questions: 80_000,
+        answers: 140_000,
+        users: 30_000,
+        ..Default::default()
+    });
+    println!(
+        "posts table: {} rows ({} questions + answers), generated in {:.2?}",
+        posts.n_rows(),
+        80_000,
+        t0.elapsed()
+    );
+
+    // JP = ringo.Select(P, 'Tag=Java')
+    let t0 = Instant::now();
+    let tagged = ringo.select(&posts, &Predicate::str_eq("Tag", &tag))?;
+    println!("{tag} posts: {} rows (select in {:.2?})", tagged.n_rows(), t0.elapsed());
+    if tagged.is_empty() {
+        println!("no posts for tag {tag:?} — try java/python/c++/rust/sql/javascript");
+        return Ok(());
+    }
+
+    // Q/A split.
+    let questions = ringo.select(&tagged, &Predicate::str_eq("Type", "question"))?;
+    let answers = ringo.select(&tagged, &Predicate::str_eq("Type", "answer"))?;
+    println!("questions: {}, answers: {}", questions.n_rows(), answers.n_rows());
+
+    // QA = ringo.Join(Q, A, 'AnswerId', 'PostId'): a question row joined
+    // with its accepted answer row.
+    let t0 = Instant::now();
+    let qa = ringo.join(&questions, &answers, "AcceptedAnswerId", "PostId")?;
+    println!("accepted Q-A pairs: {} (join in {:.2?})", qa.n_rows(), t0.elapsed());
+
+    // G = ringo.ToGraph(QA, asker, answerer): an edge means "the source
+    // user accepted an answer by the destination user".
+    let t0 = Instant::now();
+    let g = ringo.to_graph(&qa, "UserId", "UserId-1")?;
+    println!(
+        "expertise graph: {} nodes, {} edges (ToGraph in {:.2?})",
+        g.node_count(),
+        g.edge_count(),
+        t0.elapsed()
+    );
+
+    // PR = ringo.GetPageRank(G)
+    let t0 = Instant::now();
+    let mut pr = ringo.pagerank(&g);
+    println!("PageRank (10 iterations) in {:.2?}", t0.elapsed());
+
+    // S = ringo.TableFromHashMap(PR, 'User', 'Scr') — then report.
+    pr.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let scores = ringo.table_from_scores(&pr, "User", "Scr");
+    println!("\nTop 10 {tag} experts (by PageRank over accepted answers):");
+    println!("{:>10}  {:>9}  {:>8}", "UserId", "PageRank", "accepted");
+    for (user, score) in pr.iter().take(10) {
+        println!("{user:>10}  {score:>9.5}  {:>8}", g.in_degree(*user).unwrap_or(0));
+    }
+    println!("\nscore table S: {} rows x {} cols", scores.n_rows(), scores.n_cols());
+    Ok(())
+}

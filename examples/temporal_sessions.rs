@@ -1,0 +1,105 @@
+//! Graph construction with Ringo's special operators: NextK and SimJoin.
+//!
+//! The paper (§2.3): "Ringo allows for creating edges based on node
+//! similarity or temporal order of nodes." This example builds two graphs
+//! from one synthetic click log:
+//!
+//! 1. a *navigation graph* via `NextK` — connect pages visited
+//!    consecutively within the same user session, and
+//! 2. a *co-activity graph* via `SimJoin` — connect events that happened
+//!    within a small time window of each other.
+//!
+//! Run with `cargo run --release --example temporal_sessions`.
+
+use ringo::algo::label_propagation;
+use ringo::{AggOp, ColumnType, Ringo, Schema, Table, Value};
+
+/// Synthesizes a click log: users walk through page "chapters", so
+/// consecutive pages are usually close in id — giving the navigation
+/// graph real structure to find.
+fn click_log(users: i64, clicks_per_user: i64) -> Table {
+    let schema = Schema::new([
+        ("user", ColumnType::Int),
+        ("page", ColumnType::Int),
+        ("ts", ColumnType::Int),
+    ]);
+    let mut t = Table::new(schema);
+    let mut state = 0xBADC0FFEu64;
+    let mut rand = move |m: i64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % m as u64) as i64
+    };
+    for u in 0..users {
+        let chapter = rand(5) * 1000;
+        let mut page = chapter + rand(40);
+        for c in 0..clicks_per_user {
+            t.push_row(&[Value::Int(u), Value::Int(page), Value::Int(u * 1000 + c * 7)])
+                .expect("schema matches");
+            // Mostly move to a nearby page, rarely jump chapters.
+            page = if rand(20) < 19 {
+                chapter + rand(40)
+            } else {
+                rand(5) * 1000 + rand(40)
+            };
+        }
+    }
+    t
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ringo = Ringo::new();
+    let log = click_log(400, 12);
+    println!("click log: {} events from 400 user sessions", log.n_rows());
+
+    // --- NextK: consecutive clicks within a session become edges. ---
+    let pairs = ringo.next_k(&log, Some("user"), "ts", 1)?;
+    println!("NextK(k=1) produced {} navigation pairs", pairs.n_rows());
+    // The pair table holds both records side by side; build page -> page.
+    let nav = ringo.to_graph(&pairs, "page", "page-1")?;
+    println!(
+        "navigation graph: {} pages, {} transitions",
+        nav.node_count(),
+        nav.edge_count()
+    );
+    // Chapters should emerge as communities of the undirected view.
+    let nav_edges = ringo.to_edge_table(&nav);
+    let nav_undirected = ringo.to_undirected_graph(&nav_edges, "src", "dst")?;
+    let comms = label_propagation(&nav_undirected, 20, 7);
+    println!(
+        "label propagation finds {} navigation communities (largest {})",
+        comms.n_components(),
+        comms.largest()
+    );
+
+    // Most-traveled transitions, via group-by on the pair table.
+    let top = ringo.group_by(&pairs, &["page", "page-1"], None, AggOp::Count, "times")?;
+    let mut ranked = top.clone();
+    ranked.order_by(&["times"], false)?;
+    println!("\nbusiest transitions:");
+    for row in 0..5.min(ranked.n_rows()) {
+        println!(
+            "  {:?} -> {:?}: {:?} times",
+            ranked.get(row, "page")?,
+            ranked.get(row, "page-1")?,
+            ranked.get(row, "times")?
+        );
+    }
+
+    // --- SimJoin: events within 3 time units are "co-active". ---
+    let sample = ringo.select(&log, &ringo::Predicate::int("user", ringo::Cmp::Lt, 200))?;
+    let co = ringo.sim_join(&sample, &sample, &["ts"], &["ts"], 3.0)?;
+    println!(
+        "\nSimJoin(|ts - ts'| <= 3) on {} events: {} co-activity pairs",
+        sample.n_rows(),
+        co.n_rows()
+    );
+    let co_graph = ringo.to_undirected_graph(&co, "user", "user-1")?;
+    println!(
+        "co-activity graph: {} users, {} links",
+        co_graph.node_count(),
+        co_graph.edge_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Ringo — interactive graph analytics on big-memory machines.
+//!
+//! Umbrella crate re-exporting the full public API of
+//! [`ringo_core`]. See the repository README for a tour, `examples/` for
+//! runnable scenarios, and DESIGN.md for the paper-reproduction inventory.
+
+#![warn(missing_docs)]
+
+pub use ringo_core::*;

@@ -1,0 +1,107 @@
+//! Integration tests for the data generators: the statistical properties
+//! the benchmark substitutions rely on (DESIGN.md) must actually hold.
+
+use ringo::algo::{clustering_coefficient, weakly_connected_components, Direction};
+use ringo::convert::{table_to_graph, table_to_undirected};
+use ringo::gen::{
+    edges_to_table, erdos_renyi, forest_fire, lj_like, preferential_attachment, rmat,
+    small_world, snap_catalog, table1_histogram, tw_like, ForestFireConfig, RmatConfig,
+};
+
+#[test]
+fn rmat_reproduces_the_benchmark_shape() {
+    let edges = lj_like(0.05, 1); // ~52k generated edges
+    let t = edges_to_table(&edges);
+    let g = table_to_graph(&t, "src", "dst").unwrap();
+    // Power law: the max degree dwarfs the mean.
+    let max_out = g.node_ids().map(|v| g.out_degree(v).unwrap()).max().unwrap();
+    let mean = g.edge_count() as f64 / g.node_count() as f64;
+    assert!(max_out as f64 > 20.0 * mean, "max {max_out}, mean {mean:.1}");
+    // Giant weak component, like real social graphs.
+    let wcc = weakly_connected_components(&g);
+    assert!(wcc.largest() * 10 > g.node_count() * 9);
+    // Twitter-like preset is substantially larger at equal scale factor.
+    assert!(tw_like(0.05, 1).len() > 6 * edges.len());
+}
+
+#[test]
+fn erdos_renyi_has_no_clustering_or_hubs() {
+    let g = erdos_renyi(2_000, 6_000, 3);
+    // ER clustering ~ p = 2m/(n(n-1)) = 0.003; far below social graphs.
+    let cc = clustering_coefficient(&g, 2);
+    assert!(cc < 0.02, "cc {cc}");
+    let max_deg = g.node_ids().map(|v| g.degree(v).unwrap()).max().unwrap();
+    let mean = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+    assert!((max_deg as f64) < 5.0 * mean, "ER has no hubs");
+}
+
+#[test]
+fn small_world_beats_er_clustering_at_same_density() {
+    let ws = small_world(1_000, 3, 0.1, 5);
+    let er = erdos_renyi(1_000, ws.edge_count(), 5);
+    let cc_ws = clustering_coefficient(&ws, 2);
+    let cc_er = clustering_coefficient(&er, 2);
+    assert!(
+        cc_ws > 5.0 * cc_er,
+        "small world {cc_ws:.3} vs ER {cc_er:.3}"
+    );
+}
+
+#[test]
+fn preferential_attachment_degree_tail() {
+    let g = preferential_attachment(3_000, 2, 9);
+    assert_eq!(g.node_count(), 3_000);
+    let mut degs: Vec<usize> = g.node_ids().map(|v| g.degree(v).unwrap()).collect();
+    degs.sort_unstable_by(|a, b| b.cmp(a));
+    // Rich get richer: top node far above median.
+    assert!(degs[0] >= 10 * degs[degs.len() / 2]);
+}
+
+#[test]
+fn forest_fire_produces_dense_communities() {
+    let g = forest_fire(&ForestFireConfig {
+        nodes: 800,
+        forward: 0.35,
+        backward: 0.3,
+        seed: 2,
+    });
+    assert_eq!(g.node_count(), 800);
+    assert!(g.edge_count() > 800, "densification beyond a tree");
+    // Burned neighborhoods close triangles: clustering well above ER.
+    let table = ringo::convert::graph_to_edge_table(&g, 1);
+    let u = table_to_undirected(&table, "src", "dst").unwrap();
+    let cc = clustering_coefficient(&u, 1);
+    assert!(cc > 0.05, "forest fire clusters, got {cc}");
+    // Everyone can reach node 0 going forward in time.
+    let d = ringo::algo::bfs_distances(&g, 0, Direction::In);
+    assert!(d.len() * 10 > g.node_count() * 9, "most nodes reach the root");
+}
+
+#[test]
+fn rmat_scale_controls_id_space_not_node_count() {
+    let cfg = RmatConfig {
+        scale: 14,
+        edges: 10_000,
+        ..Default::default()
+    };
+    let edges = rmat(&cfg);
+    assert_eq!(edges.len(), 10_000);
+    for (s, d) in &edges {
+        assert!(*s < (1 << 14) && *d < (1 << 14));
+    }
+    let t = edges_to_table(&edges);
+    let g = table_to_graph(&t, "src", "dst").unwrap();
+    assert!(g.node_count() < 1 << 14, "skew leaves many ids unused");
+}
+
+#[test]
+fn catalog_is_consistent_with_itself() {
+    let total_edges: u64 = snap_catalog().iter().map(|e| e.edges).sum();
+    assert!(total_edges > 3_000_000_000, "collection sums to billions");
+    for e in snap_catalog() {
+        assert!(e.nodes > 0 && e.edges > 0);
+        assert!(e.nodes < 100_000_000);
+    }
+    let hist = table1_histogram();
+    assert_eq!(hist.iter().map(|(_, c)| c).sum::<usize>(), 71);
+}
