@@ -110,7 +110,11 @@ pub fn anf_effective_diameter(curve: &[f64], quantile: f64) -> f64 {
     let mut prev = 0.0;
     for (h, &v) in curve.iter().enumerate() {
         if v >= target {
-            let frac = if v > prev { (target - prev) / (v - prev) } else { 0.0 };
+            let frac = if v > prev {
+                (target - prev) / (v - prev)
+            } else {
+                0.0
+            };
             return h as f64 + frac;
         }
         prev = v;
@@ -154,7 +158,10 @@ mod tests {
         let approx = approx_neighborhood_function(&g, 6, 64, 42);
         for (h, (&e, &a)) in exact.iter().zip(&approx).enumerate() {
             let rel = (a - e as f64).abs() / e as f64;
-            assert!(rel < 0.25, "hop {h}: exact {e}, approx {a:.0}, rel {rel:.2}");
+            assert!(
+                rel < 0.25,
+                "hop {h}: exact {e}, approx {a:.0}, rel {rel:.2}"
+            );
         }
     }
 

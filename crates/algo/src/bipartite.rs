@@ -5,8 +5,8 @@
 //! project a bipartite graph onto one side (connecting users who touch a
 //! common post) — another of Ringo's graph-construction idioms.
 
-use ringo_graph::{NodeId, UndirectedGraph};
 use ringo_concurrent::IntHashTable;
+use ringo_graph::{NodeId, UndirectedGraph};
 use std::collections::VecDeque;
 
 /// Two-coloring of an undirected graph: `Some(side_of)` mapping each node

@@ -225,7 +225,10 @@ mod tests {
         let middle = closeness_centrality(&g, 1, Direction::Both);
         let end = closeness_centrality(&g, 0, Direction::Both);
         assert!(middle > end);
-        assert!((middle - 1.0).abs() < 1e-12, "middle reaches both at dist 1");
+        assert!(
+            (middle - 1.0).abs() < 1e-12,
+            "middle reaches both at dist 1"
+        );
     }
 
     #[test]
@@ -242,7 +245,7 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 2);
         g.add_node(9); // unreachable island
-        // From 0: dist 1 to node 1, dist 2 to node 2, node 9 unreachable.
+                       // From 0: dist 1 to node 1, dist 2 to node 2, node 9 unreachable.
         let h = harmonic_centrality(&g, 0, Direction::Out);
         assert!((h - (1.0 + 0.5) / 3.0).abs() < 1e-12);
         assert_eq!(harmonic_centrality(&g, 9, Direction::Out), 0.0);

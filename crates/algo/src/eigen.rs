@@ -211,11 +211,15 @@ mod tests {
         }
         g.add_edge(3, 10);
         g.add_edge(10, 3);
-        let ppr = personalized_pagerank(&g, &[0], &PageRankConfig {
-            iterations: 50,
-            threads: 1,
-            ..PageRankConfig::default()
-        });
+        let ppr = personalized_pagerank(
+            &g,
+            &[0],
+            &PageRankConfig {
+                iterations: 50,
+                threads: 1,
+                ..PageRankConfig::default()
+            },
+        );
         let total: f64 = ppr.iter().map(|(_, s)| s).sum();
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
         for a in 0..4 {
@@ -242,11 +246,15 @@ mod tests {
         g.add_node(2);
         g.add_node(3);
         // No edges at all: all mass keeps restarting into the seeds.
-        let ppr = personalized_pagerank(&g, &[1, 2], &PageRankConfig {
-            iterations: 30,
-            threads: 1,
-            ..PageRankConfig::default()
-        });
+        let ppr = personalized_pagerank(
+            &g,
+            &[1, 2],
+            &PageRankConfig {
+                iterations: 30,
+                threads: 1,
+                ..PageRankConfig::default()
+            },
+        );
         assert!((of(&ppr, 1) - 0.5).abs() < 1e-9);
         assert!((of(&ppr, 2) - 0.5).abs() < 1e-9);
         assert_eq!(of(&ppr, 3), 0.0);

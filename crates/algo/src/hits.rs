@@ -16,7 +16,11 @@ pub struct HitsScores {
 
 /// Runs the HITS algorithm for `iterations` rounds with L2 normalization,
 /// returning `(id, scores)` pairs in slot order.
-pub fn hits<G: DirectedTopology>(g: &G, iterations: usize, threads: usize) -> Vec<(NodeId, HitsScores)> {
+pub fn hits<G: DirectedTopology>(
+    g: &G,
+    iterations: usize,
+    threads: usize,
+) -> Vec<(NodeId, HitsScores)> {
     let n_slots = g.n_slots();
     if g.node_count() == 0 {
         return Vec::new();

@@ -1,8 +1,8 @@
 //! Greedy combinatorial primitives on undirected graphs: maximal
 //! independent sets, greedy coloring, and maximal matching.
 
-use ringo_graph::{NodeId, UndirectedGraph};
 use ringo_concurrent::IntHashTable;
+use ringo_graph::{NodeId, UndirectedGraph};
 
 /// A maximal independent set built greedily in ascending-id order
 /// (deterministic). No two returned nodes are adjacent, and no further

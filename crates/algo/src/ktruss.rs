@@ -40,8 +40,7 @@ pub fn truss_numbers(g: &UndirectedGraph) -> HashMap<(NodeId, NodeId), u32> {
     }
 
     // Peel edges in increasing support; the classic truss decomposition.
-    let mut alive: HashMap<(NodeId, NodeId), bool> =
-        support.keys().map(|&e| (e, true)).collect();
+    let mut alive: HashMap<(NodeId, NodeId), bool> = support.keys().map(|&e| (e, true)).collect();
     let mut truss: HashMap<(NodeId, NodeId), u32> = HashMap::with_capacity(support.len());
     let mut k = 2u32;
     let mut remaining = support.len();

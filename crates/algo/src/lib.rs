@@ -42,9 +42,9 @@ pub mod similarity;
 pub mod sssp;
 pub mod stats;
 pub mod traversal;
-pub mod union_find;
 pub mod triads;
 pub mod triangles;
+pub mod union_find;
 pub mod weighted;
 
 pub use anf::{anf_effective_diameter, approx_neighborhood_function};
@@ -57,25 +57,25 @@ pub use centrality::{
 pub use clustering::{clustering_coefficient, node_clustering};
 pub use community::label_propagation;
 pub use components::{strongly_connected_components, weakly_connected_components, Components};
+pub use connectivity::{cut_structure, CutStructure};
+pub use eigen::{eigenvector_centrality, personalized_pagerank};
 pub use hits::{hits, HitsScores};
 pub use independent::{greedy_coloring, maximal_independent_set, maximal_matching};
 pub use kcore::{core_numbers, k_core};
 pub use ktruss::{k_truss, truss_numbers};
 pub use pagerank::{pagerank, PageRankConfig};
 pub use quality::{conductance, modularity};
-pub use sssp::{sssp_dijkstra, sssp_unweighted};
-pub use connectivity::{cut_structure, CutStructure};
-pub use eigen::{eigenvector_centrality, personalized_pagerank};
 pub use random_walk::{approximate_ppr, random_walk, WalkRng};
 pub use similarity::{
     adamic_adar, common_neighbors, jaccard_similarity, preferential_attachment_score,
     top_jaccard_candidates,
 };
+pub use sssp::{sssp_dijkstra, sssp_unweighted};
 pub use stats::{
     approx_diameter, degree_assortativity, degree_histogram, effective_diameter, reciprocity,
 };
 pub use traversal::{dfs_order, has_cycle, topological_sort};
-pub use union_find::{weakly_connected_components_parallel, ConcurrentUnionFind};
-pub use weighted::{dijkstra_weighted, pagerank_weighted};
 pub use triads::{triad_census, TriadCensus, TRIAD_NAMES};
 pub use triangles::{count_triangles, node_triangles};
+pub use union_find::{weakly_connected_components_parallel, ConcurrentUnionFind};
+pub use weighted::{dijkstra_weighted, pagerank_weighted};

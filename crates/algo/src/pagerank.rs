@@ -133,11 +133,7 @@ pub fn pagerank<G: DirectedTopology>(g: &G, config: &PageRankConfig) -> Vec<(Nod
         }
 
         if let Some(tol) = config.tolerance {
-            let delta: f64 = rank
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut rank, &mut next);
             if delta < tol {
                 break;
@@ -237,9 +233,13 @@ mod tests {
         // Pseudo-random but deterministic digraph.
         let mut x = 12345u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = (x >> 33) % 300;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let d = (x >> 33) % 300;
             g.add_edge(s as i64, d as i64);
         }

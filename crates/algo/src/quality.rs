@@ -140,9 +140,7 @@ mod tests {
     #[test]
     fn single_community_has_zero_modularity() {
         let g = two_cliques_bridged();
-        let all = partition_of(
-            &g.node_ids().map(|v| (v, 0)).collect::<Vec<_>>(),
-        );
+        let all = partition_of(&g.node_ids().map(|v| (v, 0)).collect::<Vec<_>>());
         assert!(modularity(&g, &all).abs() < 1e-12);
     }
 
@@ -180,9 +178,7 @@ mod tests {
     #[test]
     fn degenerate_cuts_are_none() {
         let g = two_cliques_bridged();
-        let all = partition_of(
-            &g.node_ids().map(|v| (v, 0)).collect::<Vec<_>>(),
-        );
+        let all = partition_of(&g.node_ids().map(|v| (v, 0)).collect::<Vec<_>>());
         assert!(conductance(&g, &all, 0).is_none(), "no outside volume");
         assert!(conductance(&g, &all, 7).is_none(), "empty community");
         let empty = UndirectedGraph::new();

@@ -1,8 +1,8 @@
 //! Random walks over directed graphs: plain walks, restart walks, and a
 //! Monte-Carlo personalized-PageRank estimator built on them.
 
-use ringo_graph::{DirectedTopology, NodeId};
 use ringo_concurrent::IntHashTable;
+use ringo_graph::{DirectedTopology, NodeId};
 
 /// Deterministic xorshift64* generator so walks are reproducible.
 #[derive(Clone, Debug)]
@@ -163,13 +163,20 @@ mod tests {
         g.add_edge(3, 10);
         g.add_edge(10, 3);
         let approx = approximate_ppr(&g, 0, 0.85, 2_000, 20, &mut WalkRng::new(42));
-        let exact = personalized_pagerank(&g, &[0], &PageRankConfig {
-            iterations: 60,
-            threads: 1,
-            ..PageRankConfig::default()
-        });
+        let exact = personalized_pagerank(
+            &g,
+            &[0],
+            &PageRankConfig {
+                iterations: 60,
+                threads: 1,
+                ..PageRankConfig::default()
+            },
+        );
         let of = |res: &[(i64, f64)], id: i64| {
-            res.iter().find(|(n, _)| *n == id).map(|(_, s)| *s).unwrap_or(0.0)
+            res.iter()
+                .find(|(n, _)| *n == id)
+                .map(|(_, s)| *s)
+                .unwrap_or(0.0)
         };
         // Mass concentrates in clique A in both.
         let a_mass_exact: f64 = (0..4).map(|v| of(&exact, v)).sum();

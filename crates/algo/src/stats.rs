@@ -125,9 +125,7 @@ pub fn reciprocity<G: DirectedTopology>(g: &G) -> f64 {
 /// negative: hubs link to the periphery (typical of social/web graphs).
 /// Returns 0 when undefined (fewer than 2 edges or zero variance).
 pub fn degree_assortativity<G: DirectedTopology>(g: &G) -> f64 {
-    let deg = |slot: usize| {
-        (g.out_nbrs_of_slot(slot).len() + g.in_nbrs_of_slot(slot).len()) as f64
-    };
+    let deg = |slot: usize| (g.out_nbrs_of_slot(slot).len() + g.in_nbrs_of_slot(slot).len()) as f64;
     let mut n = 0f64;
     let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0f64, 0f64, 0f64, 0f64, 0f64);
     for s in 0..g.n_slots() {

@@ -81,9 +81,8 @@ pub fn triad_census(g: &DirectedGraph) -> TriadCensus {
 
     // Undirected neighborhoods (sorted, deduped, self excluded).
     let und = g.to_undirected();
-    let und_nbrs = |id: NodeId| -> Vec<NodeId> {
-        und.nbrs(id).iter().copied().filter(|&x| x != id).collect()
-    };
+    let und_nbrs =
+        |id: NodeId| -> Vec<NodeId> { und.nbrs(id).iter().copied().filter(|&x| x != id).collect() };
 
     for u in g.node_ids() {
         let nu = und_nbrs(u);

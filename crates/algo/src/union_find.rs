@@ -51,12 +51,8 @@ impl ConcurrentUnionFind {
                 return p;
             }
             // Path halving: splice x up to its grandparent.
-            let _ = self.parent[x].compare_exchange_weak(
-                p,
-                gp,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
+            let _ =
+                self.parent[x].compare_exchange_weak(p, gp, Ordering::AcqRel, Ordering::Acquire);
             x = gp;
         }
     }
@@ -73,12 +69,7 @@ impl ConcurrentUnionFind {
             }
             // Attach the larger-id root beneath the smaller-id root.
             let (lo, hi) = if x < y { (x, y) } else { (y, x) };
-            match self.parent[hi].compare_exchange(
-                hi,
-                lo,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.parent[hi].compare_exchange(hi, lo, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
                 Err(_) => {
                     // hi gained a parent concurrently; retry from the top.

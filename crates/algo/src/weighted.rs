@@ -87,7 +87,10 @@ pub fn dijkstra_weighted(g: &WeightedDigraph, src: NodeId) -> IntHashTable<f64> 
             let better = dist.get(nbr).is_none_or(|&cur| cand < cur);
             if better {
                 dist.insert(nbr, cand);
-                heap.push(Entry { dist: cand, id: nbr });
+                heap.push(Entry {
+                    dist: cand,
+                    id: nbr,
+                });
             }
         }
     }
@@ -110,11 +113,14 @@ mod tests {
         g.add_edge(0, 2, 1.0);
         g.add_edge(1, 0, 1.0);
         g.add_edge(2, 0, 1.0);
-        let pr = pagerank_weighted(&g, &PageRankConfig {
-            iterations: 60,
-            threads: 1,
-            ..Default::default()
-        });
+        let pr = pagerank_weighted(
+            &g,
+            &PageRankConfig {
+                iterations: 60,
+                threads: 1,
+                ..Default::default()
+            },
+        );
         assert!(of(&pr, 1) > 2.0 * of(&pr, 2));
         let sum: f64 = pr.iter().map(|(_, s)| s).sum();
         assert!((sum - 1.0).abs() < 1e-9);

@@ -1,7 +1,7 @@
 //! Breadth benchmarks over the wider algorithm library: the "over 200
 //! graph functions" story needs every family to stay interactive.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_bench::{criterion_group, criterion_main, Criterion};
 use ringo_core::algo::{
     anf_effective_diameter, approx_neighborhood_function, betweenness_centrality_sampled,
     core_numbers, eigenvector_centrality, greedy_coloring, k_truss, label_propagation,

@@ -1,7 +1,7 @@
 //! Conversion benchmarks (Table 5) plus the DESIGN.md ablation 1:
 //! sort-first table→graph vs the naive row-at-a-time baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_bench::{criterion_group, criterion_main, Criterion};
 use ringo_core::convert::{
     graph_to_edge_table, graph_to_node_table, table_to_graph, table_to_graph_naive,
     table_to_undirected,

@@ -2,7 +2,7 @@
 //! baseline it rejects (§2.2) — traversal speed (PageRank over the shared
 //! `DirectedTopology` trait) against single-edge-deletion cost.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ringo_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use ringo_core::algo::{pagerank, PageRankConfig};
 use ringo_core::{CsrGraph, Ringo};
 

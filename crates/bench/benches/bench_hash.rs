@@ -2,7 +2,7 @@
 //! (paper §2.5) vs `std::collections::HashMap` for the integer-key
 //! workloads the graph engine performs (node-id lookups).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_bench::{criterion_group, criterion_main, Criterion};
 use ringo_core::concurrent::{ConcurrentIntTable, IntHashTable};
 use std::collections::HashMap;
 

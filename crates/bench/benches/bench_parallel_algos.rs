@@ -1,7 +1,7 @@
 //! Table 3's parallel kernels: PageRank (10 iterations) and triangle
 //! counting, at the session's thread count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_bench::{criterion_group, criterion_main, Criterion};
 use ringo_core::algo::{count_triangles, hits, pagerank, PageRankConfig};
 use ringo_core::Ringo;
 

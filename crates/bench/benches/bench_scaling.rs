@@ -4,7 +4,7 @@
 //! design; on a small host the sweep still verifies that extra workers
 //! never corrupt results and that overhead stays bounded.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ringo_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ringo_core::algo::{count_triangles, pagerank, PageRankConfig};
 use ringo_core::concurrent::parallel_sort;
 use ringo_core::convert::table_to_graph;

@@ -1,7 +1,7 @@
 //! Table 6's sequential kernels: 3-core, SSSP, SCC — plus the other
 //! traversal-style algorithms the library offers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_bench::{criterion_group, criterion_main, Criterion};
 use ringo_core::algo::{
     bfs_distances, core_numbers, k_core, label_propagation, sssp_unweighted,
     strongly_connected_components, weakly_connected_components, Direction,

@@ -1,7 +1,7 @@
 //! Benchmarks for Ringo's graph-construction operators (paper §2.3):
 //! SimJoin and NextK, plus the join variants.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ringo_bench::{criterion_group, criterion_main, Criterion};
 use ringo_core::{ColumnType, Ringo, Schema, Table, Value};
 
 fn event_log(users: i64, per_user: i64) -> Table {

@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks for Table 4's operators: select (copying
 //! and in-place) and hash join, on a LiveJournal-like edge table.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ringo_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use ringo_core::{Cmp, Predicate, Ringo, Table};
 
 fn workload() -> (Table, Table) {

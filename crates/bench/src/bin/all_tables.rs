@@ -5,7 +5,15 @@
 use std::process::Command;
 
 fn main() {
-    let bins = ["table1", "table2", "table3", "table4", "table5", "table6", "footprint"];
+    let bins = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "footprint",
+    ];
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("binary directory");
     for bin in bins {

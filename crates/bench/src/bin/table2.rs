@@ -34,7 +34,9 @@ fn main() {
         );
         println!(
             "{:<22} {:>12} {:>12} graph/text = {:.2} (paper LJ 0.64, TW 0.50); bytes/edge = {:.1}",
-            "", "", "",
+            "",
+            "",
+            "",
             gsize as f64 / text as f64,
             gsize as f64 / d.graph.edge_count() as f64
         );

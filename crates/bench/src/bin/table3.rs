@@ -27,7 +27,11 @@ fn main() {
     };
     let pr_times: Vec<_> = datasets
         .iter()
-        .map(|d| time_avg(runs, || std::hint::black_box(pagerank(&d.graph, &cfg)).clear()))
+        .map(|d| {
+            time_avg(runs, || {
+                std::hint::black_box(pagerank(&d.graph, &cfg)).clear()
+            })
+        })
         .collect();
     println!(
         "{:<18} {:>18} {:>18}",

@@ -87,7 +87,11 @@ fn bench_joins(d: &BenchData, runs: usize) -> [(usize, usize, Duration); 2] {
             total += start.elapsed();
             rows = j.n_rows();
         }
-        out[i] = (rows, d.table.n_rows() + partner.n_rows(), total / runs as u32);
+        out[i] = (
+            rows,
+            d.table.n_rows() + partner.n_rows(),
+            total / runs as u32,
+        );
     }
     out
 }
@@ -103,7 +107,10 @@ fn main() {
         "Dataset", datasets[0].name, datasets[1].name
     );
     let sel: Vec<_> = datasets.iter().map(|d| bench_selects(d, runs)).collect();
-    for (row, label) in [(0usize, "Select 10K, in place"), (1, "Select all-10K, in place")] {
+    for (row, label) in [
+        (0usize, "Select 10K, in place"),
+        (1, "Select all-10K, in place"),
+    ] {
         println!(
             "{:<26} {:>22} {:>22}",
             label,

@@ -1,0 +1,211 @@
+//! Minimal criterion-compatible benchmark harness.
+//!
+//! The paper-table benches only use a thin slice of criterion's API —
+//! groups, `bench_function`, `bench_with_input`, `iter`, `iter_batched` —
+//! so this module provides exactly that slice in-tree, keeping the
+//! workspace buildable without registry access. Timing is deliberately
+//! simple (one warmup run, then the mean over `sample_size` timed runs),
+//! which matches how the paper reports numbers ("We ran each experiment 5
+//! times, and report the average").
+//!
+//! Set `RINGO_BENCH_SAMPLES` to override every group's sample size, e.g.
+//! `RINGO_BENCH_SAMPLES=3` for a quick smoke run.
+
+use std::time::{Duration, Instant};
+
+/// Batching strategy for [`Bencher::iter_batched`]. Only a naming shim:
+/// this harness always re-runs setup per timed invocation.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Setup cost is small relative to the routine.
+    SmallInput,
+    /// Setup cost is large relative to the routine.
+    LargeInput,
+}
+
+/// A benchmark identifier `function/parameter`, for parameter sweeps.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `"{name}/{param}"`.
+    pub fn new(name: &str, param: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Collects per-run timings inside `bench_function`.
+pub struct Bencher {
+    samples: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, called `samples` times after one warmup call.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.mean = Some(start.elapsed() / self.samples as u32);
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup runs outside the
+    /// measured window.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = Some(total / self.samples as u32);
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed runs each benchmark in the group performs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = self.criterion.sample_override.unwrap_or(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark and records its mean runtime.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean: None,
+        };
+        f(&mut b);
+        let mean = b.mean.expect("benchmark body must call iter/iter_batched");
+        let label = format!("{}/{}", self.name, id);
+        println!("{label}: {mean:?} (mean of {} runs)", self.samples);
+        self.criterion.results.push((label, mean));
+    }
+
+    /// Runs one parameterized benchmark (criterion's sweep entry point).
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (printing happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver; one per bench binary.
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+    sample_override: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            results: Vec::new(),
+            sample_override: std::env::var("RINGO_BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n: &usize| n > 0),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group with the default sample size (10).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let samples = self.sample_override.unwrap_or(10);
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples,
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark with the default sample size.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name, f);
+    }
+
+    /// All `(label, mean)` results recorded so far, in run order.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+
+    /// Prints the closing summary; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks completed", self.results.len());
+    }
+}
+
+/// Bundles benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running every group, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_results_for_both_iter_styles() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].0, "t/plain");
+        assert_eq!(c.results()[1].0, "t/param/4");
+    }
+}

@@ -208,4 +208,40 @@ mod tests {
         assert_eq!(v.push(1), Err(CapacityError));
         assert!(v.is_empty());
     }
+
+    /// Stress the capacity-rollback path under real contention: many
+    /// workers keep pushing well past capacity, so failing pushes
+    /// (fetch_add then fetch_sub) race with succeeding ones the whole
+    /// time. Afterwards `len` must equal capacity exactly — the transient
+    /// over-claims must all have been rolled back — and the stored
+    /// elements must be precisely the set of values whose push reported
+    /// success: nothing lost, nothing duplicated.
+    #[test]
+    fn contended_overflow_rolls_back_and_loses_nothing() {
+        use std::sync::atomic::AtomicBool;
+
+        let capacity = 4_096usize;
+        let attempts = 64 * 1024usize; // 16x oversubscribed
+        for round in 0..8 {
+            let v: ConcurrentVec<usize> = ConcurrentVec::with_capacity(capacity);
+            let succeeded: Vec<AtomicBool> =
+                (0..attempts).map(|_| AtomicBool::new(false)).collect();
+            parallel_for(attempts, 16, |_, range| {
+                for i in range {
+                    if v.push(i).is_ok() {
+                        succeeded[i].store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert_eq!(v.len(), capacity, "round {round}: len != capacity");
+            let mut stored = v.into_vec();
+            assert_eq!(stored.len(), capacity, "round {round}");
+            stored.sort_unstable();
+            let mut expected: Vec<usize> = (0..attempts)
+                .filter(|&i| succeeded[i].load(Ordering::Relaxed))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(stored, expected, "round {round}: lost or duplicated");
+        }
+    }
 }

@@ -132,7 +132,8 @@ impl<V> IntHashTable<V> {
 
     /// Returns a reference to the value for `key`.
     pub fn get(&self, key: i64) -> Option<&V> {
-        self.probe(key).map(|i| self.vals[i].as_ref().expect("occupied slot"))
+        self.probe(key)
+            .map(|i| self.vals[i].as_ref().expect("occupied slot"))
     }
 
     /// Returns a mutable reference to the value for `key`.
@@ -207,10 +208,7 @@ impl<V> IntHashTable<V> {
     fn grow(&mut self) {
         let new_slots = self.keys.len() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_slots]);
-        let old_vals = std::mem::replace(
-            &mut self.vals,
-            (0..new_slots).map(|_| None).collect(),
-        );
+        let old_vals = std::mem::replace(&mut self.vals, (0..new_slots).map(|_| None).collect());
         self.mask = new_slots - 1;
         self.len = 0;
         for (k, v) in old_keys.into_iter().zip(old_vals) {
@@ -341,8 +339,7 @@ impl ConcurrentIntTable {
 mod tests {
     use super::*;
     use crate::parallel::parallel_for;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ringo_rng::Rng64;
     use std::collections::HashMap;
 
     #[test]
@@ -409,7 +406,8 @@ mod tests {
     fn get_or_insert_with_only_defaults_once() {
         let mut t: IntHashTable<Vec<i64>> = IntHashTable::new();
         t.get_or_insert_with(1, Vec::new).push(10);
-        t.get_or_insert_with(1, || panic!("should not run")).push(20);
+        t.get_or_insert_with(1, || panic!("should not run"))
+            .push(20);
         assert_eq!(t.get(1), Some(&vec![10, 20]));
     }
 
@@ -426,12 +424,12 @@ mod tests {
 
     #[test]
     fn randomized_against_std_hashmap() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::new(42);
         let mut ours: IntHashTable<u64> = IntHashTable::new();
         let mut reference: HashMap<i64, u64> = HashMap::new();
         for step in 0..20_000u64 {
-            let key = rng.gen_range(-500..500i64);
-            match rng.gen_range(0..3) {
+            let key = rng.range_i64(-500..500);
+            match rng.below(3) {
                 0 | 1 => {
                     assert_eq!(ours.insert(key, step), reference.insert(key, step));
                 }

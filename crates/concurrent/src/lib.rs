@@ -6,7 +6,10 @@
 //! insertions by claiming cell indices with an atomic increment. This crate
 //! provides Rust equivalents of all three:
 //!
-//! * [`parallel`] — a fork-join runtime over scoped threads
+//! * [`pool`] — a persistent fork-join worker pool created once per
+//!   process, so parallel regions cost a wakeup instead of OS thread
+//!   spawns, with [`pool::PoolStats`] counters for observability,
+//! * [`parallel`] — OpenMP-style loops on that pool
 //!   ([`parallel::parallel_for`], [`parallel::parallel_map`], reductions),
 //!   the moral equivalent of `#pragma omp parallel for` with static
 //!   scheduling,
@@ -24,9 +27,11 @@
 pub mod atomic_vec;
 pub mod hash_table;
 pub mod parallel;
+pub mod pool;
 pub mod sort;
 
 pub use atomic_vec::ConcurrentVec;
 pub use hash_table::{ConcurrentIntTable, IntHashTable};
 pub use parallel::{num_threads, parallel_for, parallel_map, parallel_reduce};
+pub use pool::{pool_stats, Pool, PoolStats};
 pub use sort::{parallel_sort, parallel_sort_by_key};

@@ -1,25 +1,43 @@
-//! OpenMP-style fork-join parallel loops over scoped threads.
+//! OpenMP-style fork-join parallel loops on the persistent worker pool.
 //!
 //! Ringo parallelizes its critical loops with a handful of OpenMP pragmas
 //! using static scheduling: an index range is cut into one contiguous chunk
 //! per worker and each worker processes its chunk independently. These
-//! helpers reproduce that model with `crossbeam::scope`, which lets the
-//! closures borrow from the caller's stack just like an OpenMP parallel
-//! region does.
+//! helpers reproduce that model on top of [`crate::pool::Pool`], a
+//! long-lived worker team created once per process — so a `parallel_for`
+//! inside a table operator or a PageRank iteration costs a condvar wake,
+//! not `threads` OS thread creations, exactly the amortization the paper's
+//! interactivity numbers assume. Closures may still borrow from the
+//! caller's stack like an OpenMP parallel region: every entry point blocks
+//! until its last chunk finishes.
 //!
 //! All entry points take an explicit thread count so benchmarks can sweep
 //! it; [`num_threads`] supplies a default honoring the `RINGO_THREADS`
 //! environment variable.
 
+use crate::pool::Pool;
 use std::ops::Range;
 
 /// Default worker count: `RINGO_THREADS` if set and positive, otherwise the
 /// machine's available parallelism.
+///
+/// An unparsable or zero `RINGO_THREADS` is ignored, falling back to
+/// available parallelism, and a warning is printed to stderr the first
+/// time that happens so typos do not silently serialize (or oversubscribe)
+/// a session.
 pub fn num_threads() -> usize {
     if let Ok(v) = std::env::var("RINGO_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "ringo: ignoring invalid RINGO_THREADS={v:?} \
+                         (expected a positive integer); using available \
+                         parallelism"
+                    );
+                });
             }
         }
     }
@@ -43,8 +61,8 @@ pub fn chunk_bounds(len: usize, threads: usize) -> Vec<usize> {
     bounds
 }
 
-/// Runs `body(worker_index, index_range)` over `0..len` split statically
-/// across `threads` workers. Equivalent to
+/// Runs `body(chunk_index, index_range)` over `0..len` split statically
+/// across `threads` workers of the process-wide pool. Equivalent to
 /// `#pragma omp parallel for schedule(static)`.
 ///
 /// With `threads <= 1` (or a single chunk) the body runs on the calling
@@ -80,14 +98,7 @@ where
         body(0, 0..len);
         return;
     }
-    crossbeam::scope(|s| {
-        for t in 0..chunks {
-            let range = bounds[t]..bounds[t + 1];
-            let body = &body;
-            s.spawn(move |_| body(t, range));
-        }
-    })
-    .expect("worker thread panicked");
+    Pool::global().run(chunks, &|t| body(t, bounds[t]..bounds[t + 1]));
 }
 
 /// Runs `body(index_range)` per chunk and collects one result per chunk, in
@@ -104,20 +115,25 @@ where
     if chunks <= 1 {
         return vec![body(0..len)];
     }
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..chunks)
-            .map(|t| {
-                let range = bounds[t]..bounds[t + 1];
-                let body = &body;
-                s.spawn(move |_| body(range))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-    .expect("worker thread panicked")
+    // One slot per chunk; each chunk writes only its own index, so a plain
+    // mutex around the whole vector would serialize nothing of consequence
+    // (chunks ≤ threads writes total) — but std::sync::Mutex per write is
+    // still avoidable: slots are disjoint, use the same erased-window trick
+    // as the sorter.
+    let mut slots: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
+    {
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        Pool::global().run(chunks, &|t| {
+            let result = body(bounds[t]..bounds[t + 1]);
+            // SAFETY: chunk `t` exclusively owns slot `t`; the vector
+            // outlives the blocking `run` call.
+            unsafe { *slots_ptr.get().add(t) = Some(result) };
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk fills its slot"))
+        .collect()
 }
 
 /// Parallel reduction: maps each chunk with `body`, then folds the partial
@@ -135,7 +151,7 @@ where
         .fold(init, combine)
 }
 
-/// Applies `body(worker_index, chunk_start, chunk)` to disjoint mutable
+/// Applies `body(chunk_index, chunk_start, chunk)` to disjoint mutable
 /// chunks of `data`, one chunk per worker. This is the write-side
 /// counterpart of [`parallel_for`]: threads share nothing, so no locking is
 /// needed — the pattern Ringo uses for graph-to-table export where each
@@ -152,20 +168,28 @@ where
         body(0, 0, data);
         return;
     }
-    crossbeam::scope(|s| {
-        let mut rest = data;
-        let mut consumed = 0;
-        for t in 0..chunks {
-            let take = bounds[t + 1] - bounds[t];
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let start = consumed;
-            consumed += take;
-            let body = &body;
-            s.spawn(move |_| body(t, start, head));
-        }
-    })
-    .expect("worker thread panicked");
+    let base = SendPtr(data.as_mut_ptr());
+    Pool::global().run(chunks, &|t| {
+        let (lo, hi) = (bounds[t], bounds[t + 1]);
+        // SAFETY: `[lo, hi)` windows are pairwise disjoint across chunks
+        // and in-bounds; `data` outlives the blocking `run` call.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+        body(t, lo, chunk);
+    });
+}
+
+/// A raw pointer that may cross thread boundaries. Callers must uphold the
+/// usual aliasing rules themselves (disjoint writes per chunk). Accessed
+/// through [`SendPtr::get`] so closures capture the whole wrapper (edition
+/// 2021 disjoint capture would otherwise grab the bare non-`Sync` field).
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -268,5 +292,35 @@ mod tests {
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn repeated_parallel_for_never_spawns_per_call() {
+        // Warm the pool up, then check that 200 further dispatches change
+        // only the job counters — never the worker count.
+        parallel_for(64, 4, |_, _| {});
+        let before = crate::pool::pool_stats();
+        for _ in 0..200 {
+            parallel_for(64, 4, |_, range| {
+                std::hint::black_box(range.sum::<usize>());
+            });
+        }
+        let after = crate::pool::pool_stats();
+        assert_eq!(after.workers, before.workers, "pool size is constant");
+        assert_eq!(after.jobs_dispatched - before.jobs_dispatched, 200);
+        assert!(after.chunks_executed - before.chunks_executed >= 200);
+    }
+
+    #[test]
+    fn parallel_map_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(1000, 4, |range| {
+                if range.start == 0 {
+                    panic!("first chunk fails");
+                }
+                range.len()
+            })
+        });
+        assert!(caught.is_err());
     }
 }

@@ -67,12 +67,18 @@ where
             let dst_cell = SliceCell::new(&mut dst);
             let rb = &run_bounds;
             let key = &key;
-            parallel_for(pairs.max(1), threads, |_, pair_range| {
+            // `run_bounds.len() > 2` guarantees at least one full pair,
+            // and every pair index satisfies `2p + 2 <= run_bounds.len() - 1`,
+            // so the window bounds below never index past the slice.
+            debug_assert!(pairs >= 1);
+            parallel_for(pairs, threads, |_, pair_range| {
                 for p in pair_range {
                     let lo = rb[2 * p];
                     let mid = rb[2 * p + 1];
-                    let hi = if 2 * p + 2 < rb.len() { rb[2 * p + 2] } else { mid };
-                    // SAFETY: pairs own disjoint [lo, hi) output windows.
+                    let hi = rb[2 * p + 2];
+                    // SAFETY: pairs own disjoint [lo, hi) output windows:
+                    // `rb` is strictly increasing, so windows of distinct
+                    // pair indices cannot overlap, and `hi <= len`.
                     let out = unsafe { dst_cell.slice_mut(lo, hi) };
                     merge_runs(&src_ref[lo..mid], &src_ref[mid..hi], out, key);
                 }
@@ -164,12 +170,11 @@ impl<T> SliceCell<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ringo_rng::Rng64;
 
     fn check_sorted(threads: usize, len: usize, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut data: Vec<i64> = (0..len).map(|_| rng.gen_range(-1000..1000)).collect();
+        let mut rng = Rng64::new(seed);
+        let mut data: Vec<i64> = (0..len).map(|_| rng.range_i64(-1000..1000)).collect();
         let mut expect = data.clone();
         expect.sort_unstable();
         parallel_sort(&mut data, threads);
@@ -225,5 +230,43 @@ mod tests {
         let mut out = [0; 6];
         merge_runs(&a, &b, &mut out, &|x| *x);
         assert_eq!(out, [1, 2, 3, 4, 5, 6]);
+    }
+
+    /// Property test guarding the merge-round window arithmetic (the
+    /// `SliceCell` unsafe surface): `parallel_sort_by_key` must agree with
+    /// `sort_unstable_by_key` for random inputs across lengths 0–20k and
+    /// thread counts 1–9, which exercises odd run counts, a trailing
+    /// unpaired run, and the single-pair final round.
+    #[test]
+    fn property_sort_by_key_matches_std_across_lengths_and_threads() {
+        let mut rng = Rng64::new(0xD1CE);
+        for case in 0..48 {
+            // Mix maximal and uniform lengths so the >= 8192 parallel path
+            // is hit often, not only the small-input fallback.
+            let len = if case % 3 == 0 {
+                20_000 - rng.below(64)
+            } else {
+                rng.below(20_001)
+            };
+            for threads in 1..=9usize {
+                let mut data: Vec<(i64, u32)> = (0..len)
+                    .map(|i| (rng.range_i64(-300..300), i as u32))
+                    .collect();
+                let mut expect = data.clone();
+                expect.sort_unstable_by_key(|p| p.0);
+                parallel_sort_by_key(&mut data, threads, |p| p.0);
+                // Keys must match the std ordering exactly; payloads must
+                // be a permutation (neither sort is stable).
+                assert!(
+                    data.iter().map(|p| p.0).eq(expect.iter().map(|p| p.0)),
+                    "key order diverged: len={len} threads={threads}"
+                );
+                let mut got: Vec<u32> = data.iter().map(|p| p.1).collect();
+                let mut want: Vec<u32> = expect.iter().map(|p| p.1).collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "payload lost: len={len} threads={threads}");
+            }
+        }
     }
 }

@@ -100,23 +100,22 @@ pub fn table_to_graph(t: &Table, src_col: &str, dst_col: &str) -> Result<Directe
 
     // Step 5: copy neighbor vectors per node, in parallel over disjoint
     // node ranges (contention-free: each part is owned by one worker).
-    let parts: Vec<Vec<NodeParts>> =
-        parallel_map(nodes.len(), threads, |range| {
-            let mut out = Vec::with_capacity(range.len());
-            for k in range {
-                let (id, orun, irun) = nodes[k];
-                let out_nbrs = match orun {
-                    Some(r) => dedup_neighbors(&by_src[out_runs[r].1..out_runs[r].2]),
-                    None => Vec::new(),
-                };
-                let in_nbrs = match irun {
-                    Some(r) => dedup_neighbors(&by_dst[in_runs[r].1..in_runs[r].2]),
-                    None => Vec::new(),
-                };
-                out.push((id, in_nbrs, out_nbrs));
-            }
-            out
-        });
+    let parts: Vec<Vec<NodeParts>> = parallel_map(nodes.len(), threads, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for k in range {
+            let (id, orun, irun) = nodes[k];
+            let out_nbrs = match orun {
+                Some(r) => dedup_neighbors(&by_src[out_runs[r].1..out_runs[r].2]),
+                None => Vec::new(),
+            };
+            let in_nbrs = match irun {
+                Some(r) => dedup_neighbors(&by_dst[in_runs[r].1..in_runs[r].2]),
+                None => Vec::new(),
+            };
+            out.push((id, in_nbrs, out_nbrs));
+        }
+        out
+    });
 
     let mut flat = Vec::with_capacity(nodes.len());
     for p in parts {

@@ -41,9 +41,7 @@ pub use ringo_table as table;
 
 pub use ringo_algo::{Direction, PageRankConfig};
 pub use ringo_graph::{CsrGraph, DirectedGraph, NodeId, UndirectedGraph, WeightedDigraph};
-pub use ringo_table::{
-    AggOp, Cmp, ColumnType, Predicate, Schema, Table, TableError, Value,
-};
+pub use ringo_table::{AggOp, Cmp, ColumnType, Predicate, Schema, Table, TableError, Value};
 
 use std::path::Path;
 
@@ -142,7 +140,13 @@ impl Ringo {
     }
 
     /// Hash join (the paper's `Join`).
-    pub fn join(&self, left: &Table, right: &Table, left_col: &str, right_col: &str) -> Result<Table> {
+    pub fn join(
+        &self,
+        left: &Table,
+        right: &Table,
+        left_col: &str,
+        right_col: &str,
+    ) -> Result<Table> {
         left.join(right, left_col, right_col)
     }
 
@@ -214,7 +218,12 @@ impl Ringo {
     }
 
     /// Algorithm scores → table (the paper's `TableFromHashMap`).
-    pub fn table_from_scores(&self, scores: &[(NodeId, f64)], id_col: &str, score_col: &str) -> Table {
+    pub fn table_from_scores(
+        &self,
+        scores: &[(NodeId, f64)],
+        id_col: &str,
+        score_col: &str,
+    ) -> Table {
         ringo_convert::scores_to_table(scores, id_col, score_col)
     }
 
@@ -238,7 +247,11 @@ impl Ringo {
     }
 
     /// HITS hub/authority scores.
-    pub fn hits(&self, g: &DirectedGraph, iterations: usize) -> Vec<(NodeId, ringo_algo::HitsScores)> {
+    pub fn hits(
+        &self,
+        g: &DirectedGraph,
+        iterations: usize,
+    ) -> Vec<(NodeId, ringo_algo::HitsScores)> {
         ringo_algo::hits(g, iterations, self.threads)
     }
 
@@ -248,7 +261,12 @@ impl Ringo {
     }
 
     /// BFS hop distances.
-    pub fn bfs(&self, g: &DirectedGraph, src: NodeId, dir: Direction) -> ringo_concurrent::IntHashTable<u32> {
+    pub fn bfs(
+        &self,
+        g: &DirectedGraph,
+        src: NodeId,
+        dir: Direction,
+    ) -> ringo_concurrent::IntHashTable<u32> {
         ringo_algo::bfs_distances(g, src, dir)
     }
 
@@ -364,10 +382,16 @@ mod tests {
             users: 150,
             ..Default::default()
         });
-        let java = ringo.select(&posts, &Predicate::str_eq("Tag", "java")).unwrap();
+        let java = ringo
+            .select(&posts, &Predicate::str_eq("Tag", "java"))
+            .unwrap();
         assert!(java.n_rows() > 0);
-        let q = ringo.select(&java, &Predicate::str_eq("Type", "question")).unwrap();
-        let a = ringo.select(&java, &Predicate::str_eq("Type", "answer")).unwrap();
+        let q = ringo
+            .select(&java, &Predicate::str_eq("Type", "question"))
+            .unwrap();
+        let a = ringo
+            .select(&java, &Predicate::str_eq("Type", "answer"))
+            .unwrap();
         let qa = ringo.join(&q, &a, "AcceptedAnswerId", "PostId").unwrap();
         assert!(qa.n_rows() > 0, "some java questions have accepted answers");
         // Asker (UserId) -> answerer (UserId-1).
@@ -408,11 +432,17 @@ mod tests {
             users: 120,
             ..Default::default()
         });
-        let q = ringo.select(&posts, &Predicate::str_eq("Type", "question")).unwrap();
-        let a = ringo.select(&posts, &Predicate::str_eq("Type", "answer")).unwrap();
+        let q = ringo
+            .select(&posts, &Predicate::str_eq("Type", "question"))
+            .unwrap();
+        let a = ringo
+            .select(&posts, &Predicate::str_eq("Type", "answer"))
+            .unwrap();
         let qa = ringo.join(&q, &a, "AcceptedAnswerId", "PostId").unwrap();
         // Multiplicity-weighted influence graph.
-        let wg = ringo.to_weighted_graph(&qa, "UserId", "UserId-1", None).unwrap();
+        let wg = ringo
+            .to_weighted_graph(&qa, "UserId", "UserId-1", None)
+            .unwrap();
         assert!(wg.edge_count() <= qa.n_rows());
         let pr = ringo.pagerank_weighted(&wg);
         let total: f64 = pr.iter().map(|(_, s)| s).sum();

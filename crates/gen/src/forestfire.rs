@@ -8,9 +8,8 @@
 //! node's out-neighbors (forward burning, ratio `p`) and in-neighbors
 //! (backward burning, ratio `p * backward`), never revisiting a node.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ringo_graph::{DirectedGraph, NodeId};
+use ringo_rng::Rng64;
 
 /// Parameters for [`forest_fire`].
 #[derive(Clone, Copy, Debug)]
@@ -46,7 +45,7 @@ pub fn forest_fire(config: &ForestFireConfig) -> DirectedGraph {
         "forward burning probability must be in [0, 1)"
     );
     assert!(config.backward >= 0.0);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::new(config.seed);
     let mut g = DirectedGraph::with_capacity(config.nodes);
     if config.nodes == 0 {
         return g;
@@ -54,9 +53,9 @@ pub fn forest_fire(config: &ForestFireConfig) -> DirectedGraph {
     g.add_node(0);
     // Geometric sample: number of failures before success with success
     // probability 1 - p, i.e. mean p / (1 - p).
-    let geometric = |p: f64, rng: &mut StdRng| -> usize {
+    let geometric = |p: f64, rng: &mut Rng64| -> usize {
         let mut n = 0usize;
-        while p > 0.0 && rng.gen::<f64>() < p && n < 64 {
+        while p > 0.0 && rng.chance(p) && n < 64 {
             n += 1;
         }
         n
@@ -66,7 +65,7 @@ pub fn forest_fire(config: &ForestFireConfig) -> DirectedGraph {
     for v in 1..config.nodes {
         let v = v as NodeId;
         g.add_node(v);
-        let ambassador = rng.gen_range(0..v);
+        let ambassador = rng.range_i64(0..v);
         visited.clear();
         visited.resize(v as usize + 1, false);
         visited[v as usize] = true;
@@ -81,12 +80,10 @@ pub fn forest_fire(config: &ForestFireConfig) -> DirectedGraph {
                 (g.in_nbrs(w).to_vec(), backward_n),
             ] {
                 // Sample `count` unvisited neighbors without replacement.
-                let mut candidates: Vec<NodeId> = nbrs
-                    .into_iter()
-                    .filter(|&x| !visited[x as usize])
-                    .collect();
+                let mut candidates: Vec<NodeId> =
+                    nbrs.into_iter().filter(|&x| !visited[x as usize]).collect();
                 for _ in 0..count.min(candidates.len()) {
-                    let i = rng.gen_range(0..candidates.len());
+                    let i = rng.below(candidates.len());
                     let burned = candidates.swap_remove(i);
                     visited[burned as usize] = true;
                     frontier.push(burned);

@@ -1,8 +1,7 @@
 //! Classic random-graph models for tests and examples.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ringo_graph::{NodeId, UndirectedGraph};
+use ringo_rng::Rng64;
 
 /// G(n, m) Erdős–Rényi graph: `m` distinct undirected edges drawn
 /// uniformly among `n` nodes (no self-loops). Node ids are `0..n`.
@@ -12,15 +11,15 @@ use ringo_graph::{NodeId, UndirectedGraph};
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> UndirectedGraph {
     let possible = n * n.saturating_sub(1) / 2;
     assert!(m <= possible, "m={m} exceeds {possible} possible edges");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut g = UndirectedGraph::with_capacity(n);
     for v in 0..n {
         g.add_node(v as NodeId);
     }
     let mut added = 0usize;
     while added < m {
-        let a = rng.gen_range(0..n) as NodeId;
-        let b = rng.gen_range(0..n) as NodeId;
+        let a = rng.below(n) as NodeId;
+        let b = rng.below(n) as NodeId;
         if a != b && g.add_edge(a, b) {
             added += 1;
         }
@@ -35,7 +34,7 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> UndirectedGraph {
 pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> UndirectedGraph {
     assert!(k >= 1, "attachment degree must be at least 1");
     assert!(n > k, "need more nodes than the attachment degree");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut g = UndirectedGraph::with_capacity(n);
     // Endpoint pool: each entry is a node id repeated once per incident
     // edge end, giving degree-proportional sampling in O(1).
@@ -52,7 +51,7 @@ pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> UndirectedGraph
         let v = v as NodeId;
         let mut attached = 0usize;
         while attached < k {
-            let target = pool[rng.gen_range(0..pool.len())];
+            let target = pool[rng.below(pool.len())];
             if target != v && g.add_edge(v, target) {
                 pool.push(v);
                 pool.push(target);
@@ -69,7 +68,7 @@ pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> UndirectedGraph
 pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> UndirectedGraph {
     assert!(k >= 1 && 2 * k < n, "need 1 <= k and 2k < n");
     assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut g = UndirectedGraph::with_capacity(n);
     for v in 0..n {
         g.add_node(v as NodeId);
@@ -77,11 +76,11 @@ pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> UndirectedGraph 
     for v in 0..n {
         for j in 1..=k {
             let w = (v + j) % n;
-            if rng.gen::<f64>() < beta {
+            if rng.chance(beta) {
                 // Rewire: keep v, pick a random new endpoint.
                 let mut tries = 0;
                 loop {
-                    let r = rng.gen_range(0..n);
+                    let r = rng.below(n);
                     if r != v && g.add_edge(v as NodeId, r as NodeId) {
                         break;
                     }

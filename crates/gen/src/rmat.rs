@@ -6,9 +6,8 @@
 //! picks its adjacency-matrix cell by recursively descending into one of
 //! four quadrants with probabilities `(a, b, c, d)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ringo_graph::NodeId;
+use ringo_rng::Rng64;
 
 /// Parameters for [`rmat`].
 #[derive(Clone, Copy, Debug)]
@@ -50,14 +49,14 @@ pub fn rmat(config: &RmatConfig) -> Vec<(NodeId, NodeId)> {
         config.a > 0.0 && config.b > 0.0 && config.c > 0.0 && d > 0.0,
         "quadrant probabilities must be positive and sum below 1"
     );
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::new(config.seed);
     let mut edges = Vec::with_capacity(config.edges);
     let ab = config.a + config.b;
     let abc = ab + config.c;
     for _ in 0..config.edges {
         let (mut src, mut dst) = (0u64, 0u64);
         for bit in (0..config.scale).rev() {
-            let r: f64 = rng.gen();
+            let r = rng.f64();
             // Add a little per-level noise so the degree sequence is not
             // perfectly self-similar (standard "smoothing" variant).
             let (hi_src, hi_dst) = if r < config.a {
@@ -162,7 +161,12 @@ mod tests {
     fn presets_have_expected_scale_relation() {
         let lj = lj_like(0.01, 1);
         let tw = tw_like(0.01, 1);
-        assert!(tw.len() > 6 * lj.len(), "tw {} vs lj {}", tw.len(), lj.len());
+        assert!(
+            tw.len() > 6 * lj.len(),
+            "tw {} vs lj {}",
+            tw.len(),
+            lj.len()
+        );
     }
 
     #[test]

@@ -8,10 +8,7 @@
 //! interesting: user activity and answer acceptance follow power laws, so
 //! a small set of prolific answerers ("experts") exists by construction.
 
-use rand::distributions::WeightedIndex;
-use rand::prelude::Distribution;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ringo_rng::{Rng64, WeightedIndex};
 use ringo_table::{ColumnData, ColumnType, Schema, StringPool, Table};
 
 /// Parameters for [`generate_posts`].
@@ -67,18 +64,18 @@ pub fn posts_schema() -> Schema {
 /// Generates the posts table described by `config`.
 pub fn generate_posts(config: &StackOverflowConfig) -> Table {
     assert!(config.questions > 0 && config.users > 1 && !config.tags.is_empty());
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::new(config.seed);
 
     // Zipf-ish weights: user u asks/answers with weight 1/(u+1)^0.8; tags
     // likewise but steeper, so the first tag ("java") dominates.
     let user_weights: Vec<f64> = (0..config.users)
         .map(|u| 1.0 / ((u + 1) as f64).powf(0.8))
         .collect();
-    let user_dist = WeightedIndex::new(&user_weights).expect("positive weights");
+    let user_dist = WeightedIndex::new(&user_weights);
     let tag_weights: Vec<f64> = (0..config.tags.len())
         .map(|t| 1.0 / ((t + 1) as f64).powf(1.2))
         .collect();
-    let tag_dist = WeightedIndex::new(&tag_weights).expect("positive weights");
+    let tag_dist = WeightedIndex::new(&tag_weights);
 
     let n = config.questions + config.answers;
     let mut post_id: Vec<i64> = Vec::with_capacity(n);
@@ -116,7 +113,7 @@ pub fn generate_posts(config: &StackOverflowConfig) -> Table {
     let q_weights: Vec<f64> = (0..config.questions)
         .map(|q| 1.0 / ((q + 1) as f64).powf(0.5))
         .collect();
-    let q_dist = WeightedIndex::new(&q_weights).expect("positive weights");
+    let q_dist = WeightedIndex::new(&q_weights);
     for a in 0..config.answers {
         let id = (config.questions + a) as i64;
         let q = q_dist.sample(&mut rng);
@@ -129,10 +126,7 @@ pub fn generate_posts(config: &StackOverflowConfig) -> Table {
         parent.push(q as i64);
         created.push(q as i64 * 10 + 1 + (a % 7) as i64);
         // First eligible answer wins acceptance, with the configured rate.
-        if accepted[q] == -1
-            && answerer != q_asker[q]
-            && rng.gen::<f64>() < config.acceptance_rate
-        {
+        if accepted[q] == -1 && answerer != q_asker[q] && rng.chance(config.acceptance_rate) {
             accepted[q] = id;
         }
     }
@@ -179,7 +173,9 @@ mod tests {
     fn row_and_type_counts() {
         let t = small();
         assert_eq!(t.n_rows(), 1400);
-        let q = t.count_where(&Predicate::str_eq("Type", "question")).unwrap();
+        let q = t
+            .count_where(&Predicate::str_eq("Type", "question"))
+            .unwrap();
         let a = t.count_where(&Predicate::str_eq("Type", "answer")).unwrap();
         assert_eq!(q, 500);
         assert_eq!(a, 900);

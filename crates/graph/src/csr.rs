@@ -119,7 +119,10 @@ impl CsrGraph {
     /// True when the edge `src -> dst` exists.
     pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
         match self.index.get(src) {
-            Some(&s) => self.out_nbrs_of_slot(s as usize).binary_search(&dst).is_ok(),
+            Some(&s) => self
+                .out_nbrs_of_slot(s as usize)
+                .binary_search(&dst)
+                .is_ok(),
             None => false,
         }
     }

@@ -175,7 +175,9 @@ impl DirectedGraph {
             Some(s) => *s,
             None => return false,
         };
-        let cell = self.nodes[slot as usize].take().expect("indexed slot occupied");
+        let cell = self.nodes[slot as usize]
+            .take()
+            .expect("indexed slot occupied");
         // Remove `id` from the in-lists of its out-neighbors and from the
         // out-lists of its in-neighbors.
         for &nbr in &cell.out_nbrs {

@@ -19,8 +19,8 @@
 #![warn(missing_docs)]
 
 pub mod csr;
-pub mod io;
 pub mod directed;
+pub mod io;
 pub mod traits;
 pub mod transform;
 pub mod undirected;

@@ -66,7 +66,9 @@ impl DirectedGraph {
         let remap = |ids: &[NodeId]| -> Vec<NodeId> {
             // Old adjacency is sorted by old id, and the mapping is
             // monotone, so the remapped vector stays sorted.
-            ids.iter().map(|&n| *mapping.get(n).expect("node mapped")).collect()
+            ids.iter()
+                .map(|&n| *mapping.get(n).expect("node mapped"))
+                .collect()
         };
         let parts = old_ids
             .iter()

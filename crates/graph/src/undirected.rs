@@ -148,7 +148,9 @@ impl UndirectedGraph {
             Some(s) => *s,
             None => return false,
         };
-        let cell = self.nodes[slot as usize].take().expect("indexed slot occupied");
+        let cell = self.nodes[slot as usize]
+            .take()
+            .expect("indexed slot occupied");
         for &nbr in &cell.nbrs {
             if nbr == id {
                 continue;

@@ -190,8 +190,8 @@ impl WeightedDigraph {
         let mut bytes = self.index.mem_size();
         bytes += self.nodes.capacity() * std::mem::size_of::<Option<WNodeCell>>();
         for c in self.nodes.iter().flatten() {
-            bytes += (c.in_nbrs.capacity() + c.out_nbrs.capacity()) * 8
-                + c.out_weights.capacity() * 8;
+            bytes +=
+                (c.in_nbrs.capacity() + c.out_nbrs.capacity()) * 8 + c.out_weights.capacity() * 8;
         }
         bytes
     }

@@ -113,8 +113,10 @@ mod tests {
             ("tag", ColumnType::Str),
         ]);
         let mut t = Table::new(schema.clone());
-        t.push_row(&[Value::Int(1), Value::Float(0.5), "java".into()]).unwrap();
-        t.push_row(&[Value::Int(-2), Value::Float(1.25), "".into()]).unwrap();
+        t.push_row(&[Value::Int(1), Value::Float(0.5), "java".into()])
+            .unwrap();
+        t.push_row(&[Value::Int(-2), Value::Float(1.25), "".into()])
+            .unwrap();
         let path = tmpfile("roundtrip.tsv");
         save_tsv(&t, &path).unwrap();
         let back = load_tsv(&path, &schema).unwrap();

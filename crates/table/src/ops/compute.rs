@@ -136,13 +136,12 @@ mod tests {
     fn top_k_matches_full_sort() {
         let mut big = Table::from_int_column(
             "v",
-            (0..5_000).map(|i| (i * 2_654_435_761u64 as i64) % 100_000).collect(),
+            (0..5_000)
+                .map(|i| (i * 2_654_435_761u64 as i64) % 100_000)
+                .collect(),
         );
         let top = big.top_k(&["v"], 50, false).unwrap();
         big.order_by(&["v"], false).unwrap();
-        assert_eq!(
-            top.int_col("v").unwrap(),
-            &big.int_col("v").unwrap()[..50]
-        );
+        assert_eq!(top.int_col("v").unwrap(), &big.int_col("v").unwrap()[..50]);
     }
 }

@@ -14,14 +14,13 @@ impl Table {
         let i = self.schema.index_of(col)?;
         match &self.cols[i] {
             ColumnData::Int(v) => {
-                let parts: Vec<IntHashTable<u64>> =
-                    parallel_map(v.len(), self.threads, |range| {
-                        let mut m: IntHashTable<u64> = IntHashTable::new();
-                        for row in range {
-                            *m.get_or_insert_with(v[row], || 0) += 1;
-                        }
-                        m
-                    });
+                let parts: Vec<IntHashTable<u64>> = parallel_map(v.len(), self.threads, |range| {
+                    let mut m: IntHashTable<u64> = IntHashTable::new();
+                    for row in range {
+                        *m.get_or_insert_with(v[row], || 0) += 1;
+                    }
+                    m
+                });
                 let mut merged: IntHashTable<u64> = IntHashTable::new();
                 for part in parts {
                     for (k, &c) in part.iter() {
@@ -48,14 +47,13 @@ impl Table {
             ColumnData::Str(v) => {
                 // Symbols are dense enough to count by symbol, resolving
                 // to text only for the output.
-                let parts: Vec<IntHashTable<u64>> =
-                    parallel_map(v.len(), self.threads, |range| {
-                        let mut m: IntHashTable<u64> = IntHashTable::new();
-                        for row in range {
-                            *m.get_or_insert_with(i64::from(v[row]), || 0) += 1;
-                        }
-                        m
-                    });
+                let parts: Vec<IntHashTable<u64>> = parallel_map(v.len(), self.threads, |range| {
+                    let mut m: IntHashTable<u64> = IntHashTable::new();
+                    for row in range {
+                        *m.get_or_insert_with(i64::from(v[row]), || 0) += 1;
+                    }
+                    m
+                });
                 let mut merged: IntHashTable<u64> = IntHashTable::new();
                 for part in parts {
                     for (k, &c) in part.iter() {

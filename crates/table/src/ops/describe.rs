@@ -130,8 +130,14 @@ mod tests {
             ("s", ColumnType::Str),
         ]);
         let mut t = Table::new(schema);
-        for (x, f, s) in [(1i64, 0.5, "a"), (2, 1.5, "b"), (2, 2.5, "a"), (3, 0.5, "a")] {
-            t.push_row(&[Value::Int(x), Value::Float(f), s.into()]).unwrap();
+        for (x, f, s) in [
+            (1i64, 0.5, "a"),
+            (2, 1.5, "b"),
+            (2, 2.5, "a"),
+            (3, 0.5, "a"),
+        ] {
+            t.push_row(&[Value::Int(x), Value::Float(f), s.into()])
+                .unwrap();
         }
         t
     }

@@ -221,7 +221,8 @@ mod tests {
             ("west", 5, 0.5),
             ("east", 2, 4.0),
         ] {
-            t.push_row(&[r.into(), Value::Int(a), Value::Float(f)]).unwrap();
+            t.push_row(&[r.into(), Value::Int(a), Value::Float(f)])
+                .unwrap();
         }
         t
     }
@@ -246,25 +247,35 @@ mod tests {
     #[test]
     fn sum_min_max_int_stay_int() {
         let t = sales();
-        let s = t.group_by(&["region"], Some("amount"), AggOp::Sum, "s").unwrap();
+        let s = t
+            .group_by(&["region"], Some("amount"), AggOp::Sum, "s")
+            .unwrap();
         assert_eq!(s.int_col("s").unwrap(), &[42, 25]);
-        let m = t.group_by(&["region"], Some("amount"), AggOp::Min, "m").unwrap();
+        let m = t
+            .group_by(&["region"], Some("amount"), AggOp::Min, "m")
+            .unwrap();
         assert_eq!(m.int_col("m").unwrap(), &[2, 5]);
-        let x = t.group_by(&["region"], Some("amount"), AggOp::Max, "x").unwrap();
+        let x = t
+            .group_by(&["region"], Some("amount"), AggOp::Max, "x")
+            .unwrap();
         assert_eq!(x.int_col("x").unwrap(), &[30, 20]);
     }
 
     #[test]
     fn mean_is_float() {
         let t = sales();
-        let g = t.group_by(&["region"], Some("amount"), AggOp::Mean, "avg").unwrap();
+        let g = t
+            .group_by(&["region"], Some("amount"), AggOp::Mean, "avg")
+            .unwrap();
         assert_eq!(g.float_col("avg").unwrap(), &[14.0, 12.5]);
     }
 
     #[test]
     fn float_aggregates() {
         let t = sales();
-        let g = t.group_by(&["region"], Some("rate"), AggOp::Max, "mx").unwrap();
+        let g = t
+            .group_by(&["region"], Some("rate"), AggOp::Max, "mx")
+            .unwrap();
         assert_eq!(g.float_col("mx").unwrap(), &[4.0, 2.0]);
     }
 
@@ -273,12 +284,16 @@ mod tests {
         let t = sales();
         // east amounts: 10, 30, 2 — mean 14, var ((16+256+144)/3)... compute:
         // deviations -4, 16, -12 → squares 16, 256, 144 → var 416/3.
-        let v = t.group_by(&["region"], Some("amount"), AggOp::Var, "v").unwrap();
+        let v = t
+            .group_by(&["region"], Some("amount"), AggOp::Var, "v")
+            .unwrap();
         let vals = v.float_col("v").unwrap();
         assert!((vals[0] - 416.0 / 3.0).abs() < 1e-9);
         // west amounts: 20, 5 — mean 12.5, var 56.25.
         assert!((vals[1] - 56.25).abs() < 1e-9);
-        let s = t.group_by(&["region"], Some("amount"), AggOp::Std, "s").unwrap();
+        let s = t
+            .group_by(&["region"], Some("amount"), AggOp::Std, "s")
+            .unwrap();
         assert!((s.float_col("s").unwrap()[1] - 7.5).abs() < 1e-9);
     }
 
@@ -293,7 +308,9 @@ mod tests {
     fn errors_on_bad_arguments() {
         let t = sales();
         assert!(t.group_by(&["region"], None, AggOp::Sum, "s").is_err());
-        assert!(t.group_by(&["region"], Some("region"), AggOp::Sum, "s").is_err());
+        assert!(t
+            .group_by(&["region"], Some("region"), AggOp::Sum, "s")
+            .is_err());
         assert!(t.group_by(&["nope"], None, AggOp::Count, "n").is_err());
     }
 

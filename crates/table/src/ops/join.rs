@@ -67,7 +67,10 @@ impl Table {
             ColumnData::Str(bsyms) => {
                 let mut index: HashMap<&str, Vec<u32>> = HashMap::with_capacity(bsyms.len());
                 for (row, &sym) in bsyms.iter().enumerate() {
-                    index.entry(build.pool.get(sym)).or_default().push(row as u32);
+                    index
+                        .entry(build.pool.get(sym))
+                        .or_default()
+                        .push(row as u32);
                 }
                 probe_pairs(
                     KeyCol::Str(probe, probe.cols[pi].as_str_syms()),

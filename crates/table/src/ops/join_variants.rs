@@ -19,9 +19,7 @@ impl<'a> KeySet<'a> {
         let i = t.schema.index_of(col)?;
         Ok(match &t.cols[i] {
             ColumnData::Int(v) => Self::Int(v.iter().copied().collect()),
-            ColumnData::Str(v) => {
-                Self::Str(v.iter().map(|&sym| t.pool.get(sym)).collect())
-            }
+            ColumnData::Str(v) => Self::Str(v.iter().map(|&sym| t.pool.get(sym)).collect()),
             ColumnData::Float(_) => {
                 return Err(TableError::InvalidArgument(
                     "join keys must be int or str columns".into(),

@@ -33,9 +33,7 @@ impl Table {
                 let ord = match &self.cols[c] {
                     crate::ColumnData::Int(v) => v[a].cmp(&v[b]),
                     crate::ColumnData::Float(v) => v[a].total_cmp(&v[b]),
-                    crate::ColumnData::Str(v) => {
-                        self.pool.get(v[a]).cmp(self.pool.get(v[b]))
-                    }
+                    crate::ColumnData::Str(v) => self.pool.get(v[a]).cmp(self.pool.get(v[b])),
                 };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;

@@ -57,7 +57,8 @@ mod tests {
             ("b", 1, 2.5),
             ("a", 3, 1.5),
         ] {
-            t.push_row(&[g.into(), Value::Int(x), Value::Float(f)]).unwrap();
+            t.push_row(&[g.into(), Value::Int(x), Value::Float(f)])
+                .unwrap();
         }
         t
     }

@@ -314,10 +314,24 @@ mod tests {
     #[test]
     fn int_comparisons() {
         let t = posts();
-        assert_eq!(t.count_where(&Predicate::int("Score", Cmp::Gt, 5)).unwrap(), 3);
-        assert_eq!(t.count_where(&Predicate::int("Score", Cmp::Eq, 10)).unwrap(), 2);
-        assert_eq!(t.count_where(&Predicate::int("Score", Cmp::Lt, 0)).unwrap(), 1);
-        assert_eq!(t.count_where(&Predicate::int("Score", Cmp::Ne, 10)).unwrap(), 3);
+        assert_eq!(
+            t.count_where(&Predicate::int("Score", Cmp::Gt, 5)).unwrap(),
+            3
+        );
+        assert_eq!(
+            t.count_where(&Predicate::int("Score", Cmp::Eq, 10))
+                .unwrap(),
+            2
+        );
+        assert_eq!(
+            t.count_where(&Predicate::int("Score", Cmp::Lt, 0)).unwrap(),
+            1
+        );
+        assert_eq!(
+            t.count_where(&Predicate::int("Score", Cmp::Ne, 10))
+                .unwrap(),
+            3
+        );
     }
 
     #[test]
@@ -362,7 +376,8 @@ mod tests {
     fn float_predicate() {
         let t = posts();
         assert_eq!(
-            t.count_where(&Predicate::float("Weight", Cmp::Ge, 2.5)).unwrap(),
+            t.count_where(&Predicate::float("Weight", Cmp::Ge, 2.5))
+                .unwrap(),
             3
         );
     }
@@ -371,7 +386,8 @@ mod tests {
     fn int_in_and_between_helpers() {
         let t = posts();
         assert_eq!(
-            t.count_where(&Predicate::int_in("Score", vec![10, -2])).unwrap(),
+            t.count_where(&Predicate::int_in("Score", vec![10, -2]))
+                .unwrap(),
             3
         );
         assert_eq!(
@@ -379,7 +395,8 @@ mod tests {
             0
         );
         assert_eq!(
-            t.count_where(&Predicate::int_between("Score", 3, 10)).unwrap(),
+            t.count_where(&Predicate::int_between("Score", 3, 10))
+                .unwrap(),
             4
         );
         assert!(t.count_where(&Predicate::int_in("Tag", vec![1])).is_err());
@@ -396,7 +413,10 @@ mod tests {
         let kept = inplace.select_in_place(&pred).unwrap();
         assert_eq!(kept, 3);
         assert_eq!(inplace.row_ids(), copied.row_ids());
-        assert_eq!(inplace.int_col("Score").unwrap(), copied.int_col("Score").unwrap());
+        assert_eq!(
+            inplace.int_col("Score").unwrap(),
+            copied.int_col("Score").unwrap()
+        );
     }
 
     #[test]

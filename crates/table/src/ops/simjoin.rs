@@ -57,9 +57,8 @@ impl Table {
             .collect::<Result<_>>()?;
 
         // Sort both sides by the first coordinate.
-        let mut lsorted: Vec<(f64, u32)> = (0..self.n_rows())
-            .map(|r| (lget[0](r), r as u32))
-            .collect();
+        let mut lsorted: Vec<(f64, u32)> =
+            (0..self.n_rows()).map(|r| (lget[0](r), r as u32)).collect();
         let mut rsorted: Vec<(f64, u32)> = (0..other.n_rows())
             .map(|r| (rget[0](r), r as u32))
             .collect();

@@ -81,10 +81,7 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        let cols = schema
-            .iter()
-            .map(|(_, ty)| ColumnData::new(ty))
-            .collect();
+        let cols = schema.iter().map(|(_, ty)| ColumnData::new(ty)).collect();
         Self {
             schema,
             cols,
@@ -345,9 +342,12 @@ mod tests {
             ("score", ColumnType::Float),
         ]);
         let mut t = Table::new(schema);
-        t.push_row(&["ada".into(), 36i64.into(), 9.5.into()]).unwrap();
-        t.push_row(&["bob".into(), 25i64.into(), 7.25.into()]).unwrap();
-        t.push_row(&["cyd".into(), 31i64.into(), 8.0.into()]).unwrap();
+        t.push_row(&["ada".into(), 36i64.into(), 9.5.into()])
+            .unwrap();
+        t.push_row(&["bob".into(), 25i64.into(), 7.25.into()])
+            .unwrap();
+        t.push_row(&["cyd".into(), 31i64.into(), 8.0.into()])
+            .unwrap();
         t
     }
 
@@ -394,7 +394,10 @@ mod tests {
         let schema = Schema::new([("a", ColumnType::Int), ("b", ColumnType::Float)]);
         let ok = Table::from_parts(
             schema.clone(),
-            vec![ColumnData::Int(vec![1, 2]), ColumnData::Float(vec![0.5, 1.5])],
+            vec![
+                ColumnData::Int(vec![1, 2]),
+                ColumnData::Float(vec![0.5, 1.5]),
+            ],
             StringPool::new(),
         );
         assert_eq!(ok.unwrap().n_rows(), 2);

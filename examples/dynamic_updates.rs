@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pick every 97th distinct edge as the deletion stream.
     let mut victims: Vec<(i64, i64)> = g.edges().step_by(97).collect();
     victims.truncate(500);
-    println!("deleting {} edges from each representation...\n", victims.len());
+    println!(
+        "deleting {} edges from each representation...\n",
+        victims.len()
+    );
 
     // Dynamic hash-table graph: O(degree) per deletion.
     let mut dynamic: DirectedGraph = g.clone();

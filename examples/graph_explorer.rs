@@ -7,8 +7,8 @@
 //! ~1M edges).
 
 use ringo::algo::{
-    approx_diameter, clustering_coefficient, count_triangles, degree_histogram,
-    effective_diameter, label_propagation,
+    approx_diameter, clustering_coefficient, count_triangles, degree_histogram, effective_diameter,
+    label_propagation,
 };
 use ringo::{Direction, Ringo};
 use std::time::Instant;
@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t0 = Instant::now();
     let edges = ringo.generate_lj_like(0.1 * scale, 2015);
-    println!("edge table: {} rows, generated in {:.2?}", edges.n_rows(), t0.elapsed());
+    println!(
+        "edge table: {} rows, generated in {:.2?}",
+        edges.n_rows(),
+        t0.elapsed()
+    );
     println!("edge table size in memory: {} bytes", edges.mem_size());
 
     let t0 = Instant::now();
@@ -39,8 +43,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Degree structure.
     let hist = degree_histogram(&g, Direction::Out);
     let max_deg = hist.last().map(|(d, _)| *d).unwrap_or(0);
-    let zero = hist.first().filter(|(d, _)| *d == 0).map(|(_, c)| *c).unwrap_or(0);
-    println!("out-degree: max {max_deg}, {zero} sinks, {} distinct degrees", hist.len());
+    let zero = hist
+        .first()
+        .filter(|(d, _)| *d == 0)
+        .map(|(_, c)| *c)
+        .unwrap_or(0);
+    println!(
+        "out-degree: max {max_deg}, {zero} sinks, {} distinct degrees",
+        hist.len()
+    );
 
     // Connectivity.
     let t0 = Instant::now();
@@ -65,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let diam = approx_diameter(&g, 4, Direction::Both);
     let eff = effective_diameter(&g, 8, 0.9, Direction::Both);
-    println!("diameter >= {diam}, 90% effective diameter ~ {eff:.1} (in {:.2?})", t0.elapsed());
+    println!(
+        "diameter >= {diam}, 90% effective diameter ~ {eff:.1} (in {:.2?})",
+        t0.elapsed()
+    );
 
     // Triangles & clustering on the undirected view.
     let t0 = Instant::now();
@@ -79,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let t0 = Instant::now();
     let cc = clustering_coefficient(&u, ringo.threads());
-    println!("average clustering coefficient {cc:.4} in {:.2?}", t0.elapsed());
+    println!(
+        "average clustering coefficient {cc:.4} in {:.2?}",
+        t0.elapsed()
+    );
 
     // Dense cores & communities.
     let t0 = Instant::now();
@@ -105,7 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pr.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\nPageRank top 5 (10 iterations in {:.2?}):", t0.elapsed());
     for (id, score) in pr.iter().take(5) {
-        println!("  node {id}: {score:.6} (in-degree {})", g.in_degree(*id).unwrap());
+        println!(
+            "  node {id}: {score:.6} (in-degree {})",
+            g.in_degree(*id).unwrap()
+        );
     }
     Ok(())
 }

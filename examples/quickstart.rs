@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         follows.push_row(&[Value::Int(a), Value::Int(b), Value::Float(w)])?;
     }
-    println!("follows table: {} rows, {} columns", follows.n_rows(), follows.n_cols());
+    println!(
+        "follows table: {} rows, {} columns",
+        follows.n_rows(),
+        follows.n_cols()
+    );
 
     // 2. Relational work: keep strong follows only, count per followee.
     let strong = ringo.select(&follows, &Predicate::float("weight", Cmp::Ge, 0.5))?;

@@ -75,11 +75,15 @@ impl Shell {
     }
 
     fn table(&self, name: &str) -> Result<&Table, String> {
-        self.tables.get(name).ok_or(format!("no table named {name:?}"))
+        self.tables
+            .get(name)
+            .ok_or(format!("no table named {name:?}"))
     }
 
     fn graph(&self, name: &str) -> Result<&DirectedGraph, String> {
-        self.graphs.get(name).ok_or(format!("no graph named {name:?}"))
+        self.graphs
+            .get(name)
+            .ok_or(format!("no graph named {name:?}"))
     }
 
     fn exec(&mut self, line: &str) -> Result<bool, String> {
@@ -97,7 +101,11 @@ impl Shell {
                     println!("table {n}: {} rows x {} cols", t.n_rows(), t.n_cols());
                 }
                 for (n, g) in &self.graphs {
-                    println!("graph {n}: {} nodes, {} edges", g.node_count(), g.edge_count());
+                    println!(
+                        "graph {n}: {} nodes, {} edges",
+                        g.node_count(),
+                        g.edge_count()
+                    );
                 }
                 Ok(true)
             }
@@ -285,14 +293,25 @@ impl Shell {
                     .ringo
                     .load_graph(std::path::Path::new(path))
                     .map_err(|e| e.to_string())?;
-                println!("graph {name}: {} nodes, {} edges", g.node_count(), g.edge_count());
+                println!(
+                    "graph {name}: {} nodes, {} edges",
+                    g.node_count(),
+                    g.edge_count()
+                );
                 self.graphs.insert(name.to_string(), g);
                 Ok(true)
             }
             ["tograph", name, table, src, dst] => {
                 let t = self.table(table)?;
-                let g = self.ringo.to_graph(t, src, dst).map_err(|e| e.to_string())?;
-                println!("graph {name}: {} nodes, {} edges", g.node_count(), g.edge_count());
+                let g = self
+                    .ringo
+                    .to_graph(t, src, dst)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "graph {name}: {} nodes, {} edges",
+                    g.node_count(),
+                    g.edge_count()
+                );
                 self.graphs.insert(name.to_string(), g);
                 Ok(true)
             }
@@ -322,13 +341,21 @@ impl Shell {
             ["wcc", graph] => {
                 let g = self.graph(graph)?;
                 let c = self.ringo.wcc(g);
-                println!("{} weak components, largest {}", c.n_components(), c.largest());
+                println!(
+                    "{} weak components, largest {}",
+                    c.n_components(),
+                    c.largest()
+                );
                 Ok(true)
             }
             ["scc", graph] => {
                 let g = self.graph(graph)?;
                 let c = self.ringo.scc(g);
-                println!("{} strong components, largest {}", c.n_components(), c.largest());
+                println!(
+                    "{} strong components, largest {}",
+                    c.n_components(),
+                    c.largest()
+                );
                 Ok(true)
             }
             ["info", name] => {

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // JP = ringo.Select(P, 'Tag=Java')
     let t0 = Instant::now();
     let tagged = ringo.select(&posts, &Predicate::str_eq("Tag", &tag))?;
-    println!("{tag} posts: {} rows (select in {:.2?})", tagged.n_rows(), t0.elapsed());
+    println!(
+        "{tag} posts: {} rows (select in {:.2?})",
+        tagged.n_rows(),
+        t0.elapsed()
+    );
     if tagged.is_empty() {
         println!("no posts for tag {tag:?} — try java/python/c++/rust/sql/javascript");
         return Ok(());
@@ -52,13 +56,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Q/A split.
     let questions = ringo.select(&tagged, &Predicate::str_eq("Type", "question"))?;
     let answers = ringo.select(&tagged, &Predicate::str_eq("Type", "answer"))?;
-    println!("questions: {}, answers: {}", questions.n_rows(), answers.n_rows());
+    println!(
+        "questions: {}, answers: {}",
+        questions.n_rows(),
+        answers.n_rows()
+    );
 
     // QA = ringo.Join(Q, A, 'AnswerId', 'PostId'): a question row joined
     // with its accepted answer row.
     let t0 = Instant::now();
     let qa = ringo.join(&questions, &answers, "AcceptedAnswerId", "PostId")?;
-    println!("accepted Q-A pairs: {} (join in {:.2?})", qa.n_rows(), t0.elapsed());
+    println!(
+        "accepted Q-A pairs: {} (join in {:.2?})",
+        qa.n_rows(),
+        t0.elapsed()
+    );
 
     // G = ringo.ToGraph(QA, asker, answerer): an edge means "the source
     // user accepted an answer by the destination user".
@@ -82,8 +94,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nTop 10 {tag} experts (by PageRank over accepted answers):");
     println!("{:>10}  {:>9}  {:>8}", "UserId", "PageRank", "accepted");
     for (user, score) in pr.iter().take(10) {
-        println!("{user:>10}  {score:>9.5}  {:>8}", g.in_degree(*user).unwrap_or(0));
+        println!(
+            "{user:>10}  {score:>9.5}  {:>8}",
+            g.in_degree(*user).unwrap_or(0)
+        );
     }
-    println!("\nscore table S: {} rows x {} cols", scores.n_rows(), scores.n_cols());
+    println!(
+        "\nscore table S: {} rows x {} cols",
+        scores.n_rows(),
+        scores.n_cols()
+    );
     Ok(())
 }

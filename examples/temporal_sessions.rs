@@ -35,8 +35,12 @@ fn click_log(users: i64, clicks_per_user: i64) -> Table {
         let chapter = rand(5) * 1000;
         let mut page = chapter + rand(40);
         for c in 0..clicks_per_user {
-            t.push_row(&[Value::Int(u), Value::Int(page), Value::Int(u * 1000 + c * 7)])
-                .expect("schema matches");
+            t.push_row(&[
+                Value::Int(u),
+                Value::Int(page),
+                Value::Int(u * 1000 + c * 7),
+            ])
+            .expect("schema matches");
             // Mostly move to a nearby page, rarely jump chapters.
             page = if rand(20) < 19 {
                 chapter + rand(40)

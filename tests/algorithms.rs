@@ -3,12 +3,11 @@
 //! realistic (R-MAT) data.
 
 use ringo::algo::{
-    approx_diameter, bfs_distances, betweenness_centrality, closeness_centrality,
-    clustering_coefficient, cut_structure, degree_assortativity, degree_histogram,
-    dfs_order, dijkstra_weighted, eigenvector_centrality, has_cycle, pagerank,
-    pagerank_weighted, personalized_pagerank, random_walk, reciprocity, sssp_dijkstra,
-    topological_sort, triad_census, weakly_connected_components, Direction, PageRankConfig,
-    WalkRng,
+    approx_diameter, betweenness_centrality, bfs_distances, closeness_centrality,
+    clustering_coefficient, cut_structure, degree_assortativity, degree_histogram, dfs_order,
+    dijkstra_weighted, eigenvector_centrality, has_cycle, pagerank, pagerank_weighted,
+    personalized_pagerank, random_walk, reciprocity, sssp_dijkstra, topological_sort, triad_census,
+    weakly_connected_components, Direction, PageRankConfig, WalkRng,
 };
 use ringo::gen::{edges_to_table, RmatConfig};
 use ringo::{DirectedGraph, Ringo, UndirectedGraph};
@@ -85,7 +84,9 @@ fn weighted_dijkstra_on_converted_table_weights() {
     let ringo = Ringo::with_threads(1);
     let mut t = edges_to_table(&[(1, 2), (2, 3), (1, 3)]);
     t.add_float_column("w", vec![1.0, 1.0, 5.0]).unwrap();
-    let wg = ringo.to_weighted_graph(&t, "src", "dst", Some("w")).unwrap();
+    let wg = ringo
+        .to_weighted_graph(&t, "src", "dst", Some("w"))
+        .unwrap();
     let d = dijkstra_weighted(&wg, 1);
     assert_eq!(d.get(3), Some(&2.0), "two cheap hops beat one heavy edge");
 }
@@ -228,10 +229,15 @@ fn triad_census_consistency_with_triangles() {
     assert_eq!(census.total(), n * (n - 1) * (n - 2) / 6);
     // Triangle-containing classes require at least one closed triple; the
     // undirected triangle count caps their sum.
-    let closed: u64 = ["030T", "030C", "120D", "120U", "120C", "210", "300", "201", "111D", "111U"]
-        .iter()
-        .filter_map(|n| census.get(n))
-        .sum();
+    let closed: u64 = [
+        "030T", "030C", "120D", "120U", "120C", "210", "300", "201", "111D", "111U",
+    ]
+    .iter()
+    .filter_map(|n| census.get(n))
+    .sum();
     let _ = closed; // classes above include open triads too; just ensure lookup works
-    assert!(census.get("003").unwrap() > 0, "sparse graphs are mostly empty triads");
+    assert!(
+        census.get("003").unwrap() > 0,
+        "sparse graphs are mostly empty triads"
+    );
 }

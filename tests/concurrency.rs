@@ -101,12 +101,18 @@ fn table_operators_are_thread_count_invariant() {
         t.set_threads(threads);
         let s = t.select(&pred).unwrap();
         assert_eq!(s.row_ids(), reference_select.row_ids());
-        assert_eq!(s.int_col("src").unwrap(), reference_select.int_col("src").unwrap());
+        assert_eq!(
+            s.int_col("src").unwrap(),
+            reference_select.int_col("src").unwrap()
+        );
         let j = t.join(&partner, "src", "key").unwrap();
         assert_eq!(j.n_rows(), reference_join.n_rows());
         // Join output order depends on probe chunking only through
         // concatenation order, which is chunk-ordered: same result.
-        assert_eq!(j.int_col("src").unwrap(), reference_join.int_col("src").unwrap());
+        assert_eq!(
+            j.int_col("src").unwrap(),
+            reference_join.int_col("src").unwrap()
+        );
     }
 }
 

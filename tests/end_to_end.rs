@@ -2,8 +2,8 @@
 //! conversions → graphs → algorithms → back to tables.
 
 use ringo::algo::{
-    bfs_distances, core_numbers, count_triangles, hits, label_propagation, pagerank,
-    sssp_dijkstra, strongly_connected_components, weakly_connected_components,
+    bfs_distances, core_numbers, count_triangles, hits, label_propagation, pagerank, sssp_dijkstra,
+    strongly_connected_components, weakly_connected_components,
 };
 use ringo::gen::{RmatConfig, StackOverflowConfig};
 use ringo::{
@@ -20,9 +20,15 @@ fn stackoverflow_expert_pipeline_finds_real_answerers() {
         ..Default::default()
     });
 
-    let java = ringo.select(&posts, &Predicate::str_eq("Tag", "java")).unwrap();
-    let q = ringo.select(&java, &Predicate::str_eq("Type", "question")).unwrap();
-    let a = ringo.select(&java, &Predicate::str_eq("Type", "answer")).unwrap();
+    let java = ringo
+        .select(&posts, &Predicate::str_eq("Tag", "java"))
+        .unwrap();
+    let q = ringo
+        .select(&java, &Predicate::str_eq("Type", "question"))
+        .unwrap();
+    let a = ringo
+        .select(&java, &Predicate::str_eq("Type", "answer"))
+        .unwrap();
     assert_eq!(q.n_rows() + a.n_rows(), java.n_rows());
 
     let qa = ringo.join(&q, &a, "AcceptedAnswerId", "PostId").unwrap();
@@ -160,11 +166,7 @@ fn hits_and_pagerank_rank_the_planted_authority_first() {
         g.add_edge(i, (i % 7) + 1);
     }
     let pr = pagerank(&g, &PageRankConfig::default());
-    let top_pr = pr
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap()
-        .0;
+    let top_pr = pr.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
     assert_eq!(top_pr, 0);
     let h = hits(&g, 20, 2);
     let top_auth = h
@@ -188,7 +190,11 @@ fn tsv_roundtrip_through_the_facade() {
         t.push_row(&[
             Value::Int(i),
             Value::Int((i * 3) % 50),
-            if i % 2 == 0 { "even".into() } else { "odd".into() },
+            if i % 2 == 0 {
+                "even".into()
+            } else {
+                "odd".into()
+            },
         ])
         .unwrap();
     }
@@ -196,7 +202,9 @@ fn tsv_roundtrip_through_the_facade() {
     ringo.save_table_tsv(&t, &path).unwrap();
     let back = ringo.load_table_tsv(&schema, &path).unwrap();
     assert_eq!(back.n_rows(), 50);
-    let even = back.count_where(&Predicate::str_eq("kind", "even")).unwrap();
+    let even = back
+        .count_where(&Predicate::str_eq("kind", "even"))
+        .unwrap();
     assert_eq!(even, 25);
     let g = ringo.to_graph(&back, "src", "dst").unwrap();
     assert_eq!(g.node_count(), 50);
@@ -213,7 +221,9 @@ fn group_by_aggregates_compose_with_selection() {
         ..Default::default()
     });
     // Answers per user, descending.
-    let answers = ringo.select(&posts, &Predicate::str_eq("Type", "answer")).unwrap();
+    let answers = ringo
+        .select(&posts, &Predicate::str_eq("Type", "answer"))
+        .unwrap();
     let mut per_user = ringo
         .group_by(&answers, &["UserId"], None, AggOp::Count, "n")
         .unwrap();

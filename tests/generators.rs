@@ -4,8 +4,8 @@
 use ringo::algo::{clustering_coefficient, weakly_connected_components, Direction};
 use ringo::convert::{table_to_graph, table_to_undirected};
 use ringo::gen::{
-    edges_to_table, erdos_renyi, forest_fire, lj_like, preferential_attachment, rmat,
-    small_world, snap_catalog, table1_histogram, tw_like, ForestFireConfig, RmatConfig,
+    edges_to_table, erdos_renyi, forest_fire, lj_like, preferential_attachment, rmat, small_world,
+    snap_catalog, table1_histogram, tw_like, ForestFireConfig, RmatConfig,
 };
 
 #[test]
@@ -14,9 +14,16 @@ fn rmat_reproduces_the_benchmark_shape() {
     let t = edges_to_table(&edges);
     let g = table_to_graph(&t, "src", "dst").unwrap();
     // Power law: the max degree dwarfs the mean.
-    let max_out = g.node_ids().map(|v| g.out_degree(v).unwrap()).max().unwrap();
+    let max_out = g
+        .node_ids()
+        .map(|v| g.out_degree(v).unwrap())
+        .max()
+        .unwrap();
     let mean = g.edge_count() as f64 / g.node_count() as f64;
-    assert!(max_out as f64 > 20.0 * mean, "max {max_out}, mean {mean:.1}");
+    assert!(
+        max_out as f64 > 20.0 * mean,
+        "max {max_out}, mean {mean:.1}"
+    );
     // Giant weak component, like real social graphs.
     let wcc = weakly_connected_components(&g);
     assert!(wcc.largest() * 10 > g.node_count() * 9);
@@ -74,7 +81,10 @@ fn forest_fire_produces_dense_communities() {
     assert!(cc > 0.05, "forest fire clusters, got {cc}");
     // Everyone can reach node 0 going forward in time.
     let d = ringo::algo::bfs_distances(&g, 0, Direction::In);
-    assert!(d.len() * 10 > g.node_count() * 9, "most nodes reach the root");
+    assert!(
+        d.len() * 10 > g.node_count() * 9,
+        "most nodes reach the root"
+    );
 }
 
 #[test]

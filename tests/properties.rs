@@ -1,122 +1,171 @@
 //! Property-based tests over the core data structures and operators.
+//!
+//! Hand-rolled property loop: each property runs over `CASES` seeded
+//! random inputs from the in-tree [`ringo_rng`] generator, so failures
+//! reproduce exactly (the failing seed is in the assertion message) and
+//! the suite needs no external fuzzing dependency.
 
-use proptest::prelude::*;
 use ringo::concurrent::{parallel_sort, IntHashTable};
 use ringo::convert::{table_to_graph, table_to_graph_naive, table_to_undirected};
 use ringo::gen::edges_to_table;
 use ringo::{Cmp, DirectedGraph, Predicate};
+use ringo_rng::Rng64;
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Parallel sort agrees with the standard library for any input.
-    #[test]
-    fn parallel_sort_matches_std(mut data in prop::collection::vec(any::<i64>(), 0..20_000),
-                                 threads in 1usize..6) {
+/// Runs `body` once per case with a per-case deterministic generator.
+fn for_cases(name: &str, body: impl Fn(&mut Rng64)) {
+    for case in 0..CASES {
+        // Distinct stream per (property, case) pair.
+        let seed = name
+            .bytes()
+            .fold(case.wrapping_mul(0x9E37_79B9_7F4A_7C15), |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01B3)
+            });
+        body(&mut Rng64::new(seed));
+    }
+}
+
+fn edge_list(rng: &mut Rng64, max_node: i64, max_len: usize) -> Vec<(i64, i64)> {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| (rng.range_i64(0..max_node), rng.range_i64(0..max_node)))
+        .collect()
+}
+
+fn int_vec(rng: &mut Rng64, max_len: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let len = rng.below(max_len + 1);
+    (0..len).map(|_| rng.range_i64(lo..hi)).collect()
+}
+
+/// Parallel sort agrees with the standard library for any input.
+#[test]
+fn parallel_sort_matches_std() {
+    for_cases("parallel_sort_matches_std", |rng| {
+        let len = rng.below(20_000);
+        let mut data: Vec<i64> = (0..len).map(|_| rng.i64()).collect();
+        let threads = rng.range_usize(1..6);
         let mut expect = data.clone();
         expect.sort_unstable();
         parallel_sort(&mut data, threads);
-        prop_assert_eq!(data, expect);
-    }
+        assert_eq!(data, expect, "len={len} threads={threads}");
+    });
+}
 
-    /// The open-addressing table behaves exactly like std HashMap under
-    /// arbitrary insert/remove interleavings.
-    #[test]
-    fn hash_table_matches_std(ops in prop::collection::vec((any::<i16>(), any::<bool>()), 0..2_000)) {
+/// The open-addressing table behaves exactly like std HashMap under
+/// arbitrary insert/remove interleavings.
+#[test]
+fn hash_table_matches_std() {
+    for_cases("hash_table_matches_std", |rng| {
+        let ops = rng.below(2_000);
         let mut ours: IntHashTable<i64> = IntHashTable::new();
         let mut std_map: HashMap<i64, i64> = HashMap::new();
-        for (i, (key, is_insert)) in ops.iter().enumerate() {
-            let k = *key as i64;
-            if *is_insert {
-                prop_assert_eq!(ours.insert(k, i as i64), std_map.insert(k, i as i64));
+        for i in 0..ops {
+            let k = rng.range_i64(-(i16::MAX as i64)..i16::MAX as i64);
+            if rng.bool() {
+                assert_eq!(ours.insert(k, i as i64), std_map.insert(k, i as i64));
             } else {
-                prop_assert_eq!(ours.remove(k), std_map.remove(&k));
+                assert_eq!(ours.remove(k), std_map.remove(&k));
             }
-            prop_assert_eq!(ours.len(), std_map.len());
+            assert_eq!(ours.len(), std_map.len());
         }
         for (k, v) in &std_map {
-            prop_assert_eq!(ours.get(*k), Some(v));
+            assert_eq!(ours.get(*k), Some(v));
         }
-    }
+    });
+}
 
-    /// Sort-first conversion is equivalent to naive row-at-a-time
-    /// construction for any edge multiset.
-    #[test]
-    fn sort_first_equals_naive(edges in prop::collection::vec((0i64..200, 0i64..200), 0..2_000),
-                               threads in 1usize..5) {
+/// Sort-first conversion is equivalent to naive row-at-a-time
+/// construction for any edge multiset.
+#[test]
+fn sort_first_equals_naive() {
+    for_cases("sort_first_equals_naive", |rng| {
+        let edges = edge_list(rng, 200, 2_000);
+        let threads = rng.range_usize(1..5);
         let mut t = edges_to_table(&edges);
         t.set_threads(threads);
         let fast = table_to_graph(&t, "src", "dst").unwrap();
         let naive = table_to_graph_naive(&t, "src", "dst").unwrap();
-        prop_assert_eq!(fast.node_count(), naive.node_count());
-        prop_assert_eq!(fast.edge_count(), naive.edge_count());
+        assert_eq!(fast.node_count(), naive.node_count());
+        assert_eq!(fast.edge_count(), naive.edge_count());
         for id in naive.node_ids() {
-            prop_assert_eq!(fast.out_nbrs(id), naive.out_nbrs(id));
-            prop_assert_eq!(fast.in_nbrs(id), naive.in_nbrs(id));
+            assert_eq!(fast.out_nbrs(id), naive.out_nbrs(id));
+            assert_eq!(fast.in_nbrs(id), naive.in_nbrs(id));
         }
-    }
+    });
+}
 
-    /// Graph adjacency invariants hold under arbitrary add/del sequences:
-    /// u in out(v) iff v in in(u); edge counts match; vectors stay sorted.
-    #[test]
-    fn dynamic_graph_invariants(ops in prop::collection::vec((0i64..40, 0i64..40, 0u8..4), 0..800)) {
+/// Graph adjacency invariants hold under arbitrary add/del sequences:
+/// u in out(v) iff v in in(u); edge counts match; vectors stay sorted.
+#[test]
+fn dynamic_graph_invariants() {
+    for_cases("dynamic_graph_invariants", |rng| {
+        let ops = rng.below(800);
         let mut g = DirectedGraph::new();
         let mut reference: HashSet<(i64, i64)> = HashSet::new();
         let mut ref_nodes: HashSet<i64> = HashSet::new();
-        for (a, b, op) in ops {
-            match op {
+        for _ in 0..ops {
+            let a = rng.range_i64(0..40);
+            let b = rng.range_i64(0..40);
+            match rng.below(4) {
                 0 | 1 => {
                     let added = g.add_edge(a, b);
-                    prop_assert_eq!(added, reference.insert((a, b)));
+                    assert_eq!(added, reference.insert((a, b)));
                     ref_nodes.insert(a);
                     ref_nodes.insert(b);
                 }
                 2 => {
                     let removed = g.del_edge(a, b);
-                    prop_assert_eq!(removed, reference.remove(&(a, b)));
+                    assert_eq!(removed, reference.remove(&(a, b)));
                 }
                 _ => {
                     let existed = g.del_node(a);
-                    prop_assert_eq!(existed, ref_nodes.remove(&a));
+                    assert_eq!(existed, ref_nodes.remove(&a));
                     reference.retain(|&(s, d)| s != a && d != a);
                 }
             }
         }
-        prop_assert_eq!(g.edge_count(), reference.len());
-        prop_assert_eq!(g.node_count(), ref_nodes.len());
+        assert_eq!(g.edge_count(), reference.len());
+        assert_eq!(g.node_count(), ref_nodes.len());
         for id in g.node_ids() {
             let out = g.out_nbrs(id);
-            prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted out list");
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted out list");
             for &n in out {
-                prop_assert!(reference.contains(&(id, n)));
-                prop_assert!(g.in_nbrs(n).binary_search(&id).is_ok(), "in/out in sync");
+                assert!(reference.contains(&(id, n)));
+                assert!(g.in_nbrs(n).binary_search(&id).is_ok(), "in/out in sync");
             }
         }
-    }
+    });
+}
 
-    /// Select partitions rows: |select(p)| + |select(!p)| == n, and every
-    /// kept row satisfies the predicate.
-    #[test]
-    fn select_partitions_rows(vals in prop::collection::vec(-100i64..100, 0..3_000),
-                              pivot in -100i64..100) {
+/// Select partitions rows: |select(p)| + |select(!p)| == n, and every
+/// kept row satisfies the predicate.
+#[test]
+fn select_partitions_rows() {
+    for_cases("select_partitions_rows", |rng| {
+        let vals = int_vec(rng, 3_000, -100, 100);
+        let pivot = rng.range_i64(-100..100);
         let t = ringo::Table::from_int_column("x", vals.clone());
         let p = Predicate::int("x", Cmp::Lt, pivot);
         let yes = t.select(&p).unwrap();
         let no = t.select(&p.clone().not()).unwrap();
-        prop_assert_eq!(yes.n_rows() + no.n_rows(), t.n_rows());
-        prop_assert!(yes.int_col("x").unwrap().iter().all(|v| *v < pivot));
-        prop_assert!(no.int_col("x").unwrap().iter().all(|v| *v >= pivot));
+        assert_eq!(yes.n_rows() + no.n_rows(), t.n_rows());
+        assert!(yes.int_col("x").unwrap().iter().all(|v| *v < pivot));
+        assert!(no.int_col("x").unwrap().iter().all(|v| *v >= pivot));
         // Row ids trace back to original positions.
         for (pos, rid) in yes.row_ids().iter().enumerate() {
-            prop_assert_eq!(yes.int_col("x").unwrap()[pos], vals[*rid as usize]);
+            assert_eq!(yes.int_col("x").unwrap()[pos], vals[*rid as usize]);
         }
-    }
+    });
+}
 
-    /// Join output equals the nested-loop reference on small inputs.
-    #[test]
-    fn join_matches_nested_loop(left in prop::collection::vec(0i64..30, 0..200),
-                                right in prop::collection::vec(0i64..30, 0..200)) {
+/// Join output equals the nested-loop reference on small inputs.
+#[test]
+fn join_matches_nested_loop() {
+    for_cases("join_matches_nested_loop", |rng| {
+        let left = int_vec(rng, 200, 0, 30);
+        let right = int_vec(rng, 200, 0, 30);
         let lt = ringo::Table::from_int_column("k", left.clone());
         let rt = ringo::Table::from_int_column("k", right.clone());
         let j = lt.join(&rt, "k", "k").unwrap();
@@ -124,152 +173,190 @@ proptest! {
             .iter()
             .map(|l| right.iter().filter(|r| *r == l).count())
             .sum();
-        prop_assert_eq!(j.n_rows(), expected);
+        assert_eq!(j.n_rows(), expected);
         let a = j.int_col("k").unwrap();
         let b = j.int_col("k-1").unwrap();
-        prop_assert!(a.iter().zip(b).all(|(x, y)| x == y));
-    }
+        assert!(a.iter().zip(b).all(|(x, y)| x == y));
+    });
+}
 
-    /// Undirected conversion: symmetric neighbor relation, edge count
-    /// equals the number of distinct undirected pairs.
-    #[test]
-    fn undirected_conversion_is_symmetric(edges in prop::collection::vec((0i64..60, 0i64..60), 0..1_000)) {
+/// Undirected conversion: symmetric neighbor relation, edge count
+/// equals the number of distinct undirected pairs.
+#[test]
+fn undirected_conversion_is_symmetric() {
+    for_cases("undirected_conversion_is_symmetric", |rng| {
+        let edges = edge_list(rng, 60, 1_000);
         let t = edges_to_table(&edges);
         let u = table_to_undirected(&t, "src", "dst").unwrap();
         let mut pairs: HashSet<(i64, i64)> = HashSet::new();
         for (a, b) in &edges {
             pairs.insert((*a.min(b), *a.max(b)));
         }
-        prop_assert_eq!(u.edge_count(), pairs.len());
+        assert_eq!(u.edge_count(), pairs.len());
         for id in u.node_ids() {
             for &n in u.nbrs(id) {
-                prop_assert!(u.nbrs(n).binary_search(&id).is_ok());
+                assert!(u.nbrs(n).binary_search(&id).is_ok());
             }
         }
-    }
+    });
+}
 
-    /// PageRank always returns a probability distribution.
-    #[test]
-    fn pagerank_is_a_distribution(edges in prop::collection::vec((0i64..50, 0i64..50), 1..500)) {
+/// PageRank always returns a probability distribution.
+#[test]
+fn pagerank_is_a_distribution() {
+    for_cases("pagerank_is_a_distribution", |rng| {
+        let mut edges = edge_list(rng, 50, 500);
+        if edges.is_empty() {
+            edges.push((rng.range_i64(0..50), rng.range_i64(0..50)));
+        }
         let t = edges_to_table(&edges);
         let g = table_to_graph(&t, "src", "dst").unwrap();
         let pr = ringo::algo::pagerank(&g, &ringo::PageRankConfig::default());
         let sum: f64 = pr.iter().map(|(_, s)| s).sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
-        prop_assert!(pr.iter().all(|(_, s)| *s >= 0.0));
-        prop_assert_eq!(pr.len(), g.node_count());
-    }
+        assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        assert!(pr.iter().all(|(_, s)| *s >= 0.0));
+        assert_eq!(pr.len(), g.node_count());
+    });
+}
 
-    /// order_by produces a sorted permutation of the original rows.
-    #[test]
-    fn order_by_is_a_sorted_permutation(vals in prop::collection::vec(any::<i64>(), 0..2_000)) {
+/// order_by produces a sorted permutation of the original rows.
+#[test]
+fn order_by_is_a_sorted_permutation() {
+    for_cases("order_by_is_a_sorted_permutation", |rng| {
+        let len = rng.below(2_000);
+        let vals: Vec<i64> = (0..len).map(|_| rng.i64()).collect();
         let mut t = ringo::Table::from_int_column("x", vals.clone());
         t.order_by(&["x"], true).unwrap();
         let sorted = t.int_col("x").unwrap();
-        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
         let mut expect = vals;
         expect.sort_unstable();
-        prop_assert_eq!(sorted.to_vec(), expect);
-    }
+        assert_eq!(sorted.to_vec(), expect);
+    });
+}
 
-    /// Semi and anti join partition the left table, and semi-join equals
-    /// an IN-list select.
-    #[test]
-    fn semi_anti_join_partition(left in prop::collection::vec(0i64..50, 0..500),
-                                right in prop::collection::vec(0i64..50, 0..100)) {
+/// Semi and anti join partition the left table, and semi-join equals
+/// an IN-list select.
+#[test]
+fn semi_anti_join_partition() {
+    for_cases("semi_anti_join_partition", |rng| {
+        let left = int_vec(rng, 500, 0, 50);
+        let right = int_vec(rng, 100, 0, 50);
         let lt = ringo::Table::from_int_column("k", left.clone());
         let rt = ringo::Table::from_int_column("k", right.clone());
         let semi = lt.semi_join(&rt, "k", "k").unwrap();
         let anti = lt.anti_join(&rt, "k", "k").unwrap();
-        prop_assert_eq!(semi.n_rows() + anti.n_rows(), lt.n_rows());
-        let via_select = lt
-            .select(&Predicate::int_in("k", right.clone()))
-            .unwrap();
-        prop_assert_eq!(semi.int_col("k").unwrap(), via_select.int_col("k").unwrap());
-        prop_assert_eq!(semi.row_ids(), via_select.row_ids());
-    }
+        assert_eq!(semi.n_rows() + anti.n_rows(), lt.n_rows());
+        let via_select = lt.select(&Predicate::int_in("k", right.clone())).unwrap();
+        assert_eq!(semi.int_col("k").unwrap(), via_select.int_col("k").unwrap());
+        assert_eq!(semi.row_ids(), via_select.row_ids());
+    });
+}
 
-    /// top_k equals a full sort followed by truncation, for either order.
-    #[test]
-    fn top_k_equals_sort_prefix(vals in prop::collection::vec(any::<i64>(), 0..1_000),
-                                k in 0usize..50,
-                                ascending in any::<bool>()) {
+/// top_k equals a full sort followed by truncation, for either order.
+#[test]
+fn top_k_equals_sort_prefix() {
+    for_cases("top_k_equals_sort_prefix", |rng| {
+        let len = rng.below(1_000);
+        let vals: Vec<i64> = (0..len).map(|_| rng.i64()).collect();
+        let k = rng.below(50);
+        let ascending = rng.bool();
         let t = ringo::Table::from_int_column("v", vals);
         let top = t.top_k(&["v"], k, ascending).unwrap();
         let mut sorted = t.clone();
         sorted.order_by(&["v"], ascending).unwrap();
         let k = k.min(t.n_rows());
-        prop_assert_eq!(
+        assert_eq!(
             top.int_col("v").unwrap(),
             &sorted.int_col("v").unwrap()[..k]
         );
-    }
+    });
+}
 
-    /// Sampling returns distinct original rows and is deterministic.
-    #[test]
-    fn sample_is_distinct_subset(n in 0usize..500, k in 0usize..500, seed in any::<u64>()) {
+/// Sampling returns distinct original rows and is deterministic.
+#[test]
+fn sample_is_distinct_subset() {
+    for_cases("sample_is_distinct_subset", |rng| {
+        let n = rng.below(500);
+        let k = rng.below(500);
+        let seed = rng.u64();
         let t = ringo::Table::from_int_column("v", (0..n as i64).collect());
         let s = t.sample_rows(k, seed);
-        prop_assert_eq!(s.n_rows(), k.min(n));
+        assert_eq!(s.n_rows(), k.min(n));
         let mut ids = s.row_ids().to_vec();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), s.n_rows(), "no duplicates");
+        assert_eq!(ids.len(), s.n_rows(), "no duplicates");
         let again = t.sample_rows(k, seed);
-        prop_assert_eq!(s.row_ids(), again.row_ids());
-    }
+        assert_eq!(s.row_ids(), again.row_ids());
+    });
+}
 
-    /// Weighted conversion with multiplicity weights conserves total
-    /// weight: sum of edge weights == number of table rows.
-    #[test]
-    fn weighted_conversion_conserves_mass(edges in prop::collection::vec((0i64..40, 0i64..40), 0..500)) {
+/// Weighted conversion with multiplicity weights conserves total
+/// weight: sum of edge weights == number of table rows.
+#[test]
+fn weighted_conversion_conserves_mass() {
+    for_cases("weighted_conversion_conserves_mass", |rng| {
+        let edges = edge_list(rng, 40, 500);
         let t = edges_to_table(&edges);
         let wg = ringo::convert::table_to_weighted_graph(&t, "src", "dst", None).unwrap();
         let total: f64 = wg.edges().map(|(_, _, w)| w).sum();
-        prop_assert_eq!(total as usize, edges.len());
+        assert_eq!(total as usize, edges.len());
         // Unweighted view has the same topology as the direct conversion.
         let direct = table_to_graph(&t, "src", "dst").unwrap();
         let via = wg.to_unweighted();
-        prop_assert_eq!(direct.edge_count(), via.edge_count());
-        prop_assert_eq!(direct.node_count(), via.node_count());
-    }
+        assert_eq!(direct.edge_count(), via.edge_count());
+        assert_eq!(direct.node_count(), via.node_count());
+    });
+}
 
-    /// The triad census always sums to C(n, 3).
-    #[test]
-    fn triad_census_total(edges in prop::collection::vec((0i64..15, 0i64..15), 0..150)) {
+/// The triad census always sums to C(n, 3).
+#[test]
+fn triad_census_total() {
+    for_cases("triad_census_total", |rng| {
+        let edges = edge_list(rng, 15, 150);
         let t = edges_to_table(&edges);
         let g = table_to_graph(&t, "src", "dst").unwrap();
         let n = g.node_count() as u64;
         let census = ringo::algo::triad_census(&g);
-        prop_assert_eq!(census.total(), n.saturating_sub(1) * n.saturating_sub(2) * n / 6);
-    }
+        assert_eq!(
+            census.total(),
+            n.saturating_sub(1) * n.saturating_sub(2) * n / 6
+        );
+    });
+}
 
-    /// Subgraph induced on all nodes is the identity; on a subset, every
-    /// surviving edge has both endpoints inside.
-    #[test]
-    fn induced_subgraph_invariants(edges in prop::collection::vec((0i64..30, 0i64..30), 0..300),
-                                   keep in prop::collection::vec(0i64..30, 0..20)) {
+/// Subgraph induced on all nodes is the identity; on a subset, every
+/// surviving edge has both endpoints inside.
+#[test]
+fn induced_subgraph_invariants() {
+    for_cases("induced_subgraph_invariants", |rng| {
+        let edges = edge_list(rng, 30, 300);
+        let keep = int_vec(rng, 20, 0, 30);
         let t = edges_to_table(&edges);
         let g = table_to_graph(&t, "src", "dst").unwrap();
         let all: Vec<i64> = g.node_ids().collect();
         let full = g.subgraph(&all);
-        prop_assert_eq!(full.edge_count(), g.edge_count());
+        assert_eq!(full.edge_count(), g.edge_count());
         let sub = g.subgraph(&keep);
         for (s, d) in sub.edges() {
-            prop_assert!(keep.contains(&s) && keep.contains(&d));
-            prop_assert!(g.has_edge(s, d));
+            assert!(keep.contains(&s) && keep.contains(&d));
+            assert!(g.has_edge(s, d));
         }
-    }
+    });
+}
 
-    /// Triangle counting is thread-count invariant and matches the
-    /// brute-force reference on small graphs.
-    #[test]
-    fn triangles_match_bruteforce(edges in prop::collection::vec((0i64..25, 0i64..25), 0..300)) {
+/// Triangle counting is thread-count invariant and matches the
+/// brute-force reference on small graphs.
+#[test]
+fn triangles_match_bruteforce() {
+    for_cases("triangles_match_bruteforce", |rng| {
+        let edges = edge_list(rng, 25, 300);
         let t = edges_to_table(&edges);
         let u = table_to_undirected(&t, "src", "dst").unwrap();
         let fast = ringo::algo::count_triangles(&u, 1);
         let par = ringo::algo::count_triangles(&u, 4);
-        prop_assert_eq!(fast, par);
+        assert_eq!(fast, par);
         // Brute force over node triples.
         let ids: Vec<i64> = u.node_ids().collect();
         let mut brute = 0u64;
@@ -285,6 +372,6 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(fast, brute);
-    }
+        assert_eq!(fast, brute);
+    });
 }
