@@ -36,6 +36,8 @@ fn neighbors<'g, G: DirectedTopology>(
 /// to 0). Unreachable nodes are absent. Returns an empty map when `src`
 /// is not in the graph.
 pub fn bfs_distances<G: DirectedTopology>(g: &G, src: NodeId, dir: Direction) -> IntHashTable<u32> {
+    let mut sp = ringo_trace::span!("algo.bfs");
+    sp.rows_in(g.node_count());
     let mut dist: IntHashTable<u32> = IntHashTable::new();
     let src_slot = match g.slot_of(src) {
         Some(s) => s,
@@ -54,6 +56,7 @@ pub fn bfs_distances<G: DirectedTopology>(g: &G, src: NodeId, dir: Direction) ->
             }
         }
     }
+    sp.rows_out(dist.len());
     dist
 }
 

@@ -35,6 +35,8 @@ const UNVISITED: u32 = u32::MAX;
 /// Weakly connected components: treats every edge as undirected and
 /// labels each node with its component, via slot-indexed BFS.
 pub fn weakly_connected_components<G: DirectedTopology>(g: &G) -> Components {
+    let mut sp = ringo_trace::span!("algo.wcc");
+    sp.rows_in(g.node_count());
     let n_slots = g.n_slots();
     let mut comp = vec![UNVISITED; n_slots];
     let mut sizes = Vec::new();
@@ -62,12 +64,16 @@ pub fn weakly_connected_components<G: DirectedTopology>(g: &G) -> Components {
             }
         }
     }
-    pack(g, &comp, sizes)
+    let out = pack(g, &comp, sizes);
+    sp.rows_out(out.n_components());
+    out
 }
 
 /// Strongly connected components via an iterative Tarjan traversal
 /// (explicit stack, no recursion — safe on deep graphs).
 pub fn strongly_connected_components<G: DirectedTopology>(g: &G) -> Components {
+    let mut sp = ringo_trace::span!("algo.scc");
+    sp.rows_in(g.node_count());
     let n_slots = g.n_slots();
     let mut index = vec![UNVISITED; n_slots];
     let mut lowlink = vec![0u32; n_slots];
@@ -128,7 +134,9 @@ pub fn strongly_connected_components<G: DirectedTopology>(g: &G) -> Components {
             }
         }
     }
-    pack(g, &comp, sizes)
+    let out = pack(g, &comp, sizes);
+    sp.rows_out(out.n_components());
+    out
 }
 
 fn pack<G: DirectedTopology>(g: &G, comp: &[u32], sizes: Vec<usize>) -> Components {

@@ -55,6 +55,8 @@ impl Default for PageRankConfig {
 /// assert!((total - 1.0).abs() < 1e-9);
 /// ```
 pub fn pagerank<G: DirectedTopology>(g: &G, config: &PageRankConfig) -> Vec<(NodeId, f64)> {
+    let mut sp = ringo_trace::span!("algo.pagerank");
+    sp.rows_in(g.edge_count());
     let n_slots = g.n_slots();
     let n = g.node_count();
     if n == 0 {
@@ -143,9 +145,11 @@ pub fn pagerank<G: DirectedTopology>(g: &G, config: &PageRankConfig) -> Vec<(Nod
         }
     }
 
-    (0..n_slots)
+    let out: Vec<(NodeId, f64)> = (0..n_slots)
         .filter_map(|s| g.slot_id(s).map(|id| (id, rank[s])))
-        .collect()
+        .collect();
+    sp.rows_out(out.len());
+    out
 }
 
 #[cfg(test)]

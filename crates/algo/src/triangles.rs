@@ -14,6 +14,8 @@ use ringo_graph::{NodeId, UndirectedGraph};
 /// Counts the number of distinct triangles. Self-loops never form
 /// triangles and are ignored. `threads = 1` gives the sequential variant.
 pub fn count_triangles(g: &UndirectedGraph, threads: usize) -> u64 {
+    let mut sp = ringo_trace::span!("algo.triangles");
+    sp.rows_in(g.edge_count());
     let n_slots = g.n_slots();
     let parts = parallel_map(n_slots, threads, |range| {
         let mut count = 0u64;
@@ -32,7 +34,9 @@ pub fn count_triangles(g: &UndirectedGraph, threads: usize) -> u64 {
         }
         count
     });
-    parts.into_iter().sum()
+    let total: u64 = parts.into_iter().sum();
+    sp.rows_out(usize::try_from(total).unwrap_or(usize::MAX));
+    total
 }
 
 /// Number of triangles incident to each node, as `(id, count)` pairs in

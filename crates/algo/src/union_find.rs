@@ -95,6 +95,8 @@ pub fn weakly_connected_components_parallel<G: DirectedTopology>(
     g: &G,
     threads: usize,
 ) -> Components {
+    let mut sp = ringo_trace::span!("algo.wcc_parallel");
+    sp.rows_in(g.node_count());
     let n_slots = g.n_slots();
     let uf = ConcurrentUnionFind::new(n_slots);
     parallel_for(n_slots, threads, |_, range| {
@@ -127,6 +129,7 @@ pub fn weakly_connected_components_parallel<G: DirectedTopology>(
         sizes[c as usize] += 1;
         comp_of.insert(id, c);
     }
+    sp.rows_out(sizes.len());
     Components { comp_of, sizes }
 }
 

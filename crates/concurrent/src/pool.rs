@@ -34,6 +34,28 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+/// Cached registry handles for the `ringo-trace` wiring, so the per-chunk
+/// hot path pays one pointer load instead of a name lookup. All three feed
+/// the registry with *deltas* (`add`), which is what lets
+/// `ringo_trace::reset()` open a clean measurement window even though the
+/// pool's own cumulative [`PoolStats`] keep counting from process start.
+struct TraceCounters {
+    jobs: &'static ringo_trace::Counter,
+    chunks: &'static ringo_trace::Counter,
+    busy_ns: &'static ringo_trace::Counter,
+    workers: &'static ringo_trace::Counter,
+}
+
+fn trace_counters() -> &'static TraceCounters {
+    static COUNTERS: OnceLock<TraceCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| TraceCounters {
+        jobs: ringo_trace::counter("pool.jobs_dispatched"),
+        chunks: ringo_trace::counter("pool.chunks_executed"),
+        busy_ns: ringo_trace::counter("pool.busy_ns"),
+        workers: ringo_trace::counter("pool.workers"),
+    })
+}
+
 /// A chunk body with its lifetime erased to `'static`. Only [`Pool::run`]
 /// creates these, and it blocks until all chunks finish, so the borrow is
 /// live for every dereference despite the lie in the lifetime.
@@ -161,6 +183,11 @@ impl Pool {
             return;
         }
         self.shared.jobs_dispatched.fetch_add(1, Ordering::Relaxed);
+        if ringo_trace::enabled() {
+            let t = trace_counters();
+            t.jobs.add(1);
+            t.workers.set(self.workers as u64);
+        }
         // SAFETY: erasing the borrow's lifetime is sound because this
         // function blocks until `remaining == 0`, i.e. until no executor
         // can dereference `func` again (see `Job` invariants).
@@ -259,10 +286,14 @@ fn execute_chunks(shared: &Shared, job: &Job) {
         // still blocked in `Pool::run` and the erased borrow is alive.
         let func = job.task.func;
         let result = catch_unwind(AssertUnwindSafe(|| func(t)));
-        shared
-            .busy_nanos
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let busy = started.elapsed().as_nanos() as u64;
+        shared.busy_nanos.fetch_add(busy, Ordering::Relaxed);
         shared.chunks_executed.fetch_add(1, Ordering::Relaxed);
+        if ringo_trace::enabled() {
+            let tc = trace_counters();
+            tc.chunks.add(1);
+            tc.busy_ns.add(busy);
+        }
 
         let mut d = job.done.lock().expect("pool job state poisoned");
         d.remaining -= 1;

@@ -48,6 +48,8 @@ type NodeParts = (NodeId, Vec<NodeId>, Vec<NodeId>);
 /// assert_eq!(back.n_rows(), 2);
 /// ```
 pub fn table_to_graph(t: &Table, src_col: &str, dst_col: &str) -> Result<DirectedGraph> {
+    let mut sp = ringo_trace::span!("convert.table_to_graph");
+    sp.rows_in(t.n_rows());
     let src = t.int_col(src_col)?;
     let dst = t.int_col(dst_col)?;
     let threads = t.threads();
@@ -121,12 +123,16 @@ pub fn table_to_graph(t: &Table, src_col: &str, dst_col: &str) -> Result<Directe
     for p in parts {
         flat.extend(p);
     }
-    Ok(DirectedGraph::from_parts(flat))
+    let g = DirectedGraph::from_parts(flat);
+    sp.rows_out(g.edge_count());
+    Ok(g)
 }
 
 /// Builds an undirected graph from two integer columns: each row adds the
 /// undirected edge `{src, dst}` (duplicates and reciprocal rows collapse).
 pub fn table_to_undirected(t: &Table, src_col: &str, dst_col: &str) -> Result<UndirectedGraph> {
+    let mut sp = ringo_trace::span!("convert.table_to_undirected");
+    sp.rows_in(t.n_rows());
     let src = t.int_col(src_col)?;
     let dst = t.int_col(dst_col)?;
     let threads = t.threads();
@@ -153,7 +159,9 @@ pub fn table_to_undirected(t: &Table, src_col: &str, dst_col: &str) -> Result<Un
     for p in parts {
         flat.extend(p);
     }
-    Ok(UndirectedGraph::from_parts(flat))
+    let g = UndirectedGraph::from_parts(flat);
+    sp.rows_out(g.edge_count());
+    Ok(g)
 }
 
 /// Builds a weighted digraph from an edge table: one edge per distinct
@@ -166,6 +174,8 @@ pub fn table_to_weighted_graph(
     dst_col: &str,
     weight_col: Option<&str>,
 ) -> Result<ringo_graph::WeightedDigraph> {
+    let mut sp = ringo_trace::span!("convert.table_to_weighted_graph");
+    sp.rows_in(t.n_rows());
     let src = t.int_col(src_col)?;
     let dst = t.int_col(dst_col)?;
     enum W<'a> {
@@ -199,6 +209,7 @@ pub fn table_to_weighted_graph(
         };
         g.add_edge(s, d, w);
     }
+    sp.rows_out(g.edge_count());
     Ok(g)
 }
 
@@ -219,6 +230,8 @@ pub fn table_to_graph_naive(t: &Table, src_col: &str, dst_col: &str) -> Result<D
 /// output partitions.
 pub fn graph_to_edge_table(g: &DirectedGraph, threads: usize) -> Table {
     use ringo_graph::DirectedTopology;
+    let mut sp = ringo_trace::span!("convert.graph_to_edge_table");
+    sp.rows_in(g.edge_count());
     let n_slots = g.n_slots();
     let parts: Vec<(Vec<i64>, Vec<i64>)> = parallel_map(n_slots, threads, |range| {
         let mut src = Vec::new();
@@ -248,12 +261,15 @@ pub fn graph_to_edge_table(g: &DirectedGraph, threads: usize) -> Table {
     )
     .expect("equal-length int columns");
     t.set_threads(threads);
+    sp.rows_out(t.n_rows());
     t
 }
 
 /// Exports a node table (`node`, `in_deg`, `out_deg`), one row per node.
 pub fn graph_to_node_table(g: &DirectedGraph, threads: usize) -> Table {
     use ringo_graph::DirectedTopology;
+    let mut sp = ringo_trace::span!("convert.graph_to_node_table");
+    sp.rows_in(g.node_count());
     let n_slots = g.n_slots();
     let parts: Vec<(Vec<i64>, Vec<i64>, Vec<i64>)> = parallel_map(n_slots, threads, |range| {
         let mut ids = Vec::new();
@@ -293,12 +309,16 @@ pub fn graph_to_node_table(g: &DirectedGraph, threads: usize) -> Table {
     )
     .expect("equal-length int columns");
     t.set_threads(threads);
+    sp.rows_out(t.n_rows());
     t
 }
 
 /// Builds a table mapping node ids to float scores — the paper's
 /// `TableFromHashMap` used to pull algorithm results back into table land.
 pub fn scores_to_table(scores: &[(NodeId, f64)], id_col: &str, score_col: &str) -> Table {
+    let mut sp = ringo_trace::span!("convert.scores_to_table");
+    sp.rows_in(scores.len());
+    sp.rows_out(scores.len());
     let schema = Schema::new([
         (id_col.to_string(), ColumnType::Int),
         (score_col.to_string(), ColumnType::Float),

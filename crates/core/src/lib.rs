@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod mem;
+pub mod oplog;
 
 pub use ringo_algo as algo;
 pub use ringo_concurrent as concurrent;
@@ -38,6 +39,9 @@ pub use ringo_convert as convert;
 pub use ringo_gen as gen;
 pub use ringo_graph as graph;
 pub use ringo_table as table;
+pub use ringo_trace as trace;
+
+pub use oplog::{OpLog, OpRecord, OpTiming};
 
 pub use ringo_algo::{Direction, PageRankConfig};
 pub use ringo_graph::{CsrGraph, DirectedGraph, NodeId, UndirectedGraph, WeightedDigraph};
@@ -51,11 +55,14 @@ pub type Result<T> = std::result::Result<T, TableError>;
 /// The Ringo analytics context.
 ///
 /// Holds the worker-thread count applied to every table and parallel
-/// kernel it creates; everything else is stateless, so one context can be
-/// shared freely.
+/// kernel it creates, plus the **op-log** — a bounded history of every
+/// verb issued through this context (name, parameters, cardinalities,
+/// latency, allocator deltas; see [`oplog`]). Clones share the same log,
+/// so a context can still be passed around freely.
 #[derive(Clone, Debug)]
 pub struct Ringo {
     threads: usize,
+    ops: OpLog,
 }
 
 impl Default for Ringo {
@@ -70,6 +77,7 @@ impl Ringo {
     pub fn new() -> Self {
         Self {
             threads: ringo_concurrent::num_threads(),
+            ops: OpLog::default(),
         }
     }
 
@@ -77,6 +85,7 @@ impl Ringo {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            ops: OpLog::default(),
         }
     }
 
@@ -85,13 +94,40 @@ impl Ringo {
         self.threads
     }
 
+    // ---- observability ----
+
+    /// The operations recorded by this context (and its clones), oldest
+    /// first. See [`oplog::OpRecord`].
+    pub fn op_log(&self) -> Vec<OpRecord> {
+        self.ops.records()
+    }
+
+    /// Per-verb aggregates of the op-log, sorted by total time — the data
+    /// behind the shell's `timings` command.
+    pub fn op_timings(&self) -> Vec<OpTiming> {
+        oplog::aggregate(&self.ops.records())
+    }
+
+    /// Clears the op-log history.
+    pub fn clear_op_log(&self) {
+        self.ops.clear()
+    }
+
     // ---- table I/O ----
 
     /// Loads a TSV file under `schema` (the paper's `LoadTableTSV`).
     pub fn load_table_tsv(&self, schema: &Schema, path: &Path) -> Result<Table> {
-        let mut t = ringo_table::load_tsv(path, schema)?;
-        t.set_threads(self.threads);
-        Ok(t)
+        self.ops.run_result(
+            "load_table_tsv",
+            format!("{}", path.display()),
+            0,
+            Table::n_rows,
+            || {
+                let mut t = ringo_table::load_tsv(path, schema)?;
+                t.set_threads(self.threads);
+                Ok(t)
+            },
+        )
     }
 
     /// Saves a table as TSV.
@@ -101,9 +137,17 @@ impl Ringo {
 
     /// Loads a delimiter-separated file (e.g. CSV with `,`).
     pub fn load_table_dsv(&self, schema: &Schema, path: &Path, delimiter: char) -> Result<Table> {
-        let mut t = ringo_table::load_dsv(path, schema, delimiter)?;
-        t.set_threads(self.threads);
-        Ok(t)
+        self.ops.run_result(
+            "load_table_dsv",
+            format!("{} ({delimiter:?})", path.display()),
+            0,
+            Table::n_rows,
+            || {
+                let mut t = ringo_table::load_dsv(path, schema, delimiter)?;
+                t.set_threads(self.threads);
+                Ok(t)
+            },
+        )
     }
 
     /// Saves a graph as a SNAP-style text edge list.
@@ -131,12 +175,25 @@ impl Ringo {
 
     /// Copying select (the paper's `Select`).
     pub fn select(&self, table: &Table, predicate: &Predicate) -> Result<Table> {
-        table.select(predicate)
+        self.ops.run_result(
+            "select",
+            format!("{predicate:?}"),
+            table.n_rows(),
+            Table::n_rows,
+            || table.select(predicate),
+        )
     }
 
     /// In-place select, modifying `table` (the Table 4 variant).
     pub fn select_in_place(&self, table: &mut Table, predicate: &Predicate) -> Result<usize> {
-        table.select_in_place(predicate)
+        let rows_in = table.n_rows();
+        self.ops.run_result(
+            "select_in_place",
+            format!("{predicate:?}"),
+            rows_in,
+            |kept| *kept,
+            || table.select_in_place(predicate),
+        )
     }
 
     /// Hash join (the paper's `Join`).
@@ -147,7 +204,13 @@ impl Ringo {
         left_col: &str,
         right_col: &str,
     ) -> Result<Table> {
-        left.join(right, left_col, right_col)
+        self.ops.run_result(
+            "join",
+            format!("on {left_col} = {right_col}"),
+            left.n_rows() + right.n_rows(),
+            Table::n_rows,
+            || left.join(right, left_col, right_col),
+        )
     }
 
     /// Group & aggregate.
@@ -159,7 +222,28 @@ impl Ringo {
         op: AggOp,
         out_name: &str,
     ) -> Result<Table> {
-        table.group_by(group_cols, agg_col, op, out_name)
+        self.ops.run_result(
+            "group_by",
+            format!(
+                "by {group_cols:?} {op:?}({}) as {out_name}",
+                agg_col.unwrap_or("*")
+            ),
+            table.n_rows(),
+            Table::n_rows,
+            || table.group_by(group_cols, agg_col, op, out_name),
+        )
+    }
+
+    /// Sorts `table` in place by `cols` (paper `Order`).
+    pub fn order_by(&self, table: &mut Table, cols: &[&str], ascending: bool) -> Result<()> {
+        let rows = table.n_rows();
+        self.ops.run_result(
+            "order_by",
+            format!("by {cols:?} {}", if ascending { "asc" } else { "desc" }),
+            rows,
+            |_| rows,
+            || table.order_by(cols, ascending),
+        )
     }
 
     /// Similarity join (Ringo's `SimJoin`).
@@ -171,7 +255,13 @@ impl Ringo {
         right_cols: &[&str],
         threshold: f64,
     ) -> Result<Table> {
-        left.sim_join(right, left_cols, right_cols, threshold)
+        self.ops.run_result(
+            "sim_join",
+            format!("{left_cols:?} ~ {right_cols:?} <= {threshold}"),
+            left.n_rows() + right.n_rows(),
+            Table::n_rows,
+            || left.sim_join(right, left_cols, right_cols, threshold),
+        )
     }
 
     /// Temporal predecessor–successor join (Ringo's `NextK`).
@@ -182,7 +272,13 @@ impl Ringo {
         order_col: &str,
         k: usize,
     ) -> Result<Table> {
-        table.next_k(group_col, order_col, k)
+        self.ops.run_result(
+            "next_k",
+            format!("group {} order {order_col} k={k}", group_col.unwrap_or("*")),
+            table.n_rows(),
+            Table::n_rows,
+            || table.next_k(group_col, order_col, k),
+        )
     }
 
     // ---- conversions ----
@@ -190,9 +286,17 @@ impl Ringo {
     /// Table → directed graph via the sort-first algorithm (the paper's
     /// `ToGraph`).
     pub fn to_graph(&self, table: &Table, src_col: &str, dst_col: &str) -> Result<DirectedGraph> {
-        let mut t = table.clone();
-        t.set_threads(self.threads);
-        ringo_convert::table_to_graph(&t, src_col, dst_col)
+        self.ops.run_result(
+            "to_graph",
+            format!("{src_col} -> {dst_col}"),
+            table.n_rows(),
+            DirectedGraph::edge_count,
+            || {
+                let mut t = table.clone();
+                t.set_threads(self.threads);
+                ringo_convert::table_to_graph(&t, src_col, dst_col)
+            },
+        )
     }
 
     /// Table → undirected graph.
@@ -202,19 +306,39 @@ impl Ringo {
         src_col: &str,
         dst_col: &str,
     ) -> Result<UndirectedGraph> {
-        let mut t = table.clone();
-        t.set_threads(self.threads);
-        ringo_convert::table_to_undirected(&t, src_col, dst_col)
+        self.ops.run_result(
+            "to_undirected_graph",
+            format!("{src_col} -- {dst_col}"),
+            table.n_rows(),
+            UndirectedGraph::edge_count,
+            || {
+                let mut t = table.clone();
+                t.set_threads(self.threads);
+                ringo_convert::table_to_undirected(&t, src_col, dst_col)
+            },
+        )
     }
 
     /// Graph → edge table.
     pub fn to_edge_table(&self, g: &DirectedGraph) -> Table {
-        ringo_convert::graph_to_edge_table(g, self.threads)
+        self.ops.run(
+            "to_edge_table",
+            String::new(),
+            g.edge_count(),
+            Table::n_rows,
+            || ringo_convert::graph_to_edge_table(g, self.threads),
+        )
     }
 
     /// Graph → node table with degrees.
     pub fn to_node_table(&self, g: &DirectedGraph) -> Table {
-        ringo_convert::graph_to_node_table(g, self.threads)
+        self.ops.run(
+            "to_node_table",
+            String::new(),
+            g.node_count(),
+            Table::n_rows,
+            || ringo_convert::graph_to_node_table(g, self.threads),
+        )
     }
 
     /// Algorithm scores → table (the paper's `TableFromHashMap`).
@@ -224,7 +348,13 @@ impl Ringo {
         id_col: &str,
         score_col: &str,
     ) -> Table {
-        ringo_convert::scores_to_table(scores, id_col, score_col)
+        self.ops.run(
+            "table_from_scores",
+            format!("{id_col}, {score_col}"),
+            scores.len(),
+            Table::n_rows,
+            || ringo_convert::scores_to_table(scores, id_col, score_col),
+        )
     }
 
     // ---- graph analytics (the paper's `GetPageRank` & friends) ----
@@ -232,18 +362,27 @@ impl Ringo {
     /// PageRank with the paper's defaults (0.85 damping, 10 iterations),
     /// parallelized over this context's threads.
     pub fn pagerank(&self, g: &DirectedGraph) -> Vec<(NodeId, f64)> {
-        ringo_algo::pagerank(
-            g,
-            &PageRankConfig {
-                threads: self.threads,
-                ..PageRankConfig::default()
-            },
-        )
+        self.ops
+            .run("pagerank", String::new(), g.edge_count(), Vec::len, || {
+                ringo_algo::pagerank(
+                    g,
+                    &PageRankConfig {
+                        threads: self.threads,
+                        ..PageRankConfig::default()
+                    },
+                )
+            })
     }
 
     /// PageRank with full parameter control.
     pub fn pagerank_with(&self, g: &DirectedGraph, config: &PageRankConfig) -> Vec<(NodeId, f64)> {
-        ringo_algo::pagerank(g, config)
+        self.ops.run(
+            "pagerank",
+            format!("d={} iters={}", config.damping, config.iterations),
+            g.edge_count(),
+            Vec::len,
+            || ringo_algo::pagerank(g, config),
+        )
     }
 
     /// HITS hub/authority scores.
@@ -252,12 +391,24 @@ impl Ringo {
         g: &DirectedGraph,
         iterations: usize,
     ) -> Vec<(NodeId, ringo_algo::HitsScores)> {
-        ringo_algo::hits(g, iterations, self.threads)
+        self.ops.run(
+            "hits",
+            format!("iters={iterations}"),
+            g.edge_count(),
+            Vec::len,
+            || ringo_algo::hits(g, iterations, self.threads),
+        )
     }
 
     /// Parallel triangle count of an undirected graph.
     pub fn count_triangles(&self, g: &UndirectedGraph) -> u64 {
-        ringo_algo::count_triangles(g, self.threads)
+        self.ops.run(
+            "count_triangles",
+            String::new(),
+            g.edge_count(),
+            |n| usize::try_from(*n).unwrap_or(usize::MAX),
+            || ringo_algo::count_triangles(g, self.threads),
+        )
     }
 
     /// BFS hop distances.
@@ -267,27 +418,57 @@ impl Ringo {
         src: NodeId,
         dir: Direction,
     ) -> ringo_concurrent::IntHashTable<u32> {
-        ringo_algo::bfs_distances(g, src, dir)
+        self.ops.run(
+            "bfs",
+            format!("from {src} ({dir:?})"),
+            g.node_count(),
+            ringo_concurrent::IntHashTable::len,
+            || ringo_algo::bfs_distances(g, src, dir),
+        )
     }
 
     /// Weakly connected components.
     pub fn wcc(&self, g: &DirectedGraph) -> ringo_algo::Components {
-        ringo_algo::weakly_connected_components(g)
+        self.ops.run(
+            "wcc",
+            String::new(),
+            g.node_count(),
+            ringo_algo::Components::n_components,
+            || ringo_algo::weakly_connected_components(g),
+        )
     }
 
     /// Strongly connected components.
     pub fn scc(&self, g: &DirectedGraph) -> ringo_algo::Components {
-        ringo_algo::strongly_connected_components(g)
+        self.ops.run(
+            "scc",
+            String::new(),
+            g.node_count(),
+            ringo_algo::Components::n_components,
+            || ringo_algo::strongly_connected_components(g),
+        )
     }
 
     /// Parallel weakly connected components (concurrent union-find).
     pub fn wcc_parallel(&self, g: &DirectedGraph) -> ringo_algo::Components {
-        ringo_algo::weakly_connected_components_parallel(g, self.threads)
+        self.ops.run(
+            "wcc_parallel",
+            String::new(),
+            g.node_count(),
+            ringo_algo::Components::n_components,
+            || ringo_algo::weakly_connected_components_parallel(g, self.threads),
+        )
     }
 
     /// k-core subgraph of an undirected graph.
     pub fn k_core(&self, g: &UndirectedGraph, k: u32) -> UndirectedGraph {
-        ringo_algo::k_core(g, k)
+        self.ops.run(
+            "k_core",
+            format!("k={k}"),
+            g.node_count(),
+            UndirectedGraph::node_count,
+            || ringo_algo::k_core(g, k),
+        )
     }
 
     /// Table → weighted digraph, with weights from a column or (when
@@ -299,63 +480,124 @@ impl Ringo {
         dst_col: &str,
         weight_col: Option<&str>,
     ) -> Result<WeightedDigraph> {
-        ringo_convert::table_to_weighted_graph(table, src_col, dst_col, weight_col)
+        self.ops.run_result(
+            "to_weighted_graph",
+            format!("{src_col} -> {dst_col} w={}", weight_col.unwrap_or("count")),
+            table.n_rows(),
+            WeightedDigraph::edge_count,
+            || ringo_convert::table_to_weighted_graph(table, src_col, dst_col, weight_col),
+        )
     }
 
     /// Weighted PageRank over stored edge weights.
     pub fn pagerank_weighted(&self, g: &WeightedDigraph) -> Vec<(NodeId, f64)> {
-        ringo_algo::pagerank_weighted(
-            g,
-            &PageRankConfig {
-                threads: self.threads,
-                ..PageRankConfig::default()
+        self.ops.run(
+            "pagerank_weighted",
+            String::new(),
+            g.edge_count(),
+            Vec::len,
+            || {
+                ringo_algo::pagerank_weighted(
+                    g,
+                    &PageRankConfig {
+                        threads: self.threads,
+                        ..PageRankConfig::default()
+                    },
+                )
             },
         )
     }
 
     /// Personalized PageRank from a seed set.
     pub fn personalized_pagerank(&self, g: &DirectedGraph, seeds: &[NodeId]) -> Vec<(NodeId, f64)> {
-        ringo_algo::personalized_pagerank(
-            g,
-            seeds,
-            &PageRankConfig {
-                threads: self.threads,
-                ..PageRankConfig::default()
+        self.ops.run(
+            "personalized_pagerank",
+            format!("{} seeds", seeds.len()),
+            g.edge_count(),
+            Vec::len,
+            || {
+                ringo_algo::personalized_pagerank(
+                    g,
+                    seeds,
+                    &PageRankConfig {
+                        threads: self.threads,
+                        ..PageRankConfig::default()
+                    },
+                )
             },
         )
     }
 
     /// Eigenvector centrality.
     pub fn eigenvector_centrality(&self, g: &DirectedGraph) -> Vec<(NodeId, f64)> {
-        ringo_algo::eigenvector_centrality(g, 100, 1e-10, self.threads)
+        self.ops.run(
+            "eigenvector_centrality",
+            String::new(),
+            g.edge_count(),
+            Vec::len,
+            || ringo_algo::eigenvector_centrality(g, 100, 1e-10, self.threads),
+        )
     }
 
     /// The 16-class directed triad census.
     pub fn triad_census(&self, g: &DirectedGraph) -> ringo_algo::TriadCensus {
-        ringo_algo::triad_census(g)
+        self.ops.run(
+            "triad_census",
+            String::new(),
+            g.node_count(),
+            |_| 16,
+            || ringo_algo::triad_census(g),
+        )
     }
 
     // ---- data generation (stand-ins for the paper's datasets) ----
 
     /// Synthetic StackOverflow-like posts table (§4.1 demo data).
     pub fn generate_stackoverflow(&self, config: &ringo_gen::StackOverflowConfig) -> Table {
-        let mut t = ringo_gen::generate_posts(config);
-        t.set_threads(self.threads);
-        t
+        self.ops.run(
+            "generate_stackoverflow",
+            format!(
+                "q={} a={} users={}",
+                config.questions, config.answers, config.users
+            ),
+            0,
+            Table::n_rows,
+            || {
+                let mut t = ringo_gen::generate_posts(config);
+                t.set_threads(self.threads);
+                t
+            },
+        )
     }
 
     /// LiveJournal-like benchmark edge table (Table 2 stand-in).
     pub fn generate_lj_like(&self, scale_factor: f64, seed: u64) -> Table {
-        let mut t = ringo_gen::edges_to_table(&ringo_gen::lj_like(scale_factor, seed));
-        t.set_threads(self.threads);
-        t
+        self.ops.run(
+            "generate_lj_like",
+            format!("scale={scale_factor} seed={seed}"),
+            0,
+            Table::n_rows,
+            || {
+                let mut t = ringo_gen::edges_to_table(&ringo_gen::lj_like(scale_factor, seed));
+                t.set_threads(self.threads);
+                t
+            },
+        )
     }
 
     /// Twitter2010-like benchmark edge table (Table 2 stand-in).
     pub fn generate_tw_like(&self, scale_factor: f64, seed: u64) -> Table {
-        let mut t = ringo_gen::edges_to_table(&ringo_gen::tw_like(scale_factor, seed));
-        t.set_threads(self.threads);
-        t
+        self.ops.run(
+            "generate_tw_like",
+            format!("scale={scale_factor} seed={seed}"),
+            0,
+            Table::n_rows,
+            || {
+                let mut t = ringo_gen::edges_to_table(&ringo_gen::tw_like(scale_factor, seed));
+                t.set_threads(self.threads);
+                t
+            },
+        )
     }
 }
 

@@ -55,8 +55,11 @@ impl Table {
         op: AggOp,
         out_name: &str,
     ) -> Result<Table> {
+        let mut sp = ringo_trace::span!("table.group");
+        sp.rows_in(self.n_rows());
         let gidx = self.col_indices(group_cols)?;
         let (ids, n_groups) = self.group_ids(group_cols)?;
+        sp.rows_out(n_groups);
 
         // First-row representative per group, for the key columns.
         let mut rep = vec![usize::MAX; n_groups];

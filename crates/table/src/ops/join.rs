@@ -23,6 +23,8 @@ impl Table {
     /// all of `other`'s (name clashes suffixed `-1`, `-2`, ... as in the
     /// paper's §4.1 demo). Key columns must both be `Int` or both `Str`.
     pub fn join(&self, other: &Table, left_col: &str, right_col: &str) -> Result<Table> {
+        let mut sp = ringo_trace::span!("table.join");
+        sp.rows_in(self.n_rows() + other.n_rows());
         let li = self.schema.index_of(left_col)?;
         let ri = other.schema.index_of(right_col)?;
         let lt = self.cols[li].column_type();
@@ -102,7 +104,9 @@ impl Table {
             pairs.iter().map(|&(p, b)| (p as usize, b as usize)).unzip()
         };
 
-        materialize_join(self, other, &left_rows, &right_rows)
+        let out = materialize_join(self, other, &left_rows, &right_rows)?;
+        sp.rows_out(out.n_rows());
+        Ok(out)
     }
 }
 

@@ -18,6 +18,8 @@ impl Table {
     /// order column are broken by original row position (the sort is
     /// stable), so results are deterministic.
     pub fn next_k(&self, group_col: Option<&str>, order_col: &str, k: usize) -> Result<Table> {
+        let mut sp = ringo_trace::span!("table.nextk");
+        sp.rows_in(self.n_rows());
         if k == 0 {
             return Err(TableError::InvalidArgument("next_k requires k >= 1".into()));
         }
@@ -69,7 +71,9 @@ impl Table {
                 right_rows.push(perm[j]);
             }
         }
-        materialize_join(self, self, &left_rows, &right_rows)
+        let out = materialize_join(self, self, &left_rows, &right_rows)?;
+        sp.rows_out(out.n_rows());
+        Ok(out)
     }
 }
 

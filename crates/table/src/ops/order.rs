@@ -8,6 +8,9 @@ impl Table {
     /// next column). Floats use IEEE total order, so NaNs sort after all
     /// numbers. Row ids travel with their rows. The sort is stable.
     pub fn order_by(&mut self, cols: &[&str], ascending: bool) -> Result<()> {
+        let mut sp = ringo_trace::span!("table.order");
+        sp.rows_in(self.n_rows());
+        sp.rows_out(self.n_rows());
         let idx = self.col_indices(cols)?;
         let mut perm: Vec<usize> = (0..self.n_rows()).collect();
         let cmp = |&a: &usize, &b: &usize| -> Ordering {

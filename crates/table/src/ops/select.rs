@@ -267,14 +267,21 @@ impl Table {
     /// Returns a new table containing the rows matching `pred`; row ids are
     /// preserved.
     pub fn select(&self, pred: &Predicate) -> Result<Table> {
-        Ok(self.gather_rows(&self.select_rows(pred)?))
+        let mut sp = ringo_trace::span!("table.select");
+        sp.rows_in(self.n_rows());
+        let out = self.gather_rows(&self.select_rows(pred)?);
+        sp.rows_out(out.n_rows());
+        Ok(out)
     }
 
     /// Filters this table in place (the paper's "Select, in place"),
     /// keeping rows matching `pred`. Returns the number of surviving rows.
     pub fn select_in_place(&mut self, pred: &Predicate) -> Result<usize> {
+        let mut sp = ringo_trace::span!("table.select_in_place");
+        sp.rows_in(self.n_rows());
         let keep = self.select_rows(pred)?;
         self.retain_rows(&keep);
+        sp.rows_out(self.n_rows());
         Ok(self.n_rows())
     }
 

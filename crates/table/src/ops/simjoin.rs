@@ -37,6 +37,8 @@ impl Table {
         right_cols: &[&str],
         threshold: f64,
     ) -> Result<Table> {
+        let mut sp = ringo_trace::span!("table.simjoin");
+        sp.rows_in(self.n_rows() + other.n_rows());
         if left_cols.is_empty() || left_cols.len() != right_cols.len() {
             return Err(TableError::InvalidArgument(
                 "sim_join requires equally many (>=1) columns on both sides".into(),
@@ -94,7 +96,9 @@ impl Table {
                 j += 1;
             }
         }
-        materialize_join(self, other, &left_rows, &right_rows)
+        let out = materialize_join(self, other, &left_rows, &right_rows)?;
+        sp.rows_out(out.n_rows());
+        Ok(out)
     }
 }
 

@@ -1,0 +1,143 @@
+//! Minimal hand-rolled JSON writer for the trace dump (no dependencies).
+//!
+//! The emitted document has the shape
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "counters": {"pool.chunks_executed": 128, ...},
+//!   "histograms": {"table.join": {"count": 2, "sum_ns": ..., "min_ns": ...,
+//!                                 "max_ns": ..., "buckets": [...]}, ...},
+//!   "events": [{"seq": 0, "name": "table.select", "depth": 0,
+//!               "wall_ns": ..., "rows_in": ..., "rows_out": ...,
+//!               "mem_delta": ..., "mem_peak_delta": ...}, ...],
+//!   "mem": {"current_bytes": ..., "peak_bytes": ...}
+//! }
+//! ```
+
+use std::fmt::Write;
+
+/// Escapes `s` into `out` as a JSON string literal (with quotes).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes the full trace state; see the module docs for the schema.
+pub(crate) fn trace_to_json() -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("{\n  \"version\": 1,\n  \"counters\": {");
+    let counters = crate::counters_snapshot();
+    for (i, c) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        write_escaped(&mut out, c.name);
+        write!(out, ": {}", c.value).unwrap();
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    let hists = crate::histograms_snapshot();
+    for (i, h) in hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        write_escaped(&mut out, h.name);
+        write!(
+            out,
+            ": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"buckets\": [",
+            h.count, h.sum_ns, h.min_ns, h.max_ns
+        )
+        .unwrap();
+        for (j, b) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write!(out, "{b}").unwrap();
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  },\n  \"events\": [");
+    let events = crate::events_snapshot();
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"seq\": ");
+        write!(out, "{}, \"name\": ", e.seq).unwrap();
+        write_escaped(&mut out, e.name);
+        write!(
+            out,
+            ", \"depth\": {}, \"wall_ns\": {}, \"rows_in\": {}, \"rows_out\": {}, \
+             \"mem_delta\": {}, \"mem_peak_delta\": {}}}",
+            e.depth, e.wall_ns, e.rows_in, e.rows_out, e.mem_delta, e.mem_peak_delta
+        )
+        .unwrap();
+    }
+    write!(
+        out,
+        "\n  ],\n  \"mem\": {{\"current_bytes\": {}, \"peak_bytes\": {}}}\n}}\n",
+        crate::mem::current_bytes(),
+        crate::mem::peak_bytes()
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn dump_contains_recorded_metrics() {
+        let _l = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::counter("test.json_counter").add(11);
+        {
+            let mut sp = crate::span!("test.json_span");
+            sp.rows_in(4);
+            sp.rows_out(2);
+        }
+        let j = crate::to_json();
+        assert!(j.contains("\"version\": 1"), "{j}");
+        assert!(j.contains("\"test.json_counter\": 11"), "{j}");
+        assert!(j.contains("\"test.json_span\""), "{j}");
+        assert!(j.contains("\"rows_in\": 4"), "{j}");
+        assert!(j.contains("\"mem\""), "{j}");
+        // Balanced braces / brackets (cheap well-formedness check).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced objects"
+        );
+        assert_eq!(
+            j.matches('[').count(),
+            j.matches(']').count(),
+            "balanced arrays"
+        );
+        crate::set_enabled(false);
+        crate::reset();
+    }
+}

@@ -1,0 +1,112 @@
+//! Bounded in-memory event ring.
+//!
+//! Every finished (enabled) span pushes one [`Event`]. The ring keeps the
+//! last [`RING_CAPACITY`] events: a global atomic sequence claims a slot
+//! (lock-free), and each slot is guarded by its own uncontended mutex for
+//! the brief copy in/out, so concurrent spans from worker threads never
+//! serialize against one another except on the rare same-slot wrap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of events retained; older events are overwritten.
+pub const RING_CAPACITY: usize = 1024;
+
+/// One completed span, as recorded in the ring.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (process-wide order of completion).
+    pub seq: u64,
+    /// Span name (e.g. `"table.join"`).
+    pub name: &'static str,
+    /// Nesting depth at entry: 0 for top-level operations.
+    pub depth: u32,
+    /// Wall time of the span in nanoseconds.
+    pub wall_ns: u64,
+    /// Input cardinality (rows or edges), when the caller set it.
+    pub rows_in: u64,
+    /// Output cardinality (rows or edges), when the caller set it.
+    pub rows_out: u64,
+    /// Net allocator delta over the span (current bytes at exit minus
+    /// entry); 0 unless [`crate::mem::TrackingAllocator`] is installed.
+    pub mem_delta: i64,
+    /// How much the span raised the process-wide peak-heap high-water
+    /// mark (0 when an earlier peak still dominates).
+    pub mem_peak_delta: u64,
+}
+
+struct Ring {
+    seq: AtomicU64,
+    slots: Box<[Mutex<Option<Event>>]>,
+}
+
+fn ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| Ring {
+        seq: AtomicU64::new(0),
+        slots: (0..RING_CAPACITY).map(|_| Mutex::new(None)).collect(),
+    })
+}
+
+/// Appends an event, assigning its sequence number. Used by [`crate::Span`].
+pub(crate) fn push(mut ev: Event) {
+    let r = ring();
+    let seq = r.seq.fetch_add(1, Ordering::Relaxed);
+    ev.seq = seq;
+    let slot = &r.slots[(seq % RING_CAPACITY as u64) as usize];
+    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(ev);
+}
+
+/// The retained events, oldest first.
+pub fn events_snapshot() -> Vec<Event> {
+    let r = ring();
+    let mut out: Vec<Event> = r
+        .slots
+        .iter()
+        .filter_map(|s| *s.lock().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    out.sort_by_key(|e| e.seq);
+    out
+}
+
+/// Clears the ring (sequence numbers keep counting up, preserving global
+/// order across [`crate::reset`] windows).
+pub(crate) fn reset() {
+    for s in ring().slots.iter() {
+        *s.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str) -> Event {
+        Event {
+            seq: 0,
+            name,
+            depth: 0,
+            wall_ns: 1,
+            rows_in: 0,
+            rows_out: 0,
+            mem_delta: 0,
+            mem_peak_delta: 0,
+        }
+    }
+
+    #[test]
+    fn ring_retains_the_newest_events_in_order() {
+        let _l = crate::test_lock();
+        crate::reset();
+        for _ in 0..RING_CAPACITY + 10 {
+            push(ev("test.ring"));
+        }
+        let events = events_snapshot();
+        assert_eq!(events.len(), RING_CAPACITY, "bounded");
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "oldest-first order");
+        }
+        crate::reset();
+        assert!(events_snapshot().is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! RAII spans: enter with [`crate::span!`], annotate cardinalities, and
+//! the drop records latency, memory deltas, and an [`Event`].
+
+use crate::ring::{self, Event};
+use crate::{histogram, mem};
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    /// Current span nesting depth on this thread (active spans only).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// An RAII measurement of one named operation.
+///
+/// Created with [`crate::span!`]. When tracing is disabled at entry the
+/// span is inert: construction is one relaxed atomic load, annotation
+/// methods are no-ops, and drop does nothing — the overhead contract the
+/// `bench_trace_overhead` benchmark enforces. When enabled, the drop
+/// records the wall time into the span's named [`crate::Histogram`] and
+/// appends an [`Event`] (with rows in/out and allocator deltas) to the
+/// event ring.
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    mem_start: usize,
+    peak_start: usize,
+    rows_in: u64,
+    rows_out: u64,
+    depth: u32,
+}
+
+impl Span {
+    /// Starts a span named `name`; inert unless tracing is enabled.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { inner: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span {
+            inner: Some(ActiveSpan {
+                name,
+                start: Instant::now(),
+                mem_start: mem::current_bytes(),
+                peak_start: mem::peak_bytes(),
+                rows_in: 0,
+                rows_out: 0,
+                depth,
+            }),
+        }
+    }
+
+    /// Whether this span is actually recording.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Annotates the input cardinality (rows or edges).
+    #[inline]
+    pub fn rows_in(&mut self, n: usize) {
+        if let Some(s) = &mut self.inner {
+            s.rows_in = n as u64;
+        }
+    }
+
+    /// Annotates the output cardinality (rows or edges).
+    #[inline]
+    pub fn rows_out(&mut self, n: usize) {
+        if let Some(s) = &mut self.inner {
+            s.rows_out = n as u64;
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(s) = self.inner.take() {
+            finish(s);
+        }
+    }
+}
+
+/// Out-of-line slow path: only runs for enabled spans.
+#[cold]
+fn finish(s: ActiveSpan) {
+    let wall_ns = u64::try_from(s.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    histogram(s.name).record(wall_ns);
+    ring::push(Event {
+        seq: 0, // assigned by the ring
+        name: s.name,
+        depth: s.depth,
+        wall_ns,
+        rows_in: s.rows_in,
+        rows_out: s.rows_out,
+        mem_delta: mem::current_bytes() as i64 - s.mem_start as i64,
+        mem_peak_delta: mem::peak_bytes().saturating_sub(s.peak_start) as u64,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events_snapshot;
+
+    #[test]
+    fn nested_spans_record_depth_and_unwind() {
+        let _l = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let mut outer = crate::span!("test.nest_outer");
+            outer.rows_in(10);
+            {
+                let _mid = crate::span!("test.nest_mid");
+                {
+                    let _inner = crate::span!("test.nest_inner");
+                }
+            }
+            // A sibling after the nested pair re-uses depth 1.
+            let _sibling = crate::span!("test.nest_sibling");
+            outer.rows_out(5);
+        }
+        let events = events_snapshot();
+        let depth_of = |n: &str| events.iter().find(|e| e.name == n).unwrap().depth;
+        assert_eq!(depth_of("test.nest_outer"), 0);
+        assert_eq!(depth_of("test.nest_mid"), 1);
+        assert_eq!(depth_of("test.nest_inner"), 2);
+        assert_eq!(depth_of("test.nest_sibling"), 1);
+        // Inner spans complete (and are recorded) before outer ones.
+        let seq_of = |n: &str| events.iter().find(|e| e.name == n).unwrap().seq;
+        assert!(seq_of("test.nest_inner") < seq_of("test.nest_mid"));
+        assert!(seq_of("test.nest_mid") < seq_of("test.nest_outer"));
+        // Cardinality annotations land on the right event.
+        let outer = events.iter().find(|e| e.name == "test.nest_outer").unwrap();
+        assert_eq!((outer.rows_in, outer.rows_out), (10, 5));
+        // Depth fully unwound: a fresh span is top-level again.
+        {
+            let _after = crate::span!("test.nest_after");
+        }
+        let after = events_snapshot()
+            .into_iter()
+            .find(|e| e.name == "test.nest_after")
+            .unwrap();
+        assert_eq!(after.depth, 0);
+        crate::set_enabled(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn span_enabled_at_entry_decides_recording() {
+        let _l = crate::test_lock();
+        crate::set_enabled(false);
+        crate::reset();
+        let sp = Span::enter("test.entry_decides");
+        crate::set_enabled(true);
+        drop(sp); // was created disabled: must not record
+        assert!(events_snapshot().is_empty());
+        crate::set_enabled(false);
+        crate::reset();
+    }
+}

@@ -12,6 +12,7 @@ use ringo::Ringo;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ringo::trace::init_from_env();
     let ringo = Ringo::new();
     let edges_table = ringo.generate_lj_like(0.05, 99);
     let g = ringo.to_graph(&edges_table, "src", "dst")?;

@@ -14,6 +14,7 @@ use ringo::{Direction, Ringo};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ringo::trace::init_from_env();
     let scale: f64 = std::env::args()
         .nth(1)
         .map(|s| s.parse())

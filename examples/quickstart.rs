@@ -2,9 +2,17 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+use ringo::trace::mem::TrackingAllocator;
 use ringo::{AggOp, Cmp, ColumnType, Predicate, Ringo, Schema, Table, Value};
 
+// Route allocations through the tracking allocator so traces and the
+// op-log report real memory deltas.
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Honors RINGO_TRACE / RINGO_TRACE_JSON; dumps JSON when main returns.
+    let _trace = ringo::trace::init_from_env();
     let ringo = Ringo::new();
     println!("Ringo quickstart ({} worker threads)\n", ringo.threads());
 
@@ -68,5 +76,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         enriched.n_rows(),
         enriched.n_cols()
     );
+
+    // 5. Every verb above was recorded in the context's op-log.
+    println!("\noperation timings:");
+    for t in ringo.op_timings() {
+        println!(
+            "  {:<20} {:>2} calls  {:.1?} total",
+            t.name, t.calls, t.total
+        );
+    }
     Ok(())
 }

@@ -27,11 +27,17 @@
 //! Commands also stream from stdin, so the shell is scriptable:
 //! `echo "gen lj t 0.01\ntograph g t src dst\nwcc g" | cargo run --example ringo_shell`.
 
-use ringo::algo::{count_triangles, Direction};
+use ringo::algo::Direction;
 use ringo::gen::StackOverflowConfig;
+use ringo::trace::mem::{format_bytes_delta, TrackingAllocator};
 use ringo::{Cmp, ColumnType, DirectedGraph, Predicate, Ringo, Schema, Table};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+
+// Every allocation flows through the tracking allocator so `timings` and
+// `provenance` can report real per-operation memory deltas.
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
 
 struct Shell {
     ringo: Ringo,
@@ -63,6 +69,9 @@ commands:
   loadgraph <name> <path>                    read SNAP-style edge list
   info <name>                                table or graph summary
   ls                                         list everything
+  timings                                    per-verb latency & memory aggregates
+  provenance [n]                             last n op-log records (default 20)
+  trace [reset]                              global ringo-trace report (RINGO_TRACE=1)
   help | quit";
 
 impl Shell {
@@ -207,7 +216,7 @@ impl Shell {
                         value: value.to_string(),
                     },
                 };
-                let r = t.select(&pred).map_err(|e| e.to_string())?;
+                let r = self.ringo.select(t, &pred).map_err(|e| e.to_string())?;
                 println!("table {out}: {} rows", r.n_rows());
                 self.tables.insert(out.to_string(), r);
                 Ok(true)
@@ -215,15 +224,19 @@ impl Shell {
             ["join", out, left, right, lcol, rcol] => {
                 let l = self.table(left)?;
                 let r = self.table(right)?;
-                let j = l.join(r, lcol, rcol).map_err(|e| e.to_string())?;
+                let j = self
+                    .ringo
+                    .join(l, r, lcol, rcol)
+                    .map_err(|e| e.to_string())?;
                 println!("table {out}: {} rows x {} cols", j.n_rows(), j.n_cols());
                 self.tables.insert(out.to_string(), j);
                 Ok(true)
             }
             ["group", out, table, col, "count"] => {
                 let t = self.table(table)?;
-                let g = t
-                    .group_by(&[col], None, ringo::AggOp::Count, "count")
+                let g = self
+                    .ringo
+                    .group_by(t, &[col], None, ringo::AggOp::Count, "count")
                     .map_err(|e| e.to_string())?;
                 println!("table {out}: {} groups", g.n_rows());
                 self.tables.insert(out.to_string(), g);
@@ -231,11 +244,11 @@ impl Shell {
             }
             ["order", table, col, rest @ ..] => {
                 let asc = rest.first().is_none_or(|d| *d != "desc");
-                let t = self
-                    .tables
+                let Shell { ringo, tables, .. } = self;
+                let t = tables
                     .get_mut(*table)
                     .ok_or(format!("no table named {table:?}"))?;
-                t.order_by(&[col], asc).map_err(|e| e.to_string())?;
+                ringo.order_by(t, &[col], asc).map_err(|e| e.to_string())?;
                 println!("table {table} sorted by {col}");
                 Ok(true)
             }
@@ -335,7 +348,7 @@ impl Shell {
             ["triangles", graph] => {
                 let g = self.graph(graph)?;
                 let u = g.to_undirected();
-                println!("{} triangles", count_triangles(&u, self.ringo.threads()));
+                println!("{} triangles", self.ringo.count_triangles(&u));
                 Ok(true)
             }
             ["wcc", graph] => {
@@ -381,10 +394,73 @@ impl Shell {
                 }
                 Ok(true)
             }
+            ["timings"] => {
+                let agg = self.ringo.op_timings();
+                if agg.is_empty() {
+                    println!("no operations recorded yet");
+                    return Ok(true);
+                }
+                println!(
+                    "{:<22} {:>6} {:>12} {:>12} {:>12} {:>10}",
+                    "verb", "calls", "total", "max", "mem", "peak+"
+                );
+                for t in agg {
+                    println!(
+                        "{:<22} {:>6} {:>12} {:>12} {:>12} {:>10}",
+                        t.name,
+                        t.calls,
+                        format!("{:.1?}", t.total),
+                        format!("{:.1?}", t.max),
+                        format_bytes_delta(t.mem_delta),
+                        format_bytes_delta(t.max_peak_delta as i64),
+                    );
+                }
+                Ok(true)
+            }
+            ["provenance", rest @ ..] => {
+                let n: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(20);
+                let records = self.ringo.op_log();
+                if records.is_empty() {
+                    println!("no operations recorded yet");
+                    return Ok(true);
+                }
+                let skip = records.len().saturating_sub(n);
+                println!(
+                    "{:>4} {:<22} {:>10} {:>10} {:>10} {:>10}  params",
+                    "#", "verb", "rows_in", "rows_out", "wall", "mem"
+                );
+                for r in &records[skip..] {
+                    println!(
+                        "{:>4} {:<22} {:>10} {:>10} {:>10} {:>10}  {}",
+                        r.seq,
+                        r.name,
+                        r.rows_in,
+                        r.rows_out,
+                        format!("{:.1?}", r.wall),
+                        format_bytes_delta(r.mem_delta),
+                        r.params,
+                    );
+                }
+                Ok(true)
+            }
+            ["trace"] => {
+                if !ringo::trace::enabled() {
+                    println!("tracing is off; start the shell with RINGO_TRACE=1");
+                    return Ok(true);
+                }
+                print!("{}", ringo::trace::report());
+                Ok(true)
+            }
+            ["trace", "reset"] => {
+                ringo::trace::reset();
+                self.ringo.clear_op_log();
+                println!("trace registry and op-log cleared");
+                Ok(true)
+            }
             ["bfs", graph, src] => {
                 let g = self.graph(graph)?;
                 let src: i64 = src.parse().map_err(|_| "bad node id".to_string())?;
-                let d = ringo::algo::bfs_distances(g, src, Direction::Out);
+                let d = self.ringo.bfs(g, src, Direction::Out);
                 println!("{} nodes reachable from {src}", d.len());
                 Ok(true)
             }
@@ -394,6 +470,9 @@ impl Shell {
 }
 
 fn main() {
+    // RINGO_TRACE=1 enables span tracing; the guard dumps JSON on exit
+    // when RINGO_TRACE_JSON (or RINGO_TRACE alone) is set.
+    let _trace = ringo::trace::init_from_env();
     let mut shell = Shell::new();
     println!(
         "Ringo interactive shell ({} threads). Type `help` for commands.",

@@ -22,6 +22,7 @@ use ringo::{Predicate, Ringo};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ringo::trace::init_from_env();
     let tag = std::env::args().nth(1).unwrap_or_else(|| "java".into());
     let ringo = Ringo::new();
 

@@ -53,6 +53,7 @@ fn click_log(users: i64, clicks_per_user: i64) -> Table {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ringo::trace::init_from_env();
     let ringo = Ringo::new();
     let log = click_log(400, 12);
     println!("click log: {} events from 400 user sessions", log.n_rows());

@@ -13,6 +13,7 @@ use ringo::gen::StackOverflowConfig;
 use ringo::{Predicate, Ringo};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ringo::trace::init_from_env();
     let ringo = Ringo::new();
     let posts = ringo.generate_stackoverflow(&StackOverflowConfig {
         questions: 30_000,

@@ -1,0 +1,151 @@
+//! Integration tests for the observability layer: the global trace
+//! registry fed from the worker pool, span nesting in the event ring, and
+//! the facade op-log's view of an instrumented join.
+//!
+//! Trace state is process-global, so every test that mutates it
+//! serializes through one lock and opens its own window with
+//! `trace::reset()`.
+
+use ringo::trace;
+use ringo::{ColumnType, Predicate, Ringo, Schema, Table, Value};
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn counter_value(name: &str) -> Option<u64> {
+    trace::counters_snapshot()
+        .into_iter()
+        .find(|c| c.name == name)
+        .map(|c| c.value)
+}
+
+#[test]
+fn pool_fed_counters_lose_no_updates() {
+    let _l = lock();
+    trace::set_enabled(true);
+    trace::reset();
+
+    // Hammer one counter from every pool worker: 8 chunks x 50k adds. The
+    // final value must be exact — the registry is lock-free, not racy.
+    let per_chunk = 50_000u64;
+    let c = trace::counter("test.pool_adds");
+    ringo::concurrent::parallel_for(8, 8, |_, range| {
+        for _ in range {
+            for _ in 0..per_chunk {
+                c.add(1);
+            }
+        }
+    });
+    assert_eq!(counter_value("test.pool_adds"), Some(8 * per_chunk));
+
+    // The dispatch itself showed up in the pool's own wiring.
+    assert!(counter_value("pool.jobs_dispatched").unwrap_or(0) >= 1);
+    assert!(counter_value("pool.chunks_executed").unwrap_or(0) >= 2);
+    trace::set_enabled(false);
+}
+
+#[test]
+fn span_nesting_is_recorded_in_events() {
+    let _l = lock();
+    trace::set_enabled(true);
+    trace::reset();
+    {
+        let _outer = trace::span!("test.outer");
+        {
+            let _inner = trace::span!("test.inner");
+        }
+        let _sibling = trace::span!("test.sibling");
+    }
+    trace::set_enabled(false);
+
+    let events = trace::events_snapshot();
+    let depth_of = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("no event for {name}"))
+            .depth
+    };
+    assert_eq!(depth_of("test.outer"), 0);
+    assert_eq!(depth_of("test.inner"), 1);
+    assert_eq!(depth_of("test.sibling"), 1);
+    // Spans finish inside-out: the inner event landed before the outer.
+    let seq_of = |name: &str| events.iter().find(|e| e.name == name).unwrap().seq;
+    assert!(seq_of("test.inner") < seq_of("test.outer"));
+}
+
+#[test]
+fn instrumented_join_records_cardinalities() {
+    let _l = lock();
+    trace::set_enabled(true);
+    trace::reset();
+
+    let ringo = Ringo::with_threads(2);
+    let mut left = Table::new(Schema::new([
+        ("k", ColumnType::Int),
+        ("a", ColumnType::Int),
+    ]));
+    let mut right = Table::new(Schema::new([
+        ("k", ColumnType::Int),
+        ("b", ColumnType::Int),
+    ]));
+    for i in 0..100i64 {
+        left.push_row(&[Value::Int(i % 10), Value::Int(i)]).unwrap();
+    }
+    for i in 0..10i64 {
+        right.push_row(&[Value::Int(i), Value::Int(-i)]).unwrap();
+    }
+    let joined = ringo.join(&left, &right, "k", "k").unwrap();
+    assert_eq!(joined.n_rows(), 100, "every left row matches one right key");
+    trace::set_enabled(false);
+
+    // The facade op-log saw the call with exact cardinalities.
+    let records = ringo.op_log();
+    let rec = records
+        .iter()
+        .find(|r| r.name == "join")
+        .expect("join in op-log");
+    assert_eq!(rec.rows_in, 110);
+    assert_eq!(rec.rows_out, 100);
+    assert!(rec.params.contains("k = k"));
+
+    // And the engine-level span fed the global histogram and event ring.
+    let hist = trace::histograms_snapshot()
+        .into_iter()
+        .find(|h| h.name == "table.join")
+        .expect("table.join histogram");
+    assert_eq!(hist.count, 1);
+    let ev = trace::events_snapshot()
+        .into_iter()
+        .find(|e| e.name == "table.join")
+        .expect("table.join event");
+    assert_eq!(ev.rows_in, 110);
+    assert_eq!(ev.rows_out, 100);
+}
+
+#[test]
+fn op_log_works_with_tracing_disabled() {
+    let _l = lock();
+    trace::set_enabled(false);
+
+    // The op-log is always on: verbs are recorded even when the global
+    // trace layer is off (and the engine spans then record nothing).
+    let ringo = Ringo::with_threads(1);
+    let mut t = Table::new(Schema::new([("x", ColumnType::Int)]));
+    for i in 0..50i64 {
+        t.push_row(&[Value::Int(i)]).unwrap();
+    }
+    let kept = ringo
+        .select(&t, &Predicate::int("x", ringo::Cmp::Lt, 25))
+        .unwrap();
+    assert_eq!(kept.n_rows(), 25);
+
+    let timings = ringo.op_timings();
+    let sel = timings.iter().find(|t| t.name == "select").unwrap();
+    assert_eq!(sel.calls, 1);
+    let rec = &ringo.op_log()[0];
+    assert_eq!((rec.rows_in, rec.rows_out), (50, 25));
+}
