@@ -13,8 +13,11 @@
 //!   ([`parallel::parallel_for`], [`parallel::parallel_map`], reductions),
 //!   the moral equivalent of `#pragma omp parallel for` with static
 //!   scheduling,
-//! * [`sort`] — parallel merge sort built on the runtime, used by the
-//!   "sort-first" table-to-graph conversion,
+//! * [`sort`] — parallel merge sort built on the runtime, the fallback
+//!   for arbitrary `Ord` keys,
+//! * [`radix`] — parallel LSD radix sort for integer keys (per-worker
+//!   histograms, digit skipping, stable scatter), the fast path behind
+//!   the "sort-first" table-to-graph conversion and integer `order_by`,
 //! * [`hash_table`] — [`hash_table::IntHashTable`], a sequential
 //!   open-addressing / linear-probing map keyed by `i64`, and
 //!   [`hash_table::ConcurrentIntTable`], a fixed-capacity concurrent set
@@ -28,10 +31,12 @@ pub mod atomic_vec;
 pub mod hash_table;
 pub mod parallel;
 pub mod pool;
+pub mod radix;
 pub mod sort;
 
 pub use atomic_vec::ConcurrentVec;
 pub use hash_table::{ConcurrentIntTable, IntHashTable};
-pub use parallel::{num_threads, parallel_for, parallel_map, parallel_reduce};
+pub use parallel::{num_threads, parallel_for, parallel_map, parallel_reduce, DisjointSlice};
 pub use pool::{pool_stats, Pool, PoolStats};
+pub use radix::{i64_key, radix_sort_by_u64_key, radix_sort_i64, radix_sort_pairs, radix_sort_u64};
 pub use sort::{parallel_sort, parallel_sort_by_key};

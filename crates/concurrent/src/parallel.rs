@@ -178,6 +178,54 @@ where
     });
 }
 
+/// Shared mutable slice handed to workers that provably touch disjoint
+/// index windows. This is the one aliasing escape hatch of the parallel
+/// runtime: the unsafe surface is confined to [`DisjointSlice::slice_mut`]
+/// and [`DisjointSlice::write`], whose callers must guarantee that no index
+/// is written concurrently from two workers. Used by the merge sorter
+/// (disjoint output windows per merged pair), the radix sorter (scatter
+/// cursors partition the output), and the conversion fill phase (disjoint
+/// slab ranges per node).
+pub struct DisjointSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Sync for DisjointSlice<T> {}
+
+impl<T> DisjointSlice<T> {
+    /// Wraps `slice` for disjoint concurrent writes. The wrapper holds a
+    /// raw pointer, so the caller must keep the underlying storage alive
+    /// and un-moved for as long as the cell is used.
+    pub fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// Callers must ensure `[lo, hi)` windows obtained concurrently are
+    /// pairwise disjoint and within bounds. The `&self` receiver is what
+    /// lets workers share the cell; disjointness is the aliasing argument.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+
+    /// Writes one element.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and written by at most one worker for the
+    /// lifetime of the concurrent region.
+    #[inline(always)]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        self.ptr.add(i).write(value);
+    }
+}
+
 /// A raw pointer that may cross thread boundaries. Callers must uphold the
 /// usual aliasing rules themselves (disjoint writes per chunk). Accessed
 /// through [`SendPtr::get`] so closures capture the whole wrapper (edition

@@ -1,0 +1,713 @@
+//! Parallel LSD radix sort for integer keys.
+//!
+//! The sort-first conversion pipeline (paper §2.4) and integer `order_by`
+//! spend their time sorting `i64` node ids and `(i64, i64)` edge pairs.
+//! A comparison sort pays `O(n log n)` branchy comparisons for keys that
+//! are plain machine integers; a least-significant-digit radix sort pays
+//! `O(passes · n)` sequential memory traffic instead, and — because node
+//! ids in real graphs occupy a narrow byte range — most of the eight
+//! possible passes can be skipped outright.
+//!
+//! The algorithm per 8-bit digit pass:
+//!
+//! 1. **Histogram** — each worker counts the digit values of its
+//!    contiguous chunk into a private 256-bucket histogram (no sharing,
+//!    no atomics).
+//! 2. **Prefix scan** — a sequential scan over `workers × 256` counts
+//!    turns the histograms into per-worker scatter cursors: worker `w`'s
+//!    cursor for digit value `v` starts at
+//!    `Σ_{v'<v} total[v'] + Σ_{w'<w} hist[w'][v]`.
+//! 3. **Scatter** — each worker walks its chunk in order and writes every
+//!    element to `dst[cursor[digit]++]`. The cursor ranges partition the
+//!    output, so writes are disjoint and lock-free; walking chunks in
+//!    order makes the pass **stable**, which is what lets a pair sort run
+//!    as two chained single-key sorts.
+//!
+//! Passes ping-pong between the input and one auxiliary buffer. A
+//! histogram **pre-pass** over all digit positions finds digits whose
+//! value is identical across every key (the high bytes of small node ids,
+//! the sign byte of non-negative ids); those passes are skipped. Signed
+//! keys are mapped to unsigned order with the bias transform
+//! `x ^ i64::MIN`, which flips the sign bit so `i64::MIN..=i64::MAX` maps
+//! monotonically to `0..=u64::MAX`.
+//!
+//! Two digit widths are used. Plain `u64`/`i64` values sort with
+//! **16-bit digits** (4 positions, 65536-bucket histograms): half the
+//! passes of a byte-wise sort, and the histograms still fit per-worker.
+//! The keyed record sort keeps 8-bit digits, where the 256-entry cursor
+//! table stays cache-resident next to arbitrary-size payloads. Pair
+//! sorts first probe the biased keys' bit span; when both components fit
+//! in 32 active bits (node ids in practice) each pair packs into one
+//! `u64` — `src_low32 : dst_low32`, whose value order equals the tuple
+//! order — so the sort moves 8-byte keys instead of 16-byte tuples and
+//! reconstructs the pairs afterwards. Wide pairs fall back to two
+//! chained stable byte-wise sorts.
+//!
+//! Because a scatter pass permutes but never changes the key multiset,
+//! the per-digit totals from the pre-pass stay valid for every pass;
+//! with a single worker the totals are also the (only) worker histogram,
+//! so a sequential sort performs exactly one counting scan. Multiple
+//! workers recount their new chunk boundaries per pass, a sequential
+//! read that overlaps the scatter's pay-off.
+//!
+//! Inputs shorter than [`SEQ_THRESHOLD`] fall back to the standard
+//! library sort, where radix setup (histograms + aux buffer) would
+//! dominate.
+
+use crate::parallel::{chunk_bounds, parallel_for, parallel_map, DisjointSlice};
+
+/// Inputs shorter than this use the standard library sort instead of the
+/// radix machinery (aux buffer + `workers × 8 × 256` histogram setup).
+pub const SEQ_THRESHOLD: usize = 4096;
+
+const DIGITS: usize = 8;
+const RADIX: usize = 256;
+/// Digit width for the plain-`u64` value sorter. 11 bits = 2048 buckets:
+/// few enough that the cursor table (16KB) and the currently-filling
+/// cache line of every bucket stay resident even in a small L2, wide
+/// enough that a 40-bit packed edge key sorts in four passes.
+const DIGIT_BITS_V: usize = 11;
+const DIGITS_V: usize = 64usize.div_ceil(DIGIT_BITS_V);
+const RADIX_V: usize = 1 << DIGIT_BITS_V;
+
+/// Order-preserving map from signed to unsigned keys: flipping the sign
+/// bit sends `i64::MIN..=i64::MAX` monotonically to `0..=u64::MAX`.
+#[inline(always)]
+pub fn i64_key(x: i64) -> u64 {
+    (x as u64) ^ (1u64 << 63)
+}
+
+/// Inverse of [`i64_key`].
+#[inline(always)]
+fn un_i64_key(k: u64) -> i64 {
+    (k ^ (1u64 << 63)) as i64
+}
+
+#[inline(always)]
+fn digit(k: u64, d: usize) -> usize {
+    ((k >> (8 * d)) & 0xFF) as usize
+}
+
+#[inline(always)]
+fn digitv(k: u64, d: usize) -> usize {
+    ((k >> (DIGIT_BITS_V * d)) & (RADIX_V as u64 - 1)) as usize
+}
+
+/// Sorts unsigned 64-bit integers ascending.
+pub fn radix_sort_u64(data: &mut [u64], threads: usize) {
+    let mut sp = ringo_trace::span!("sort.radix.u64");
+    sp.rows_in(data.len());
+    sp.rows_out(data.len());
+    if data.len() < SEQ_THRESHOLD || data.len() >= u32::MAX as usize {
+        data.sort_unstable();
+        return;
+    }
+    lsd_u64(data, threads);
+}
+
+/// Sorts signed 64-bit integers ascending (bias transform, see module
+/// docs).
+pub fn radix_sort_i64(data: &mut [i64], threads: usize) {
+    let mut sp = ringo_trace::span!("sort.radix.i64");
+    sp.rows_in(data.len());
+    sp.rows_out(data.len());
+    if data.len() < SEQ_THRESHOLD || data.len() >= u32::MAX as usize {
+        data.sort_unstable();
+        return;
+    }
+    // An i64 slice and a u64 slice have identical layout; bias in place,
+    // sort by unsigned value, un-bias.
+    // SAFETY: same element size and alignment, same length, exclusive
+    // borrow for the whole region.
+    let len = data.len();
+    let bits: &mut [u64] =
+        unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr() as *mut u64, len) };
+    let flip = |bits: &mut [u64]| {
+        let cell = DisjointSlice::new(bits);
+        parallel_for(len, threads, |_, range| {
+            // SAFETY: chunk ranges are disjoint.
+            let chunk = unsafe { cell.slice_mut(range.start, range.end) };
+            for x in chunk {
+                *x ^= 1u64 << 63;
+            }
+        });
+    };
+    flip(bits);
+    lsd_u64(bits, threads);
+    flip(bits);
+}
+
+/// Sorts `(i64, i64)` pairs in full lexicographic (`Ord`) order — the
+/// sort the conversion pipeline runs on its copied edge columns.
+///
+/// A mask probe finds each component's varying-bit span (bits above it
+/// are constant across the input — node ids in practice occupy a narrow
+/// range, so most of each `i64` never varies). When the two spans fit in
+/// one u64 together, a single **MSD partition pass** scatters the tuples
+/// into up to 2048 buckets keyed by the top varying bits of the combined
+/// key: bucket order equals tuple order, every bucket is small enough to
+/// finish with a cache-resident comparison sort, and the whole sort
+/// touches DRAM a constant number of times instead of once per digit.
+/// The spans are guessed from a sample and verified during the counting
+/// pass (full masks come along for free); a bad guess — some high bit
+/// varies so rarely the sample missed it — just recounts with the
+/// corrected spans. Pairs whose spans exceed 64 bits together fall back
+/// to two chained stable single-key LSD sorts: first by the second
+/// component, then by the first; stability of the second pass preserves
+/// the first pass's order among equal leading keys.
+pub fn radix_sort_pairs(data: &mut [(i64, i64)], threads: usize) {
+    let mut sp = ringo_trace::span!("sort.radix.pairs");
+    sp.rows_in(data.len());
+    sp.rows_out(data.len());
+    let len = data.len();
+    if len < SEQ_THRESHOLD || len >= u32::MAX as usize {
+        data.sort_unstable();
+        return;
+    }
+    // One cheap sequential scan makes already-sorted input (a common case
+    // when re-converting) a no-op instead of a full partition cycle, and a
+    // descending run just a reversal — pdqsort handles both adaptively, so
+    // the radix path must too or it loses exactly those comparisons.
+    if data.is_sorted() {
+        return;
+    }
+    if data.is_sorted_by(|a, b| a >= b) {
+        data.reverse();
+        return;
+    }
+
+    let span_of = |or: u64, and: u64| (64 - (or ^ and).leading_zeros()) as usize;
+    let mask_of = |bits: usize| -> u64 {
+        if bits >= 64 {
+            !0u64
+        } else {
+            (1u64 << bits) - 1
+        }
+    };
+
+    // Guess the varying spans from a strided sample.
+    let step = (len / 512).max(1);
+    let (mut s_or, mut s_and, mut d_or, mut d_and) = (0u64, !0u64, 0u64, !0u64);
+    for &(s, d) in data.iter().step_by(step) {
+        let (sk, dk) = (i64_key(s), i64_key(d));
+        s_or |= sk;
+        s_and &= sk;
+        d_or |= dk;
+        d_and &= dk;
+    }
+    let (mut bits_s, mut bits_d) = (span_of(s_or, s_and), span_of(d_or, d_and));
+
+    // Counting pass: per-worker bucket histograms plus the full masks
+    // that verify the sampled spans. A span the sample underestimated
+    // forces one recount with the corrected bucket function.
+    let (hist, total_bits, bucket_bits, full_and_s, full_and_d) = loop {
+        if bits_s + bits_d > 64 {
+            // Spans too wide to combine: chained stable LSD sorts.
+            lsd_by_key(data, threads, &|p: &(i64, i64)| i64_key(p.1));
+            lsd_by_key(data, threads, &|p: &(i64, i64)| i64_key(p.0));
+            return;
+        }
+        let total_bits = bits_s + bits_d;
+        let bucket_bits = DIGIT_BITS_V.min(total_bits);
+        let (s_mask, d_mask) = (mask_of(bits_s), mask_of(bits_d));
+        let (bs, bd, down) = (bits_s, bits_d, (total_bits - bucket_bits) as u32);
+        let per: Vec<(Vec<u32>, [u64; 4])> = parallel_map(len, threads, |range| {
+            let mut h = vec![0u32; 1 << bucket_bits];
+            let (mut s_or, mut s_and, mut d_or, mut d_and) = (0u64, !0u64, 0u64, !0u64);
+            for i in range {
+                let (s, d) = data[i];
+                let (sk, dk) = (i64_key(s), i64_key(d));
+                s_or |= sk;
+                s_and &= sk;
+                d_or |= dk;
+                d_and &= dk;
+                let key = (sk & s_mask).wrapping_shl(bd as u32) | (dk & d_mask);
+                h[key.wrapping_shr(down) as usize] += 1;
+            }
+            (h, [s_or, s_and, d_or, d_and])
+        });
+        let (mut s_or, mut s_and, mut d_or, mut d_and) = (0u64, !0u64, 0u64, !0u64);
+        for (_, m) in &per {
+            s_or |= m[0];
+            s_and &= m[1];
+            d_or |= m[2];
+            d_and &= m[3];
+        }
+        let (full_s, full_d) = (span_of(s_or, s_and), span_of(d_or, d_and));
+        if full_s > bits_s || full_d > bits_d {
+            bits_s = full_s;
+            bits_d = full_d;
+            continue;
+        }
+        debug_assert_eq!((bs, bd), (bits_s, bits_d));
+        break (per, total_bits, bucket_bits, s_and, d_and);
+    };
+
+    if ringo_trace::enabled() {
+        ringo_trace::counter("sort.radix.passes").add(1);
+    }
+    if total_bits == 0 {
+        return; // every pair identical
+    }
+    let buckets = 1usize << bucket_bits;
+    let (s_mask, d_mask) = (mask_of(bits_s), mask_of(bits_d));
+    let down = (total_bits - bucket_bits) as u32;
+    // Bits above each verified span are constant across the whole input;
+    // the AND mask carries their value so unpacking can restore them.
+    let s_const = full_and_s & !s_mask;
+    let d_const = full_and_d & !d_mask;
+    let pack = move |s: i64, d: i64| -> u64 {
+        (i64_key(s) & s_mask).wrapping_shl(bits_d as u32) | (i64_key(d) & d_mask)
+    };
+
+    // Prefix scan → bucket offsets and per-worker scatter cursors.
+    let workers = hist.len();
+    let mut offsets = vec![0usize; buckets + 1];
+    for b in 0..buckets {
+        let mut sum = offsets[b];
+        for (h, _) in &hist {
+            sum += h[b] as usize;
+        }
+        offsets[b + 1] = sum;
+    }
+    debug_assert_eq!(offsets[buckets], len);
+    let mut cursors = vec![0usize; workers * buckets];
+    {
+        let mut run = offsets[..buckets].to_vec();
+        for (w, (h, _)) in hist.iter().enumerate() {
+            cursors[w * buckets..(w + 1) * buckets].copy_from_slice(&run);
+            for (v, r) in run.iter_mut().enumerate() {
+                *r += h[v] as usize;
+            }
+        }
+    }
+
+    // Partition pass: pack each tuple into an 8-byte order-preserving key
+    // and scatter it to its bucket range — half the write traffic of
+    // scattering 16-byte tuples, and the finish sort compares plain u64s.
+    let mut aux: Vec<u64> = vec![0u64; len];
+    {
+        let aux_cell = DisjointSlice::new(&mut aux);
+        let cursor_cell = DisjointSlice::new(&mut cursors);
+        parallel_for(len, threads, |w, range| {
+            // SAFETY: each worker touches only its own cursor row.
+            let cur = unsafe { cursor_cell.slice_mut(w * buckets, (w + 1) * buckets) };
+            for i in range {
+                let (s, d) = data[i];
+                let key = pack(s, d);
+                let b = key.wrapping_shr(down) as usize;
+                // SAFETY: cursor ranges partition `0..len`.
+                unsafe { aux_cell.write(cur[b], key) };
+                cur[b] += 1;
+            }
+        });
+    }
+
+    // Finish pass: each bucket holds a narrow, cache-sized key range;
+    // sort it in place and unpack it home while it is still warm. When
+    // the bucket index already consumed every varying bit, buckets are
+    // all-equal and only the unpack remains.
+    let need_sort = total_bits > bucket_bits;
+    let aux_cell = DisjointSlice::new(&mut aux);
+    let data_cell = DisjointSlice::new(data);
+    parallel_for(buckets, threads, |_, range| {
+        for b in range {
+            let (lo, hi) = (offsets[b], offsets[b + 1]);
+            if lo == hi {
+                continue;
+            }
+            // SAFETY: bucket ranges are disjoint.
+            let chunk = unsafe { aux_cell.slice_mut(lo, hi) };
+            if need_sort {
+                chunk.sort_unstable();
+            }
+            let home = unsafe { data_cell.slice_mut(lo, hi) };
+            for (slot, &p) in home.iter_mut().zip(chunk.iter()) {
+                let s = un_i64_key(s_const | (p.wrapping_shr(bits_d as u32) & s_mask));
+                let d = un_i64_key(d_const | (p & d_mask));
+                *slot = (s, d);
+            }
+        }
+    });
+}
+
+/// **Stable** sort of arbitrary `Copy` records by an extracted `u64` key.
+/// This is the entry point integer `order_by` uses on `(key, row)` pairs;
+/// the small-input fallback is the standard library's *stable* sort so the
+/// stability contract holds at every size.
+pub fn radix_sort_by_u64_key<T, F>(data: &mut [T], threads: usize, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let mut sp = ringo_trace::span!("sort.radix.key");
+    sp.rows_in(data.len());
+    sp.rows_out(data.len());
+    if data.len() < SEQ_THRESHOLD {
+        data.sort_by_key(|a| key(a));
+        return;
+    }
+    lsd_by_key(data, threads, &key);
+}
+
+/// LSD core for plain `u64` values: 11-bit digits (see [`DIGIT_BITS_V`]).
+/// One pre-pass counts every position; constant positions are skipped;
+/// with a single worker no further counting scans run at all (the totals
+/// are the worker histogram of every arrangement). Callers gate on
+/// [`SEQ_THRESHOLD`] and the `u32` count limit.
+fn lsd_u64(data: &mut [u64], threads: usize) {
+    let len = data.len();
+    let bounds = chunk_bounds(len, threads);
+    let workers = bounds.len() - 1;
+
+    // Pre-pass: per-worker histograms of all positions in one scan.
+    let pre: Vec<Box<[u32]>> = parallel_map(len, threads, |range| {
+        let mut h = vec![0u32; DIGITS_V * RADIX_V].into_boxed_slice();
+        for i in range {
+            let k = data[i];
+            for d in 0..DIGITS_V {
+                h[d * RADIX_V + digitv(k, d)] += 1;
+            }
+        }
+        h
+    });
+    debug_assert_eq!(pre.len(), workers);
+
+    let mut totals = vec![0u32; DIGITS_V * RADIX_V];
+    for h in &pre {
+        for (t, c) in totals.iter_mut().zip(h.iter()) {
+            *t += c;
+        }
+    }
+    let active: Vec<usize> = (0..DIGITS_V)
+        .filter(|&d| {
+            !totals[d * RADIX_V..(d + 1) * RADIX_V]
+                .iter()
+                .any(|&t| t as usize == len)
+        })
+        .collect();
+    if ringo_trace::enabled() {
+        ringo_trace::counter("sort.radix.passes").add(active.len() as u64);
+        ringo_trace::counter("sort.radix.digits_skipped").add((DIGITS_V - active.len()) as u64);
+    }
+    if active.is_empty() {
+        return;
+    }
+
+    let mut aux: Vec<u64> = data.to_vec();
+    let data_cell = DisjointSlice::new(data);
+    let aux_cell = DisjointSlice::new(&mut aux);
+    let mut in_data = true;
+
+    for (pass, &d) in active.iter().enumerate() {
+        let (src_cell, dst_cell) = if in_data {
+            (&data_cell, &aux_cell)
+        } else {
+            (&aux_cell, &data_cell)
+        };
+        // SAFETY: the source buffer is only read during this pass.
+        let src: &[u64] = unsafe { src_cell.slice_mut(0, len) };
+
+        // Per-worker histogram of this position for the current
+        // arrangement. The totals are permutation-invariant, so one
+        // worker never recounts; several workers recount after the first
+        // pass because their chunk boundaries now hold different keys.
+        let hist: Vec<Vec<u32>> = if workers == 1 {
+            vec![totals[d * RADIX_V..(d + 1) * RADIX_V].to_vec()]
+        } else if pass == 0 {
+            pre.iter()
+                .map(|h| h[d * RADIX_V..(d + 1) * RADIX_V].to_vec())
+                .collect()
+        } else {
+            parallel_map(len, threads, |range| {
+                let mut h = vec![0u32; RADIX_V];
+                for i in range {
+                    h[digitv(src[i], d)] += 1;
+                }
+                h
+            })
+        };
+
+        // Prefix scan → per-worker scatter cursors, one flat row per
+        // worker so each can advance its own cursors in place.
+        let mut cursors = vec![0usize; workers * RADIX_V];
+        {
+            let mut run = vec![0usize; RADIX_V];
+            let mut sum = 0usize;
+            for (v, r) in run.iter_mut().enumerate() {
+                *r = sum;
+                sum += totals[d * RADIX_V + v] as usize;
+            }
+            debug_assert_eq!(sum, len);
+            for (w, h) in hist.iter().enumerate() {
+                cursors[w * RADIX_V..(w + 1) * RADIX_V].copy_from_slice(&run);
+                for (v, r) in run.iter_mut().enumerate() {
+                    *r += h[v] as usize;
+                }
+            }
+        }
+        let cursor_cell = DisjointSlice::new(&mut cursors);
+
+        parallel_for(len, threads, |w, range| {
+            // SAFETY: each worker touches only its own cursor row.
+            let cur = unsafe { cursor_cell.slice_mut(w * RADIX_V, (w + 1) * RADIX_V) };
+            for i in range {
+                let x = src[i];
+                let v = digitv(x, d);
+                // SAFETY: cursor ranges partition `0..len` across workers
+                // and digit values; each index is written exactly once.
+                unsafe { dst_cell.write(cur[v], x) };
+                cur[v] += 1;
+            }
+        });
+        in_data = !in_data;
+    }
+
+    if !in_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+/// The LSD core: histogram pre-pass, digit skipping, ping-pong passes.
+/// Stable. Callers gate on [`SEQ_THRESHOLD`].
+fn lsd_by_key<T, F>(data: &mut [T], threads: usize, key: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let len = data.len();
+    if len >= u32::MAX as usize {
+        // Per-worker histograms count in u32; inputs this large (≥ 64GB of
+        // pairs) take the comparison path rather than widening every count.
+        data.sort_by_key(|a| key(a));
+        return;
+    }
+    let bounds = chunk_bounds(len, threads);
+    let workers = bounds.len() - 1;
+
+    // Pre-pass: per-worker histograms of all eight digits in one scan.
+    let pre: Vec<Box<[u32]>> = parallel_map(len, threads, |range| {
+        let mut h = vec![0u32; DIGITS * RADIX].into_boxed_slice();
+        for i in range {
+            let k = key(&data[i]);
+            for d in 0..DIGITS {
+                h[d * RADIX + digit(k, d)] += 1;
+            }
+        }
+        h
+    });
+    debug_assert_eq!(pre.len(), workers);
+
+    // Global totals per digit; a digit where one value owns every key
+    // would be a pure copy pass — skip it.
+    let mut active: Vec<usize> = Vec::with_capacity(DIGITS);
+    let mut totals = [[0u32; RADIX]; DIGITS];
+    for (d, total) in totals.iter_mut().enumerate() {
+        for h in &pre {
+            for (v, t) in total.iter_mut().enumerate() {
+                *t += h[d * RADIX + v];
+            }
+        }
+        if !total.iter().any(|&t| t as usize == len) {
+            active.push(d);
+        }
+    }
+    if ringo_trace::enabled() {
+        ringo_trace::counter("sort.radix.passes").add(active.len() as u64);
+        ringo_trace::counter("sort.radix.digits_skipped").add((DIGITS - active.len()) as u64);
+    }
+    if active.is_empty() {
+        return; // all keys equal: already sorted, stability trivially holds
+    }
+
+    // T: Copy makes the clone a memcpy; contents are overwritten before
+    // they are read except by the skipped-digit parity copy at the end.
+    let mut aux: Vec<T> = data.to_vec();
+    let data_cell = DisjointSlice::new(data);
+    let aux_cell = DisjointSlice::new(&mut aux);
+    let mut in_data = true;
+
+    for (pass, &d) in active.iter().enumerate() {
+        let (src_cell, dst_cell) = if in_data {
+            (&data_cell, &aux_cell)
+        } else {
+            (&aux_cell, &data_cell)
+        };
+        // SAFETY: the source buffer is only read during this pass; all
+        // writes of the pass go to the other buffer.
+        let src: &[T] = unsafe { src_cell.slice_mut(0, len) };
+
+        // Per-worker histogram for this digit. The totals never change
+        // (a scatter permutes the keys), so a single worker reuses them
+        // for every pass; several workers reuse the pre-pass split only
+        // for the first pass and recount after the data has moved.
+        let hist: Vec<[u32; RADIX]> = if workers == 1 {
+            vec![totals[d]]
+        } else if pass == 0 {
+            pre.iter()
+                .map(|h| {
+                    let mut row = [0u32; RADIX];
+                    row.copy_from_slice(&h[d * RADIX..(d + 1) * RADIX]);
+                    row
+                })
+                .collect()
+        } else {
+            parallel_map(len, threads, |range| {
+                let mut h = [0u32; RADIX];
+                for i in range {
+                    h[digit(key(&src[i]), d)] += 1;
+                }
+                h
+            })
+        };
+
+        // Prefix scan → per-worker scatter cursors.
+        let mut run = [0usize; RADIX];
+        {
+            let mut sum = 0usize;
+            for (v, r) in run.iter_mut().enumerate() {
+                *r = sum;
+                sum += totals[d][v] as usize;
+            }
+            debug_assert_eq!(sum, len);
+        }
+        let mut cursors: Vec<[usize; RADIX]> = Vec::with_capacity(workers);
+        for h in &hist {
+            cursors.push(run);
+            for (v, r) in run.iter_mut().enumerate() {
+                *r += h[v] as usize;
+            }
+        }
+
+        parallel_for(len, threads, |w, range| {
+            let mut cur = cursors[w];
+            for i in range {
+                let x = src[i];
+                let v = digit(key(&x), d);
+                // SAFETY: cursor ranges partition `0..len` across workers
+                // and digit values; each index is written exactly once.
+                unsafe { dst_cell.write(cur[v], x) };
+                cur[v] += 1;
+            }
+        });
+        in_data = !in_data;
+    }
+
+    if !in_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_rng::Rng64;
+
+    fn check_i64(data: &mut Vec<i64>, threads: usize, ctx: &str) {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        radix_sort_i64(data, threads);
+        assert_eq!(*data, expect, "{ctx}");
+    }
+
+    #[test]
+    fn small_inputs_fall_back() {
+        for len in [0usize, 1, 2, 100, SEQ_THRESHOLD - 1] {
+            let mut rng = Rng64::new(len as u64);
+            let mut data: Vec<i64> = (0..len).map(|_| rng.i64()).collect();
+            check_i64(&mut data, 4, &format!("len={len}"));
+        }
+    }
+
+    #[test]
+    fn sorts_u64_full_range() {
+        let mut rng = Rng64::new(7);
+        let mut data: Vec<u64> = (0..50_000).map(|_| rng.u64()).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        radix_sort_u64(&mut data, 4);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn sorts_i64_negative_and_extremes() {
+        let mut rng = Rng64::new(11);
+        let mut data: Vec<i64> = (0..30_000).map(|_| rng.range_i64(-500..500)).collect();
+        data.extend([i64::MIN, i64::MAX, 0, -1, 1, i64::MIN, i64::MAX]);
+        check_i64(&mut data, 4, "negatives + extremes");
+    }
+
+    #[test]
+    fn all_equal_and_duplicates_heavy() {
+        let mut all_equal = vec![42i64; 20_000];
+        check_i64(&mut all_equal, 4, "all equal");
+        let mut dups: Vec<i64> = (0..20_000).map(|i| (i % 3) - 1).collect();
+        check_i64(&mut dups, 3, "duplicates");
+    }
+
+    #[test]
+    fn presorted_and_reversed() {
+        let mut asc: Vec<i64> = (0..30_000).collect();
+        check_i64(&mut asc, 4, "presorted");
+        let mut desc: Vec<i64> = (0..30_000).rev().collect();
+        check_i64(&mut desc, 4, "reversed");
+    }
+
+    #[test]
+    fn pairs_match_std_full_ord() {
+        let mut rng = Rng64::new(23);
+        for threads in [1usize, 2, 4] {
+            let mut pairs: Vec<(i64, i64)> = (0..40_000)
+                .map(|_| (rng.range_i64(-100..100), rng.range_i64(-100..100)))
+                .collect();
+            let mut expect = pairs.clone();
+            expect.sort_unstable();
+            radix_sort_pairs(&mut pairs, threads);
+            assert_eq!(pairs, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn by_key_is_stable() {
+        // Payloads record the original order; equal keys must keep it at
+        // every size (fallback and radix path alike).
+        for len in [100usize, SEQ_THRESHOLD + 1000, 40_000] {
+            let mut rng = Rng64::new(len as u64);
+            let mut data: Vec<(i64, u32)> =
+                (0..len).map(|i| (rng.range_i64(0..16), i as u32)).collect();
+            let mut expect = data.clone();
+            expect.sort_by_key(|p| p.0);
+            radix_sort_by_u64_key(&mut data, 4, |p| i64_key(p.0));
+            assert_eq!(data, expect, "stability violated at len={len}");
+        }
+    }
+
+    #[test]
+    fn threshold_boundary_lengths() {
+        let mut rng = Rng64::new(31);
+        for len in [SEQ_THRESHOLD - 1, SEQ_THRESHOLD, SEQ_THRESHOLD + 1] {
+            for threads in [1usize, 2, 4] {
+                let mut data: Vec<i64> = (0..len).map(|_| rng.i64()).collect();
+                check_i64(&mut data, threads, &format!("len={len} threads={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn bias_transform_is_monotone() {
+        let samples = [
+            i64::MIN,
+            i64::MIN + 1,
+            -2,
+            -1,
+            0,
+            1,
+            2,
+            i64::MAX - 1,
+            i64::MAX,
+        ];
+        for w in samples.windows(2) {
+            assert!(i64_key(w[0]) < i64_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+}

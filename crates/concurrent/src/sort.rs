@@ -1,14 +1,18 @@
-//! Parallel merge sort.
+//! Parallel merge sort (general `Ord` keys).
 //!
 //! The "sort-first" table-to-graph conversion (paper §2.4) hinges on sorting
 //! the copied source/destination columns in parallel. We use a classic
 //! two-phase merge sort: sort one contiguous chunk per worker with the
 //! standard library's unstable sort, then merge pairs of runs in rounds,
-//! with the merges of one round running in parallel. An auxiliary buffer of
-//! the same length is ping-ponged between rounds so data is moved, never
-//! reallocated.
+//! with the merges of one round running in parallel. One auxiliary buffer
+//! of the same length is ping-ponged against the input between rounds so
+//! data is moved, never reallocated.
+//!
+//! This is the fallback for arbitrary `Ord` keys; integer-keyed sorts
+//! (node ids, edge pairs, `order_by` on int columns) route through the
+//! faster non-comparison [`crate::radix`] sorter instead.
 
-use crate::parallel::{chunk_bounds, parallel_for};
+use crate::parallel::{chunk_bounds, parallel_for, DisjointSlice};
 
 /// Sorts `data` in ascending order using `threads` workers.
 ///
@@ -39,12 +43,16 @@ where
         return;
     }
 
-    // Phase 2: merge pairs of adjacent runs, round by round.
-    let mut src: Vec<T> = data.to_vec();
-    let mut dst: Vec<T> = Vec::with_capacity(len);
-    // SAFETY-FREE alternative: initialize dst by cloning; contents are
-    // overwritten before use but T: Copy makes this a cheap memcpy.
-    dst.extend_from_slice(data);
+    // Phase 2: merge pairs of adjacent runs, round by round, ping-ponging
+    // between `data` itself and ONE auxiliary buffer. (An earlier version
+    // copied the input into two fresh buffers — `src = data.to_vec()` plus
+    // `dst.extend_from_slice(data)` — doubling phase-2 memory for nothing:
+    // with correct parity tracking the input slice serves as one side of
+    // the ping-pong.) T: Copy makes the single clone a memcpy; its
+    // contents only matter for the trailing-unpaired-run copy-through.
+    let mut aux: Vec<T> = data.to_vec();
+    // True while the current runs live in `data` (merges write to `aux`).
+    let mut in_data = true;
 
     let mut run_bounds = bounds;
     while run_bounds.len() > 2 {
@@ -63,8 +71,11 @@ where
             nb
         };
         {
-            let src_ref = &src;
-            let dst_cell = SliceCell::new(&mut dst);
+            let (src_ref, dst_cell): (&[T], DisjointSlice<T>) = if in_data {
+                (&*data, DisjointSlice::new(&mut aux))
+            } else {
+                (&aux, DisjointSlice::new(data))
+            };
             let rb = &run_bounds;
             let key = &key;
             // `run_bounds.len() > 2` guarantees at least one full pair,
@@ -87,14 +98,18 @@ where
             if run_bounds.len().is_multiple_of(2) {
                 let lo = run_bounds[run_bounds.len() - 2];
                 let hi = run_bounds[run_bounds.len() - 1];
-                dst[lo..hi].copy_from_slice(&src[lo..hi]);
+                // SAFETY: the pair windows above end at rb[2*pairs] == lo,
+                // so [lo, hi) is written by this thread alone.
+                unsafe { dst_cell.slice_mut(lo, hi) }.copy_from_slice(&src_ref[lo..hi]);
             }
         }
-        std::mem::swap(&mut src, &mut dst);
+        in_data = !in_data;
         run_bounds = next_bounds;
     }
-    // `src` now holds the fully sorted data (after the final swap).
-    data.copy_from_slice(&src);
+    // An odd number of merge rounds leaves the sorted data in `aux`.
+    if !in_data {
+        data.copy_from_slice(&aux);
+    }
 }
 
 fn parallel_for_sorted_chunks<T, K, F>(data: &mut [T], bounds: &[usize], threads: usize, key: &F)
@@ -103,7 +118,7 @@ where
     K: Ord,
     F: Fn(&T) -> K + Sync,
 {
-    let cell = SliceCell::new(data);
+    let cell = DisjointSlice::new(data);
     parallel_for(bounds.len() - 1, threads, |_, chunk_range| {
         for c in chunk_range {
             // SAFETY: chunks are disjoint index windows of `data`.
@@ -135,35 +150,6 @@ where
             *slot = b[j];
             j += 1;
         }
-    }
-}
-
-/// Shared mutable slice handed to workers that provably touch disjoint
-/// windows. The unsafe surface is confined to [`SliceCell::slice_mut`],
-/// whose callers must guarantee disjointness.
-struct SliceCell<T> {
-    ptr: *mut T,
-    len: usize,
-}
-
-unsafe impl<T: Send> Sync for SliceCell<T> {}
-
-impl<T> SliceCell<T> {
-    fn new(slice: &mut [T]) -> Self {
-        Self {
-            ptr: slice.as_mut_ptr(),
-            len: slice.len(),
-        }
-    }
-
-    /// # Safety
-    /// Callers must ensure `[lo, hi)` windows obtained concurrently are
-    /// pairwise disjoint and within bounds. The `&self` receiver is what
-    /// lets workers share the cell; disjointness is the aliasing argument.
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn slice_mut(&self, lo: usize, hi: usize) -> &mut [T] {
-        debug_assert!(lo <= hi && hi <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
     }
 }
 
@@ -232,8 +218,24 @@ mod tests {
         assert_eq!(out, [1, 2, 3, 4, 5, 6]);
     }
 
+    /// Regression test for the single-aux-buffer ping-pong: odd run counts
+    /// exercise the trailing-unpaired-run copy-through, and both round
+    /// parities (odd leaves the result in `aux` and must copy back).
+    #[test]
+    fn odd_run_counts_with_single_aux_buffer() {
+        let mut rng = Rng64::new(0x0DD5);
+        for threads in [3usize, 5, 7, 9] {
+            let len = 60_000 + rng.below(100);
+            let mut data: Vec<i64> = (0..len).map(|_| rng.range_i64(-5000..5000)).collect();
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            parallel_sort(&mut data, threads);
+            assert_eq!(data, expect, "threads={threads} len={len}");
+        }
+    }
+
     /// Property test guarding the merge-round window arithmetic (the
-    /// `SliceCell` unsafe surface): `parallel_sort_by_key` must agree with
+    /// `DisjointSlice` unsafe surface): `parallel_sort_by_key` must agree with
     /// `sort_unstable_by_key` for random inputs across lengths 0–20k and
     /// thread counts 1–9, which exercises odd run counts, a trailing
     /// unpaired run, and the single-pair final round.

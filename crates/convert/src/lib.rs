@@ -6,12 +6,20 @@
 //! * **Table → graph** ([`table_to_graph`]): the paper's "sort-first"
 //!   algorithm — copy the source and destination columns, sort the copies
 //!   in parallel, compute each node's neighbor counts from the sorted
-//!   runs, and copy the neighbor vectors into the graph's node hash table.
-//!   Sorting parallelizes cleanly and the fill phase writes disjoint
-//!   per-node vectors, so "while concurrent access is still performed,
-//!   there is no contention among the threads". A naive row-at-a-time
-//!   baseline ([`table_to_graph_naive`]) is kept for the DESIGN.md
-//!   ablation.
+//!   runs, and install the neighbor vectors into the graph's node hash
+//!   table. Sorting parallelizes cleanly and the fill phase writes
+//!   disjoint slab ranges, so "while concurrent access is still
+//!   performed, there is no contention among the threads". Two
+//!   optimizations over the paper's sketch: the pair sort runs on the
+//!   parallel LSD **radix sorter** (integer keys, digit skipping) rather
+//!   than a comparison sort, and the fill phase ([`adjacency_parts`]) is
+//!   **allocation-free per node** — deduplicated neighbor runs are
+//!   written straight into two shared adjacency slabs at prefix-scanned
+//!   offsets instead of one freshly grown `Vec` per node, and
+//!   [`DirectedGraph::from_sorted_parts`] installs them with a single
+//!   pre-reserved hash table. The pre-radix pipeline
+//!   ([`table_to_graph_mergesort`]) and a naive row-at-a-time baseline
+//!   ([`table_to_graph_naive`]) are kept for the `bench_radix` ablation.
 //! * **Graph → table** ([`graph_to_edge_table`], [`graph_to_node_table`]):
 //!   "easily performed in parallel by partitioning the graph's nodes or
 //!   edges among worker threads, pre-allocating the output table, and
@@ -20,7 +28,9 @@
 
 #![warn(missing_docs)]
 
-use ringo_concurrent::{parallel_map, parallel_sort};
+use ringo_concurrent::{
+    parallel_for, parallel_map, parallel_sort, radix_sort_pairs, DisjointSlice,
+};
 use ringo_graph::{DirectedGraph, NodeId, UndirectedGraph};
 use ringo_table::{ColumnData, ColumnType, Schema, StringPool, Table, TableError};
 
@@ -55,44 +65,195 @@ pub fn table_to_graph(t: &Table, src_col: &str, dst_col: &str) -> Result<Directe
     let threads = t.threads();
     let n = src.len();
 
-    // Step 1-2: copy the columns into (key, neighbor) pair arrays and sort
-    // both orientations in parallel.
+    // Step 1-2: copy the columns into (key, neighbor) pair arrays and
+    // radix-sort both orientations in parallel.
+    let mut by_src: Vec<(NodeId, NodeId)> = src.iter().copied().zip(dst.iter().copied()).collect();
+    let mut by_dst: Vec<(NodeId, NodeId)> = dst.iter().copied().zip(src.iter().copied()).collect();
+    radix_sort_pairs(&mut by_src, threads);
+    radix_sort_pairs(&mut by_dst, threads);
+    debug_assert_eq!(by_src.len(), n);
+
+    // Steps 3-5: slab fill — counts, prefix scan, contention-free scatter.
+    let parts = adjacency_parts(&by_src, &by_dst, threads);
+    drop(by_src);
+    drop(by_dst);
+
+    let g = DirectedGraph::from_sorted_parts(
+        parts.ids,
+        &parts.in_off,
+        &parts.in_slab,
+        &parts.out_off,
+        &parts.out_slab,
+    );
+    sp.rows_out(g.edge_count());
+    Ok(g)
+}
+
+/// Slab-form directed adjacency produced by [`adjacency_parts`]: node `k`
+/// (ascending ids) owns `in_slab[in_off[k]..in_off[k + 1]]` and
+/// `out_slab[out_off[k]..out_off[k + 1]]`, both sorted and deduplicated.
+pub struct AdjacencyParts {
+    /// Distinct node ids, ascending.
+    pub ids: Vec<NodeId>,
+    /// `ids.len() + 1` exclusive prefix offsets into `in_slab`.
+    pub in_off: Vec<usize>,
+    /// All in-neighbors, concatenated in node order.
+    pub in_slab: Vec<NodeId>,
+    /// `ids.len() + 1` exclusive prefix offsets into `out_slab`.
+    pub out_off: Vec<usize>,
+    /// All out-neighbors, concatenated in node order.
+    pub out_slab: Vec<NodeId>,
+}
+
+/// The allocation-free fill phase of the sort-first conversion.
+///
+/// `by_src` and `by_dst` must be fully sorted `(key, neighbor)` pair
+/// arrays for the two edge orientations. A counting pass measures each
+/// node's deduplicated run length, a prefix scan turns the counts into
+/// slab offsets, and a scatter pass writes every node's neighbors into
+/// its disjoint slab range — no per-node `Vec` is ever allocated, the
+/// only heap traffic is a bounded number of whole-phase arrays.
+pub fn adjacency_parts(
+    by_src: &[(NodeId, NodeId)],
+    by_dst: &[(NodeId, NodeId)],
+    threads: usize,
+) -> AdjacencyParts {
+    debug_assert!(by_src.is_sorted());
+    debug_assert!(by_dst.is_sorted());
+    let out_runs = runs_of(by_src);
+    let in_runs = runs_of(by_dst);
+
+    // Merge the two run lists (both ascending by id) into the global node
+    // list, remembering each node's run on either side.
+    let mut nodes: Vec<(NodeId, Option<usize>, Option<usize>)> =
+        Vec::with_capacity(out_runs.len().max(in_runs.len()));
+    {
+        let (mut i, mut j) = (0, 0);
+        while i < out_runs.len() || j < in_runs.len() {
+            match (out_runs.get(i), in_runs.get(j)) {
+                (Some(o), Some(ir)) if o.id == ir.id => {
+                    nodes.push((o.id, Some(i), Some(j)));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(o), Some(ir)) if o.id < ir.id => {
+                    nodes.push((o.id, Some(i), None));
+                    i += 1;
+                }
+                (Some(_), Some(_)) => {
+                    nodes.push((in_runs[j].id, None, Some(j)));
+                    j += 1;
+                }
+                (Some(o), None) => {
+                    nodes.push((o.id, Some(i), None));
+                    i += 1;
+                }
+                (None, Some(ir)) => {
+                    nodes.push((ir.id, None, Some(j)));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+    }
+    let n = nodes.len();
+
+    // Counting pass: prefix-scan each node's deduplicated in/out degree
+    // (counted during `runs_of`, so no re-read of the pair arrays).
+    let (in_off, out_off) = {
+        let mut sp = ringo_trace::span!("convert.fill.count");
+        sp.rows_in(by_src.len() + by_dst.len());
+        sp.rows_out(n);
+        let mut in_off = Vec::with_capacity(n + 1);
+        let mut out_off = Vec::with_capacity(n + 1);
+        let (mut isum, mut osum) = (0usize, 0usize);
+        in_off.push(0);
+        out_off.push(0);
+        for &(_, orun, irun) in &nodes {
+            isum += irun.map_or(0, |r| in_runs[r].distinct);
+            osum += orun.map_or(0, |r| out_runs[r].distinct);
+            in_off.push(isum);
+            out_off.push(osum);
+        }
+        (in_off, out_off)
+    };
+
+    // Scatter pass: disjoint slab ranges per node, so concurrent writes
+    // are contention-free and need no synchronization.
+    let mut in_slab = vec![0 as NodeId; *in_off.last().unwrap()];
+    let mut out_slab = vec![0 as NodeId; *out_off.last().unwrap()];
+    {
+        let mut sp = ringo_trace::span!("convert.fill.scatter");
+        sp.rows_in(n);
+        sp.rows_out(in_slab.len() + out_slab.len());
+        let in_cell = DisjointSlice::new(&mut in_slab);
+        let out_cell = DisjointSlice::new(&mut out_slab);
+        parallel_for(n, threads, |_, range| {
+            for k in range {
+                let (_, orun, irun) = nodes[k];
+                if let Some(r) = irun {
+                    // SAFETY: offsets partition the slab; node k's range is
+                    // written by exactly this iteration.
+                    let dst = unsafe { in_cell.slice_mut(in_off[k], in_off[k + 1]) };
+                    write_distinct(&by_dst[in_runs[r].start..in_runs[r].end], dst);
+                }
+                if let Some(r) = orun {
+                    // SAFETY: as above, for the out slab.
+                    let dst = unsafe { out_cell.slice_mut(out_off[k], out_off[k + 1]) };
+                    write_distinct(&by_src[out_runs[r].start..out_runs[r].end], dst);
+                }
+            }
+        });
+    }
+
+    AdjacencyParts {
+        ids: nodes.into_iter().map(|(id, _, _)| id).collect(),
+        in_off,
+        in_slab,
+        out_off,
+        out_slab,
+    }
+}
+
+/// Pre-radix sort-first pipeline, kept for the `bench_radix` ablation:
+/// parallel merge sort, per-node `Vec` allocation in the fill phase, and
+/// incremental hash-table installation via `from_parts`.
+pub fn table_to_graph_mergesort(t: &Table, src_col: &str, dst_col: &str) -> Result<DirectedGraph> {
+    let src = t.int_col(src_col)?;
+    let dst = t.int_col(dst_col)?;
+    let threads = t.threads();
+
     let mut by_src: Vec<(NodeId, NodeId)> = src.iter().copied().zip(dst.iter().copied()).collect();
     let mut by_dst: Vec<(NodeId, NodeId)> = dst.iter().copied().zip(src.iter().copied()).collect();
     parallel_sort(&mut by_src, threads);
     parallel_sort(&mut by_dst, threads);
-    debug_assert_eq!(by_src.len(), n);
 
-    // Step 3: per-node runs in each sorted array (node id, start, end).
     let out_runs = runs_of(&by_src);
     let in_runs = runs_of(&by_dst);
-
-    // Step 4: merge the two run lists (both ascending by id) into the
-    // global node list, remembering each node's runs.
     let mut nodes: Vec<(NodeId, Option<usize>, Option<usize>)> = Vec::new();
     {
         let (mut i, mut j) = (0, 0);
         while i < out_runs.len() || j < in_runs.len() {
             match (out_runs.get(i), in_runs.get(j)) {
-                (Some(o), Some(ir)) if o.0 == ir.0 => {
-                    nodes.push((o.0, Some(i), Some(j)));
+                (Some(o), Some(ir)) if o.id == ir.id => {
+                    nodes.push((o.id, Some(i), Some(j)));
                     i += 1;
                     j += 1;
                 }
-                (Some(o), Some(ir)) if o.0 < ir.0 => {
-                    nodes.push((o.0, Some(i), None));
+                (Some(o), Some(ir)) if o.id < ir.id => {
+                    nodes.push((o.id, Some(i), None));
                     i += 1;
                 }
                 (Some(_), Some(_)) => {
-                    nodes.push((in_runs[j].0, None, Some(j)));
+                    nodes.push((in_runs[j].id, None, Some(j)));
                     j += 1;
                 }
                 (Some(o), None) => {
-                    nodes.push((o.0, Some(i), None));
+                    nodes.push((o.id, Some(i), None));
                     i += 1;
                 }
                 (None, Some(ir)) => {
-                    nodes.push((ir.0, None, Some(j)));
+                    nodes.push((ir.id, None, Some(j)));
                     j += 1;
                 }
                 (None, None) => unreachable!(),
@@ -100,18 +261,16 @@ pub fn table_to_graph(t: &Table, src_col: &str, dst_col: &str) -> Result<Directe
         }
     }
 
-    // Step 5: copy neighbor vectors per node, in parallel over disjoint
-    // node ranges (contention-free: each part is owned by one worker).
     let parts: Vec<Vec<NodeParts>> = parallel_map(nodes.len(), threads, |range| {
         let mut out = Vec::with_capacity(range.len());
         for k in range {
             let (id, orun, irun) = nodes[k];
             let out_nbrs = match orun {
-                Some(r) => dedup_neighbors(&by_src[out_runs[r].1..out_runs[r].2]),
+                Some(r) => dedup_neighbors(&by_src[out_runs[r].start..out_runs[r].end]),
                 None => Vec::new(),
             };
             let in_nbrs = match irun {
-                Some(r) => dedup_neighbors(&by_dst[in_runs[r].1..in_runs[r].2]),
+                Some(r) => dedup_neighbors(&by_dst[in_runs[r].start..in_runs[r].end]),
                 None => Vec::new(),
             };
             out.push((id, in_nbrs, out_nbrs));
@@ -123,9 +282,7 @@ pub fn table_to_graph(t: &Table, src_col: &str, dst_col: &str) -> Result<Directe
     for p in parts {
         flat.extend(p);
     }
-    let g = DirectedGraph::from_parts(flat);
-    sp.rows_out(g.edge_count());
-    Ok(g)
+    Ok(DirectedGraph::from_parts(flat))
 }
 
 /// Builds an undirected graph from two integer columns: each row adds the
@@ -145,21 +302,41 @@ pub fn table_to_undirected(t: &Table, src_col: &str, dst_col: &str) -> Result<Un
             pairs.push((d, s));
         }
     }
-    parallel_sort(&mut pairs, threads);
+    radix_sort_pairs(&mut pairs, threads);
     let runs = runs_of(&pairs);
-    let parts: Vec<Vec<(NodeId, Vec<NodeId>)>> = parallel_map(runs.len(), threads, |range| {
-        range
-            .map(|k| {
-                let (id, start, end) = runs[k];
-                (id, dedup_neighbors(&pairs[start..end]))
-            })
-            .collect()
-    });
-    let mut flat = Vec::with_capacity(runs.len());
-    for p in parts {
-        flat.extend(p);
+    let n = runs.len();
+
+    // Slab fill, single orientation: count, prefix scan, scatter.
+    let off = {
+        let mut fsp = ringo_trace::span!("convert.fill.count");
+        fsp.rows_in(pairs.len());
+        fsp.rows_out(n);
+        let mut off = Vec::with_capacity(n + 1);
+        let mut sum = 0usize;
+        off.push(0);
+        for r in &runs {
+            sum += r.distinct;
+            off.push(sum);
+        }
+        off
+    };
+    let mut slab = vec![0 as NodeId; *off.last().unwrap()];
+    {
+        let mut fsp = ringo_trace::span!("convert.fill.scatter");
+        fsp.rows_in(n);
+        fsp.rows_out(slab.len());
+        let cell = DisjointSlice::new(&mut slab);
+        parallel_for(n, threads, |_, range| {
+            for k in range {
+                // SAFETY: offsets partition the slab; node k's range is
+                // written by exactly this iteration.
+                let dst = unsafe { cell.slice_mut(off[k], off[k + 1]) };
+                write_distinct(&pairs[runs[k].start..runs[k].end], dst);
+            }
+        });
     }
-    let g = UndirectedGraph::from_parts(flat);
+    let ids: Vec<NodeId> = runs.iter().map(|r| r.id).collect();
+    let g = UndirectedGraph::from_sorted_parts(ids, &off, &slab);
     sp.rows_out(g.edge_count());
     Ok(g)
 }
@@ -333,23 +510,44 @@ pub fn scores_to_table(scores: &[(NodeId, f64)], id_col: &str, score_col: &str) 
     .expect("equal-length columns")
 }
 
-/// `(node id, start, end)` for each maximal run of equal first elements.
-fn runs_of(pairs: &[(NodeId, NodeId)]) -> Vec<(NodeId, usize, usize)> {
+/// One maximal run of equal first elements in a sorted pair array:
+/// `pairs[start..end]` all share `id`, of which `distinct` have distinct
+/// second elements. Counting distinct neighbors during the same pass
+/// that finds the boundaries saves a full re-read of the pair array.
+struct Run {
+    id: NodeId,
+    start: usize,
+    end: usize,
+    distinct: usize,
+}
+
+fn runs_of(pairs: &[(NodeId, NodeId)]) -> Vec<Run> {
     let mut runs = Vec::new();
     let mut start = 0usize;
     while start < pairs.len() {
         let id = pairs[start].0;
         let mut end = start + 1;
+        let mut distinct = 1usize;
         while end < pairs.len() && pairs[end].0 == id {
+            if pairs[end].1 != pairs[end - 1].1 {
+                distinct += 1;
+            }
             end += 1;
         }
-        runs.push((id, start, end));
+        runs.push(Run {
+            id,
+            start,
+            end,
+            distinct,
+        });
         start = end;
     }
     runs
 }
 
 /// Copies the second elements of a sorted run, dropping duplicates.
+/// Only the merge-sort ablation path allocates here; the radix path
+/// counts during [`runs_of`] and writes with [`write_distinct`].
 fn dedup_neighbors(run: &[(NodeId, NodeId)]) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(run.len());
     for &(_, n) in run {
@@ -358,6 +556,21 @@ fn dedup_neighbors(run: &[(NodeId, NodeId)]) -> Vec<NodeId> {
         }
     }
     out
+}
+
+/// Writes the distinct second elements of a sorted run into `out`, which
+/// must have exactly `distinct_count(run)` slots.
+fn write_distinct(run: &[(NodeId, NodeId)], out: &mut [NodeId]) {
+    let mut w = 0usize;
+    let mut prev = None;
+    for &(_, n) in run {
+        if prev != Some(n) {
+            out[w] = n;
+            w += 1;
+            prev = Some(n);
+        }
+    }
+    debug_assert_eq!(w, out.len());
 }
 
 #[cfg(test)]
@@ -399,6 +612,27 @@ mod tests {
             for id in naive.node_ids() {
                 assert_eq!(fast.out_nbrs(id), naive.out_nbrs(id));
                 assert_eq!(fast.in_nbrs(id), naive.in_nbrs(id));
+            }
+        }
+    }
+
+    #[test]
+    fn radix_path_matches_mergesort_path() {
+        let edges = ringo_gen::rmat(&ringo_gen::RmatConfig {
+            scale: 10,
+            edges: 8_000,
+            ..Default::default()
+        });
+        let mut t = table_of(&edges);
+        for threads in [1usize, 2, 4] {
+            t.set_threads(threads);
+            let fast = table_to_graph(&t, "src", "dst").unwrap();
+            let old = table_to_graph_mergesort(&t, "src", "dst").unwrap();
+            assert_eq!(fast.node_count(), old.node_count());
+            assert_eq!(fast.edge_count(), old.edge_count());
+            for id in old.node_ids() {
+                assert_eq!(fast.out_nbrs(id), old.out_nbrs(id));
+                assert_eq!(fast.in_nbrs(id), old.in_nbrs(id));
             }
         }
     }

@@ -616,6 +616,23 @@ mod tests {
     }
 
     #[test]
+    fn order_by_verb_logs_cardinalities() {
+        let r = Ringo::with_threads(2);
+        let mut t = Table::from_int_column("x", vec![3, 1, 2, 1]);
+        r.order_by(&mut t, &["x"], true).unwrap();
+        assert_eq!(t.int_col("x").unwrap(), &[1, 1, 2, 3]);
+        let log = r.op_log();
+        let rec = log
+            .iter()
+            .rev()
+            .find(|rec| rec.name == "order_by")
+            .expect("order_by recorded");
+        assert_eq!(rec.rows_in, 4);
+        assert_eq!(rec.rows_out, 4);
+        assert!(rec.params.contains("asc"));
+    }
+
+    #[test]
     fn demo_pipeline_end_to_end() {
         let ringo = Ringo::with_threads(2);
         let posts = ringo.generate_stackoverflow(&ringo_gen::StackOverflowConfig {

@@ -9,7 +9,7 @@
 
 use crate::traits::DirectedTopology;
 use crate::NodeId;
-use ringo_concurrent::IntHashTable;
+use ringo_concurrent::{num_threads, radix_sort_by_u64_key, IntHashTable};
 
 /// An immutable-topology directed graph in Compressed Sparse Row form,
 /// with both out- and in-adjacency stored contiguously.
@@ -50,11 +50,16 @@ impl CsrGraph {
         }
         let n = ids.len();
 
+        // Slot pairs pack into one u64 whose order equals the tuple order,
+        // so construction rides the parallel radix sorter; small-id graphs
+        // skip the constant high-byte passes entirely.
+        let threads = num_threads();
+        let pack = |&(s, d): &(u32, u32)| ((s as u64) << 32) | d as u64;
         let mut pairs: Vec<(u32, u32)> = edges
             .iter()
             .map(|&(s, d)| (*index.get(s).unwrap(), *index.get(d).unwrap()))
             .collect();
-        pairs.sort_unstable();
+        radix_sort_by_u64_key(&mut pairs, threads, pack);
         pairs.dedup();
 
         let mut out_off = vec![0usize; n + 1];
@@ -74,7 +79,7 @@ impl CsrGraph {
         }
 
         let mut rev: Vec<(u32, u32)> = pairs.iter().map(|&(s, d)| (d, s)).collect();
-        rev.sort_unstable();
+        radix_sort_by_u64_key(&mut rev, threads, pack);
         let mut in_off = vec![0usize; n + 1];
         for &(d, _) in &rev {
             in_off[d as usize + 1] += 1;

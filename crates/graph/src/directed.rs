@@ -1,16 +1,20 @@
 //! The paper's dynamic directed graph: a node hash table with sorted
 //! in/out adjacency vectors per node.
 
+use crate::nbrs::NbrList;
 use crate::traits::DirectedTopology;
 use crate::NodeId;
 use ringo_concurrent::IntHashTable;
+use std::sync::Arc;
 
-/// Per-node storage: the external id plus sorted neighbor vectors.
+/// Per-node storage: the external id plus sorted neighbor lists
+/// (copy-on-write [`NbrList`]s, so bulk-loaded nodes can share one
+/// adjacency slab until first mutated).
 #[derive(Clone, Debug, Default)]
 pub(crate) struct NodeCell {
     pub(crate) id: NodeId,
-    pub(crate) in_nbrs: Vec<NodeId>,
-    pub(crate) out_nbrs: Vec<NodeId>,
+    pub(crate) in_nbrs: NbrList,
+    pub(crate) out_nbrs: NbrList,
 }
 
 /// A dynamic directed graph (multi-edges disallowed, self-loops allowed).
@@ -128,7 +132,7 @@ impl DirectedGraph {
             let sc = self.cell_mut(src).expect("src just ensured");
             match sc.out_nbrs.binary_search(&dst) {
                 Ok(_) => return false,
-                Err(pos) => sc.out_nbrs.insert(pos, dst),
+                Err(pos) => sc.out_nbrs.to_mut().insert(pos, dst),
             }
         }
         {
@@ -137,7 +141,7 @@ impl DirectedGraph {
                 .in_nbrs
                 .binary_search(&src)
                 .expect_err("in/out adjacency out of sync");
-            dc.in_nbrs.insert(pos, src);
+            dc.in_nbrs.to_mut().insert(pos, src);
         }
         self.n_edges += 1;
         true
@@ -149,7 +153,7 @@ impl DirectedGraph {
         let removed = match self.cell_mut(src) {
             Some(sc) => match sc.out_nbrs.binary_search(&dst) {
                 Ok(pos) => {
-                    sc.out_nbrs.remove(pos);
+                    sc.out_nbrs.to_mut().remove(pos);
                     true
                 }
                 Err(_) => false,
@@ -164,7 +168,7 @@ impl DirectedGraph {
             .in_nbrs
             .binary_search(&src)
             .expect("in/out adjacency out of sync");
-        dc.in_nbrs.remove(pos);
+        dc.in_nbrs.to_mut().remove(pos);
         self.n_edges -= 1;
         true
     }
@@ -180,21 +184,21 @@ impl DirectedGraph {
             .expect("indexed slot occupied");
         // Remove `id` from the in-lists of its out-neighbors and from the
         // out-lists of its in-neighbors.
-        for &nbr in &cell.out_nbrs {
+        for &nbr in cell.out_nbrs.iter() {
             if nbr == id {
                 continue; // self-loop, cell already removed
             }
             let nc = self.cell_mut(nbr).expect("neighbor must exist");
             let pos = nc.in_nbrs.binary_search(&id).expect("adjacency in sync");
-            nc.in_nbrs.remove(pos);
+            nc.in_nbrs.to_mut().remove(pos);
         }
-        for &nbr in &cell.in_nbrs {
+        for &nbr in cell.in_nbrs.iter() {
             if nbr == id {
                 continue;
             }
             let nc = self.cell_mut(nbr).expect("neighbor must exist");
             let pos = nc.out_nbrs.binary_search(&id).expect("adjacency in sync");
-            nc.out_nbrs.remove(pos);
+            nc.out_nbrs.to_mut().remove(pos);
         }
         let self_loop = cell.out_nbrs.binary_search(&id).is_ok();
         self.n_edges -= cell.out_nbrs.len() + cell.in_nbrs.len() - usize::from(self_loop);
@@ -216,12 +220,12 @@ impl DirectedGraph {
 
     /// Sorted out-neighbors of `id` (empty slice if absent).
     pub fn out_nbrs(&self, id: NodeId) -> &[NodeId] {
-        self.cell(id).map_or(&[], |c| c.out_nbrs.as_slice())
+        self.cell(id).map_or(&[], |c| &c.out_nbrs)
     }
 
     /// Sorted in-neighbors of `id` (empty slice if absent).
     pub fn in_nbrs(&self, id: NodeId) -> &[NodeId] {
-        self.cell(id).map_or(&[], |c| c.in_nbrs.as_slice())
+        self.cell(id).map_or(&[], |c| &c.in_nbrs)
     }
 
     /// Iterates over node ids in slot order.
@@ -245,7 +249,7 @@ impl DirectedGraph {
         bytes += self.nodes.capacity() * std::mem::size_of::<Option<NodeCell>>();
         bytes += self.free.capacity() * std::mem::size_of::<u32>();
         for c in self.nodes.iter().flatten() {
-            bytes += (c.in_nbrs.capacity() + c.out_nbrs.capacity()) * std::mem::size_of::<NodeId>();
+            bytes += c.in_nbrs.heap_bytes() + c.out_nbrs.heap_bytes();
         }
         bytes
     }
@@ -267,13 +271,75 @@ impl DirectedGraph {
             let slot = g.nodes.len() as u32;
             g.nodes.push(Some(NodeCell {
                 id,
-                in_nbrs,
-                out_nbrs,
+                in_nbrs: in_nbrs.into(),
+                out_nbrs: out_nbrs.into(),
             }));
             let prev = g.index.insert(id, slot);
             assert!(prev.is_none(), "duplicate node id {id} in parts");
         }
         g.n_nodes = g.nodes.len();
+        g.n_edges = n_edges;
+        g
+    }
+
+    /// Bulk-builds a graph from slab-form adjacency produced by the
+    /// conversion fill phase: node `k` (with id `ids[k]`, strictly
+    /// ascending) owns `in_slab[in_off[k]..in_off[k+1]]` and
+    /// `out_slab[out_off[k]..out_off[k+1]]`, each **sorted and
+    /// deduplicated**, and the two orientations must be mutually
+    /// consistent.
+    ///
+    /// Unlike row-at-a-time construction this reserves the node hash
+    /// table once (no grow/rehash cycles: `with_capacity` sizes it below
+    /// the load-factor limit) and installs each adjacency list as a
+    /// copy-on-write **view into the shared slab** — no per-node
+    /// allocation or copy at all; a node's list is only materialized as
+    /// a private `Vec` if that node is later mutated.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids; debug builds also check that offsets are
+    /// monotone, slabs are fully covered, and runs are sorted.
+    pub fn from_sorted_parts(
+        ids: Vec<NodeId>,
+        in_off: &[usize],
+        in_slab: &[NodeId],
+        out_off: &[usize],
+        out_slab: &[NodeId],
+    ) -> Self {
+        let n = ids.len();
+        assert_eq!(
+            in_off.len(),
+            n + 1,
+            "in_off must have one bound per node plus one"
+        );
+        assert_eq!(
+            out_off.len(),
+            n + 1,
+            "out_off must have one bound per node plus one"
+        );
+        debug_assert_eq!(*in_off.last().unwrap_or(&0), in_slab.len());
+        debug_assert_eq!(*out_off.last().unwrap_or(&0), out_slab.len());
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        let mut g = Self::with_capacity(n);
+        let n_edges = out_slab.len();
+        let in_buf: Arc<[NodeId]> = Arc::from(in_slab);
+        let out_buf: Arc<[NodeId]> = Arc::from(out_slab);
+        for (k, id) in ids.into_iter().enumerate() {
+            debug_assert!(in_slab[in_off[k]..in_off[k + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1]));
+            debug_assert!(out_slab[out_off[k]..out_off[k + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1]));
+            g.nodes.push(Some(NodeCell {
+                id,
+                in_nbrs: NbrList::slab(&in_buf, in_off[k], in_off[k + 1]),
+                out_nbrs: NbrList::slab(&out_buf, out_off[k], out_off[k + 1]),
+            }));
+            let prev = g.index.insert(id, k as u32);
+            assert!(prev.is_none(), "duplicate node id {id} in sorted parts");
+        }
+        g.n_nodes = n;
         g.n_edges = n_edges;
         g
     }
@@ -487,6 +553,39 @@ mod tests {
             assert_eq!(g.out_nbrs(id), inc.out_nbrs(id));
             assert_eq!(g.in_nbrs(id), inc.in_nbrs(id));
         }
+    }
+
+    #[test]
+    fn from_sorted_parts_matches_incremental() {
+        // Edges (1,2) (1,3) (2,3) (3,1) in slab form.
+        let ids = vec![1i64, 2, 3];
+        let out_off = [0usize, 2, 3, 4];
+        let out_slab = [2i64, 3, 3, 1];
+        let in_off = [0usize, 1, 2, 4];
+        let in_slab = [3i64, 1, 1, 2];
+        let g = DirectedGraph::from_sorted_parts(ids, &in_off, &in_slab, &out_off, &out_slab);
+        let mut inc = DirectedGraph::new();
+        for (s, d) in [(1, 2), (1, 3), (2, 3), (3, 1)] {
+            inc.add_edge(s, d);
+        }
+        assert_eq!(g.node_count(), inc.node_count());
+        assert_eq!(g.edge_count(), inc.edge_count());
+        for id in [1i64, 2, 3] {
+            assert_eq!(g.out_nbrs(id), inc.out_nbrs(id));
+            assert_eq!(g.in_nbrs(id), inc.in_nbrs(id));
+        }
+        // The bulk graph stays fully dynamic afterwards.
+        let mut g = g;
+        assert!(g.add_edge(2, 1));
+        assert!(g.del_edge(1, 3));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn from_sorted_parts_empty() {
+        let g = DirectedGraph::from_sorted_parts(Vec::new(), &[0], &[], &[0], &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub mod csr;
 pub mod directed;
 pub mod io;
+mod nbrs;
 pub mod traits;
 pub mod transform;
 pub mod undirected;

@@ -1,0 +1,128 @@
+//! Copy-on-write adjacency storage shared by the dynamic graph types.
+//!
+//! Bulk loading (the sort-first table→graph conversion) produces every
+//! node's neighbors concatenated in one big slab. Copying each node's
+//! slice into its own `Vec` at install time would re-touch the whole
+//! adjacency just to change its ownership — for a million-edge graph
+//! that copy costs more than the fill itself. Instead a [`NbrList`] can
+//! *borrow* its range of the shared slab (an `Arc<[NodeId]>` kept alive
+//! by every node that references it) and only materializes a private
+//! `Vec` the first time that node's adjacency is mutated. Read paths see
+//! a `&[NodeId]` either way via `Deref`, so lookups and iteration are
+//! identical for both representations.
+
+use crate::NodeId;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// One node's sorted neighbor list: either privately owned or a range of
+/// a bulk-load slab shared with the other nodes built in the same batch.
+#[derive(Clone, Debug)]
+pub(crate) enum NbrList {
+    /// Node-private storage; every mutation path lands here.
+    Owned(Vec<NodeId>),
+    /// `buf[lo..hi]`, copy-on-write. Bounds are `u32` to keep the enum at
+    /// `Vec` size; [`NbrList::slab`] falls back to owning when a slab is
+    /// too large to index with 32 bits.
+    Slab {
+        buf: Arc<[NodeId]>,
+        lo: u32,
+        hi: u32,
+    },
+}
+
+impl Default for NbrList {
+    fn default() -> Self {
+        NbrList::Owned(Vec::new())
+    }
+}
+
+impl Deref for NbrList {
+    type Target = [NodeId];
+
+    #[inline]
+    fn deref(&self) -> &[NodeId] {
+        match self {
+            NbrList::Owned(v) => v,
+            NbrList::Slab { buf, lo, hi } => &buf[*lo as usize..*hi as usize],
+        }
+    }
+}
+
+impl From<Vec<NodeId>> for NbrList {
+    fn from(v: Vec<NodeId>) -> Self {
+        NbrList::Owned(v)
+    }
+}
+
+impl NbrList {
+    /// A view of `buf[lo..hi]`. Falls back to an owned copy in the
+    /// (pathological) case of a slab beyond `u32` indexing.
+    pub(crate) fn slab(buf: &Arc<[NodeId]>, lo: usize, hi: usize) -> Self {
+        if hi <= u32::MAX as usize {
+            NbrList::Slab {
+                buf: Arc::clone(buf),
+                lo: lo as u32,
+                hi: hi as u32,
+            }
+        } else {
+            NbrList::Owned(buf[lo..hi].to_vec())
+        }
+    }
+
+    /// Mutable access, converting a slab view into owned storage first
+    /// (one exact-capacity copy of this node's neighbors only).
+    pub(crate) fn to_mut(&mut self) -> &mut Vec<NodeId> {
+        if let NbrList::Slab { .. } = self {
+            *self = NbrList::Owned(self.deref().to_vec());
+        }
+        match self {
+            NbrList::Owned(v) => v,
+            NbrList::Slab { .. } => unreachable!("just converted"),
+        }
+    }
+
+    /// Heap bytes attributable to this list. Slab ranges partition their
+    /// slab, so charging each node its own range sums to the slab's true
+    /// footprint (the `Arc` header is ignored as per-batch constant).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            NbrList::Owned(v) => v.capacity() * std::mem::size_of::<NodeId>(),
+            NbrList::Slab { lo, hi, .. } => (hi - lo) as usize * std::mem::size_of::<NodeId>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_view_reads_like_owned() {
+        let buf: Arc<[NodeId]> = Arc::from(vec![1i64, 2, 3, 4, 5]);
+        let view = NbrList::slab(&buf, 1, 4);
+        assert_eq!(&*view, &[2, 3, 4]);
+        assert_eq!(view.len(), 3);
+        assert!(view.binary_search(&3).is_ok());
+        let owned = NbrList::from(vec![2i64, 3, 4]);
+        assert_eq!(&*view, &*owned);
+    }
+
+    #[test]
+    fn to_mut_copies_on_write_without_touching_slab() {
+        let buf: Arc<[NodeId]> = Arc::from(vec![10i64, 20, 30]);
+        let mut a = NbrList::slab(&buf, 0, 2);
+        let b = NbrList::slab(&buf, 2, 3);
+        a.to_mut().push(25);
+        assert_eq!(&*a, &[10, 20, 25]);
+        assert_eq!(&*b, &[30], "sibling view untouched");
+        assert_eq!(buf[0], 10, "slab itself untouched");
+    }
+
+    #[test]
+    fn heap_bytes_charges_slab_ranges() {
+        let buf: Arc<[NodeId]> = Arc::from(vec![0i64; 8]);
+        let view = NbrList::slab(&buf, 2, 6);
+        assert_eq!(view.heap_bytes(), 4 * std::mem::size_of::<NodeId>());
+    }
+}

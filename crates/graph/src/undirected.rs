@@ -1,13 +1,15 @@
 //! Dynamic undirected graph: node hash table with one sorted neighbor
 //! vector per node.
 
+use crate::nbrs::NbrList;
 use crate::NodeId;
 use ringo_concurrent::IntHashTable;
+use std::sync::Arc;
 
 #[derive(Clone, Debug, Default)]
 struct UNodeCell {
     id: NodeId,
-    nbrs: Vec<NodeId>,
+    nbrs: NbrList,
 }
 
 /// A dynamic undirected graph (no multi-edges; self-loops allowed and
@@ -77,14 +79,14 @@ impl UndirectedGraph {
             Some(s) => {
                 self.nodes[s as usize] = Some(UNodeCell {
                     id,
-                    nbrs: Vec::new(),
+                    nbrs: NbrList::default(),
                 });
                 s
             }
             None => {
                 self.nodes.push(Some(UNodeCell {
                     id,
-                    nbrs: Vec::new(),
+                    nbrs: NbrList::default(),
                 }));
                 (self.nodes.len() - 1) as u32
             }
@@ -103,7 +105,7 @@ impl UndirectedGraph {
             let ca = self.cell_mut(a).expect("endpoint ensured");
             match ca.nbrs.binary_search(&b) {
                 Ok(_) => return false,
-                Err(pos) => ca.nbrs.insert(pos, b),
+                Err(pos) => ca.nbrs.to_mut().insert(pos, b),
             }
         }
         if a != b {
@@ -112,7 +114,7 @@ impl UndirectedGraph {
                 .nbrs
                 .binary_search(&a)
                 .expect_err("adjacency out of sync");
-            cb.nbrs.insert(pos, a);
+            cb.nbrs.to_mut().insert(pos, a);
         }
         self.n_edges += 1;
         true
@@ -123,7 +125,7 @@ impl UndirectedGraph {
         let removed = match self.cell_mut(a) {
             Some(ca) => match ca.nbrs.binary_search(&b) {
                 Ok(pos) => {
-                    ca.nbrs.remove(pos);
+                    ca.nbrs.to_mut().remove(pos);
                     true
                 }
                 Err(_) => false,
@@ -136,7 +138,7 @@ impl UndirectedGraph {
         if a != b {
             let cb = self.cell_mut(b).expect("edge endpoints exist");
             let pos = cb.nbrs.binary_search(&a).expect("adjacency in sync");
-            cb.nbrs.remove(pos);
+            cb.nbrs.to_mut().remove(pos);
         }
         self.n_edges -= 1;
         true
@@ -151,13 +153,13 @@ impl UndirectedGraph {
         let cell = self.nodes[slot as usize]
             .take()
             .expect("indexed slot occupied");
-        for &nbr in &cell.nbrs {
+        for &nbr in cell.nbrs.iter() {
             if nbr == id {
                 continue;
             }
             let nc = self.cell_mut(nbr).expect("neighbor exists");
             let pos = nc.nbrs.binary_search(&id).expect("adjacency in sync");
-            nc.nbrs.remove(pos);
+            nc.nbrs.to_mut().remove(pos);
         }
         self.n_edges -= cell.nbrs.len();
         self.index.remove(id);
@@ -173,7 +175,7 @@ impl UndirectedGraph {
 
     /// Sorted neighbors of `id` (empty slice if absent).
     pub fn nbrs(&self, id: NodeId) -> &[NodeId] {
-        self.cell(id).map_or(&[], |c| c.nbrs.as_slice())
+        self.cell(id).map_or(&[], |c| &c.nbrs)
     }
 
     /// Iterates over node ids in slot order.
@@ -208,7 +210,7 @@ impl UndirectedGraph {
 
     /// Sorted neighbors of the node in `slot` (empty for vacant slots).
     pub fn nbrs_of_slot(&self, slot: usize) -> &[NodeId] {
-        self.nodes[slot].as_ref().map_or(&[], |c| c.nbrs.as_slice())
+        self.nodes[slot].as_ref().map_or(&[], |c| &c.nbrs)
     }
 
     /// Approximate heap footprint in bytes (see
@@ -218,7 +220,7 @@ impl UndirectedGraph {
         bytes += self.nodes.capacity() * std::mem::size_of::<Option<UNodeCell>>();
         bytes += self.free.capacity() * std::mem::size_of::<u32>();
         for c in self.nodes.iter().flatten() {
-            bytes += c.nbrs.capacity() * std::mem::size_of::<NodeId>();
+            bytes += c.nbrs.heap_bytes();
         }
         bytes
     }
@@ -235,11 +237,54 @@ impl UndirectedGraph {
             edge_ends += nbrs.len();
             self_loops += usize::from(nbrs.binary_search(&id).is_ok());
             let slot = g.nodes.len() as u32;
-            g.nodes.push(Some(UNodeCell { id, nbrs }));
+            g.nodes.push(Some(UNodeCell {
+                id,
+                nbrs: nbrs.into(),
+            }));
             let prev = g.index.insert(id, slot);
             assert!(prev.is_none(), "duplicate node id {id} in parts");
         }
         g.n_nodes = g.nodes.len();
+        g.n_edges = (edge_ends - self_loops) / 2 + self_loops;
+        g
+    }
+
+    /// Bulk-builds a graph from slab-form adjacency: node `k` (id
+    /// `ids[k]`, strictly ascending) owns `slab[off[k]..off[k+1]]`,
+    /// sorted and deduplicated, with each edge `{a, b}` present in both
+    /// endpoints' runs (self-loops once). Undirected counterpart of
+    /// [`crate::DirectedGraph::from_sorted_parts`]: one hash-table
+    /// reservation, and each adjacency list installed as a
+    /// copy-on-write view into the shared slab (no per-node copy).
+    ///
+    /// # Panics
+    /// Panics on duplicate ids; debug builds also check sortedness.
+    pub fn from_sorted_parts(ids: Vec<NodeId>, off: &[usize], slab: &[NodeId]) -> Self {
+        let n = ids.len();
+        assert_eq!(
+            off.len(),
+            n + 1,
+            "off must have one bound per node plus one"
+        );
+        debug_assert_eq!(*off.last().unwrap_or(&0), slab.len());
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        let mut g = Self::with_capacity(n);
+        let mut edge_ends = 0usize;
+        let mut self_loops = 0usize;
+        let buf: Arc<[NodeId]> = Arc::from(slab);
+        for (k, id) in ids.into_iter().enumerate() {
+            let nbrs = &slab[off[k]..off[k + 1]];
+            debug_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            edge_ends += nbrs.len();
+            self_loops += usize::from(nbrs.binary_search(&id).is_ok());
+            g.nodes.push(Some(UNodeCell {
+                id,
+                nbrs: NbrList::slab(&buf, off[k], off[k + 1]),
+            }));
+            let prev = g.index.insert(id, k as u32);
+            assert!(prev.is_none(), "duplicate node id {id} in sorted parts");
+        }
+        g.n_nodes = n;
         g.n_edges = (edge_ends - self_loops) / 2 + self_loops;
         g
     }
@@ -323,6 +368,20 @@ mod tests {
         assert_eq!(g.edge_count(), 2, "loop 1-1 plus edge 1-2");
         assert!(g.has_edge(1, 1));
         assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn from_sorted_parts_matches_from_parts() {
+        // Same topology as `from_parts_counts_edges_with_self_loops`,
+        // in slab form: node 1 -> [1, 2], node 2 -> [1].
+        let g = UndirectedGraph::from_sorted_parts(vec![1, 2], &[0, 2, 3], &[1, 2, 1]);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2, "loop 1-1 plus edge 1-2");
+        assert!(g.has_edge(1, 1));
+        assert!(g.has_edge(2, 1));
+        assert_eq!(g.nbrs(1), &[1, 2]);
+        let empty = UndirectedGraph::from_sorted_parts(Vec::new(), &[0], &[]);
+        assert!(empty.is_empty());
     }
 
     #[test]

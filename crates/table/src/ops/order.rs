@@ -1,18 +1,44 @@
 //! Multi-column ordering (sort).
 
 use crate::{ColumnData, Result, Table};
+use ringo_concurrent::{i64_key, radix_sort_by_u64_key};
 use std::cmp::Ordering;
 
 impl Table {
     /// Sorts the table in place by the given columns (ties broken by the
     /// next column). Floats use IEEE total order, so NaNs sort after all
     /// numbers. Row ids travel with their rows. The sort is stable.
+    ///
+    /// When every sort column is `Int` the permutation is computed with
+    /// chained stable radix passes (least-significant column first)
+    /// instead of a comparison sort; descending order complements the
+    /// biased key, which preserves stability exactly like the comparison
+    /// path does.
     pub fn order_by(&mut self, cols: &[&str], ascending: bool) -> Result<()> {
         let mut sp = ringo_trace::span!("table.order");
         sp.rows_in(self.n_rows());
         sp.rows_out(self.n_rows());
         let idx = self.col_indices(cols)?;
         let mut perm: Vec<usize> = (0..self.n_rows()).collect();
+        let all_int = idx
+            .iter()
+            .all(|&c| matches!(self.cols[c], ColumnData::Int(_)));
+        if all_int {
+            let threads = self.threads();
+            for &c in idx.iter().rev() {
+                let v = match &self.cols[c] {
+                    ColumnData::Int(v) => v,
+                    _ => unreachable!("all_int checked above"),
+                };
+                if ascending {
+                    radix_sort_by_u64_key(&mut perm, threads, |&r| i64_key(v[r]));
+                } else {
+                    radix_sort_by_u64_key(&mut perm, threads, |&r| !i64_key(v[r]));
+                }
+            }
+            self.retain_rows(&perm);
+            return Ok(());
+        }
         let cmp = |&a: &usize, &b: &usize| -> Ordering {
             for &c in &idx {
                 let ord = match &self.cols[c] {
@@ -112,6 +138,45 @@ mod tests {
         s.order_by(&["g"], true).unwrap();
         // Rows 1 and 3 are both "a" — original order preserved.
         assert_eq!(s.row_ids(), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn int_radix_path_matches_stable_comparison_sort() {
+        // Enough rows that the parallel radix path (not the sequential
+        // fallback) runs; skewed shifts give duplicates and negatives.
+        let n = 10_000usize;
+        let mut vals = Vec::with_capacity(n);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            vals.push((x as i64) >> 48);
+        }
+        for ascending in [true, false] {
+            let mut t = Table::from_int_column("x", vals.clone());
+            t.set_threads(4);
+            t.order_by(&["x"], ascending).unwrap();
+            let mut expect: Vec<usize> = (0..n).collect();
+            if ascending {
+                expect.sort_by_key(|&r| vals[r]);
+            } else {
+                expect.sort_by_key(|&r| std::cmp::Reverse(vals[r]));
+            }
+            let got: Vec<usize> = t.row_ids().iter().map(|&r| r as usize).collect();
+            assert_eq!(got, expect, "ascending={ascending}");
+        }
+    }
+
+    #[test]
+    fn multi_int_columns_tie_break_through_radix() {
+        let mut t = Table::from_int_column("a", vec![2, 1, 2, 1, 2]);
+        t.add_int_column("b", vec![5, 9, -3, 9, 5]).unwrap();
+        t.order_by(&["a", "b"], true).unwrap();
+        assert_eq!(t.int_col("a").unwrap(), &[1, 1, 2, 2, 2]);
+        assert_eq!(t.int_col("b").unwrap(), &[9, 9, -3, 5, 5]);
+        // Ties (1,9)x2 and (2,5)x2 keep original order: stability.
+        assert_eq!(t.row_ids(), &[1, 3, 2, 0, 4]);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static COUNT: AtomicUsize = AtomicUsize::new(0);
 
 /// A `GlobalAlloc` wrapper around the system allocator that maintains
 /// current and peak heap usage counters.
@@ -31,6 +32,7 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
+            COUNT.fetch_add(1, Ordering::Relaxed);
             add(layout.size());
         }
         ptr
@@ -44,6 +46,7 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = System.realloc(ptr, layout, new_size);
         if !new_ptr.is_null() {
+            COUNT.fetch_add(1, Ordering::Relaxed);
             CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
             add(new_size);
         }
@@ -78,6 +81,14 @@ pub fn peak_bytes() -> usize {
 /// own peak can be isolated.
 pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Number of heap allocations (including reallocations) performed since
+/// process start. Deltas of this counter around a code section bound how
+/// many times that section hit the allocator — the measurement behind the
+/// "allocation-free per node" fill-phase guarantee.
+pub fn alloc_count() -> usize {
+    COUNT.load(Ordering::Relaxed)
 }
 
 /// Formats a byte count as a human-readable string (GB/MB/KB).

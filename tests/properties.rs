@@ -5,7 +5,11 @@
 //! reproduce exactly (the failing seed is in the assertion message) and
 //! the suite needs no external fuzzing dependency.
 
-use ringo::concurrent::{parallel_sort, IntHashTable};
+use ringo::concurrent::radix::SEQ_THRESHOLD;
+use ringo::concurrent::{
+    parallel_sort, radix_sort_by_u64_key, radix_sort_i64, radix_sort_pairs, radix_sort_u64,
+    IntHashTable,
+};
 use ringo::convert::{table_to_graph, table_to_graph_naive, table_to_undirected};
 use ringo::gen::edges_to_table;
 use ringo::{Cmp, DirectedGraph, Predicate};
@@ -50,6 +54,99 @@ fn parallel_sort_matches_std() {
         expect.sort_unstable();
         parallel_sort(&mut data, threads);
         assert_eq!(data, expect, "len={len} threads={threads}");
+    });
+}
+
+/// Radix sort equals `sort_unstable` on adversarial distributions —
+/// duplicates-heavy, all-equal, negative ids, i64 extremes, skewed
+/// magnitudes — at every thread count and around the sequential
+/// threshold.
+#[test]
+fn radix_sort_matches_std_on_adversarial_distributions() {
+    for_cases(
+        "radix_sort_matches_std_on_adversarial_distributions",
+        |rng| {
+            let dist = rng.below(6);
+            let len = match rng.below(3) {
+                0 => rng.below(SEQ_THRESHOLD / 2),
+                1 => SEQ_THRESHOLD - 2 + rng.below(5), // straddle the threshold
+                _ => SEQ_THRESHOLD + rng.below(30_000),
+            };
+            let data: Vec<i64> = (0..len)
+                .map(|_| match dist {
+                    0 => rng.i64(),
+                    1 => rng.range_i64(-4..4),
+                    2 => 42,
+                    3 => -rng.range_i64(0..1_000_000),
+                    4 => {
+                        if rng.bool() {
+                            i64::MIN
+                        } else {
+                            i64::MAX
+                        }
+                    }
+                    _ => rng.range_i64(-1_000..1_000) << rng.below(40),
+                })
+                .collect();
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            for threads in [1usize, 2, 4] {
+                let mut ours = data.clone();
+                radix_sort_i64(&mut ours, threads);
+                assert_eq!(ours, expect, "dist={dist} len={len} threads={threads}");
+            }
+            // The unsigned entry point agrees too (reinterpret the bits).
+            let udata: Vec<u64> = data.iter().map(|&x| x as u64).collect();
+            let mut uexpect = udata.clone();
+            uexpect.sort_unstable();
+            for threads in [1usize, 2, 4] {
+                let mut ours = udata.clone();
+                radix_sort_u64(&mut ours, threads);
+                assert_eq!(ours, uexpect, "u64 dist={dist} len={len} threads={threads}");
+            }
+        },
+    );
+}
+
+/// Pair radix sort equals `sort_unstable` on `(i64, i64)` tuples for any
+/// id distribution, including empty and length-1 inputs.
+#[test]
+fn radix_sort_pairs_matches_std() {
+    for_cases("radix_sort_pairs_matches_std", |rng| {
+        let len = match rng.below(4) {
+            0 => 0,
+            1 => 1,
+            2 => rng.below(SEQ_THRESHOLD),
+            _ => SEQ_THRESHOLD + rng.below(20_000),
+        };
+        let span = 1 + rng.range_i64(1..500);
+        let data: Vec<(i64, i64)> = (0..len)
+            .map(|_| (rng.range_i64(-span..span), rng.range_i64(-span..span)))
+            .collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for threads in [1usize, 2, 4] {
+            let mut ours = data.clone();
+            radix_sort_pairs(&mut ours, threads);
+            assert_eq!(ours, expect, "len={len} span={span} threads={threads}");
+        }
+    });
+}
+
+/// Keyed radix sort is stable: ties keep their input order, exactly like
+/// the standard library's stable sort.
+#[test]
+fn radix_sort_by_key_is_stable() {
+    for_cases("radix_sort_by_key_is_stable", |rng| {
+        let len = rng.below(SEQ_THRESHOLD * 3);
+        let data: Vec<(i64, usize)> = (0..len).map(|i| (rng.range_i64(-8..8), i)).collect();
+        let mut expect = data.clone();
+        expect.sort_by_key(|&(k, _)| k); // std stable sort
+        for threads in [1usize, 2, 4] {
+            let mut ours = data.clone();
+            radix_sort_by_u64_key(&mut ours, threads, |&(k, _)| ringo::concurrent::i64_key(k));
+            assert_eq!(ours, expect, "len={len} threads={threads}");
+        }
     });
 }
 
