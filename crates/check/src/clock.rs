@@ -1,0 +1,92 @@
+//! Vector clocks tracking the happens-before partial order between virtual
+//! threads.
+//!
+//! Every virtual thread carries a [`VClock`]; component `t` is the number of
+//! synchronization events thread `t` had performed the last time its effects
+//! became visible to the clock's owner. Spawn, join, mutex hand-off, and
+//! release/acquire pairs on the virtual atomics all `join` clocks, which is
+//! what lets the memory model in [`crate::memory`] decide whether a store is
+//! ordered before a load or merely happened earlier in this particular
+//! schedule.
+
+/// A grow-on-demand vector clock. Missing components read as zero, so
+/// clocks stay tiny until a schedule actually spawns many threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The all-zero clock (ordered before every event).
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Component for thread `tid`.
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets component `tid` to `v`, growing the vector as needed.
+    pub fn set(&mut self, tid: usize, v: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = v;
+    }
+
+    /// Increments component `tid` and returns the new value. Called once
+    /// per synchronization event of the owning thread.
+    pub fn tick(&mut self, tid: usize) -> u64 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Component-wise maximum: afterwards `self` dominates both inputs.
+    /// This is the happens-before edge primitive (join, acquire, lock).
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_default_to_zero_and_grow() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(5), 0);
+        c.set(3, 7);
+        assert_eq!(c.get(3), 7);
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(100), 0);
+    }
+
+    #[test]
+    fn tick_counts_events() {
+        let mut c = VClock::new();
+        assert_eq!(c.tick(2), 1);
+        assert_eq!(c.tick(2), 2);
+        assert_eq!(c.tick(0), 1);
+        assert_eq!(c.get(2), 2);
+    }
+
+    #[test]
+    fn join_takes_componentwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 5);
+        a.set(1, 1);
+        let mut b = VClock::new();
+        b.set(1, 9);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 9);
+        assert_eq!(a.get(2), 2);
+    }
+}

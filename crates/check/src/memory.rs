@@ -1,0 +1,324 @@
+//! A small release/acquire memory model for the virtual atomics.
+//!
+//! Real hardware (and the C11 model `std::sync::atomic` exposes) lets a
+//! `Relaxed` load return *stale* values: any store that is neither
+//! happens-before-overwritten nor already observed by the loading thread is
+//! a legal result. A checker that only interleaves operations while keeping
+//! memory sequentially consistent would therefore miss exactly the class of
+//! bug the ISSUE cares about — a `Relaxed` store where a `Release` is
+//! required publishes nothing, yet under SC interleaving the value always
+//! "arrives". This module models enough of C11 to catch those:
+//!
+//! * every location keeps its **modification order** — the list of store
+//!   events, each tagged with the writer, the writer's event count, and (for
+//!   `Release`-or-stronger stores) the writer's vector clock at the store;
+//! * a **load** may read any store in the suffix of the modification order
+//!   that coherence allows: nothing older than what the thread last read
+//!   from this location, and nothing overwritten by a store that
+//!   happens-before the load. The scheduler picks among the candidates with
+//!   its seeded RNG, so stale reads are explored deterministically;
+//! * an **acquire** load of a release store joins the reader's clock with
+//!   the store's attached clock (the synchronizes-with edge). A `Relaxed`
+//!   load reads the value but learns nothing;
+//! * **read-modify-writes** (`fetch_add`, `compare_exchange`, ...) always
+//!   operate on the latest store in modification order, as C11 requires,
+//!   and continue the release sequence of the store they replace;
+//! * `SeqCst` is approximated as the strongest release/acquire pair reading
+//!   the latest store. The single total order S is not modeled — Ringo's
+//!   primitives never rely on it, and the simplification is documented in
+//!   DESIGN.md.
+
+use crate::clock::VClock;
+
+/// Writer id used for the implicit initial value of a location.
+const INIT_WRITER: usize = usize::MAX;
+
+/// One store event in a location's modification order.
+#[derive(Clone, Debug)]
+pub(crate) struct StoreEvent {
+    /// Stored value, bit-cast to `u64` whatever the source type.
+    pub value: u64,
+    /// Virtual thread that performed the store (`INIT_WRITER` for the
+    /// initial value).
+    pub writer: usize,
+    /// The writer's own event count at the store, used to decide whether
+    /// this store happens-before a given thread's current clock.
+    pub writer_time: u64,
+    /// Clock attached by `Release`-or-stronger stores (and carried forward
+    /// through the release sequence by RMWs); joined into acquiring
+    /// readers.
+    pub release: Option<VClock>,
+}
+
+impl StoreEvent {
+    /// True when this store happens-before an observer with clock `clock`.
+    fn happens_before(&self, clock: &VClock) -> bool {
+        self.writer == INIT_WRITER || clock.get(self.writer) >= self.writer_time
+    }
+}
+
+/// Per-location model state: the modification order plus per-thread
+/// coherence cursors.
+#[derive(Debug)]
+pub(crate) struct Location {
+    stores: Vec<StoreEvent>,
+    /// `last_read[t]` is the index of the newest store thread `t` has
+    /// observed (read or written); coherence forbids going back.
+    last_read: Vec<usize>,
+}
+
+/// Whether an ordering has acquire semantics on the load side.
+fn acquires(ord: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(ord, Acquire | AcqRel | SeqCst)
+}
+
+/// Whether an ordering has release semantics on the store side.
+fn releases(ord: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(ord, Release | AcqRel | SeqCst)
+}
+
+impl Location {
+    /// A location whose modification order starts with `initial`, readable
+    /// by every thread (the initializing write is ordered before the
+    /// location's first shared use).
+    pub fn new(initial: u64) -> Self {
+        Self {
+            stores: vec![StoreEvent {
+                value: initial,
+                writer: INIT_WRITER,
+                writer_time: 0,
+                release: None,
+            }],
+            last_read: Vec::new(),
+        }
+    }
+
+    fn cursor(&mut self, tid: usize) -> usize {
+        if self.last_read.len() <= tid {
+            self.last_read.resize(tid + 1, 0);
+        }
+        self.last_read[tid]
+    }
+
+    fn advance_cursor(&mut self, tid: usize, idx: usize) {
+        if self.last_read.len() <= tid {
+            self.last_read.resize(tid + 1, 0);
+        }
+        self.last_read[tid] = self.last_read[tid].max(idx);
+    }
+
+    /// Index of the newest store that happens-before `clock`; stores older
+    /// than this are happens-before-overwritten and illegal to read.
+    fn hb_floor(&self, clock: &VClock) -> usize {
+        self.stores
+            .iter()
+            .rposition(|s| s.happens_before(clock))
+            .unwrap_or(0)
+    }
+
+    /// Lowest index a load by `tid` with clock `clock` may legally read.
+    pub fn read_floor(&mut self, tid: usize, clock: &VClock) -> usize {
+        let c = self.cursor(tid);
+        c.max(self.hb_floor(clock))
+    }
+
+    /// Number of stores in the modification order (the latest readable
+    /// index is `len() - 1`).
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Completes a load of store `idx` chosen by the scheduler: applies the
+    /// synchronizes-with edge for acquiring loads of release stores,
+    /// advances the coherence cursor, and returns the value.
+    pub fn read_at(
+        &mut self,
+        idx: usize,
+        tid: usize,
+        clock: &mut VClock,
+        ord: std::sync::atomic::Ordering,
+    ) -> u64 {
+        let store = &self.stores[idx];
+        let value = store.value;
+        if acquires(ord) {
+            if let Some(rel) = &store.release {
+                clock.join(rel);
+            }
+        }
+        self.advance_cursor(tid, idx);
+        value
+    }
+
+    /// The latest value in modification order (what an RMW operates on).
+    pub fn latest(&self) -> u64 {
+        self.stores
+            .last()
+            .expect("modification order never empty")
+            .value
+    }
+
+    /// Appends a plain store. A plain store *breaks* any release sequence:
+    /// its release clock is only its own (when `ord` releases) or nothing.
+    pub fn store(
+        &mut self,
+        tid: usize,
+        clock: &VClock,
+        value: u64,
+        ord: std::sync::atomic::Ordering,
+    ) {
+        let release = releases(ord).then(|| clock.clone());
+        self.push_store(tid, clock, value, release);
+    }
+
+    /// Performs a read-modify-write on the latest store: reads it (with
+    /// acquire semantics when `ord` acquires), appends `new`, and carries
+    /// the replaced store's release clock forward so the release sequence
+    /// headed by an earlier release store survives intervening relaxed
+    /// RMWs — the C11 rule Ringo's CAS-claim loops rely on.
+    pub fn rmw(
+        &mut self,
+        tid: usize,
+        clock: &mut VClock,
+        new: u64,
+        ord: std::sync::atomic::Ordering,
+    ) -> u64 {
+        let last = self.stores.len() - 1;
+        let old = self.read_at(last, tid, clock, ord);
+        let carried = self.stores[last].release.clone();
+        let release = match (releases(ord).then(|| clock.clone()), carried) {
+            (Some(mut own), Some(prev)) => {
+                own.join(&prev);
+                Some(own)
+            }
+            (Some(own), None) => Some(own),
+            (None, carried) => carried,
+        };
+        self.push_store(tid, clock, new, release);
+        old
+    }
+
+    fn push_store(&mut self, tid: usize, clock: &VClock, value: u64, release: Option<VClock>) {
+        self.stores.push(StoreEvent {
+            value,
+            writer: tid,
+            writer_time: clock.get(tid),
+            release,
+        });
+        let idx = self.stores.len() - 1;
+        self.advance_cursor(tid, idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::*;
+
+    fn clock_of(pairs: &[(usize, u64)]) -> VClock {
+        let mut c = VClock::new();
+        for &(t, v) in pairs {
+            c.set(t, v);
+        }
+        c
+    }
+
+    #[test]
+    fn fresh_location_reads_initial_value() {
+        let mut loc = Location::new(7);
+        let mut clock = VClock::new();
+        let lo = loc.read_floor(1, &clock);
+        assert_eq!(lo, 0);
+        assert_eq!(loc.read_at(lo, 1, &mut clock, Relaxed), 7);
+    }
+
+    #[test]
+    fn relaxed_store_is_readable_but_synchronizes_nothing() {
+        let mut loc = Location::new(0);
+        let writer_clock = clock_of(&[(0, 3)]);
+        loc.store(0, &writer_clock, 42, Relaxed);
+
+        // A reader with no happens-before edge may read either store.
+        let mut reader = VClock::new();
+        assert_eq!(loc.read_floor(1, &reader), 0, "stale read is legal");
+        // Acquiring the relaxed store learns nothing.
+        assert_eq!(loc.read_at(1, 1, &mut reader, Acquire), 42);
+        assert_eq!(reader.get(0), 0, "no synchronizes-with edge");
+    }
+
+    #[test]
+    fn release_store_synchronizes_with_acquire_load() {
+        let mut loc = Location::new(0);
+        let writer_clock = clock_of(&[(0, 5)]);
+        loc.store(0, &writer_clock, 1, Release);
+
+        let mut reader = VClock::new();
+        assert_eq!(loc.read_at(1, 1, &mut reader, Acquire), 1);
+        assert_eq!(reader.get(0), 5, "acquire joins the writer's clock");
+    }
+
+    #[test]
+    fn hb_overwritten_stores_become_unreadable() {
+        let mut loc = Location::new(0);
+        let writer_clock = clock_of(&[(0, 2)]);
+        loc.store(0, &writer_clock, 9, Release);
+
+        // A reader that already synchronized with the writer (clock
+        // dominates the store) must not read the initial value again.
+        let reader = clock_of(&[(0, 2)]);
+        let mut r = reader.clone();
+        assert_eq!(loc.read_floor(1, &reader), 1);
+        assert_eq!(loc.read_at(1, 1, &mut r, Relaxed), 9);
+    }
+
+    #[test]
+    fn coherence_cursor_is_monotone_per_thread() {
+        let mut loc = Location::new(0);
+        let w = clock_of(&[(0, 1)]);
+        loc.store(0, &w, 1, Relaxed);
+        let w = clock_of(&[(0, 2)]);
+        loc.store(0, &w, 2, Relaxed);
+
+        let mut reader = VClock::new();
+        // Thread 1 reads the newest store...
+        assert_eq!(loc.read_at(2, 1, &mut reader, Relaxed), 2);
+        // ...and may never go back to an older one.
+        assert_eq!(loc.read_floor(1, &reader), 2);
+        // An unrelated thread is unconstrained.
+        assert_eq!(loc.read_floor(2, &reader), 0);
+    }
+
+    #[test]
+    fn rmw_operates_on_latest_and_carries_release_sequence() {
+        let mut loc = Location::new(0);
+        let head = clock_of(&[(0, 4)]);
+        loc.store(0, &head, 10, Release);
+
+        // A relaxed RMW by another thread continues the release sequence.
+        let mut rmw_clock = clock_of(&[(1, 1)]);
+        let old = loc.rmw(1, &mut rmw_clock, 11, Relaxed);
+        assert_eq!(old, 10);
+        assert_eq!(rmw_clock.get(0), 0, "relaxed RMW acquires nothing");
+
+        // An acquiring reader of the RMW's store still synchronizes with
+        // the release-sequence head.
+        let mut reader = VClock::new();
+        assert_eq!(loc.read_at(2, 2, &mut reader, Acquire), 11);
+        assert_eq!(reader.get(0), 4, "release sequence head visible");
+    }
+
+    #[test]
+    fn plain_store_breaks_the_release_sequence() {
+        let mut loc = Location::new(0);
+        let head = clock_of(&[(0, 4)]);
+        loc.store(0, &head, 10, Release);
+        // A plain relaxed store by another thread breaks the sequence.
+        let w1 = clock_of(&[(1, 1)]);
+        loc.store(1, &w1, 11, Relaxed);
+
+        let mut reader = VClock::new();
+        assert_eq!(loc.read_at(2, 2, &mut reader, Acquire), 11);
+        assert_eq!(reader.get(0), 0, "sequence broken by plain store");
+    }
+}

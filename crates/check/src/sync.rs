@@ -1,0 +1,382 @@
+//! Virtual synchronization primitives.
+//!
+//! Drop-in lookalikes for `std::sync::atomic::Atomic*` and
+//! `std::sync::Mutex` that route every operation through the cooperative
+//! scheduler **when the calling OS thread is a virtual thread of an active
+//! schedule**, and degrade to the plain `std` operation otherwise (the
+//! *passthrough*). Passthrough is what makes the `model` feature of the
+//! crates under test safe to unify into ordinary builds: code compiled
+//! against these types but running outside `ringo_check::check(...)`
+//! behaves exactly like the real atomics, just with one thread-local lookup
+//! of overhead per operation.
+//!
+//! Each virtual atomic embeds the real `std` atomic as ground truth: the
+//! model mirrors every modification-order append into it, so `Drop` impls,
+//! teardown after a failed schedule, and foreign (non-virtual) threads all
+//! observe sane values.
+
+use crate::sched::{self, Execution};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Routes one model operation, falling back to `$pass` when the calling
+/// thread has no schedule context or the schedule is tearing down.
+macro_rules! model_or {
+    ($self:ident, $ctx:ident, $model:expr, $pass:expr) => {
+        match sched::current() {
+            Some($ctx) => match $model {
+                Some(v) => v,
+                None => $pass, // schedule failed; unwinding teardown
+            },
+            None => $pass,
+        }
+    };
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty, $std:ident) => {
+        /// Virtual counterpart of [`std::sync::atomic::
+        #[doc = stringify!($std)]
+        /// `]; see the module docs for the model/passthrough split.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates the atomic; `const` so it can seed statics exactly
+            /// like the `std` type.
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            /// Stable identity of this atomic within a schedule.
+            fn addr(&self) -> usize {
+                &self.inner as *const _ as usize
+            }
+
+            /// Initial modification-order value on first model touch: the
+            /// mirror holds it because every model op writes the mirror.
+            fn init(&self) -> u64 {
+                // ORDERING: Relaxed — mirror read by the token holder; the
+                // model layer provides all synchronization.
+                self.inner.load(Ordering::Relaxed) as u64
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                model_or!(
+                    self,
+                    ctx,
+                    ctx.exec
+                        .atomic_load(ctx.tid, self.addr(), self.init(), ord)
+                        .map(|v| v as $ty),
+                    self.inner.load(ord)
+                )
+            }
+
+            pub fn store(&self, val: $ty, ord: Ordering) {
+                model_or!(
+                    self,
+                    ctx,
+                    ctx.exec
+                        .atomic_store(ctx.tid, self.addr(), self.init(), val as u64, ord)
+                        // ORDERING: Relaxed — mirror write; only the
+                        // token-holding thread runs.
+                        .map(|()| self.inner.store(val, Ordering::Relaxed)),
+                    self.inner.store(val, ord)
+                )
+            }
+
+            pub fn swap(&self, val: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |_| val, || self.inner.swap(val, ord))
+            }
+
+            pub fn fetch_add(&self, d: $ty, ord: Ordering) -> $ty {
+                self.rmw(
+                    ord,
+                    |old| old.wrapping_add(d),
+                    || self.inner.fetch_add(d, ord),
+                )
+            }
+
+            pub fn fetch_sub(&self, d: $ty, ord: Ordering) -> $ty {
+                self.rmw(
+                    ord,
+                    |old| old.wrapping_sub(d),
+                    || self.inner.fetch_sub(d, ord),
+                )
+            }
+
+            pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old.min(v), || self.inner.fetch_min(v, ord))
+            }
+
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old.max(v), || self.inner.fetch_max(v, ord))
+            }
+
+            /// Shared model RMW path: asks the scheduler for the
+            /// modification-order append, mirrors the new value, returns
+            /// the old.
+            fn rmw(
+                &self,
+                ord: Ordering,
+                f: impl Fn($ty) -> $ty,
+                pass: impl FnOnce() -> $ty,
+            ) -> $ty {
+                match sched::current() {
+                    Some(ctx) => {
+                        let mut g = |old: u64| f(old as $ty) as u64;
+                        match ctx
+                            .exec
+                            .atomic_rmw(ctx.tid, self.addr(), self.init(), ord, &mut g)
+                        {
+                            Some(old) => {
+                                let old = old as $ty;
+                                // ORDERING: Relaxed — mirror write; only
+                                // the token-holding thread runs.
+                                self.inner.store(f(old), Ordering::Relaxed);
+                                old
+                            }
+                            None => pass(),
+                        }
+                    }
+                    None => pass(),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expected: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match sched::current() {
+                    Some(ctx) => match ctx.exec.atomic_cas(
+                        ctx.tid,
+                        self.addr(),
+                        self.init(),
+                        expected as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    ) {
+                        Some(Ok(old)) => {
+                            // ORDERING: Relaxed — mirror write; only the
+                            // token-holding thread runs.
+                            self.inner.store(new, Ordering::Relaxed);
+                            Ok(old as $ty)
+                        }
+                        Some(Err(got)) => Err(got as $ty),
+                        None => self.inner.compare_exchange(expected, new, success, failure),
+                    },
+                    None => self.inner.compare_exchange(expected, new, success, failure),
+                }
+            }
+
+            /// In the model a weak CAS is the strong one: spurious failure
+            /// is an extra interleaving, and the strategies already explore
+            /// retry loops via preemption.
+            pub fn compare_exchange_weak(
+                &self,
+                expected: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(expected, new, success, failure)
+            }
+
+            /// Exclusive access bypasses the model, like `std`'s: `&mut`
+            /// proves no concurrent observer exists.
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+int_atomic!(VAtomicU64, u64, AtomicU64);
+int_atomic!(VAtomicUsize, usize, AtomicUsize);
+int_atomic!(VAtomicI64, i64, AtomicI64);
+
+/// Virtual counterpart of [`std::sync::atomic::AtomicPtr`]. Pointer values
+/// travel through the model bit-cast to `u64`.
+#[derive(Debug)]
+pub struct VAtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> VAtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        &self.inner as *const _ as usize
+    }
+
+    fn init(&self) -> u64 {
+        // ORDERING: Relaxed — mirror read by the token holder; the model
+        // layer provides all synchronization.
+        self.inner.load(Ordering::Relaxed) as usize as u64
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        model_or!(
+            self,
+            ctx,
+            ctx.exec
+                .atomic_load(ctx.tid, self.addr(), self.init(), ord)
+                .map(|v| v as usize as *mut T),
+            self.inner.load(ord)
+        )
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        model_or!(
+            self,
+            ctx,
+            ctx.exec
+                .atomic_store(ctx.tid, self.addr(), self.init(), p as usize as u64, ord)
+                // ORDERING: Relaxed — mirror write; only the token-holding
+                // thread runs.
+                .map(|()| self.inner.store(p, Ordering::Relaxed)),
+            self.inner.store(p, ord)
+        )
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expected: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        match sched::current() {
+            Some(ctx) => match ctx.exec.atomic_cas(
+                ctx.tid,
+                self.addr(),
+                self.init(),
+                expected as usize as u64,
+                new as usize as u64,
+                success,
+                failure,
+            ) {
+                Some(Ok(old)) => {
+                    // ORDERING: Relaxed — mirror write; only the
+                    // token-holding thread runs.
+                    self.inner.store(new, Ordering::Relaxed);
+                    Ok(old as usize as *mut T)
+                }
+                Some(Err(got)) => Err(got as usize as *mut T),
+                None => self.inner.compare_exchange(expected, new, success, failure),
+            },
+            None => self.inner.compare_exchange(expected, new, success, failure),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T> Default for VAtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+/// Virtual mutex: under the model, lock acquisition is a preemption point
+/// and lock/unlock carry the mutex's happens-before edge through the
+/// scheduler; outside it, a plain `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct VMutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`VMutex::lock`]; releases the model mutex (when one
+/// is held) after the data guard.
+pub struct VMutexGuard<'a, T> {
+    guard: std::mem::ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize, usize)>,
+}
+
+impl<T> VMutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Locks the mutex. Poisoning is swallowed (the checker's own failure
+    /// path already records the first panic; consumers under test treat
+    /// the data as still consistent).
+    pub fn lock(&self) -> VMutexGuard<'_, T> {
+        let model = match sched::current() {
+            Some(ctx) if ctx.exec.mutex_lock(ctx.tid, self.addr()) => {
+                Some((ctx.exec.clone(), ctx.tid, self.addr()))
+            }
+            _ => None,
+        };
+        // Under the model this never blocks: the scheduler admits one
+        // owner at a time, and parked owners keep the inner guard but are
+        // not running.
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        VMutexGuard {
+            guard: std::mem::ManuallyDrop::new(guard),
+            model,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> std::ops::Deref for VMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for VMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for VMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: `guard` is dropped exactly once, here; `self.guard` is
+        // never touched again after this line.
+        unsafe { std::mem::ManuallyDrop::drop(&mut self.guard) };
+        if let Some((exec, tid, addr)) = self.model.take() {
+            exec.mutex_unlock(tid, addr);
+        }
+    }
+}
+
+/// A pure preemption point: lets the scheduler switch virtual threads with
+/// no memory effect. Outside the model, hints the OS scheduler like
+/// [`std::thread::yield_now`].
+pub fn yield_now() {
+    match sched::current() {
+        Some(ctx) => ctx.exec.yield_point(ctx.tid),
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,132 @@
+//! Virtual thread spawn/join.
+//!
+//! [`spawn`] inside an active schedule creates a *virtual* thread: a real
+//! OS thread that participates in the token discipline (it runs only when
+//! the scheduler grants it the token, starting from a park before its body
+//! executes). Outside a schedule it is plain [`std::thread::spawn`]. Spawn
+//! and join are preemption points and happens-before edges, mirroring the
+//! real primitives.
+
+use crate::sched::{self, Aborted, Ctx};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+type Slot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+enum Inner<T> {
+    /// Virtual thread: schedule context of the child plus its result slot.
+    Model { ctx: Ctx, result: Slot<T> },
+    /// Plain OS thread (no schedule active at spawn time).
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (virtual or OS) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+/// Best-effort extraction of a panic payload for the failure report.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Spawns a thread running `f`. See the module docs for the
+/// model/passthrough split.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(parent) = sched::current() else {
+        return JoinHandle {
+            inner: Inner::Os(std::thread::spawn(f)),
+        };
+    };
+
+    let tid = parent.exec.register_thread(parent.tid);
+    let child_ctx = Ctx {
+        exec: parent.exec.clone(),
+        tid,
+    };
+    let result: Slot<T> = Arc::new(Mutex::new(None));
+
+    let thread_ctx = child_ctx.clone();
+    let thread_result = result.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("ringo-check-v{tid}"))
+        .spawn(move || {
+            let exec = thread_ctx.exec.clone();
+            sched::with_ctx(thread_ctx, || {
+                // Park until the scheduler grants the first turn; this may
+                // unwind with `Aborted` if the schedule fails first.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    exec.wait_first_turn(tid);
+                    f()
+                }));
+                match outcome {
+                    Ok(v) => {
+                        *thread_result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                        exec.finish_thread(tid, None);
+                    }
+                    Err(payload) => {
+                        let msg = (!payload.is::<Aborted>())
+                            .then(|| format!("virtual thread {tid}: {}", panic_message(&*payload)));
+                        *thread_result.lock().unwrap_or_else(|e| e.into_inner()) =
+                            Some(Err(payload));
+                        exec.finish_thread(tid, msg);
+                    }
+                }
+            });
+        })
+        .expect("ringo-check: OS thread spawn failed");
+    parent
+        .exec
+        .os_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(os);
+
+    // Spawning is itself a preemption point: the child may run before the
+    // parent's next operation.
+    parent.exec.yield_point(parent.tid);
+
+    JoinHandle {
+        inner: Inner::Model {
+            ctx: child_ctx,
+            result,
+        },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result, like
+    /// [`std::thread::JoinHandle::join`].
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Os(h) => h.join(),
+            Inner::Model { ctx, result } => {
+                let joiner = sched::current()
+                    .expect("ringo-check: joining a virtual thread from outside its schedule");
+                joiner.exec.join_thread(joiner.tid, ctx.tid);
+                match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(r) => r,
+                    None => {
+                        // The schedule failed before the child produced a
+                        // result; propagate the teardown.
+                        if std::thread::panicking() {
+                            Err(Box::new(Aborted))
+                        } else {
+                            std::panic::panic_any(Aborted)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Mutation coverage: deliberately weakened variants of the protocols the
+//! real primitives use MUST be caught by the checker within a bounded
+//! schedule budget, and every kill must replay deterministically from its
+//! printed seed. This is the evidence that `model_primitives.rs` passing
+//! means something — the checker can see the bugs it claims to rule out.
+//!
+//! Each mutation reproduces a real protocol with facade atomics and breaks
+//! it the way a plausible bad patch would:
+//!
+//! * `ConcurrentVec::push` without the capacity rollback (`fetch_sub`) —
+//!   the pre-rollback claim leaks and `len` ends past capacity. This is
+//!   exactly the historical contended-overflow bug fixed in PR 1.
+//! * A `Relaxed` publish where `Release` is required — the flag arrives
+//!   without the data; only the weak-memory model (stale reads under the
+//!   randomized strategies) can catch it, since SC interleaving alone
+//!   always delivers the data.
+//! * The registry's slot claim with the CAS replaced by load-then-store —
+//!   two racing claimers can both "win" one slot and one name lands in
+//!   two places (or two names in one slot).
+
+use ringo_check::sync::{VAtomicI64, VAtomicU64, VAtomicUsize};
+use ringo_check::{explore, replay, vthread, Failure, Options, Strategy};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Budget matching the acceptance bar: each mutation must die within 1000
+/// schedules of a single strategy.
+const BUDGET: usize = 1000;
+
+fn opts(name: &str, strategies: Vec<Strategy>) -> Options {
+    let mut o = Options::new(name);
+    o.strategies = strategies;
+    o.schedules_per_strategy = BUDGET;
+    o
+}
+
+/// Asserts the failure replays deterministically: same outcome message and
+/// identical scheduling trace on two replays of the printed seed.
+fn assert_deterministic_replay<F: Fn()>(failure: &Failure, body: F) {
+    let r1 = replay(failure.seed, &body);
+    let r2 = replay(failure.seed, &body);
+    let m1 = r1.outcome.expect_err("replayed seed must still fail");
+    let m2 = r2.outcome.expect_err("replayed seed must still fail");
+    assert_eq!(m1, failure.message, "replay reproduces the same failure");
+    assert_eq!(m1, m2);
+    assert_eq!(r1.trace, r2.trace, "replay must follow the same schedule");
+}
+
+/// Mutation 1: claim-by-fetch_add without the overflow rollback.
+#[test]
+fn missing_capacity_rollback_is_caught() {
+    let body = || {
+        let capacity = 1usize;
+        let len = Arc::new(VAtomicUsize::new(0));
+        let pushers: Vec<_> = (0..2)
+            .map(|_| {
+                let len = len.clone();
+                vthread::spawn(move || {
+                    let idx = len.fetch_add(1, Ordering::AcqRel);
+                    if idx >= capacity {
+                        // MUTATION: rollback dropped. Correct code does
+                        // len.fetch_sub(1, AcqRel) here.
+                    }
+                })
+            })
+            .collect();
+        for p in pushers {
+            p.join().unwrap();
+        }
+        let final_len = len.load(Ordering::Acquire).min(capacity);
+        assert_eq!(
+            len.load(Ordering::Acquire),
+            final_len,
+            "over-claim leaked past capacity"
+        );
+    };
+    // Any strategy sees this: it is a plain interleaving bug (both claims
+    // happen before either check), visible even to round-robin.
+    let failure = explore(
+        &opts("mut_missing_rollback", vec![Strategy::RoundRobin]),
+        body,
+    )
+    .expect_err("mutation must be killed within the budget");
+    assert_deterministic_replay(&failure, body);
+}
+
+/// Mutation 2: message-passing publish with `Relaxed` instead of
+/// `Release` on the flag store. Needs the weak-memory model: under any
+/// interleaving the data write is program-order-before the flag write, so
+/// only a stale read can expose the missing edge.
+#[test]
+fn relaxed_where_release_required_is_caught() {
+    let body = || {
+        let data = Arc::new(VAtomicU64::new(0));
+        let flag = Arc::new(VAtomicU64::new(0));
+        let (d, f) = (data.clone(), flag.clone());
+        let writer = vthread::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            // MUTATION: Relaxed publish. Correct code releases here.
+            f.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "flag observed without the data it was supposed to publish"
+            );
+        }
+        writer.join().unwrap();
+    };
+    let failure = explore(&opts("mut_relaxed_publish", vec![Strategy::Random]), body)
+        .expect_err("stale read must be found within the budget");
+    assert_deterministic_replay(&failure, body);
+
+    // Control: the correct protocol (Release publish) passes the same
+    // budget — the checker kills the mutation, not the pattern.
+    let correct = || {
+        let data = Arc::new(VAtomicU64::new(0));
+        let flag = Arc::new(VAtomicU64::new(0));
+        let (d, f) = (data.clone(), flag.clone());
+        let writer = vthread::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        writer.join().unwrap();
+    };
+    explore(
+        &opts("mut_relaxed_publish_control", vec![Strategy::Random]),
+        correct,
+    )
+    .expect("correctly synchronized control must pass");
+}
+
+/// Mutation 3: the registry's slot claim with its CAS torn into a load
+/// plus a store. Two claimers can both observe EMPTY and both claim.
+#[test]
+fn torn_cas_slot_claim_is_caught() {
+    const EMPTY: i64 = i64::MIN;
+    let body = || {
+        let slot = Arc::new(VAtomicI64::new(EMPTY));
+        let claims: Vec<_> = (0..2)
+            .map(|w| {
+                let slot = slot.clone();
+                vthread::spawn(move || {
+                    let key = 100 + w as i64;
+                    // MUTATION: load-then-store instead of
+                    // compare_exchange(EMPTY, key, AcqRel, Acquire).
+                    if slot.load(Ordering::Acquire) == EMPTY {
+                        slot.store(key, Ordering::Release);
+                        true // believes it claimed the slot
+                    } else {
+                        false
+                    }
+                })
+            })
+            .collect();
+        let winners = claims
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert!(winners <= 1, "two claimers won the same slot");
+    };
+    // PCT excels here: the bug needs one preemption inside the tiny
+    // load/store window.
+    let failure = explore(
+        &opts("mut_torn_cas", vec![Strategy::Pct { depth: 3 }]),
+        body,
+    )
+    .expect_err("torn claim must be killed within the budget");
+    assert_deterministic_replay(&failure, body);
+}
+
+/// Mutation 4: the ConcurrentVec length publish downgraded so the claim
+/// increment no longer releases the cell write. Models replacing
+/// `fetch_add(1, AcqRel)` with a relaxed RMW: a reader that acquires
+/// `len` may then see the count without the cell contents.
+#[test]
+fn relaxed_claim_increment_is_caught() {
+    let body = || {
+        let cell = Arc::new(VAtomicU64::new(0));
+        let len = Arc::new(VAtomicUsize::new(0));
+        let (c, l) = (cell.clone(), len.clone());
+        let pusher = vthread::spawn(move || {
+            c.store(7, Ordering::Relaxed); // the "cell write"
+                                           // MUTATION: Relaxed claim publish. The real ConcurrentVec...
+                                           // publishes len with AcqRel ops precisely so observers of the
+                                           // count also observe the cells of *previous* pushes.
+            l.fetch_add(1, Ordering::Relaxed);
+        });
+        if len.load(Ordering::Acquire) == 1 {
+            assert_eq!(cell.load(Ordering::Relaxed), 7, "len visible before cell");
+        }
+        pusher.join().unwrap();
+    };
+    let failure = explore(&opts("mut_relaxed_claim", vec![Strategy::Random]), body)
+        .expect_err("unsynchronized claim must be killed within the budget");
+    assert_deterministic_replay(&failure, body);
+}

@@ -1,0 +1,166 @@
+//! Replay-regression corpus: known-bad interleavings pinned by their
+//! encoded seeds, re-checked forever.
+//!
+//! Each constant below is a `RINGO_CHECK_SEED` value discovered by
+//! exploration during development (the seeds are deterministic: the base
+//! seed is derived from the exploration name, so re-discovery yields the
+//! same values). The tests replay each seed against the buggy body and
+//! assert it still fails with the same class of violation — which guards
+//! two things at once:
+//!
+//! 1. the bug classes stay visible to the checker (no silent loss of
+//!    detection power in the scheduler or memory model), and
+//! 2. seed replay stays an exact reproducer (encoding, RNG streams, and
+//!    scheduling decisions are part of the replay contract; changing any
+//!    of them must fail here, loudly, so the seed format is versioned
+//!    deliberately rather than drifting).
+//!
+//! If a deliberate scheduler change breaks these, re-discover the seeds
+//! with the exploration names in each test and update the constants in the
+//! same commit, noting the replay-format break in CHANGES.md.
+
+use ringo_check::sync::{VAtomicI64, VAtomicU64, VAtomicUsize};
+use ringo_check::{explore, replay, vthread, Options, Strategy};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The historical-shape bug: `ConcurrentVec::push`'s contended capacity
+/// rollback with the `fetch_sub` dropped (the over-claim leaks past
+/// capacity under concurrent overflow — the exact failure mode PR 1's
+/// contended-overflow stress test was added against, reproduced here as a
+/// mutation on facade atomics).
+const ROLLBACK_RACE_SEED: u64 = 0x93a5d5bb1f1e9800;
+
+/// Relaxed-where-Release message-passing publish; only the weak-memory
+/// model's stale reads expose it.
+const RELAXED_PUBLISH_SEED: u64 = 0xcbe36a01fcfc0601;
+
+/// Registry-style slot claim with the CAS torn into load-then-store; both
+/// claimers win under one preemption (found by PCT, depth 3).
+const TORN_CAS_SEED: u64 = 0x4306159c8be1981a;
+
+fn rollback_race_body() {
+    let capacity = 1usize;
+    let len = Arc::new(VAtomicUsize::new(0));
+    let pushers: Vec<_> = (0..2)
+        .map(|_| {
+            let len = len.clone();
+            vthread::spawn(move || {
+                let idx = len.fetch_add(1, Ordering::AcqRel);
+                if idx >= capacity {
+                    // Historical mutation: rollback dropped; correct push
+                    // does len.fetch_sub(1, AcqRel) here.
+                }
+            })
+        })
+        .collect();
+    for p in pushers {
+        p.join().unwrap();
+    }
+    assert!(len.load(Ordering::Acquire) <= capacity, "over-claim leaked");
+}
+
+fn relaxed_publish_body() {
+    let data = Arc::new(VAtomicU64::new(0));
+    let flag = Arc::new(VAtomicU64::new(0));
+    let (d, fl) = (data.clone(), flag.clone());
+    let writer = vthread::spawn(move || {
+        d.store(42, Ordering::Relaxed);
+        fl.store(1, Ordering::Relaxed);
+    });
+    if flag.load(Ordering::Acquire) == 1 {
+        assert_eq!(data.load(Ordering::Relaxed), 42, "stale data");
+    }
+    writer.join().unwrap();
+}
+
+fn torn_cas_body() {
+    const EMPTY: i64 = i64::MIN;
+    let slot = Arc::new(VAtomicI64::new(EMPTY));
+    let claims: Vec<_> = (0..2)
+        .map(|w| {
+            let slot = slot.clone();
+            vthread::spawn(move || {
+                if slot.load(Ordering::Acquire) == EMPTY {
+                    slot.store(100 + w as i64, Ordering::Release);
+                    true
+                } else {
+                    false
+                }
+            })
+        })
+        .collect();
+    let winners = claims
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .filter(|&won| won)
+        .count();
+    assert!(winners <= 1, "double claim");
+}
+
+/// Replays `seed` against `body` twice, asserting it fails with `expect`
+/// in the message and that both replays follow the identical schedule.
+fn assert_pinned_failure(seed: u64, body: fn(), expect: &str) {
+    let r1 = replay(seed, body);
+    let r2 = replay(seed, body);
+    let m1 = r1.outcome.expect_err("pinned seed must still fail");
+    let m2 = r2.outcome.expect_err("pinned seed must still fail");
+    assert!(m1.contains(expect), "unexpected failure: {m1}");
+    assert_eq!(m1, m2, "replay must be deterministic");
+    assert_eq!(r1.trace, r2.trace, "replay must follow the same schedule");
+}
+
+#[test]
+fn pinned_rollback_race_still_fails() {
+    assert_pinned_failure(ROLLBACK_RACE_SEED, rollback_race_body, "over-claim leaked");
+}
+
+#[test]
+fn pinned_relaxed_publish_still_fails() {
+    assert_pinned_failure(RELAXED_PUBLISH_SEED, relaxed_publish_body, "stale data");
+}
+
+#[test]
+fn pinned_torn_cas_still_fails() {
+    assert_pinned_failure(TORN_CAS_SEED, torn_cas_body, "double claim");
+}
+
+/// The pinned seeds must also stay *re-discoverable*: exploration from the
+/// stable per-name base seed finds the identical seed again. This couples
+/// the corpus to the exploration RNG streams, so a change to either is
+/// caught in the same place the constants are maintained.
+#[test]
+fn exploration_rediscovers_the_pinned_seeds() {
+    let mut o = Options::new("replay_rollback_race");
+    o.strategies = vec![Strategy::RoundRobin];
+    let f = explore(&o, rollback_race_body).expect_err("must fail");
+    assert_eq!(f.seed, ROLLBACK_RACE_SEED, "re-discovery drifted");
+
+    let mut o = Options::new("replay_relaxed_publish");
+    o.strategies = vec![Strategy::Random];
+    let f = explore(&o, relaxed_publish_body).expect_err("must fail");
+    assert_eq!(f.seed, RELAXED_PUBLISH_SEED, "re-discovery drifted");
+
+    let mut o = Options::new("replay_torn_cas");
+    o.strategies = vec![Strategy::Pct { depth: 3 }];
+    let f = explore(&o, torn_cas_body).expect_err("must fail");
+    assert_eq!(f.seed, TORN_CAS_SEED, "re-discovery drifted");
+}
+
+/// A clean body must replay clean under any pinned-format seed: replay is
+/// not allowed to manufacture failures.
+#[test]
+fn clean_body_replays_clean() {
+    for seed in [ROLLBACK_RACE_SEED, RELAXED_PUBLISH_SEED, TORN_CAS_SEED] {
+        let r = replay(seed, || {
+            let a = Arc::new(VAtomicU64::new(0));
+            let a2 = a.clone();
+            let h = vthread::spawn(move || {
+                a2.fetch_add(1, Ordering::AcqRel);
+            });
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::Acquire), 1);
+        });
+        assert!(r.outcome.is_ok(), "{:?}", r.outcome);
+    }
+}

@@ -6,9 +6,10 @@
 //! capacity is fixed at construction, `push` claims `len.fetch_add(1)` and
 //! writes the value into the claimed cell without any locking.
 
+use crate::sync::VAtomicUsize;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
 /// Error returned by [`ConcurrentVec::push`] when the vector is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,12 +36,13 @@ impl std::error::Error for CapacityError {}
 /// write-only, exactly how Ringo uses it.
 pub struct ConcurrentVec<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
-    len: AtomicUsize,
+    len: VAtomicUsize,
 }
 
 // SAFETY: all concurrent access is mediated by atomic index claiming; cells
 // are written at most once and read only with exclusive access.
 unsafe impl<T: Send> Sync for ConcurrentVec<T> {}
+// SAFETY: owning the vector owns the cells; sending it sends the `T`s.
 unsafe impl<T: Send> Send for ConcurrentVec<T> {}
 
 impl<T> ConcurrentVec<T> {
@@ -51,7 +53,7 @@ impl<T> ConcurrentVec<T> {
             .collect();
         Self {
             buf,
-            len: AtomicUsize::new(0),
+            len: VAtomicUsize::new(0),
         }
     }
 

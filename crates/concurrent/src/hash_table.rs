@@ -10,7 +10,8 @@
 //! atomics — exactly the pattern Ringo uses when counting node degrees
 //! during parallel graph construction.
 
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use crate::sync::{VAtomicI64, VAtomicUsize};
+use std::sync::atomic::Ordering;
 
 /// Sentinel marking an empty slot. `i64::MIN` is reserved and may not be
 /// used as a key.
@@ -227,8 +228,8 @@ impl<V> IntHashTable<V> {
 /// role in Ringo's graph construction, where the number of distinct nodes is
 /// bounded by the number of edge endpoints and the table is sized up front.
 pub struct ConcurrentIntTable {
-    keys: Vec<AtomicI64>,
-    len: AtomicUsize,
+    keys: Vec<VAtomicI64>,
+    len: VAtomicUsize,
     mask: usize,
 }
 
@@ -238,8 +239,8 @@ impl ConcurrentIntTable {
     pub fn with_capacity(cap: usize) -> Self {
         let slots = (cap.max(4) * 4 / 3 + 1).next_power_of_two();
         Self {
-            keys: (0..slots).map(|_| AtomicI64::new(EMPTY_KEY)).collect(),
-            len: AtomicUsize::new(0),
+            keys: (0..slots).map(|_| VAtomicI64::new(EMPTY_KEY)).collect(),
+            len: VAtomicUsize::new(0),
             mask: slots - 1,
         }
     }

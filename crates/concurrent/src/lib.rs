@@ -33,6 +33,7 @@ pub mod parallel;
 pub mod pool;
 pub mod radix;
 pub mod sort;
+pub mod sync;
 
 pub use atomic_vec::ConcurrentVec;
 pub use hash_table::{ConcurrentIntTable, IntHashTable};

@@ -191,6 +191,8 @@ pub struct DisjointSlice<T> {
     len: usize,
 }
 
+// SAFETY: shared access only hands out pairwise-disjoint windows (the
+// caller contract of `slice_mut`/`write`), so no two threads alias.
 unsafe impl<T: Send> Sync for DisjointSlice<T> {}
 
 impl<T> DisjointSlice<T> {
@@ -232,6 +234,8 @@ impl<T> DisjointSlice<T> {
 /// 2021 disjoint capture would otherwise grab the bare non-`Sync` field).
 struct SendPtr<T>(*mut T);
 
+// SAFETY: the wrapper only makes the pointer *transferable*; every
+// dereference site upholds disjointness itself (see struct docs).
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

@@ -29,8 +29,9 @@
 //!
 //! [`num_threads`]: crate::parallel::num_threads
 
+use crate::sync::VAtomicU64;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -91,6 +92,9 @@ impl Job {
     /// True when every chunk index has been claimed (not necessarily
     /// finished); such a job no longer offers work to idle workers.
     fn drained(&self) -> bool {
+        // ORDERING: Relaxed is enough — a stale answer only makes a worker
+        // attempt a claim that `fetch_add` then rejects, or skip a job it
+        // will revisit on the next queue wakeup.
         self.next.load(Ordering::Relaxed) >= self.chunks
     }
 }
@@ -102,9 +106,9 @@ struct Shared {
     queue: Mutex<Vec<Arc<Job>>>,
     /// Signals workers that the queue gained a job with unclaimed chunks.
     work_cv: Condvar,
-    jobs_dispatched: AtomicU64,
-    chunks_executed: AtomicU64,
-    busy_nanos: AtomicU64,
+    jobs_dispatched: VAtomicU64,
+    chunks_executed: VAtomicU64,
+    busy_nanos: VAtomicU64,
 }
 
 /// Observability snapshot of a [`Pool`], taken with [`Pool::stats`].
@@ -142,9 +146,9 @@ impl Pool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Vec::new()),
             work_cv: Condvar::new(),
-            jobs_dispatched: AtomicU64::new(0),
-            chunks_executed: AtomicU64::new(0),
-            busy_nanos: AtomicU64::new(0),
+            jobs_dispatched: VAtomicU64::new(0),
+            chunks_executed: VAtomicU64::new(0),
+            busy_nanos: VAtomicU64::new(0),
         });
         for i in 0..workers {
             let shared = Arc::clone(&shared);
@@ -182,16 +186,18 @@ impl Pool {
             body(0);
             return;
         }
+        // ORDERING: Relaxed — monotonic statistics counter; readers only
+        // need eventual totals, never ordering against job effects.
         self.shared.jobs_dispatched.fetch_add(1, Ordering::Relaxed);
         if ringo_trace::enabled() {
             let t = trace_counters();
             t.jobs.add(1);
             t.workers.set(self.workers as u64);
         }
-        // SAFETY: erasing the borrow's lifetime is sound because this
-        // function blocks until `remaining == 0`, i.e. until no executor
-        // can dereference `func` again (see `Job` invariants).
         let task = Task {
+            // SAFETY: erasing the borrow's lifetime is sound because this
+            // function blocks until `remaining == 0`, i.e. until no
+            // executor can dereference `func` again (see `Job` invariants).
             func: unsafe {
                 std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
                     body,
@@ -241,6 +247,9 @@ impl Pool {
 
     /// Counters snapshot; see [`PoolStats`].
     pub fn stats(&self) -> PoolStats {
+        // ORDERING: Relaxed — statistics snapshot; each counter is
+        // independently monotonic and no cross-counter consistency is
+        // promised by the API.
         PoolStats {
             workers: self.workers,
             jobs_dispatched: self.shared.jobs_dispatched.load(Ordering::Relaxed),
@@ -277,6 +286,9 @@ fn worker_loop(shared: &Shared) {
 /// Shared by workers and dispatching threads.
 fn execute_chunks(shared: &Shared, job: &Job) {
     loop {
+        // ORDERING: Relaxed — the claim only needs atomicity (each index
+        // handed out once); the chunk body's effects are published by the
+        // `done` mutex, not by this counter.
         let t = job.next.fetch_add(1, Ordering::Relaxed);
         if t >= job.chunks {
             return;
@@ -287,6 +299,7 @@ fn execute_chunks(shared: &Shared, job: &Job) {
         let func = job.task.func;
         let result = catch_unwind(AssertUnwindSafe(|| func(t)));
         let busy = started.elapsed().as_nanos() as u64;
+        // ORDERING: Relaxed — monotonic statistics counters (see `stats`).
         shared.busy_nanos.fetch_add(busy, Ordering::Relaxed);
         shared.chunks_executed.fetch_add(1, Ordering::Relaxed);
         if ringo_trace::enabled() {

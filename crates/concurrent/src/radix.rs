@@ -117,9 +117,9 @@ pub fn radix_sort_i64(data: &mut [i64], threads: usize) {
     }
     // An i64 slice and a u64 slice have identical layout; bias in place,
     // sort by unsigned value, un-bias.
+    let len = data.len();
     // SAFETY: same element size and alignment, same length, exclusive
     // borrow for the whole region.
-    let len = data.len();
     let bits: &mut [u64] =
         unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr() as *mut u64, len) };
     let flip = |bits: &mut [u64]| {
@@ -321,6 +321,7 @@ pub fn radix_sort_pairs(data: &mut [(i64, i64)], threads: usize) {
             if need_sort {
                 chunk.sort_unstable();
             }
+            // SAFETY: bucket ranges are disjoint (same windows as above).
             let home = unsafe { data_cell.slice_mut(lo, hi) };
             for (slot, &p) in home.iter_mut().zip(chunk.iter()) {
                 let s = un_i64_key(s_const | (p.wrapping_shr(bits_d as u32) & s_mask));

@@ -50,10 +50,11 @@ pub mod mem;
 pub mod registry;
 pub mod ring;
 mod span;
+pub mod sync;
 
 pub use registry::{
     counter, counters_snapshot, histogram, histograms_snapshot, Counter, CounterSnapshot,
-    Histogram, HistogramSnapshot, HIST_BUCKETS,
+    Histogram, HistogramSnapshot, Registry, HIST_BUCKETS,
 };
 pub use ring::{events_snapshot, Event, RING_CAPACITY};
 pub use span::Span;
@@ -67,12 +68,15 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// load a disabled [`span!`] pays.
 #[inline(always)]
 pub fn enabled() -> bool {
+    // ORDERING: Relaxed — a stale answer only delays when spans start or
+    // stop recording; nothing is published through this flag.
     ENABLED.load(Ordering::Relaxed)
 }
 
 /// Turns tracing on or off process-wide. Spans created while disabled
 /// record nothing, even if tracing is enabled before they drop.
 pub fn set_enabled(on: bool) {
+    // ORDERING: Relaxed — see `enabled`.
     ENABLED.store(on, Ordering::Relaxed);
 }
 

@@ -29,23 +29,31 @@ pub struct TrackingAllocator;
 // SAFETY: delegates allocation to `System` verbatim; only counters are
 // updated around the calls.
 unsafe impl GlobalAlloc for TrackingAllocator {
+    // SAFETY: trait-mandated unsafe fn; the caller's `GlobalAlloc`
+    // contract is forwarded to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc(layout);
         if !ptr.is_null() {
+            // ORDERING: Relaxed — advisory watermark counters; nothing is
+            // published through them.
             COUNT.fetch_add(1, Ordering::Relaxed);
             add(layout.size());
         }
         ptr
     }
 
+    // SAFETY: trait-mandated unsafe fn; contract forwarded to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
+        // ORDERING: Relaxed — advisory watermark counter.
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: trait-mandated unsafe fn; contract forwarded to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = System.realloc(ptr, layout, new_size);
         if !new_ptr.is_null() {
+            // ORDERING: Relaxed — advisory watermark counters.
             COUNT.fetch_add(1, Ordering::Relaxed);
             CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
             add(new_size);
@@ -55,8 +63,9 @@ unsafe impl GlobalAlloc for TrackingAllocator {
 }
 
 fn add(bytes: usize) {
+    // ORDERING: Relaxed — advisory watermark counters; the racy max update
+    // below is good enough for footprint reporting.
     let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
-    // Racy max update: good enough for footprint reporting.
     let mut peak = PEAK.load(Ordering::Relaxed);
     while now > peak {
         match PEAK.compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed) {
@@ -69,17 +78,20 @@ fn add(bytes: usize) {
 /// Bytes currently allocated (0 unless [`TrackingAllocator`] is installed
 /// as the global allocator).
 pub fn current_bytes() -> usize {
+    // ORDERING: Relaxed — advisory watermark read.
     CURRENT.load(Ordering::Relaxed)
 }
 
 /// Peak bytes allocated since start or the last [`reset_peak`].
 pub fn peak_bytes() -> usize {
+    // ORDERING: Relaxed — advisory watermark read.
     PEAK.load(Ordering::Relaxed)
 }
 
 /// Resets the peak to the current allocation level, so a code section's
 /// own peak can be isolated.
 pub fn reset_peak() {
+    // ORDERING: Relaxed — advisory watermark reset.
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
@@ -88,6 +100,7 @@ pub fn reset_peak() {
 /// many times that section hit the allocator — the measurement behind the
 /// "allocation-free per node" fill-phase guarantee.
 pub fn alloc_count() -> usize {
+    // ORDERING: Relaxed — advisory allocation-count read.
     COUNT.load(Ordering::Relaxed)
 }
 

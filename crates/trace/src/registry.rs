@@ -9,7 +9,8 @@
 //! by merging the surplus name into the slot its probe sequence started
 //! at — metrics are never lost, only aggregated coarsely.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use crate::sync::{VAtomicPtr, VAtomicU64};
+use std::sync::atomic::Ordering;
 use std::sync::OnceLock;
 
 /// Number of log2 latency buckets: bucket `i` covers `[2^i, 2^(i+1))`
@@ -18,7 +19,10 @@ use std::sync::OnceLock;
 /// (~9 minutes) — comfortably spanning 1ns to "more than a second".
 pub const HIST_BUCKETS: usize = 40;
 
+/// Counter slots in the global registry (see [`Registry::with_capacity`]
+/// for dedicated instances).
 const MAX_COUNTERS: usize = 256;
+/// Histogram slots in the global registry.
 const MAX_HISTS: usize = 128;
 
 /// Maps a nanosecond latency to its histogram bucket.
@@ -48,62 +52,69 @@ pub fn bucket_bounds(i: usize) -> (u64, u64) {
 
 /// A named monotonic (or gauge-style) atomic counter.
 pub struct Counter {
-    name: AtomicPtr<&'static str>,
-    value: AtomicU64,
+    name: VAtomicPtr<&'static str>,
+    value: VAtomicU64,
 }
 
 impl Counter {
     const fn new() -> Self {
         Self {
-            name: AtomicPtr::new(std::ptr::null_mut()),
-            value: AtomicU64::new(0),
+            name: VAtomicPtr::new(std::ptr::null_mut()),
+            value: VAtomicU64::new(0),
         }
     }
 
     /// Adds `n` to the counter (relaxed).
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — independent monotonic metric; readers only
+        // need an eventual total, never ordering against traced work.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Sets the counter to `n` (gauge semantics, e.g. `pool.workers`).
     #[inline]
     pub fn set(&self, n: u64) {
+        // ORDERING: Relaxed — gauge overwrite; last writer wins is the
+        // intended semantics.
         self.value.store(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — metric snapshot, no consistency promised.
         self.value.load(Ordering::Relaxed)
     }
 }
 
 /// A named fixed-bucket log2 latency histogram with count/sum/min/max.
 pub struct Histogram {
-    name: AtomicPtr<&'static str>,
-    buckets: [AtomicU64; HIST_BUCKETS],
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-    min_ns: AtomicU64,
-    max_ns: AtomicU64,
+    name: VAtomicPtr<&'static str>,
+    buckets: [VAtomicU64; HIST_BUCKETS],
+    count: VAtomicU64,
+    sum_ns: VAtomicU64,
+    min_ns: VAtomicU64,
+    max_ns: VAtomicU64,
 }
 
 impl Histogram {
     fn new() -> Self {
         Self {
-            name: AtomicPtr::new(std::ptr::null_mut()),
-            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            min_ns: AtomicU64::new(u64::MAX),
-            max_ns: AtomicU64::new(0),
+            name: VAtomicPtr::new(std::ptr::null_mut()),
+            buckets: [const { VAtomicU64::new(0) }; HIST_BUCKETS],
+            count: VAtomicU64::new(0),
+            sum_ns: VAtomicU64::new(0),
+            min_ns: VAtomicU64::new(u64::MAX),
+            max_ns: VAtomicU64::new(0),
         }
     }
 
     /// Records one latency observation of `ns` nanoseconds.
     #[inline]
     pub fn record(&self, ns: u64) {
+        // ORDERING: Relaxed — each field is an independent monotonic
+        // aggregate; snapshots promise no cross-field consistency.
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
@@ -113,10 +124,13 @@ impl Histogram {
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — metric snapshot, no consistency promised.
         self.count.load(Ordering::Relaxed)
     }
 
     fn zero(&self) {
+        // ORDERING: Relaxed — reset is only meaningful between measurement
+        // windows; concurrent recorders may straddle the boundary by design.
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
@@ -175,17 +189,126 @@ impl HistogramSnapshot {
     }
 }
 
-struct Registry {
+/// A metrics registry: fixed-capacity slot arrays with lock-free
+/// CAS-claimed registration.
+///
+/// Most code talks to the process-wide instance through the free functions
+/// ([`counter`], [`histogram`], the snapshots, [`reset`]). Dedicated
+/// instances from [`Registry::with_capacity`] exist for tests — in
+/// particular the `ringo-check` schedule-exploration tests, which claim
+/// slots on a fresh registry per explored schedule so the CAS protocol is
+/// exercised from its empty state every time.
+pub struct Registry {
     counters: Box<[Counter]>,
     hists: Box<[Histogram]>,
 }
 
+impl Registry {
+    /// Creates an empty registry with the given slot counts (minimum 1
+    /// each).
+    pub fn with_capacity(counters: usize, hists: usize) -> Self {
+        Self {
+            counters: (0..counters.max(1)).map(|_| Counter::new()).collect(),
+            hists: (0..hists.max(1)).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// The counter registered under `name` in this registry, claiming a
+    /// slot on first use.
+    pub fn counter(&self, name: &'static str) -> &Counter {
+        lookup(&self.counters, |c| &c.name, name)
+    }
+
+    /// The histogram registered under `name` in this registry, claiming a
+    /// slot on first use.
+    pub fn histogram(&self, name: &'static str) -> &Histogram {
+        lookup(&self.hists, |h| &h.name, name)
+    }
+
+    /// All registered counters of this instance, sorted by name.
+    pub fn counters_snapshot(&self) -> Vec<CounterSnapshot> {
+        let mut out: Vec<CounterSnapshot> = self
+            .counters
+            .iter()
+            .filter_map(|c| {
+                slot_name(&c.name).map(|name| CounterSnapshot {
+                    name,
+                    value: c.get(),
+                })
+            })
+            .collect();
+        out.sort_by_key(|c| c.name);
+        out
+    }
+
+    /// All registered histograms of this instance, sorted by name.
+    pub fn histograms_snapshot(&self) -> Vec<HistogramSnapshot> {
+        let mut out: Vec<HistogramSnapshot> = self
+            .hists
+            .iter()
+            .filter_map(|h| {
+                let name = slot_name(&h.name)?;
+                // ORDERING: Relaxed — metrics snapshot; fields of a
+                // histogram being recorded concurrently may be mutually
+                // inconsistent, which the API documents.
+                let count = h.count.load(Ordering::Relaxed);
+                let min = h.min_ns.load(Ordering::Relaxed);
+                Some(HistogramSnapshot {
+                    name,
+                    count,
+                    sum_ns: h.sum_ns.load(Ordering::Relaxed),
+                    min_ns: if count == 0 || min == u64::MAX {
+                        0
+                    } else {
+                        min
+                    },
+                    // ORDERING: Relaxed — same snapshot semantics as above.
+                    max_ns: h.max_ns.load(Ordering::Relaxed),
+                    buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+                })
+            })
+            .collect();
+        out.sort_by_key(|h| h.name);
+        out
+    }
+
+    /// Zeroes all values of this instance while keeping registered names.
+    pub fn reset(&self) {
+        // ORDERING: Relaxed — see `Histogram::zero`.
+        for c in self.counters.iter() {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for h in self.hists.iter() {
+            h.zero();
+        }
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        // Reclaim the leaked name boxes of claimed slots. The global
+        // instance never drops; this matters for per-test instances, which
+        // would otherwise leak one box per claim per schedule explored.
+        for p in self
+            .counters
+            .iter_mut()
+            .map(|c| c.name.get_mut())
+            .chain(self.hists.iter_mut().map(|h| h.name.get_mut()))
+        {
+            if !p.is_null() {
+                // SAFETY: non-null name pointers come exclusively from
+                // `Box::leak` in `lookup`, are never freed elsewhere, and
+                // `&mut self` proves no reader can observe them again.
+                drop(unsafe { Box::from_raw(*p) });
+                *p = std::ptr::null_mut();
+            }
+        }
+    }
+}
+
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| Registry {
-        counters: (0..MAX_COUNTERS).map(|_| Counter::new()).collect(),
-        hists: (0..MAX_HISTS).map(|_| Histogram::new()).collect(),
-    })
+    REGISTRY.get_or_init(|| Registry::with_capacity(MAX_COUNTERS, MAX_HISTS))
 }
 
 /// FNV-1a, good enough to spread a handful of static names.
@@ -203,7 +326,7 @@ fn hash(name: &str) -> usize {
 /// is a one-time CAS per slot.
 fn lookup<'a, T>(
     slots: &'a [T],
-    name_of: impl Fn(&T) -> &AtomicPtr<&'static str>,
+    name_of: impl Fn(&T) -> &VAtomicPtr<&'static str>,
     name: &'static str,
 ) -> &'a T {
     let start = hash(name) % slots.len();
@@ -240,75 +363,38 @@ fn lookup<'a, T>(
     &slots[start]
 }
 
-/// The counter registered under `name`, creating it on first use.
+/// The counter registered under `name` in the global registry, creating it
+/// on first use.
 pub fn counter(name: &'static str) -> &'static Counter {
-    lookup(&registry().counters, |c| &c.name, name)
+    registry().counter(name)
 }
 
-/// The histogram registered under `name`, creating it on first use.
+/// The histogram registered under `name` in the global registry, creating
+/// it on first use.
 pub fn histogram(name: &'static str) -> &'static Histogram {
-    lookup(&registry().hists, |h| &h.name, name)
+    registry().histogram(name)
 }
 
-fn slot_name(p: &AtomicPtr<&'static str>) -> Option<&'static str> {
+fn slot_name(p: &VAtomicPtr<&'static str>) -> Option<&'static str> {
     let p = p.load(Ordering::Acquire);
     // SAFETY: see `lookup` — published pointers are leaked boxes.
     (!p.is_null()).then(|| unsafe { *p })
 }
 
-/// All registered counters, sorted by name.
+/// All registered counters of the global registry, sorted by name.
 pub fn counters_snapshot() -> Vec<CounterSnapshot> {
-    let mut out: Vec<CounterSnapshot> = registry()
-        .counters
-        .iter()
-        .filter_map(|c| {
-            slot_name(&c.name).map(|name| CounterSnapshot {
-                name,
-                value: c.get(),
-            })
-        })
-        .collect();
-    out.sort_by_key(|c| c.name);
-    out
+    registry().counters_snapshot()
 }
 
-/// All registered histograms, sorted by name.
+/// All registered histograms of the global registry, sorted by name.
 pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
-    let mut out: Vec<HistogramSnapshot> = registry()
-        .hists
-        .iter()
-        .filter_map(|h| {
-            let name = slot_name(&h.name)?;
-            let count = h.count.load(Ordering::Relaxed);
-            let min = h.min_ns.load(Ordering::Relaxed);
-            Some(HistogramSnapshot {
-                name,
-                count,
-                sum_ns: h.sum_ns.load(Ordering::Relaxed),
-                min_ns: if count == 0 || min == u64::MAX {
-                    0
-                } else {
-                    min
-                },
-                max_ns: h.max_ns.load(Ordering::Relaxed),
-                buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
-            })
-        })
-        .collect();
-    out.sort_by_key(|h| h.name);
-    out
+    registry().histograms_snapshot()
 }
 
-/// Zeroes all values while keeping registered names (see
-/// [`crate::reset`]).
+/// Zeroes all values of the global registry while keeping registered names
+/// (see [`crate::reset`]).
 pub fn reset() {
-    let r = registry();
-    for c in r.counters.iter() {
-        c.value.store(0, Ordering::Relaxed);
-    }
-    for h in r.hists.iter() {
-        h.zero();
-    }
+    registry().reset()
 }
 
 #[cfg(test)]

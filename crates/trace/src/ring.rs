@@ -51,6 +51,8 @@ fn ring() -> &'static Ring {
 /// Appends an event, assigning its sequence number. Used by [`crate::Span`].
 pub(crate) fn push(mut ev: Event) {
     let r = ring();
+    // ORDERING: Relaxed — the sequence counter only allocates slots; the
+    // slot contents are published under the slot's own mutex.
     let seq = r.seq.fetch_add(1, Ordering::Relaxed);
     ev.seq = seq;
     let slot = &r.slots[(seq % RING_CAPACITY as u64) as usize];
