@@ -1,0 +1,182 @@
+//! Lazy query plans vs the eager verb chain.
+//!
+//! The eager chain pays one full materialization per verb: a 3-step
+//! select→select→project over N rows gathers column data three times.
+//! The lazy planner fuses the selects, prunes columns, and threads a
+//! selection vector through the operators so the gather runs once, at
+//! collect. This bench measures both paths on the same pipelines at
+//! 1M rows and records the medians in `BENCH_plan.json` at the
+//! workspace root.
+
+use ringo_core::concurrent::num_threads;
+use ringo_core::{Cmp, Predicate, Ringo, Table};
+use std::io::Write;
+use std::time::Instant;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn base_table(n: i64, threads: usize) -> Table {
+    let mut t = Table::from_int_column("id", (0..n).collect());
+    t.add_int_column("bucket", (0..n).map(|v| v % 97).collect())
+        .unwrap();
+    t.add_float_column("w", (0..n).map(|v| v as f64 * 0.5).collect())
+        .unwrap();
+    t.add_int_column("extra", (0..n).map(|v| v * 3).collect())
+        .unwrap();
+    t.set_threads(threads);
+    t
+}
+
+struct Case {
+    name: &'static str,
+    rows: usize,
+    eager_s: f64,
+    lazy_s: f64,
+    out_rows: usize,
+}
+
+fn run_case(
+    name: &'static str,
+    rows: usize,
+    iters: usize,
+    eager: impl Fn() -> Table,
+    lazy: impl Fn() -> Table,
+) -> Case {
+    // Warm both paths, and check they agree before timing anything.
+    let e = eager();
+    let l = lazy();
+    assert_eq!(e.n_rows(), l.n_rows(), "{name}: paths disagree");
+    assert_eq!(e.row_ids(), l.row_ids(), "{name}: paths disagree on rows");
+    let out_rows = e.n_rows();
+    drop((e, l));
+    // Interleave samples so machine drift hits both paths equally.
+    let mut eager_samples = Vec::with_capacity(iters);
+    let mut lazy_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(eager());
+        eager_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        std::hint::black_box(lazy());
+        lazy_samples.push(start.elapsed().as_secs_f64());
+    }
+    Case {
+        name,
+        rows,
+        eager_s: median(eager_samples),
+        lazy_s: median(lazy_samples),
+        out_rows,
+    }
+}
+
+fn main() {
+    let threads = num_threads();
+    let ringo = Ringo::new();
+    const N: i64 = 1_000_000;
+    let t = base_table(N, threads);
+    let dim = {
+        let mut d = Table::from_int_column("k", (0..97).collect());
+        d.add_float_column("boost", (0..97).map(|v| v as f64).collect())
+            .unwrap();
+        d.set_threads(threads);
+        d
+    };
+    let p1 = Predicate::int("id", Cmp::Lt, N / 2);
+    let p2 = Predicate::int("bucket", Cmp::Lt, 20);
+    let iters = 7;
+
+    println!("=== eager verb chain vs lazy plan, {N} rows ({threads} threads) ===");
+    let mut cases = Vec::new();
+
+    cases.push(run_case(
+        "select_select_project",
+        N as usize,
+        iters,
+        || {
+            t.select(&p1)
+                .unwrap()
+                .select(&p2)
+                .unwrap()
+                .project(&["id", "w"])
+                .unwrap()
+        },
+        || {
+            ringo
+                .query(&t)
+                .select(&p1)
+                .select(&p2)
+                .project(&["id", "w"])
+                .collect()
+                .unwrap()
+        },
+    ));
+
+    cases.push(run_case(
+        "select_select_project_join",
+        N as usize,
+        iters,
+        || {
+            t.select(&p1)
+                .unwrap()
+                .select(&p2)
+                .unwrap()
+                .project(&["id", "bucket", "w"])
+                .unwrap()
+                .join(&dim, "bucket", "k")
+                .unwrap()
+        },
+        || {
+            ringo
+                .query(&t)
+                .select(&p1)
+                .select(&p2)
+                .project(&["id", "bucket", "w"])
+                .join(&dim, "bucket", "k")
+                .collect()
+                .unwrap()
+        },
+    ));
+
+    for c in &cases {
+        println!(
+            "{:<28} eager {:>8.2}ms   lazy {:>8.2}ms   speedup {:.2}x   ({} -> {} rows)",
+            c.name,
+            c.eager_s * 1e3,
+            c.lazy_s * 1e3,
+            c.eager_s / c.lazy_s,
+            c.rows,
+            c.out_rows
+        );
+    }
+
+    // Hand-rolled JSON (no serde in the hermetic workspace).
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"plan\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"rows\": {N},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows\": {}, \"out_rows\": {}, \"eager_ms\": {:.3}, \
+             \"lazy_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            c.name,
+            c.rows,
+            c.out_rows,
+            c.eager_s * 1e3,
+            c.lazy_s * 1e3,
+            c.eager_s / c.lazy_s,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_plan.json");
+    let mut f = std::fs::File::create(&out).expect("create BENCH_plan.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_plan.json");
+    println!("wrote {}", out.display());
+}

@@ -39,5 +39,7 @@ pub use atomic_vec::ConcurrentVec;
 pub use hash_table::{ConcurrentIntTable, IntHashTable};
 pub use parallel::{num_threads, parallel_for, parallel_map, parallel_reduce, DisjointSlice};
 pub use pool::{pool_stats, Pool, PoolStats};
-pub use radix::{i64_key, radix_sort_by_u64_key, radix_sort_i64, radix_sort_pairs, radix_sort_u64};
+pub use radix::{
+    f64_key, i64_key, radix_sort_by_u64_key, radix_sort_i64, radix_sort_pairs, radix_sort_u64,
+};
 pub use sort::{parallel_sort, parallel_sort_by_key};

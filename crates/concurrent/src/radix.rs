@@ -83,6 +83,18 @@ fn un_i64_key(k: u64) -> i64 {
     (k ^ (1u64 << 63)) as i64
 }
 
+/// Order-preserving map from IEEE-754 doubles to unsigned keys whose
+/// `u64` order equals [`f64::total_cmp`]'s total order:
+/// `-NaN < -inf < … < -0 < +0 < … < +inf < +NaN`. Negative values have
+/// all bits flipped (reversing their magnitude order), non-negative
+/// values only the sign bit — the same transform `total_cmp` applies
+/// before its integer compare, then biased through [`i64_key`].
+#[inline(always)]
+pub fn f64_key(x: f64) -> u64 {
+    let b = x.to_bits() as i64;
+    i64_key(b ^ ((((b >> 63) as u64) >> 1) as i64))
+}
+
 #[inline(always)]
 fn digit(k: u64, d: usize) -> usize {
     ((k >> (8 * d)) & 0xFF) as usize
@@ -709,6 +721,37 @@ mod tests {
         ];
         for w in samples.windows(2) {
             assert!(i64_key(w[0]) < i64_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn float_transform_matches_total_order() {
+        let neg_nan = f64::from_bits(f64::NAN.to_bits() | (1u64 << 63));
+        let samples = [
+            neg_nan,
+            f64::NEG_INFINITY,
+            f64::MIN,
+            -1.5,
+            -f64::MIN_POSITIVE, // largest negative normal magnitude step
+            -f64::from_bits(1), // negative subnormal closest to zero
+            -0.0,
+            0.0,
+            f64::from_bits(1), // smallest positive subnormal
+            f64::MIN_POSITIVE,
+            1.5,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for w in samples.windows(2) {
+            assert!(f64_key(w[0]) < f64_key(w[1]), "{} vs {}", w[0], w[1]);
+            assert_eq!(w[0].total_cmp(&w[1]), std::cmp::Ordering::Less);
+        }
+        // Key order must agree with total_cmp on every pair, equal or not.
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(f64_key(a).cmp(&f64_key(b)), a.total_cmp(&b), "{a} vs {b}");
+            }
         }
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod mem;
 pub mod oplog;
+pub mod query;
 
 pub use ringo_algo as algo;
 pub use ringo_concurrent as concurrent;
@@ -42,6 +43,7 @@ pub use ringo_table as table;
 pub use ringo_trace as trace;
 
 pub use oplog::{OpLog, OpRecord, OpTiming};
+pub use query::QueryBuilder;
 
 pub use ringo_algo::{Direction, PageRankConfig};
 pub use ringo_graph::{CsrGraph, DirectedGraph, NodeId, UndirectedGraph, WeightedDigraph};

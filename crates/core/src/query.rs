@@ -1,0 +1,289 @@
+//! Lazy query building over the facade: [`crate::Ringo::query`].
+//!
+//! Where the eager facade verbs ([`crate::Ringo::select`],
+//! [`crate::Ringo::join`], ...) each materialize a full intermediate
+//! table, a [`QueryBuilder`] accumulates the verbs into a logical
+//! [`Plan`], optimizes it (select fusion, select pushdown, column
+//! pruning) and executes it with late materialization: column data is
+//! gathered exactly once, at [`QueryBuilder::collect`]. The op-log
+//! records one `"query"` entry whose params line is the optimized plan
+//! shape with per-operator output cardinalities, e.g.
+//! `scan[1000000] select[37] project[37] collect[37] gathers=1`.
+
+use crate::{Result, Ringo};
+use ringo_table::exec;
+use ringo_table::plan::Plan;
+use ringo_table::{AggOp, Predicate, Schema, Table};
+
+/// A lazy query under construction. Created by [`Ringo::query`]; verbs
+/// chain by value and nothing executes until [`QueryBuilder::collect`]
+/// (or [`QueryBuilder::explain`], which only plans).
+#[derive(Clone, Debug)]
+pub struct QueryBuilder<'a> {
+    ringo: &'a Ringo,
+    tables: Vec<&'a Table>,
+    plan: Plan,
+}
+
+impl Ringo {
+    /// Starts a lazy query over `table`. Chain relational verbs on the
+    /// returned builder, then [`QueryBuilder::collect`] to run the
+    /// optimized plan with a single materialization pass:
+    ///
+    /// ```
+    /// use ringo_core::{Predicate, Ringo, Table};
+    ///
+    /// let ringo = Ringo::with_threads(2);
+    /// let mut t = Table::from_int_column("x", (0..100).collect());
+    /// t.add_int_column("y", (0..100).map(|v| v * 2).collect()).unwrap();
+    /// let out = ringo
+    ///     .query(&t)
+    ///     .select(&Predicate::int("x", ringo_core::Cmp::Lt, 50))
+    ///     .select(&Predicate::int("x", ringo_core::Cmp::Ge, 10))
+    ///     .project(&["y"])
+    ///     .collect()
+    ///     .unwrap();
+    /// assert_eq!(out.n_rows(), 40);
+    /// assert_eq!(out.n_cols(), 1);
+    /// ```
+    pub fn query<'a>(&'a self, table: &'a Table) -> QueryBuilder<'a> {
+        QueryBuilder {
+            ringo: self,
+            tables: vec![table],
+            plan: Plan::scan(0),
+        }
+    }
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Filters rows by `predicate` (lazy [`Table::select`]).
+    pub fn select(mut self, predicate: &Predicate) -> Self {
+        self.plan = Plan::select(self.plan, predicate.clone());
+        self
+    }
+
+    /// Keeps only `cols`, in order (lazy [`Table::project`]).
+    pub fn project(mut self, cols: &[&str]) -> Self {
+        self.plan = Plan::project(self.plan, cols.iter().map(|c| (*c).to_string()).collect());
+        self
+    }
+
+    /// Hash-joins the query so far with `other` on
+    /// `left_col == right_col` (lazy [`Table::join`]; same clash-suffix
+    /// output layout).
+    pub fn join(mut self, other: &'a Table, left_col: &str, right_col: &str) -> Self {
+        let idx = self.tables.len();
+        self.tables.push(other);
+        self.plan = Plan::join(self.plan, Plan::scan(idx), left_col, right_col);
+        self
+    }
+
+    /// Groups and aggregates (lazy [`Table::group_by`]).
+    pub fn group_by(
+        mut self,
+        group_cols: &[&str],
+        agg_col: Option<&str>,
+        op: AggOp,
+        out_name: &str,
+    ) -> Self {
+        self.plan = Plan::group_by(
+            self.plan,
+            group_cols.iter().map(|c| (*c).to_string()).collect(),
+            agg_col.map(str::to_string),
+            op,
+            out_name,
+        );
+        self
+    }
+
+    /// Sorts by `cols` (lazy [`Table::order_by`]; the sort becomes a
+    /// permutation of the selection vector, not a data shuffle).
+    pub fn order_by(mut self, cols: &[&str], ascending: bool) -> Self {
+        self.plan = Plan::order_by(
+            self.plan,
+            cols.iter().map(|c| (*c).to_string()).collect(),
+            ascending,
+        );
+        self
+    }
+
+    /// Predecessor–successor join (lazy [`Table::next_k`]).
+    pub fn next_k(mut self, group_col: Option<&str>, order_col: &str, k: usize) -> Self {
+        self.plan = Plan::next_k(self.plan, group_col.map(str::to_string), order_col, k);
+        self
+    }
+
+    /// The output schema this query will produce, validating every
+    /// column reference without executing anything.
+    pub fn schema(&self) -> Result<Schema> {
+        self.plan.schema(&self.tables)
+    }
+
+    /// The logical plan as built so far (before optimization).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Validates the query, optimizes it, and pretty-prints the
+    /// *optimized* plan — what [`QueryBuilder::collect`] would actually
+    /// run — annotated with `(fused n)` / `(pushed)` / `(pruned)`
+    /// markers. Nothing is executed.
+    pub fn explain(&self) -> Result<String> {
+        self.plan.schema(&self.tables)?;
+        let optimized = self.plan.clone().optimize(&self.tables)?;
+        Ok(optimized.display(&self.tables))
+    }
+
+    /// Validates and optimizes the plan, executes it with one gather
+    /// pass, logs a `"query"` op-log record with the executed plan
+    /// shape, and returns the materialized table.
+    pub fn collect(self) -> Result<Table> {
+        use std::fmt::Write;
+        // Validate the *raw* plan so optimization can never legalize an
+        // invalid query.
+        self.plan.schema(&self.tables)?;
+        let optimized = self.plan.optimize(&self.tables)?;
+
+        let rows_in: usize = self.tables.iter().map(|t| t.n_rows()).sum();
+        let mem_start = ringo_trace::mem::current_bytes();
+        let peak_start = ringo_trace::mem::peak_bytes();
+        let start = std::time::Instant::now();
+        let executed = exec::execute(&optimized, &self.tables)?;
+        let wall = start.elapsed();
+
+        let mut params = String::new();
+        for stat in &executed.stats {
+            let _ = write!(params, "{}[{}] ", stat.op, stat.rows_out);
+        }
+        let _ = write!(params, "gathers={}", executed.gathers);
+        let mut table = executed.table;
+        table.set_threads(self.ringo.threads);
+        self.ringo.ops.push(crate::OpRecord {
+            seq: 0,
+            name: "query",
+            params,
+            rows_in: rows_in as u64,
+            rows_out: table.n_rows() as u64,
+            wall,
+            mem_delta: ringo_trace::mem::current_bytes() as i64 - mem_start as i64,
+            mem_peak_delta: ringo_trace::mem::peak_bytes().saturating_sub(peak_start) as u64,
+        });
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cmp, Predicate, Ringo};
+    use ringo_table::{AggOp, ColumnType, Table};
+
+    fn sample() -> Table {
+        let mut t = Table::from_int_column("id", (0..200).collect());
+        t.add_int_column("val", (0..200).map(|v| v % 7).collect())
+            .unwrap();
+        t.add_float_column("score", (0..200).map(|v| v as f64 * 0.5).collect())
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn lazy_chain_matches_eager_chain() {
+        let ringo = Ringo::with_threads(2);
+        let t = sample();
+        let p1 = Predicate::int("id", Cmp::Lt, 150);
+        let p2 = Predicate::int("val", Cmp::Eq, 3);
+        let lazy = ringo
+            .query(&t)
+            .select(&p1)
+            .select(&p2)
+            .project(&["id", "score"])
+            .collect()
+            .unwrap();
+        let eager = t
+            .select(&p1)
+            .unwrap()
+            .select(&p2)
+            .unwrap()
+            .project(&["id", "score"])
+            .unwrap();
+        assert_eq!(lazy.n_rows(), eager.n_rows());
+        assert_eq!(lazy.int_col("id").unwrap(), eager.int_col("id").unwrap());
+        assert_eq!(lazy.row_ids(), eager.row_ids());
+        assert_eq!(lazy.threads(), 2, "output adopts context threads");
+    }
+
+    #[test]
+    fn query_logs_plan_shape_with_single_gather() {
+        let ringo = Ringo::with_threads(2);
+        let t = sample();
+        ringo
+            .query(&t)
+            .select(&Predicate::int("val", Cmp::Lt, 3))
+            .select(&Predicate::int("id", Cmp::Ge, 10))
+            .project(&["id"])
+            .collect()
+            .unwrap();
+        let log = ringo.op_log();
+        let rec = log
+            .iter()
+            .rev()
+            .find(|r| r.name == "query")
+            .expect("query recorded");
+        assert!(rec.params.contains("scan[200]"), "params: {}", rec.params);
+        assert!(rec.params.contains("gathers=1"), "params: {}", rec.params);
+        assert_eq!(rec.rows_in, 200);
+        // Fused: exactly one select node executed.
+        assert_eq!(rec.params.matches("select[").count(), 1);
+    }
+
+    #[test]
+    fn explain_shows_optimizer_markers() {
+        let ringo = Ringo::with_threads(2);
+        let t = sample();
+        let q = ringo
+            .query(&t)
+            .project(&["id", "val"])
+            .select(&Predicate::int("val", Cmp::Lt, 3))
+            .select(&Predicate::int("id", Cmp::Ge, 10));
+        let plan = q.explain().unwrap();
+        assert!(plan.contains("(fused 2)"), "plan:\n{plan}");
+        assert!(plan.contains("(pushed)"), "plan:\n{plan}");
+        assert!(plan.contains("Scan #0"), "plan:\n{plan}");
+    }
+
+    #[test]
+    fn join_and_group_through_builder() {
+        let ringo = Ringo::with_threads(2);
+        let left = sample();
+        let right = Table::from_int_column("val", vec![0, 1, 2]);
+        let lazy = ringo
+            .query(&left)
+            .join(&right, "val", "val")
+            .group_by(&["val"], None, AggOp::Count, "n")
+            .collect()
+            .unwrap();
+        let eager = left
+            .join(&right, "val", "val")
+            .unwrap()
+            .group_by(&["val"], None, AggOp::Count, "n")
+            .unwrap();
+        assert_eq!(lazy.n_rows(), eager.n_rows());
+        assert_eq!(lazy.int_col("n").unwrap(), eager.int_col("n").unwrap());
+    }
+
+    #[test]
+    fn schema_validates_without_executing() {
+        let ringo = Ringo::with_threads(2);
+        let t = sample();
+        let q = ringo.query(&t).project(&["id"]);
+        let s = q.clone().schema().unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.column_type(0), ColumnType::Int);
+        // A column projected away errors at plan time, like the eager path.
+        assert!(q
+            .select(&Predicate::int("val", Cmp::Eq, 1))
+            .collect()
+            .is_err());
+        assert!(ringo.op_log().iter().all(|r| r.name != "query"));
+    }
+}

@@ -104,6 +104,16 @@ impl ColumnData {
         }
     }
 
+    /// [`ColumnData::gather`] over a `u32` selection vector — the form the
+    /// lazy executor threads between operators.
+    pub fn gather_sel(&self, keep: &[u32]) -> Self {
+        match self {
+            Self::Int(v) => Self::Int(keep.iter().map(|&i| v[i as usize]).collect()),
+            Self::Float(v) => Self::Float(keep.iter().map(|&i| v[i as usize]).collect()),
+            Self::Str(v) => Self::Str(keep.iter().map(|&i| v[i as usize]).collect()),
+        }
+    }
+
     /// Appends row `i` of `src` to this column. Both columns must share a
     /// type; string symbols are copied verbatim (caller aligns pools).
     pub fn push_from(&mut self, src: &ColumnData, i: usize) {

@@ -28,8 +28,10 @@
 
 mod column;
 mod error;
+pub mod exec;
 mod io;
 pub mod ops;
+pub mod plan;
 mod schema;
 mod strings;
 mod table;

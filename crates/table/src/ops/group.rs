@@ -57,15 +57,48 @@ impl Table {
     ) -> Result<Table> {
         let mut sp = ringo_trace::span!("table.group");
         sp.rows_in(self.n_rows());
-        let gidx = self.col_indices(group_cols)?;
-        let (ids, n_groups) = self.group_ids(group_cols)?;
-        sp.rows_out(n_groups);
+        let out = self.group_by_sel(group_cols, agg_col, op, out_name, None)?;
+        sp.rows_out(out.n_rows());
+        Ok(out)
+    }
 
-        // First-row representative per group, for the key columns.
-        let mut rep = vec![usize::MAX; n_groups];
-        for (row, &g) in ids.iter().enumerate() {
-            if rep[g as usize] == usize::MAX {
-                rep[g as usize] = row;
+    /// Group-and-aggregate kernel shared by the eager verb and the lazy
+    /// executor: like [`Table::group_by`] but restricted to the rows of the
+    /// optional selection vector, hashing keys in `sel` order (so group ids
+    /// keep first-appearance order, exactly as if the selection had been
+    /// materialized first).
+    pub(crate) fn group_by_sel(
+        &self,
+        group_cols: &[&str],
+        agg_col: Option<&str>,
+        op: AggOp,
+        out_name: &str,
+        sel: Option<&[u32]>,
+    ) -> Result<Table> {
+        let gidx = self.col_indices(group_cols)?;
+        let n = sel.map_or(self.n_rows(), <[u32]>::len);
+        let row_at = |i: usize| -> usize {
+            match sel {
+                Some(s) => s[i] as usize,
+                None => i,
+            }
+        };
+        // Dense group ids aligned to selection positions.
+        let mut groups: HashMap<RowKey, i64> = HashMap::new();
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let key = self.row_key(row_at(i), &gidx);
+            let next = groups.len() as i64;
+            ids.push(*groups.entry(key).or_insert(next));
+        }
+        let n_groups = groups.len();
+
+        // First-row representative per group (underlying positions), for
+        // the key columns.
+        let mut rep = vec![u32::MAX; n_groups];
+        for (i, &g) in ids.iter().enumerate() {
+            if rep[g as usize] == u32::MAX {
+                rep[g as usize] = row_at(i) as u32;
             }
         }
 
@@ -130,15 +163,20 @@ impl Table {
         match &src {
             Src::None => {}
             Src::Int(v) => {
-                for (row, &g) in ids.iter().enumerate() {
+                for (i, &g) in ids.iter().enumerate() {
                     let g = g as usize;
-                    fold(&mut acc[g], &mut acc_sq[g], &mut have[g], v[row] as f64);
+                    fold(
+                        &mut acc[g],
+                        &mut acc_sq[g],
+                        &mut have[g],
+                        v[row_at(i)] as f64,
+                    );
                 }
             }
             Src::Float(v) => {
-                for (row, &g) in ids.iter().enumerate() {
+                for (i, &g) in ids.iter().enumerate() {
                     let g = g as usize;
-                    fold(&mut acc[g], &mut acc_sq[g], &mut have[g], v[row]);
+                    fold(&mut acc[g], &mut acc_sq[g], &mut have[g], v[row_at(i)]);
                 }
             }
         }
@@ -147,7 +185,7 @@ impl Table {
         let mut cols: Vec<ColumnData> = Vec::new();
         for &i in &gidx {
             schema.push_unique(self.schema.name(i), self.schema.column_type(i));
-            cols.push(self.cols[i].gather(&rep));
+            cols.push(self.cols[i].gather_sel(&rep));
         }
         let float_result = !matches!(op, AggOp::Count)
             && (matches!(op, AggOp::Mean | AggOp::Var | AggOp::Std)

@@ -10,13 +10,6 @@ use crate::{ColumnData, Result, Table, TableError};
 use ringo_concurrent::{parallel_map, IntHashTable};
 use std::collections::HashMap;
 
-/// Key column view supporting both join key types.
-enum KeyCol<'a> {
-    Int(&'a [i64]),
-    /// Resolved strings (symbol → text via the owning table's pool).
-    Str(&'a Table, &'a [u32]),
-}
-
 impl Table {
     /// Joins `self` with `other` on `self.left_col == other.right_col`,
     /// producing a new table whose columns are all of `self`'s followed by
@@ -27,114 +20,120 @@ impl Table {
         sp.rows_in(self.n_rows() + other.n_rows());
         let li = self.schema.index_of(left_col)?;
         let ri = other.schema.index_of(right_col)?;
-        let lt = self.cols[li].column_type();
-        let rt = other.cols[ri].column_type();
-        if lt != rt {
-            return Err(TableError::TypeMismatch {
-                column: right_col.to_string(),
-                expected: lt.name(),
-                actual: rt.name(),
-            });
-        }
-
-        // Probe with the larger side.
-        let (build, bi, probe, pi, left_is_build) = if self.n_rows() <= other.n_rows() {
-            (self, li, other, ri, true)
-        } else {
-            (other, ri, self, li, false)
-        };
-
-        let pairs: Vec<(u32, u32)> = match &build.cols[bi] {
-            ColumnData::Int(bkeys) => {
-                let mut index: IntHashTable<Vec<u32>> = IntHashTable::with_capacity(bkeys.len());
-                for (row, &k) in bkeys.iter().enumerate() {
-                    index.get_or_insert_with(k, Vec::new).push(row as u32);
-                }
-                probe_pairs(
-                    KeyCol::Int(probe.cols[pi].as_int()),
-                    probe.threads,
-                    |k, emit| {
-                        let v = match k {
-                            ProbeKey::Int(v) => v,
-                            ProbeKey::Str(_) => unreachable!(),
-                        };
-                        if let Some(rows) = index.get(v) {
-                            for &b in rows {
-                                emit(b);
-                            }
-                        }
-                    },
-                )
-            }
-            ColumnData::Str(bsyms) => {
-                let mut index: HashMap<&str, Vec<u32>> = HashMap::with_capacity(bsyms.len());
-                for (row, &sym) in bsyms.iter().enumerate() {
-                    index
-                        .entry(build.pool.get(sym))
-                        .or_default()
-                        .push(row as u32);
-                }
-                probe_pairs(
-                    KeyCol::Str(probe, probe.cols[pi].as_str_syms()),
-                    probe.threads,
-                    |k, emit| {
-                        let s = match k {
-                            ProbeKey::Str(s) => s,
-                            ProbeKey::Int(_) => unreachable!(),
-                        };
-                        if let Some(rows) = index.get(s) {
-                            for &b in rows {
-                                emit(b);
-                            }
-                        }
-                    },
-                )
-            }
-            ColumnData::Float(_) => {
-                return Err(TableError::InvalidArgument(
-                    "join keys must be int or str columns (use sim_join for floats)".into(),
-                ))
-            }
-        };
-
-        // Orient pairs as (left_row, right_row).
-        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = if left_is_build {
-            pairs.iter().map(|&(p, b)| (b as usize, p as usize)).unzip()
-        } else {
-            pairs.iter().map(|&(p, b)| (p as usize, b as usize)).unzip()
-        };
-
+        let (left_rows, right_rows) = join_pairs_sel(self, other, li, ri, None, None)?;
         let out = materialize_join(self, other, &left_rows, &right_rows)?;
         sp.rows_out(out.n_rows());
         Ok(out)
     }
 }
 
-enum ProbeKey<'a> {
-    Int(i64),
-    Str(&'a str),
+/// Probe kernel shared by the eager verb and the lazy executor: matched
+/// `(left_row, right_row)` position pairs (into the underlying tables) for
+/// the equi join of `left[li] == right[ri]`, restricted to the rows of the
+/// optional selection vectors. Builds the hash index on the side with fewer
+/// surviving rows and probes with the other in parallel, workers emitting
+/// private match lists — the same contention-free pattern as before, so the
+/// pair order matches what the eager join over pre-materialized inputs
+/// would produce.
+pub(crate) fn join_pairs_sel(
+    left: &Table,
+    right: &Table,
+    li: usize,
+    ri: usize,
+    lsel: Option<&[u32]>,
+    rsel: Option<&[u32]>,
+) -> Result<(Vec<u32>, Vec<u32>)> {
+    let lt = left.cols[li].column_type();
+    let rt = right.cols[ri].column_type();
+    if lt != rt {
+        return Err(TableError::TypeMismatch {
+            column: right.schema.name(ri).to_string(),
+            expected: lt.name(),
+            actual: rt.name(),
+        });
+    }
+    let ln = lsel.map_or(left.n_rows(), <[u32]>::len);
+    let rn = rsel.map_or(right.n_rows(), <[u32]>::len);
+    // Probe with the larger effective side.
+    let (build, bi, bsel, bn, probe, pi, psel, pn, left_is_build) = if ln <= rn {
+        (left, li, lsel, ln, right, ri, rsel, rn, true)
+    } else {
+        (right, ri, rsel, rn, left, li, lsel, ln, false)
+    };
+    let brow = |i: usize| -> usize {
+        match bsel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    };
+    let pairs: Vec<(u32, u32)> = match &build.cols[bi] {
+        ColumnData::Int(bkeys) => {
+            let mut index: IntHashTable<Vec<u32>> = IntHashTable::with_capacity(bn);
+            for i in 0..bn {
+                let row = brow(i);
+                index
+                    .get_or_insert_with(bkeys[row], Vec::new)
+                    .push(row as u32);
+            }
+            let keys = probe.cols[pi].as_int();
+            probe_pairs_sel(pn, psel, probe.threads, |row, emit| {
+                if let Some(rows) = index.get(keys[row]) {
+                    for &b in rows {
+                        emit(b);
+                    }
+                }
+            })
+        }
+        ColumnData::Str(bsyms) => {
+            let mut index: HashMap<&str, Vec<u32>> = HashMap::with_capacity(bn);
+            for i in 0..bn {
+                let row = brow(i);
+                index
+                    .entry(build.pool.get(bsyms[row]))
+                    .or_default()
+                    .push(row as u32);
+            }
+            let syms = probe.cols[pi].as_str_syms();
+            probe_pairs_sel(pn, psel, probe.threads, |row, emit| {
+                if let Some(rows) = index.get(probe.pool.get(syms[row])) {
+                    for &b in rows {
+                        emit(b);
+                    }
+                }
+            })
+        }
+        ColumnData::Float(_) => {
+            return Err(TableError::InvalidArgument(
+                "join keys must be int or str columns (use sim_join for floats)".into(),
+            ))
+        }
+    };
+
+    // Orient pairs as (left_row, right_row).
+    Ok(if left_is_build {
+        pairs.iter().map(|&(p, b)| (b, p)).unzip()
+    } else {
+        pairs.into_iter().unzip()
+    })
 }
 
-/// Probes each row of the probe side, collecting `(probe_row, build_row)`
-/// pairs. Workers emit into private vectors, concatenated afterwards.
-fn probe_pairs<F>(probe: KeyCol<'_>, threads: usize, lookup: F) -> Vec<(u32, u32)>
+/// Probes each position of the probe side's selection (every row when
+/// `None`), collecting `(probe_row, build_row)` pairs of underlying row
+/// positions. Workers emit into private vectors, concatenated afterwards.
+fn probe_pairs_sel<F>(pn: usize, psel: Option<&[u32]>, threads: usize, lookup: F) -> Vec<(u32, u32)>
 where
-    F: Fn(ProbeKey<'_>, &mut dyn FnMut(u32)) + Sync,
+    F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
 {
-    let n = match &probe {
-        KeyCol::Int(v) => v.len(),
-        KeyCol::Str(_, v) => v.len(),
-    };
-    let probe = &probe;
     let lookup = &lookup;
-    let parts = parallel_map(n, threads, |range| {
+    let parts = parallel_map(pn, threads, |range| {
         let mut out: Vec<(u32, u32)> = Vec::new();
-        for row in range {
+        for i in range {
+            let row = match psel {
+                Some(s) => s[i] as usize,
+                None => i,
+            };
             let mut emit = |b: u32| out.push((row as u32, b));
-            match probe {
-                KeyCol::Int(v) => lookup(ProbeKey::Int(v[row]), &mut emit),
-                KeyCol::Str(t, v) => lookup(ProbeKey::Str(t.pool.get(v[row])), &mut emit),
-            }
+            lookup(row, &mut emit);
         }
         out
     });
@@ -146,41 +145,108 @@ where
     pairs
 }
 
-/// Builds the output table of a join given matched row positions.
-pub(crate) fn materialize_join(
+/// Which input table a join output column is drawn from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum JoinSide {
+    /// The left (probe or build) input.
+    Left,
+    /// The right input.
+    Right,
+}
+
+/// One column of a join's output: source side, source column index, and the
+/// (already clash-suffixed) output name.
+#[derive(Clone, Debug)]
+pub(crate) struct JoinOutCol {
+    pub side: JoinSide,
+    pub col: usize,
+    pub name: String,
+}
+
+/// Builds the output table of a join given matched row positions, emitting
+/// exactly the columns in `out_cols` (whose names must be distinct). The
+/// pruned-join path of the lazy executor passes a subset here; the eager
+/// join passes the full clash-suffixed width.
+pub(crate) fn materialize_join_cols(
     left: &Table,
     right: &Table,
-    left_rows: &[usize],
-    right_rows: &[usize],
+    left_rows: &[u32],
+    right_rows: &[u32],
+    out_cols: &[JoinOutCol],
 ) -> Result<Table> {
     debug_assert_eq!(left_rows.len(), right_rows.len());
     let mut schema = crate::Schema::default();
-    let mut cols: Vec<ColumnData> = Vec::with_capacity(left.n_cols() + right.n_cols());
+    let mut cols: Vec<ColumnData> = Vec::with_capacity(out_cols.len());
     let mut pool = left.pool.clone();
 
-    for (i, (name, ty)) in left.schema.iter().enumerate() {
-        schema.push_unique(name, ty);
-        cols.push(left.cols[i].gather(left_rows));
-    }
-    for (i, (name, ty)) in right.schema.iter().enumerate() {
-        schema.push_unique(name, ty);
-        let gathered = right.cols[i].gather(right_rows);
-        // Right-side string symbols must be re-interned into the output
-        // pool, which was seeded from the left table.
-        let remapped = match gathered {
-            ColumnData::Str(syms) => ColumnData::Str(
-                syms.iter()
-                    .map(|&s| pool.intern(right.pool.get(s)))
-                    .collect(),
-            ),
-            other => other,
-        };
-        cols.push(remapped);
+    for oc in out_cols {
+        match oc.side {
+            JoinSide::Left => {
+                schema.push_unique(&oc.name, left.schema.column_type(oc.col));
+                cols.push(left.cols[oc.col].gather_sel(left_rows));
+            }
+            JoinSide::Right => {
+                schema.push_unique(&oc.name, right.schema.column_type(oc.col));
+                let gathered = right.cols[oc.col].gather_sel(right_rows);
+                // Right-side string symbols must be re-interned into the
+                // output pool, which was seeded from the left table.
+                let remapped = match gathered {
+                    ColumnData::Str(syms) => ColumnData::Str(
+                        syms.iter()
+                            .map(|&s| pool.intern(right.pool.get(s)))
+                            .collect(),
+                    ),
+                    other => other,
+                };
+                cols.push(remapped);
+            }
+        }
     }
 
     let mut out = Table::from_parts(schema, cols, pool)?;
     out.threads = left.threads;
     Ok(out)
+}
+
+/// The full clash-suffixed output column list of `left ⋈ right`: all of
+/// `left`'s columns then all of `right`'s, later name clashes suffixed
+/// `-1`, `-2`, ... by [`crate::Schema::push_unique`].
+pub(crate) fn join_out_cols(left: &Table, right: &Table) -> Vec<JoinOutCol> {
+    let mut sim = crate::Schema::default();
+    let mut out = Vec::with_capacity(left.n_cols() + right.n_cols());
+    for (i, (name, ty)) in left.schema.iter().enumerate() {
+        let name = sim.push_unique(name, ty);
+        out.push(JoinOutCol {
+            side: JoinSide::Left,
+            col: i,
+            name,
+        });
+    }
+    for (i, (name, ty)) in right.schema.iter().enumerate() {
+        let name = sim.push_unique(name, ty);
+        out.push(JoinOutCol {
+            side: JoinSide::Right,
+            col: i,
+            name,
+        });
+    }
+    out
+}
+
+/// Builds the full-width output table of a join given matched row positions.
+pub(crate) fn materialize_join(
+    left: &Table,
+    right: &Table,
+    left_rows: &[u32],
+    right_rows: &[u32],
+) -> Result<Table> {
+    materialize_join_cols(
+        left,
+        right,
+        left_rows,
+        right_rows,
+        &join_out_cols(left, right),
+    )
 }
 
 #[cfg(test)]

@@ -20,6 +20,24 @@ impl Table {
     pub fn next_k(&self, group_col: Option<&str>, order_col: &str, k: usize) -> Result<Table> {
         let mut sp = ringo_trace::span!("table.nextk");
         sp.rows_in(self.n_rows());
+        let (left_rows, right_rows) = self.next_k_pairs_sel(group_col, order_col, k, None)?;
+        let out = materialize_join(self, self, &left_rows, &right_rows)?;
+        sp.rows_out(out.n_rows());
+        Ok(out)
+    }
+
+    /// Pair kernel shared by the eager verb and the lazy executor:
+    /// `(predecessor, successor)` row positions for [`Table::next_k`],
+    /// restricted to the rows of the optional selection vector. Sorting is
+    /// stable with ties broken by `sel` order, matching what the eager verb
+    /// would produce on a pre-materialized selection.
+    pub(crate) fn next_k_pairs_sel(
+        &self,
+        group_col: Option<&str>,
+        order_col: &str,
+        k: usize,
+        sel: Option<&[u32]>,
+    ) -> Result<(Vec<u32>, Vec<u32>)> {
         if k == 0 {
             return Err(TableError::InvalidArgument("next_k requires k >= 1".into()));
         }
@@ -28,21 +46,7 @@ impl Table {
             Some(g) => vec![g, order_col],
             None => vec![order_col],
         };
-        let idx = self.col_indices(&sort_cols)?;
-        let mut perm: Vec<usize> = (0..self.n_rows()).collect();
-        perm.sort_by(|&a, &b| {
-            for &c in &idx {
-                let ord = match &self.cols[c] {
-                    crate::ColumnData::Int(v) => v[a].cmp(&v[b]),
-                    crate::ColumnData::Float(v) => v[a].total_cmp(&v[b]),
-                    crate::ColumnData::Str(v) => self.pool.get(v[a]).cmp(self.pool.get(v[b])),
-                };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        let perm = self.order_perm_sel(&sort_cols, true, sel)?;
 
         // Group keys for boundary detection (only when grouping).
         let gidx = match group_col {
@@ -64,16 +68,14 @@ impl Table {
         let mut right_rows = Vec::new();
         for i in 0..perm.len() {
             for j in (i + 1)..perm.len().min(i + 1 + k) {
-                if !same_group(perm[i], perm[j]) {
+                if !same_group(perm[i] as usize, perm[j] as usize) {
                     break;
                 }
                 left_rows.push(perm[i]);
                 right_rows.push(perm[j]);
             }
         }
-        let out = materialize_join(self, self, &left_rows, &right_rows)?;
-        sp.rows_out(out.n_rows());
-        Ok(out)
+        Ok((left_rows, right_rows))
     }
 }
 

@@ -1,45 +1,57 @@
 //! Multi-column ordering (sort).
 
 use crate::{ColumnData, Result, Table};
-use ringo_concurrent::{i64_key, radix_sort_by_u64_key};
+use ringo_concurrent::{f64_key, i64_key, radix_sort_by_u64_key};
 use std::cmp::Ordering;
 
 impl Table {
-    /// Sorts the table in place by the given columns (ties broken by the
-    /// next column). Floats use IEEE total order, so NaNs sort after all
-    /// numbers. Row ids travel with their rows. The sort is stable.
+    /// Permutation kernel shared by the eager verb and the lazy executor:
+    /// reorders the positions of `sel` (every row when `None`) so the rows
+    /// they name are sorted by `cols`, ties broken by the next column, then
+    /// by prior `sel` order (stable). No rows are materialized.
     ///
-    /// When every sort column is `Int` the permutation is computed with
-    /// chained stable radix passes (least-significant column first)
-    /// instead of a comparison sort; descending order complements the
-    /// biased key, which preserves stability exactly like the comparison
-    /// path does.
-    pub fn order_by(&mut self, cols: &[&str], ascending: bool) -> Result<()> {
-        let mut sp = ringo_trace::span!("table.order");
-        sp.rows_in(self.n_rows());
-        sp.rows_out(self.n_rows());
+    /// When every sort column is numeric (`Int` or `Float`) the permutation
+    /// is computed with chained stable radix passes (least-significant
+    /// column first) instead of a comparison sort; floats map through the
+    /// IEEE-754 total-order key [`f64_key`], so NaNs land exactly where
+    /// `total_cmp` puts them, and descending order complements the biased
+    /// key, which preserves stability exactly like the comparison path.
+    pub(crate) fn order_perm_sel(
+        &self,
+        cols: &[&str],
+        ascending: bool,
+        sel: Option<&[u32]>,
+    ) -> Result<Vec<u32>> {
         let idx = self.col_indices(cols)?;
-        let mut perm: Vec<usize> = (0..self.n_rows()).collect();
-        let all_int = idx
+        let mut perm: Vec<u32> = match sel {
+            Some(s) => s.to_vec(),
+            None => (0..self.n_rows() as u32).collect(),
+        };
+        let radixable = idx
             .iter()
-            .all(|&c| matches!(self.cols[c], ColumnData::Int(_)));
-        if all_int {
+            .all(|&c| !matches!(self.cols[c], ColumnData::Str(_)));
+        if radixable {
             let threads = self.threads();
             for &c in idx.iter().rev() {
-                let v = match &self.cols[c] {
-                    ColumnData::Int(v) => v,
-                    _ => unreachable!("all_int checked above"),
-                };
-                if ascending {
-                    radix_sort_by_u64_key(&mut perm, threads, |&r| i64_key(v[r]));
-                } else {
-                    radix_sort_by_u64_key(&mut perm, threads, |&r| !i64_key(v[r]));
+                match &self.cols[c] {
+                    ColumnData::Int(v) if ascending => {
+                        radix_sort_by_u64_key(&mut perm, threads, |&r| i64_key(v[r as usize]));
+                    }
+                    ColumnData::Int(v) => {
+                        radix_sort_by_u64_key(&mut perm, threads, |&r| !i64_key(v[r as usize]));
+                    }
+                    ColumnData::Float(v) if ascending => {
+                        radix_sort_by_u64_key(&mut perm, threads, |&r| f64_key(v[r as usize]));
+                    }
+                    ColumnData::Float(v) => {
+                        radix_sort_by_u64_key(&mut perm, threads, |&r| !f64_key(v[r as usize]));
+                    }
+                    ColumnData::Str(_) => unreachable!("radixable checked above"),
                 }
             }
-            self.retain_rows(&perm);
-            return Ok(());
+            return Ok(perm);
         }
-        let cmp = |&a: &usize, &b: &usize| -> Ordering {
+        let cmp = |a: usize, b: usize| -> Ordering {
             for &c in &idx {
                 let ord = match &self.cols[c] {
                     ColumnData::Int(v) => v[a].cmp(&v[b]),
@@ -53,11 +65,26 @@ impl Table {
             Ordering::Equal
         };
         if ascending {
-            perm.sort_by(cmp);
+            perm.sort_by(|&a, &b| cmp(a as usize, b as usize));
         } else {
-            perm.sort_by(|a, b| cmp(b, a));
+            perm.sort_by(|&a, &b| cmp(b as usize, a as usize));
         }
-        self.retain_rows(&perm);
+        Ok(perm)
+    }
+
+    /// Sorts the table in place by the given columns (ties broken by the
+    /// next column). Floats use IEEE total order, so NaNs sort after all
+    /// numbers. Row ids travel with their rows. The sort is stable.
+    ///
+    /// Numeric sort columns (`Int` and `Float` alike) take the radix path
+    /// of [`Table::order_perm_sel`]; any `Str` column falls back to a
+    /// stable comparison sort.
+    pub fn order_by(&mut self, cols: &[&str], ascending: bool) -> Result<()> {
+        let mut sp = ringo_trace::span!("table.order");
+        sp.rows_in(self.n_rows());
+        sp.rows_out(self.n_rows());
+        let perm = self.order_perm_sel(cols, ascending, None)?;
+        self.retain_rows_sel(&perm);
         Ok(())
     }
 

@@ -8,7 +8,8 @@
 //! contention-free OpenMP loops).
 
 use crate::{ColumnData, Result, Table, TableError};
-use ringo_concurrent::parallel_map;
+use ringo_concurrent::parallel::chunk_bounds;
+use ringo_concurrent::{parallel_for, parallel_map, DisjointSlice};
 
 /// Comparison operator for predicates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +149,34 @@ impl Predicate {
     pub fn not(self) -> Self {
         Self::Not(Box::new(self))
     }
+
+    /// The column names this predicate reads, deduplicated, in first-use
+    /// order. The plan optimizer uses this for predicate pushdown and
+    /// column pruning.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Self::Int { column, .. }
+            | Self::Float { column, .. }
+            | Self::Str { column, .. }
+            | Self::IntIn { column, .. } => {
+                if !out.iter().any(|c| c == column) {
+                    out.push(column.clone());
+                }
+            }
+            Self::And(a, b) | Self::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Self::Not(p) => p.collect_columns(out),
+            Self::True => {}
+        }
+    }
 }
 
 /// Predicate with column indices resolved and string constants mapped to
@@ -243,25 +272,71 @@ fn type_err(t: &Table, col: usize, expected: &'static str) -> TableError {
 }
 
 impl Table {
-    /// Positions of all rows matching `pred`, computed in parallel.
-    pub fn select_rows(&self, pred: &Predicate) -> Result<Vec<usize>> {
+    /// Selection-vector kernel shared by the eager verbs and the lazy
+    /// executor: positions (into this table) of the rows matching `pred`,
+    /// drawn from `sel` (every row when `None`), in `sel` order.
+    ///
+    /// Runs two parallel passes — count, then fill into one exactly-sized
+    /// vector through per-chunk disjoint windows — so the kernel performs a
+    /// bounded number of allocations regardless of the match count, instead
+    /// of growing one hit list per chunk.
+    pub(crate) fn select_sel(&self, pred: &Predicate, sel: Option<&[u32]>) -> Result<Vec<u32>> {
         let compiled = compile(pred, self)?;
         let compiled = &compiled;
-        let parts = parallel_map(self.n_rows(), self.threads, |range| {
-            let mut hits = Vec::new();
-            for row in range {
-                if compiled.eval(self, row) {
-                    hits.push(row);
+        let n = sel.map_or(self.n_rows(), <[u32]>::len);
+        let row_at = |i: usize| -> usize {
+            match sel {
+                Some(s) => s[i] as usize,
+                None => i,
+            }
+        };
+        let counts = parallel_map(n, self.threads, |range| {
+            let mut c = 0usize;
+            for i in range {
+                if compiled.eval(self, row_at(i)) {
+                    c += 1;
                 }
             }
-            hits
+            c
         });
-        let total = parts.iter().map(Vec::len).sum();
-        let mut keep = Vec::with_capacity(total);
-        for p in parts {
-            keep.extend(p);
+        let total: usize = counts.iter().sum();
+        let mut keep = vec![0u32; total];
+        // Both passes partition `0..n` with the same chunk bounds, so chunk
+        // `t` of the fill pass writes exactly `counts[t]` hits starting at
+        // the prefix sum of the earlier chunks.
+        let bounds = chunk_bounds(n, self.threads);
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut acc = 0usize;
+        for c in &counts {
+            offsets.push(acc);
+            acc += c;
         }
+        let out = DisjointSlice::new(&mut keep);
+        parallel_for(n, self.threads, |chunk, range| {
+            debug_assert_eq!(range.start, bounds[chunk]);
+            let mut cursor = offsets[chunk];
+            for i in range {
+                let row = row_at(i);
+                if compiled.eval(self, row) {
+                    // SAFETY: chunk `chunk` writes only
+                    // `offsets[chunk]..offsets[chunk] + counts[chunk]`, and
+                    // those windows are disjoint by construction of the
+                    // prefix sums over identical chunk bounds.
+                    unsafe { out.write(cursor, row as u32) };
+                    cursor += 1;
+                }
+            }
+        });
         Ok(keep)
+    }
+
+    /// Positions of all rows matching `pred`, computed in parallel.
+    pub fn select_rows(&self, pred: &Predicate) -> Result<Vec<usize>> {
+        Ok(self
+            .select_sel(pred, None)?
+            .into_iter()
+            .map(|r| r as usize)
+            .collect())
     }
 
     /// Returns a new table containing the rows matching `pred`; row ids are
@@ -269,7 +344,7 @@ impl Table {
     pub fn select(&self, pred: &Predicate) -> Result<Table> {
         let mut sp = ringo_trace::span!("table.select");
         sp.rows_in(self.n_rows());
-        let out = self.gather_rows(&self.select_rows(pred)?);
+        let out = self.gather_rows_sel(&self.select_sel(pred, None)?);
         sp.rows_out(out.n_rows());
         Ok(out)
     }
@@ -279,15 +354,26 @@ impl Table {
     pub fn select_in_place(&mut self, pred: &Predicate) -> Result<usize> {
         let mut sp = ringo_trace::span!("table.select_in_place");
         sp.rows_in(self.n_rows());
-        let keep = self.select_rows(pred)?;
-        self.retain_rows(&keep);
+        let keep = self.select_sel(pred, None)?;
+        self.retain_rows_sel(&keep);
         sp.rows_out(self.n_rows());
         Ok(self.n_rows())
     }
 
     /// Counts matching rows without materializing them.
     pub fn count_where(&self, pred: &Predicate) -> Result<usize> {
-        Ok(self.select_rows(pred)?.len())
+        let compiled = compile(pred, self)?;
+        let compiled = &compiled;
+        let counts = parallel_map(self.n_rows(), self.threads, |range| {
+            let mut c = 0usize;
+            for row in range {
+                if compiled.eval(self, row) {
+                    c += 1;
+                }
+            }
+            c
+        });
+        Ok(counts.iter().sum())
     }
 }
 

@@ -90,8 +90,8 @@ impl Table {
                     d2 <= threshold * threshold
                 };
                 if within {
-                    left_rows.push(lrow as usize);
-                    right_rows.push(rrow as usize);
+                    left_rows.push(lrow);
+                    right_rows.push(rrow);
                 }
                 j += 1;
             }

@@ -324,10 +324,20 @@ impl Table {
         out
     }
 
-    /// In-place variant of [`Table::gather_rows`].
-    pub(crate) fn retain_rows(&mut self, keep: &[usize]) {
-        self.cols = self.cols.iter().map(|c| c.gather(keep)).collect();
-        self.row_ids = keep.iter().map(|&i| self.row_ids[i]).collect();
+    /// [`Table::gather_rows`] over a `u32` selection vector (the executor's
+    /// native currency; also the eager `select` materialization step).
+    pub(crate) fn gather_rows_sel(&self, keep: &[u32]) -> Self {
+        let mut out = self.empty_like();
+        out.cols = self.cols.iter().map(|c| c.gather_sel(keep)).collect();
+        out.row_ids = keep.iter().map(|&i| self.row_ids[i as usize]).collect();
+        out.next_row_id = self.next_row_id;
+        out
+    }
+
+    /// In-place variant of [`Table::gather_rows_sel`].
+    pub(crate) fn retain_rows_sel(&mut self, keep: &[u32]) {
+        self.cols = self.cols.iter().map(|c| c.gather_sel(keep)).collect();
+        self.row_ids = keep.iter().map(|&i| self.row_ids[i as usize]).collect();
     }
 }
 

@@ -1,0 +1,76 @@
+//! Plan smoke: lazy queries shaped so CI can pin the late-materialization
+//! contract in trace output.
+//!
+//! Run with `RINGO_TRACE=1 RINGO_TRACE_JSON=out.json \
+//! cargo run --release --example plan_smoke`. The example runs exactly
+//! three `collect()`s, each ending in a pending selection/projection, so
+//! the dumped trace must contain `plan.*` spans and a `table.gather`
+//! histogram with count == 3 — a regression that sneaks a second gather
+//! into the executor (or stops gathering lazily at all) fails CI rather
+//! than just losing the optimization.
+
+use ringo::trace::mem::TrackingAllocator;
+use ringo::{Cmp, Predicate, Ringo, Table};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ringo::trace::init_from_env();
+    let ringo = Ringo::new();
+
+    const N: i64 = 1_000_000;
+    let mut t = Table::from_int_column("id", (0..N).collect());
+    t.add_int_column("bucket", (0..N).map(|v| v % 97).collect())?;
+    t.add_float_column("w", (0..N).map(|v| v as f64 * 0.5).collect())?;
+    t.set_threads(ringo.threads());
+    let dim = {
+        let mut d = Table::from_int_column("k", (0..97).collect());
+        d.add_float_column("boost", (0..97).map(|v| v as f64).collect())?;
+        d
+    };
+    let p1 = Predicate::int("id", Cmp::Lt, N / 2);
+    let p2 = Predicate::int("bucket", Cmp::Eq, 13);
+
+    // Collect 1: fused select chain + projection — one gather.
+    let q = ringo
+        .query(&t)
+        .select(&p1)
+        .select(&p2)
+        .project(&["id", "w"]);
+    println!("--- optimized plan ---\n{}", q.explain()?);
+    let out = q.collect()?;
+    println!("select.select.project: {} rows", out.n_rows());
+
+    // Collect 2: join followed by a pending select — one gather over the
+    // join output.
+    let out = ringo
+        .query(&t)
+        .select(&p1)
+        .join(&dim, "bucket", "k")
+        .select(&Predicate::float("boost", Cmp::Lt, 50.0))
+        .collect()?;
+    println!("select.join.select: {} rows", out.n_rows());
+
+    // Collect 3: order + project — the sort is a selection-vector
+    // permutation, gathered once.
+    let out = ringo
+        .query(&t)
+        .select(&p2)
+        .order_by(&["w"], false)
+        .project(&["id"])
+        .collect()?;
+    println!("select.order.project: {} rows", out.n_rows());
+
+    // Every collect above must have materialized exactly once.
+    for rec in ringo.op_log().iter().filter(|r| r.name == "query") {
+        assert!(
+            rec.params.ends_with("gathers=1"),
+            "collect ran {} gathers: {}",
+            rec.params.rsplit('=').next().unwrap_or("?"),
+            rec.params
+        );
+        println!("query: {}", rec.params);
+    }
+    Ok(())
+}

@@ -54,6 +54,10 @@ commands:
   show <table> [rows]                        print the first rows
   select <out> <table> <col> <op> <value>    op: = != < <= > >= (type-aware)
   join <out> <left> <right> <lcol> <rcol>    inner hash join
+  query <out> <table> [clauses...]           lazy plan, one materialization:
+                                             where <col> <op> <value> | project <a,b,..>
+                                             | join <table> <lcol> <rcol>
+  explain <table> [clauses...]               print the optimized plan (same clauses)
   group <out> <table> <col> count            group sizes
   order <table> <col> [asc|desc]             sort in place
   tograph <name> <table> <srccol> <dstcol>   build a directed graph
@@ -189,36 +193,24 @@ impl Shell {
             }
             ["select", out, table, col, op, value] => {
                 let t = self.table(table)?;
-                let cmp = match *op {
-                    "=" => Cmp::Eq,
-                    "!=" => Cmp::Ne,
-                    "<" => Cmp::Lt,
-                    "<=" => Cmp::Le,
-                    ">" => Cmp::Gt,
-                    ">=" => Cmp::Ge,
-                    other => return Err(format!("unknown operator {other:?}")),
-                };
-                let ci = t.schema().index_of(col).map_err(|e| e.to_string())?;
-                let pred = match t.schema().column_type(ci) {
-                    ColumnType::Int => Predicate::int(
-                        col,
-                        cmp,
-                        value.parse().map_err(|_| format!("bad int {value:?}"))?,
-                    ),
-                    ColumnType::Float => Predicate::float(
-                        col,
-                        cmp,
-                        value.parse().map_err(|_| format!("bad float {value:?}"))?,
-                    ),
-                    ColumnType::Str => Predicate::Str {
-                        column: col.to_string(),
-                        cmp,
-                        value: value.to_string(),
-                    },
-                };
+                let pred = build_predicate(t.schema(), col, op, value)?;
                 let r = self.ringo.select(t, &pred).map_err(|e| e.to_string())?;
                 println!("table {out}: {} rows", r.n_rows());
                 self.tables.insert(out.to_string(), r);
+                Ok(true)
+            }
+            ["query", out, table, clauses @ ..] => {
+                let t = self.table(table)?;
+                let q = apply_clauses(&self.tables, self.ringo.query(t), clauses)?;
+                let r = q.collect().map_err(|e| e.to_string())?;
+                println!("table {out}: {} rows x {} cols", r.n_rows(), r.n_cols());
+                self.tables.insert(out.to_string(), r);
+                Ok(true)
+            }
+            ["explain", table, clauses @ ..] => {
+                let t = self.table(table)?;
+                let q = apply_clauses(&self.tables, self.ringo.query(t), clauses)?;
+                print!("{}", q.explain().map_err(|e| e.to_string())?);
                 Ok(true)
             }
             ["join", out, left, right, lcol, rcol] => {
@@ -467,6 +459,94 @@ impl Shell {
             _ => err("unknown command; try `help`"),
         }
     }
+}
+
+/// Builds a type-aware predicate for `col <op> value`, resolving the
+/// comparison type against `schema` (used by both the eager `select`
+/// command and the lazy `query`/`explain` where-clauses).
+fn build_predicate(schema: &Schema, col: &str, op: &str, value: &str) -> Result<Predicate, String> {
+    let cmp = match op {
+        "=" => Cmp::Eq,
+        "!=" => Cmp::Ne,
+        "<" => Cmp::Lt,
+        "<=" => Cmp::Le,
+        ">" => Cmp::Gt,
+        ">=" => Cmp::Ge,
+        other => return Err(format!("unknown operator {other:?}")),
+    };
+    let ci = schema.index_of(col).map_err(|e| e.to_string())?;
+    Ok(match schema.column_type(ci) {
+        ColumnType::Int => Predicate::int(
+            col,
+            cmp,
+            value.parse().map_err(|_| format!("bad int {value:?}"))?,
+        ),
+        ColumnType::Float => Predicate::float(
+            col,
+            cmp,
+            value.parse().map_err(|_| format!("bad float {value:?}"))?,
+        ),
+        ColumnType::Str => Predicate::Str {
+            column: col.to_string(),
+            cmp,
+            value: value.to_string(),
+        },
+    })
+}
+
+/// Applies `query`/`explain` clause tokens to a lazy builder:
+/// `where <col> <op> <value>`, `project <a,b,..>`,
+/// `join <table> <lcol> <rcol>`. Where-clause types resolve against the
+/// builder's current schema, so predicates after a join or projection
+/// see the derived columns.
+fn apply_clauses<'a>(
+    tables: &'a HashMap<String, Table>,
+    mut q: ringo::QueryBuilder<'a>,
+    clauses: &[&str],
+) -> Result<ringo::QueryBuilder<'a>, String> {
+    let mut i = 0;
+    while i < clauses.len() {
+        match clauses[i] {
+            "where" => {
+                let [col, op, value] = clauses[i + 1..]
+                    .get(..3)
+                    .ok_or("where needs <col> <op> <value>")?
+                else {
+                    unreachable!("get(..3) yields 3 tokens");
+                };
+                let schema = q.schema().map_err(|e| e.to_string())?;
+                q = q.select(&build_predicate(&schema, col, op, value)?);
+                i += 4;
+            }
+            "project" => {
+                let spec = clauses
+                    .get(i + 1)
+                    .ok_or("project needs a comma-separated column list")?;
+                let cols: Vec<&str> = spec.split(',').collect();
+                q = q.project(&cols);
+                i += 2;
+            }
+            "join" => {
+                let [name, lcol, rcol] = clauses[i + 1..]
+                    .get(..3)
+                    .ok_or("join needs <table> <lcol> <rcol>")?
+                else {
+                    unreachable!("get(..3) yields 3 tokens");
+                };
+                let t = tables
+                    .get(*name)
+                    .ok_or(format!("no table named {name:?}"))?;
+                q = q.join(t, lcol, rcol);
+                i += 4;
+            }
+            other => {
+                return Err(format!(
+                    "unknown clause {other:?} (want where/project/join)"
+                ))
+            }
+        }
+    }
+    Ok(q)
 }
 
 fn main() {

@@ -1,0 +1,311 @@
+//! Lazy-plan correctness: the optimized, late-materializing executor is
+//! observationally identical to the eager verb chain — same schema, same
+//! rows in the same order, same row ids, bit-identical floats — for
+//! random multi-step pipelines, and `collect()` runs exactly one gather
+//! pass (visible in the op-log record's `gathers=` field).
+
+use ringo::gen::edges_to_table;
+use ringo::{AggOp, Cmp, ColumnType, Predicate, Ringo, Table, Value};
+use ringo_rng::Rng64;
+
+const CASES: u64 = 48;
+
+fn for_cases(name: &str, body: impl Fn(&mut Rng64)) {
+    for case in 0..CASES {
+        let seed = name
+            .bytes()
+            .fold(case.wrapping_mul(0x9E37_79B9_7F4A_7C15), |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01B3)
+            });
+        body(&mut Rng64::new(seed));
+    }
+}
+
+/// An R-MAT-derived base table: skewed int edge endpoints plus a float
+/// weight and a low-cardinality string tag.
+fn rmat_table(rng: &mut Rng64, threads: usize) -> Table {
+    let scale = 0.0005 + rng.f64() * 0.002;
+    let edges = ringo::gen::lj_like(scale, rng.u64());
+    let mut t = edges_to_table(&edges);
+    let n = t.n_rows();
+    t.add_float_column(
+        "w",
+        (0..n).map(|i| ((i * 37) % 101) as f64 * 0.25).collect(),
+    )
+    .unwrap();
+    let tags = ["red", "green", "blue"];
+    let tag_vals: Vec<&str> = (0..n).map(|i| tags[i % tags.len()]).collect();
+    t.add_str_column("tag", &tag_vals).unwrap();
+    t.set_threads(threads);
+    t
+}
+
+/// A small int-keyed dimension table to join against.
+fn dim_table(rng: &mut Rng64, threads: usize) -> Table {
+    let n = 16 + rng.below(64) as i64;
+    let mut t = Table::from_int_column("k", (0..n).collect());
+    t.add_float_column("boost", (0..n).map(|v| v as f64 * 1.5).collect())
+        .unwrap();
+    t.set_threads(threads);
+    t
+}
+
+fn random_predicate(rng: &mut Rng64, schema: &ringo::Schema) -> Predicate {
+    let ci = rng.below(schema.len());
+    let (name, ty) = (schema.name(ci).to_string(), schema.column_type(ci));
+    let cmp = [Cmp::Lt, Cmp::Le, Cmp::Eq, Cmp::Ne, Cmp::Ge, Cmp::Gt][rng.below(6)];
+    match ty {
+        ColumnType::Int => Predicate::int(&name, cmp, rng.range_i64(0..400)),
+        ColumnType::Float => Predicate::float(&name, cmp, rng.f64() * 25.0),
+        ColumnType::Str => Predicate::Str {
+            column: name,
+            cmp: if rng.bool() { Cmp::Eq } else { Cmp::Ne },
+            value: ["red", "green", "blue", "absent"][rng.below(4)].to_string(),
+        },
+    }
+}
+
+fn assert_tables_identical(lazy: &Table, eager: &Table, ctx: &str) {
+    assert_eq!(lazy.n_rows(), eager.n_rows(), "{ctx}: row count");
+    assert_eq!(lazy.n_cols(), eager.n_cols(), "{ctx}: col count");
+    let lnames: Vec<&str> = lazy.schema().iter().map(|(n, _)| n).collect();
+    let enames: Vec<&str> = eager.schema().iter().map(|(n, _)| n).collect();
+    assert_eq!(lnames, enames, "{ctx}: column names");
+    assert_eq!(lazy.row_ids(), eager.row_ids(), "{ctx}: row ids");
+    for (name, _) in eager.schema().iter() {
+        for row in 0..eager.n_rows() {
+            let a = lazy.get(row, name).unwrap();
+            let b = eager.get(row, name).unwrap();
+            let same = match (&a, &b) {
+                (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+                _ => a == b,
+            };
+            assert!(same, "{ctx}: cell [{row}][{name}]: {a:?} != {b:?}");
+        }
+    }
+}
+
+/// Random 2–5 step pipelines: lazy `collect()` over the optimized plan
+/// equals the eager verb chain step for step, at 1, 2 and 4 threads.
+#[test]
+fn random_pipelines_lazy_equals_eager() {
+    for_cases("random_pipelines_lazy_equals_eager", |rng| {
+        let threads = [1usize, 2, 4][rng.below(3)];
+        let ringo = Ringo::with_threads(threads);
+        let base = rmat_table(rng, threads);
+        let dim = dim_table(rng, threads);
+        let steps = 2 + rng.below(4);
+        let mut q = ringo.query(&base);
+        let mut eager = base.clone();
+        let mut joined = false;
+        let mut desc = String::new();
+        for _ in 0..steps {
+            let schema = eager.schema().clone();
+            match rng.below(5) {
+                0 => {
+                    let p = random_predicate(rng, &schema);
+                    desc.push_str(" select");
+                    q = q.select(&p);
+                    eager = eager.select(&p).unwrap();
+                }
+                1 => {
+                    // Random non-empty subset of columns, in random order.
+                    let mut cols: Vec<String> = schema.iter().map(|(n, _)| n.to_string()).collect();
+                    rng.shuffle(&mut cols);
+                    cols.truncate(1 + rng.below(cols.len()));
+                    let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    desc.push_str(" project");
+                    q = q.project(&refs);
+                    eager = eager.project(&refs).unwrap();
+                }
+                2 => {
+                    let ci = rng.below(schema.len());
+                    let col = schema.name(ci).to_string();
+                    let asc = rng.bool();
+                    desc.push_str(" order");
+                    q = q.order_by(&[&col], asc);
+                    eager.order_by(&[&col], asc).unwrap();
+                }
+                3 if !joined => {
+                    // Join on the first visible int column, if any.
+                    let Some(col) = schema
+                        .iter()
+                        .find(|(_, ty)| *ty == ColumnType::Int)
+                        .map(|(n, _)| n.to_string())
+                    else {
+                        continue;
+                    };
+                    joined = true;
+                    desc.push_str(" join");
+                    q = q.join(&dim, &col, "k");
+                    eager = eager.join(&dim, &col, "k").unwrap();
+                }
+                _ => {
+                    let keys: Vec<String> = schema
+                        .iter()
+                        .filter(|(_, ty)| *ty != ColumnType::Float)
+                        .map(|(n, _)| n.to_string())
+                        .take(1 + rng.below(2))
+                        .collect();
+                    if keys.is_empty() {
+                        continue;
+                    }
+                    let krefs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                    let agg = schema
+                        .iter()
+                        .find(|(_, ty)| *ty == ColumnType::Float)
+                        .map(|(n, _)| n.to_string());
+                    let (agg_col, op) = match &agg {
+                        Some(a) if rng.bool() => (
+                            Some(a.as_str()),
+                            [AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::Mean][rng.below(4)],
+                        ),
+                        _ => (None, AggOp::Count),
+                    };
+                    desc.push_str(" group");
+                    q = q.group_by(&krefs, agg_col, op, "agg_out");
+                    eager = eager.group_by(&krefs, agg_col, op, "agg_out").unwrap();
+                }
+            }
+        }
+        let lazy = q.collect().unwrap();
+        assert_tables_identical(&lazy, &eager, &format!("threads={threads} steps:{desc}"));
+        assert_eq!(lazy.threads(), threads);
+    });
+}
+
+/// A select→select→project chain gathers column data exactly once, and
+/// the op-log's `query` record proves it.
+#[test]
+fn chain_materializes_exactly_once() {
+    let ringo = Ringo::with_threads(4);
+    let mut t = Table::from_int_column("id", (0..100_000).collect());
+    t.add_int_column("bucket", (0..100_000).map(|v| v % 97).collect())
+        .unwrap();
+    t.add_float_column("w", (0..100_000).map(|v| v as f64).collect())
+        .unwrap();
+    let out = ringo
+        .query(&t)
+        .select(&Predicate::int("id", Cmp::Lt, 50_000))
+        .select(&Predicate::int("bucket", Cmp::Eq, 13))
+        .project(&["id", "w"])
+        .collect()
+        .unwrap();
+    let eager = t
+        .select(&Predicate::int("id", Cmp::Lt, 50_000))
+        .unwrap()
+        .select(&Predicate::int("bucket", Cmp::Eq, 13))
+        .unwrap()
+        .project(&["id", "w"])
+        .unwrap();
+    assert_tables_identical(&out, &eager, "3-step chain");
+    let log = ringo.op_log();
+    let rec = log.iter().rev().find(|r| r.name == "query").unwrap();
+    assert!(
+        rec.params.ends_with("gathers=1"),
+        "one gather pass: {}",
+        rec.params
+    );
+    assert_eq!(
+        rec.params.matches("select[").count(),
+        1,
+        "selects fused into one executed node: {}",
+        rec.params
+    );
+}
+
+/// `explain` surfaces every optimizer rule: fusion counts, pushdown
+/// markers, pruned projections and pruned join widths.
+#[test]
+fn explain_reports_fused_pushed_pruned() {
+    let ringo = Ringo::with_threads(2);
+    let mut t = Table::from_int_column("a", (0..100).collect());
+    t.add_int_column("b", (0..100).map(|v| v % 5).collect())
+        .unwrap();
+    t.add_int_column("unused", vec![0; 100]).unwrap();
+    let plan = ringo
+        .query(&t)
+        .project(&["a", "b"])
+        .select(&Predicate::int("a", Cmp::Ge, 10))
+        .select(&Predicate::int("b", Cmp::Eq, 2))
+        .explain()
+        .unwrap();
+    assert!(plan.contains("(fused 2)"), "fusion marker:\n{plan}");
+    assert!(plan.contains("(pushed)"), "pushdown marker:\n{plan}");
+
+    // Column pruning: group-by needs only its key and aggregate source,
+    // so the scan gets a synthetic pruned projection.
+    let plan = ringo
+        .query(&t)
+        .group_by(&["b"], Some("a"), AggOp::Sum, "s")
+        .explain()
+        .unwrap();
+    assert!(
+        plan.contains("Project [a, b] (pruned)"),
+        "scan pruning:\n{plan}"
+    );
+
+    // Join pruning: downstream projection onto one column narrows the
+    // join to keep=[...] and prunes both inputs.
+    let dim = Table::from_int_column("k", (0..5).collect());
+    let plan = ringo
+        .query(&t)
+        .join(&dim, "b", "k")
+        .project(&["a"])
+        .explain()
+        .unwrap();
+    assert!(plan.contains("keep=["), "join keep list:\n{plan}");
+    assert!(plan.contains("(pruned)"), "join pruning:\n{plan}");
+}
+
+/// Optimization cannot legalize an invalid query: a predicate over a
+/// projected-away column fails exactly like the eager chain, even
+/// though pushdown would move the select below the projection.
+#[test]
+fn projected_away_column_errors_match_eager() {
+    let ringo = Ringo::with_threads(2);
+    let mut t = Table::from_int_column("a", (0..50).collect());
+    t.add_int_column("b", (0..50).collect()).unwrap();
+    let lazy_err = ringo
+        .query(&t)
+        .project(&["a"])
+        .select(&Predicate::int("b", Cmp::Lt, 10))
+        .collect()
+        .unwrap_err();
+    let eager_err = t
+        .project(&["a"])
+        .unwrap()
+        .select(&Predicate::int("b", Cmp::Lt, 10))
+        .unwrap_err();
+    assert_eq!(lazy_err.to_string(), eager_err.to_string());
+}
+
+/// Row ids thread through arbitrary select/order/project chains so
+/// provenance survives the lazy path (each output row traces to its
+/// source row in the base table).
+#[test]
+fn row_ids_trace_to_base_rows() {
+    for_cases("row_ids_trace_to_base_rows", |rng| {
+        let threads = [1usize, 2, 4][rng.below(3)];
+        let ringo = Ringo::with_threads(threads);
+        let base = rmat_table(rng, threads);
+        let src: Vec<i64> = base.int_col("src").unwrap().to_vec();
+        let out = ringo
+            .query(&base)
+            .select(&Predicate::int("src", Cmp::Ge, rng.range_i64(0..200)))
+            .order_by(&["dst"], rng.bool())
+            .project(&["src", "tag"])
+            .collect()
+            .unwrap();
+        for (pos, rid) in out.row_ids().iter().enumerate() {
+            let got = match out.get(pos, "src").unwrap() {
+                Value::Int(v) => v,
+                other => panic!("int col, got {other:?}"),
+            };
+            assert_eq!(
+                got, src[*rid as usize],
+                "row {pos} traces to base row {rid}"
+            );
+        }
+    });
+}

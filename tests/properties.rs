@@ -423,6 +423,123 @@ fn triad_census_total() {
     });
 }
 
+/// Float radix sort via the IEEE-754 total-order key transform equals
+/// the standard library's stable sort under `f64::total_cmp`, for both
+/// directions, at every thread count, on adversarial values: NaNs of
+/// both signs, ±0, ±infinity, subnormals, and ordinary magnitudes.
+#[test]
+fn float_radix_key_matches_total_order_sort() {
+    use ringo::concurrent::f64_key;
+    for_cases("float_radix_key_matches_total_order_sort", |rng| {
+        let len = rng.below(SEQ_THRESHOLD * 2);
+        let data: Vec<(f64, usize)> = (0..len)
+            .map(|i| {
+                let v = match rng.below(8) {
+                    0 => f64::NAN,
+                    1 => -f64::NAN,
+                    2 => {
+                        if rng.bool() {
+                            0.0
+                        } else {
+                            -0.0
+                        }
+                    }
+                    3 => {
+                        if rng.bool() {
+                            f64::INFINITY
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    }
+                    // Subnormals: tiny positive/negative bit patterns.
+                    4 => {
+                        f64::from_bits(1 + rng.u64() % 0xF_FFFF_FFFF_FFFF)
+                            * if rng.bool() { 1.0 } else { -1.0 }
+                    }
+                    5 => rng.range_i64(-6..6) as f64,
+                    _ => (rng.f64() - 0.5) * 1e12,
+                };
+                (v, i)
+            })
+            .collect();
+        for ascending in [true, false] {
+            let mut expect = data.clone();
+            // std stable sort: ties (including identical NaN payloads)
+            // keep input order — the radix path must match exactly.
+            if ascending {
+                expect.sort_by(|a, b| a.0.total_cmp(&b.0));
+            } else {
+                expect.sort_by(|a, b| b.0.total_cmp(&a.0));
+            }
+            for threads in [1usize, 2, 4] {
+                let mut ours = data.clone();
+                radix_sort_by_u64_key(&mut ours, threads, |&(v, _)| {
+                    if ascending {
+                        f64_key(v)
+                    } else {
+                        !f64_key(v)
+                    }
+                });
+                let got: Vec<(u64, usize)> = ours.iter().map(|&(v, i)| (v.to_bits(), i)).collect();
+                let want: Vec<(u64, usize)> =
+                    expect.iter().map(|&(v, i)| (v.to_bits(), i)).collect();
+                assert_eq!(got, want, "len={len} asc={ascending} threads={threads}");
+            }
+        }
+    });
+}
+
+/// `order_by` on a float column (radix path) equals the comparison sort
+/// on an equivalent table, including NaN placement and row-id order.
+#[test]
+fn float_order_by_matches_total_cmp() {
+    for_cases("float_order_by_matches_total_cmp", |rng| {
+        let len = rng.below(3_000);
+        let vals: Vec<f64> = (0..len)
+            .map(|_| match rng.below(5) {
+                0 => f64::NAN,
+                1 => -f64::NAN,
+                2 => {
+                    if rng.bool() {
+                        0.0
+                    } else {
+                        -0.0
+                    }
+                }
+                _ => (rng.f64() - 0.5) * 1e6,
+            })
+            .collect();
+        let ascending = rng.bool();
+        let mut t = ringo::Table::new(ringo::Schema::new([("x", ringo::ColumnType::Float)]));
+        for v in &vals {
+            t.push_row(&[ringo::Value::Float(*v)]).unwrap();
+        }
+        t.set_threads(rng.range_usize(1..5));
+        t.order_by(&["x"], ascending).unwrap();
+        // Reference: stable sort of (value, original position).
+        let mut expect: Vec<(f64, u64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u64))
+            .collect();
+        if ascending {
+            expect.sort_by(|a, b| a.0.total_cmp(&b.0));
+        } else {
+            expect.sort_by(|a, b| b.0.total_cmp(&a.0));
+        }
+        let got_bits: Vec<u64> = t
+            .float_col("x")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let want_bits: Vec<u64> = expect.iter().map(|(v, _)| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits);
+        let want_ids: Vec<u64> = expect.iter().map(|(_, id)| *id).collect();
+        assert_eq!(t.row_ids(), &want_ids[..], "stable: ties keep row order");
+    });
+}
+
 /// Subgraph induced on all nodes is the identity; on a subset, every
 /// surviving edge has both endpoints inside.
 #[test]
