@@ -152,6 +152,60 @@ fn main() {
         );
     }
 
+    // Thread-scaling sweep over the lazy pipelines: same tables, same
+    // plans, table-level thread setting swept 1→8. The pool itself is
+    // sized by RINGO_THREADS, so run with RINGO_THREADS=8 (or more) for
+    // the sweep to expose real parallelism; morsel partitioning keeps the
+    // outputs bit-identical at every point of the sweep.
+    println!("=== lazy plan thread scaling, {N} rows ===");
+    let mut scaling: Vec<(usize, f64, f64)> = Vec::new();
+    let mut st = base_table(N, 1);
+    let mut sdim = dim.clone();
+    for &th in &[1usize, 2, 4, 8] {
+        st.set_threads(th);
+        sdim.set_threads(th);
+        let mut ssp = Vec::with_capacity(iters);
+        let mut sspj = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let start = Instant::now();
+            std::hint::black_box(
+                ringo
+                    .query(&st)
+                    .select(&p1)
+                    .select(&p2)
+                    .project(&["id", "w"])
+                    .collect()
+                    .unwrap(),
+            );
+            ssp.push(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            std::hint::black_box(
+                ringo
+                    .query(&st)
+                    .select(&p1)
+                    .select(&p2)
+                    .project(&["id", "bucket", "w"])
+                    .join(&sdim, "bucket", "k")
+                    .collect()
+                    .unwrap(),
+            );
+            sspj.push(start.elapsed().as_secs_f64());
+        }
+        scaling.push((th, median(ssp), median(sspj)));
+    }
+    let base_ssp = scaling[0].1;
+    let base_sspj = scaling[0].2;
+    for &(th, ssp, sspj) in &scaling {
+        println!(
+            "threads={th}: select_select_project {:>8.2}ms ({:.2}x)   \
+             select_select_project_join {:>8.2}ms ({:.2}x)",
+            ssp * 1e3,
+            base_ssp / ssp,
+            sspj * 1e3,
+            base_sspj / sspj
+        );
+    }
+
     // Hand-rolled JSON (no serde in the hermetic workspace).
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"plan\",\n");
@@ -169,6 +223,21 @@ fn main() {
             c.lazy_s * 1e3,
             c.eager_s / c.lazy_s,
             if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scaling\": [\n");
+    for (i, &(th, ssp, sspj)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {th}, \"select_select_project_ms\": {:.3}, \
+             \"select_select_project_speedup\": {:.2}, \
+             \"select_select_project_join_ms\": {:.3}, \
+             \"select_select_project_join_speedup\": {:.2}}}{}\n",
+            ssp * 1e3,
+            base_ssp / ssp,
+            sspj * 1e3,
+            base_sspj / sspj,
+            if i + 1 < scaling.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -37,7 +37,11 @@ pub mod sync;
 
 pub use atomic_vec::ConcurrentVec;
 pub use hash_table::{ConcurrentIntTable, IntHashTable};
-pub use parallel::{num_threads, parallel_for, parallel_map, parallel_reduce, DisjointSlice};
+pub use parallel::{
+    morsel_bounds, morsel_rows, num_threads, parallel_for, parallel_for_dynamic,
+    parallel_for_morsels, parallel_map, parallel_map_morsels, parallel_reduce, DisjointSlice,
+    MorselStats, DEFAULT_MORSEL_ROWS,
+};
 pub use pool::{pool_stats, Pool, PoolStats};
 pub use radix::{
     f64_key, i64_key, radix_sort_by_u64_key, radix_sort_i64, radix_sort_pairs, radix_sort_u64,

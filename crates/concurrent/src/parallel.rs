@@ -151,6 +151,151 @@ where
         .fold(init, combine)
 }
 
+/// Default rows per morsel for morsel-driven operators: small enough that
+/// a worst-case `u32` hit list per morsel (256KB) stays cache-resident,
+/// large enough that claiming a morsel from the pool's shared counter is
+/// noise next to scanning it.
+pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
+
+/// Rows per morsel: `RINGO_MORSEL_ROWS` if set and positive, otherwise
+/// [`DEFAULT_MORSEL_ROWS`]. Parsed once; an invalid value warns to stderr
+/// (same policy as `RINGO_THREADS`).
+pub fn morsel_rows() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("RINGO_MORSEL_ROWS") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => return n,
+                _ => eprintln!(
+                    "ringo: ignoring invalid RINGO_MORSEL_ROWS={v:?} \
+                     (expected a positive integer); using {DEFAULT_MORSEL_ROWS}"
+                ),
+            }
+        }
+        DEFAULT_MORSEL_ROWS
+    })
+}
+
+/// Splits `0..len` into fixed-size morsels of [`morsel_rows`] rows (the
+/// last morsel may be short). Returns morsel boundaries like
+/// [`chunk_bounds`]. Unlike `chunk_bounds`, the partition depends only on
+/// `len` — **never** on the thread count — which is what lets
+/// morsel-driven operators produce bit-identical results (including
+/// float accumulation order) at every thread count.
+pub fn morsel_bounds(len: usize) -> Vec<usize> {
+    let m = morsel_rows();
+    let n = len.div_ceil(m).max(1);
+    let mut bounds = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        bounds.push(i * m);
+    }
+    bounds.push(len);
+    bounds
+}
+
+/// How a morsel-driven dispatch actually ran: how many morsels the index
+/// space split into and how many distinct threads executed at least one
+/// of them (the *effective* worker count — what the plan executor
+/// surfaces per node).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MorselStats {
+    /// Morsels dispatched (≥ 1 for any non-degenerate input).
+    pub morsels: u32,
+    /// Distinct threads that executed at least one morsel.
+    pub workers: u32,
+}
+
+/// Runs `body(morsel_index, index_range)` over `0..len` split into
+/// fixed-size morsels (see [`morsel_bounds`]) and collects one result per
+/// morsel, **in morsel order**. Morsels are claimed dynamically from the
+/// pool's shared counter, so a worker stuck on an expensive morsel does
+/// not hold up the rest — the morsel-driven scheduling discipline, in
+/// contrast to [`parallel_map`]'s static one-chunk-per-worker split.
+///
+/// With `threads <= 1` the morsels run inline on the calling thread, in
+/// order — the *same* per-morsel partition, so partial results (and any
+/// float accumulation order derived from them) are identical at every
+/// thread count.
+pub fn parallel_map_morsels<T, F>(len: usize, threads: usize, body: F) -> (Vec<T>, MorselStats)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let bounds = morsel_bounds(len);
+    let morsels = bounds.len() - 1;
+    if threads <= 1 || morsels <= 1 {
+        let out = (0..morsels)
+            .map(|m| body(m, bounds[m]..bounds[m + 1]))
+            .collect();
+        return (
+            out,
+            MorselStats {
+                morsels: morsels as u32,
+                workers: 1,
+            },
+        );
+    }
+    let mut slots: Vec<Option<T>> = (0..morsels).map(|_| None).collect();
+    let workers: std::sync::Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+        std::sync::Mutex::new(std::collections::HashSet::new());
+    {
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        Pool::global().run(morsels, &|m| {
+            let result = body(m, bounds[m]..bounds[m + 1]);
+            workers
+                .lock()
+                .expect("morsel worker set poisoned")
+                .insert(std::thread::current().id());
+            // SAFETY: morsel `m` exclusively owns slot `m`; the vector
+            // outlives the blocking `run` call.
+            unsafe { *slots_ptr.get().add(m) = Some(result) };
+        });
+    }
+    let distinct = workers
+        .into_inner()
+        .expect("morsel worker set poisoned")
+        .len();
+    (
+        slots
+            .into_iter()
+            .map(|s| s.expect("every morsel fills its slot"))
+            .collect(),
+        MorselStats {
+            morsels: morsels as u32,
+            workers: distinct as u32,
+        },
+    )
+}
+
+/// [`parallel_map_morsels`] without per-morsel results: runs
+/// `body(morsel_index, index_range)` for every morsel, dynamically
+/// scheduled. Callers that write output do so through disjoint windows
+/// (per-morsel offsets), exactly like the static [`parallel_for`] users.
+pub fn parallel_for_morsels<F>(len: usize, threads: usize, body: F) -> MorselStats
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let (_, stats) = parallel_map_morsels(len, threads, body);
+    stats
+}
+
+/// Runs `body(i)` for every `i` in `0..items` with items claimed
+/// dynamically from the pool's shared counter — load balancing for
+/// heterogeneous work items (e.g. skewed radix buckets) where a static
+/// contiguous split would serialize behind the biggest item.
+pub fn parallel_for_dynamic<F>(items: usize, threads: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 || items <= 1 {
+        for i in 0..items {
+            body(i);
+        }
+        return;
+    }
+    Pool::global().run(items, &|i| body(i));
+}
+
 /// Applies `body(chunk_index, chunk_start, chunk)` to disjoint mutable
 /// chunks of `data`, one chunk per worker. This is the write-side
 /// counterpart of [`parallel_for`]: threads share nothing, so no locking is

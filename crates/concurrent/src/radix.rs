@@ -54,7 +54,9 @@
 //! library sort, where radix setup (histograms + aux buffer) would
 //! dominate.
 
-use crate::parallel::{chunk_bounds, parallel_for, parallel_map, DisjointSlice};
+use crate::parallel::{
+    chunk_bounds, parallel_for, parallel_for_dynamic, parallel_map, DisjointSlice,
+};
 
 /// Inputs shorter than this use the standard library sort instead of the
 /// radix machinery (aux buffer + `workers × 8 × 256` histogram setup).
@@ -318,28 +320,30 @@ pub fn radix_sort_pairs(data: &mut [(i64, i64)], threads: usize) {
     // Finish pass: each bucket holds a narrow, cache-sized key range;
     // sort it in place and unpack it home while it is still warm. When
     // the bucket index already consumed every varying bit, buckets are
-    // all-equal and only the unpack remains.
+    // all-equal and only the unpack remains. Buckets are claimed
+    // *dynamically* from the pool's shared counter rather than cut into
+    // static contiguous runs: skewed data (an R-MAT hub vertex can own a
+    // bucket holding a large fraction of all edges) would otherwise
+    // serialize a whole chunk of buckets behind the one hot bucket.
     let need_sort = total_bits > bucket_bits;
     let aux_cell = DisjointSlice::new(&mut aux);
     let data_cell = DisjointSlice::new(data);
-    parallel_for(buckets, threads, |_, range| {
-        for b in range {
-            let (lo, hi) = (offsets[b], offsets[b + 1]);
-            if lo == hi {
-                continue;
-            }
-            // SAFETY: bucket ranges are disjoint.
-            let chunk = unsafe { aux_cell.slice_mut(lo, hi) };
-            if need_sort {
-                chunk.sort_unstable();
-            }
-            // SAFETY: bucket ranges are disjoint (same windows as above).
-            let home = unsafe { data_cell.slice_mut(lo, hi) };
-            for (slot, &p) in home.iter_mut().zip(chunk.iter()) {
-                let s = un_i64_key(s_const | (p.wrapping_shr(bits_d as u32) & s_mask));
-                let d = un_i64_key(d_const | (p & d_mask));
-                *slot = (s, d);
-            }
+    parallel_for_dynamic(buckets, threads, |b| {
+        let (lo, hi) = (offsets[b], offsets[b + 1]);
+        if lo == hi {
+            return;
+        }
+        // SAFETY: bucket ranges are disjoint.
+        let chunk = unsafe { aux_cell.slice_mut(lo, hi) };
+        if need_sort {
+            chunk.sort_unstable();
+        }
+        // SAFETY: bucket ranges are disjoint (same windows as above).
+        let home = unsafe { data_cell.slice_mut(lo, hi) };
+        for (slot, &p) in home.iter_mut().zip(chunk.iter()) {
+            let s = un_i64_key(s_const | (p.wrapping_shr(bits_d as u32) & s_mask));
+            let d = un_i64_key(d_const | (p & d_mask));
+            *slot = (s, d);
         }
     });
 }

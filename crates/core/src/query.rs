@@ -7,8 +7,10 @@
 //! pruning) and executes it with late materialization: column data is
 //! gathered exactly once, at [`QueryBuilder::collect`]. The op-log
 //! records one `"query"` entry whose params line is the optimized plan
-//! shape with per-operator output cardinalities, e.g.
-//! `scan[1000000] select[37] project[37] collect[37] gathers=1`.
+//! shape with per-operator output cardinalities — morsel-driven nodes
+//! add their dispatch stats inside the brackets — e.g.
+//! `scan[1000000] select[37 m16 w4] project[37] collect[37] gathers=1`
+//! (16 morsels executed by 4 distinct pool workers).
 
 use crate::{Result, Ringo};
 use ringo_table::exec;
@@ -134,6 +136,19 @@ impl<'a> QueryBuilder<'a> {
         Ok(optimized.display(&self.tables))
     }
 
+    /// Like [`QueryBuilder::explain`], but actually executes the
+    /// optimized plan and annotates every node with its observed output
+    /// cardinality plus, for morsel-driven operators, how many morsels
+    /// were dispatched and how many pool workers ran them. The
+    /// materialized output table is discarded; no `"query"` op-log
+    /// record is written.
+    pub fn explain_analyze(&self) -> Result<String> {
+        self.plan.schema(&self.tables)?;
+        let optimized = self.plan.clone().optimize(&self.tables)?;
+        let executed = exec::execute(&optimized, &self.tables)?;
+        Ok(optimized.display_executed(&self.tables, &executed.stats, executed.gathers))
+    }
+
     /// Validates and optimizes the plan, executes it with one gather
     /// pass, logs a `"query"` op-log record with the executed plan
     /// shape, and returns the materialized table.
@@ -153,7 +168,18 @@ impl<'a> QueryBuilder<'a> {
 
         let mut params = String::new();
         for stat in &executed.stats {
-            let _ = write!(params, "{}[{}] ", stat.op, stat.rows_out);
+            // Morsel-driven nodes record their dispatch inside the
+            // brackets: `select[5155 m16 w4]` = 5155 rows out, 16 morsels
+            // executed by 4 distinct pool workers.
+            if stat.morsels > 0 {
+                let _ = write!(
+                    params,
+                    "{}[{} m{} w{}] ",
+                    stat.op, stat.rows_out, stat.morsels, stat.workers
+                );
+            } else {
+                let _ = write!(params, "{}[{}] ", stat.op, stat.rows_out);
+            }
         }
         let _ = write!(params, "gathers={}", executed.gathers);
         let mut table = executed.table;

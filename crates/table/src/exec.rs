@@ -13,11 +13,17 @@
 //!
 //! Each executed node records a `plan.<op>` trace span; the single
 //! gather records the `table.gather` span, so one `table.gather` per
-//! `collect()` is observable in trace output.
+//! `collect()` is observable in trace output. Morsel-driven operators
+//! (select, join, group) additionally record a `plan.morsel.<op>` span
+//! whose rows-in is the number of morsels dispatched and rows-out the
+//! number of distinct pool workers that executed at least one of them —
+//! the per-node parallelism record that `explain`-with-stats and the
+//! op-log surface.
 
 use crate::ops::join::{self, JoinOutCol, JoinSide};
 use crate::plan::{Plan, Side};
 use crate::{Predicate, Result, Schema, Table, TableError};
+use ringo_concurrent::MorselStats;
 
 /// Cardinality record for one executed plan node, in post-order.
 #[derive(Clone, Debug)]
@@ -27,6 +33,42 @@ pub struct NodeStat {
     pub op: &'static str,
     /// Rows flowing out of the node.
     pub rows_out: u64,
+    /// Morsels dispatched by the node's kernel (0 for nodes that are not
+    /// morsel-driven: scan, project, order, nextk, collect).
+    pub morsels: u32,
+    /// Distinct pool workers that executed at least one morsel (0 when
+    /// `morsels` is 0).
+    pub workers: u32,
+}
+
+impl NodeStat {
+    fn new(op: &'static str, rows_out: u64) -> Self {
+        NodeStat {
+            op,
+            rows_out,
+            morsels: 0,
+            workers: 0,
+        }
+    }
+
+    fn with_morsels(op: &'static str, rows_out: u64, m: MorselStats) -> Self {
+        NodeStat {
+            op,
+            rows_out,
+            morsels: m.morsels,
+            workers: m.workers,
+        }
+    }
+}
+
+/// Records the `plan.morsel.<op>` dispatch span: rows-in = morsels
+/// dispatched, rows-out = distinct workers that ran them.
+macro_rules! morsel_span {
+    ($name:literal, $stats:expr) => {{
+        let mut msp = ringo_trace::span!($name);
+        msp.rows_in($stats.morsels as usize);
+        msp.rows_out($stats.workers as usize);
+    }};
 }
 
 /// The result of executing a plan: the output table plus the per-node
@@ -112,10 +154,7 @@ pub fn execute(plan: &Plan, tables: &[&Table]) -> Result<Executed> {
     let frame = run(plan, tables, &mut stats)?;
     let mut gathers = 0u32;
     let table = collect_frame(frame, &mut gathers)?;
-    stats.push(NodeStat {
-        op: "collect",
-        rows_out: table.n_rows() as u64,
-    });
+    stats.push(NodeStat::new("collect", table.n_rows() as u64));
     Ok(Executed {
         table,
         stats,
@@ -142,10 +181,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
                     tables.len()
                 ))
             })?;
-            stats.push(NodeStat {
-                op: "scan",
-                rows_out: t.n_rows() as u64,
-            });
+            stats.push(NodeStat::new("scan", t.n_rows() as u64));
             Ok(Frame {
                 rows: Rows::Borrowed(t),
                 sel: None,
@@ -159,15 +195,13 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             let mut sp = ringo_trace::span!("plan.select");
             sp.rows_in(frame.n_rows());
             validate_pred_cols(&frame, predicate)?;
-            let sel = frame
+            let (sel, mstats) = frame
                 .rows
                 .table()
-                .select_sel(predicate, frame.sel.as_deref())?;
+                .select_sel_stats(predicate, frame.sel.as_deref())?;
+            morsel_span!("plan.morsel.select", mstats);
             sp.rows_out(sel.len());
-            stats.push(NodeStat {
-                op: "select",
-                rows_out: sel.len() as u64,
-            });
+            stats.push(NodeStat::with_morsels("select", sel.len() as u64, mstats));
             Ok(Frame {
                 rows: frame.rows,
                 sel: Some(sel),
@@ -183,10 +217,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
                 .iter()
                 .map(|c| frame.col_index(c))
                 .collect::<Result<Vec<usize>>>()?;
-            stats.push(NodeStat {
-                op: "project",
-                rows_out: frame.n_rows() as u64,
-            });
+            stats.push(NodeStat::new("project", frame.n_rows() as u64));
             Ok(Frame {
                 rows: frame.rows,
                 sel: frame.sel,
@@ -208,8 +239,9 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             let rt = rf.rows.table();
             let li = lf.col_index(left_col)?;
             let ri = rf.col_index(right_col)?;
-            let (lrows, rrows) =
-                join::join_pairs_sel(lt, rt, li, ri, lf.sel.as_deref(), rf.sel.as_deref())?;
+            let (lrows, rrows, mstats) =
+                join::join_pairs_sel_stats(lt, rt, li, ri, lf.sel.as_deref(), rf.sel.as_deref())?;
+            morsel_span!("plan.morsel.join", mstats);
             let out_cols: Vec<JoinOutCol> = match keep {
                 Some(kept) => kept
                     .iter()
@@ -251,10 +283,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             };
             let out = join::materialize_join_cols(lt, rt, &lrows, &rrows, &out_cols)?;
             sp.rows_out(out.n_rows());
-            stats.push(NodeStat {
-                op: "join",
-                rows_out: out.n_rows() as u64,
-            });
+            stats.push(NodeStat::with_morsels("join", out.n_rows() as u64, mstats));
             Ok(Frame {
                 rows: Rows::Owned(out),
                 sel: None,
@@ -278,18 +307,16 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
                 frame.col_index(a)?;
             }
             let gcols: Vec<&str> = group_cols.iter().map(String::as_str).collect();
-            let out = frame.rows.table().group_by_sel(
+            let (out, mstats) = frame.rows.table().group_by_sel(
                 &gcols,
                 agg_col.as_deref(),
                 *op,
                 out_name,
                 frame.sel.as_deref(),
             )?;
+            morsel_span!("plan.morsel.group", mstats);
             sp.rows_out(out.n_rows());
-            stats.push(NodeStat {
-                op: "group",
-                rows_out: out.n_rows() as u64,
-            });
+            stats.push(NodeStat::with_morsels("group", out.n_rows() as u64, mstats));
             Ok(Frame {
                 rows: Rows::Owned(out),
                 sel: None,
@@ -314,10 +341,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
                     .rows
                     .table()
                     .order_perm_sel(&scols, *ascending, frame.sel.as_deref())?;
-            stats.push(NodeStat {
-                op: "order",
-                rows_out: sel.len() as u64,
-            });
+            stats.push(NodeStat::new("order", sel.len() as u64));
             Ok(Frame {
                 rows: frame.rows,
                 sel: Some(sel),
@@ -351,10 +375,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             }
             let out = join::materialize_join_cols(t, t, &lrows, &rrows, &out_cols)?;
             sp.rows_out(out.n_rows());
-            stats.push(NodeStat {
-                op: "nextk",
-                rows_out: out.n_rows() as u64,
-            });
+            stats.push(NodeStat::new("nextk", out.n_rows() as u64));
             Ok(Frame {
                 rows: Rows::Owned(out),
                 sel: None,

@@ -6,6 +6,8 @@
 
 use crate::ops::rowkey::RowKey;
 use crate::{ColumnData, ColumnType, Result, Schema, Table, TableError};
+use ringo_concurrent::{parallel_map_morsels, MorselStats};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Aggregation functions for [`Table::group_by`].
@@ -57,7 +59,7 @@ impl Table {
     ) -> Result<Table> {
         let mut sp = ringo_trace::span!("table.group");
         sp.rows_in(self.n_rows());
-        let out = self.group_by_sel(group_cols, agg_col, op, out_name, None)?;
+        let (out, _) = self.group_by_sel(group_cols, agg_col, op, out_name, None)?;
         sp.rows_out(out.n_rows());
         Ok(out)
     }
@@ -67,6 +69,22 @@ impl Table {
     /// optional selection vector, hashing keys in `sel` order (so group ids
     /// keep first-appearance order, exactly as if the selection had been
     /// materialized first).
+    ///
+    /// Morsel-driven: each fixed-size row-range morsel builds a private
+    /// `key → accumulator` map, and the per-morsel partials are merged
+    /// sequentially in morsel order at the barrier. Because the morsel
+    /// partition depends only on the row count (never the thread count) and
+    /// every accumulator merge is associative in morsel order, the output
+    /// is bit-identical at every thread count.
+    ///
+    /// Accumulator representation (the correctness contract):
+    /// - Int `Sum`/`Min`/`Max`/`Mean` accumulate in `i64` — exact beyond
+    ///   2^53 where an `f64` accumulator silently rounds. Overflow policy:
+    ///   sums saturate at `i64::MIN`/`i64::MAX` rather than wrapping or
+    ///   panicking (documented, deterministic, and order-independent).
+    /// - `Var`/`Std` use Welford's online algorithm per morsel and Chan's
+    ///   parallel merge across morsels — no catastrophic cancellation for
+    ///   large-mean/small-spread data, unlike the naive `E[x²] − E[x]²`.
     pub(crate) fn group_by_sel(
         &self,
         group_cols: &[&str],
@@ -74,7 +92,7 @@ impl Table {
         op: AggOp,
         out_name: &str,
         sel: Option<&[u32]>,
-    ) -> Result<Table> {
+    ) -> Result<(Table, MorselStats)> {
         let gidx = self.col_indices(group_cols)?;
         let n = sel.map_or(self.n_rows(), <[u32]>::len);
         let row_at = |i: usize| -> usize {
@@ -83,25 +101,8 @@ impl Table {
                 None => i,
             }
         };
-        // Dense group ids aligned to selection positions.
-        let mut groups: HashMap<RowKey, i64> = HashMap::new();
-        let mut ids = Vec::with_capacity(n);
-        for i in 0..n {
-            let key = self.row_key(row_at(i), &gidx);
-            let next = groups.len() as i64;
-            ids.push(*groups.entry(key).or_insert(next));
-        }
-        let n_groups = groups.len();
 
-        // First-row representative per group (underlying positions), for
-        // the key columns.
-        let mut rep = vec![u32::MAX; n_groups];
-        for (i, &g) in ids.iter().enumerate() {
-            if rep[g as usize] == u32::MAX {
-                rep[g as usize] = row_at(i) as u32;
-            }
-        }
-
+        #[derive(Clone, Copy)]
         enum Src<'a> {
             None,
             Int(&'a [i64]),
@@ -130,56 +131,170 @@ impl Table {
             }
         };
 
-        let mut counts = vec![0i64; n_groups];
-        for &g in &ids {
-            counts[g as usize] += 1;
+        /// Per-group accumulator: which fields are live depends on
+        /// `(op, src)` — `i` for Int sum/min/max/mean, `f` for Float
+        /// sum/min/max/mean, `mean`/`m2` for Welford Var/Std.
+        #[derive(Clone, Copy, Default)]
+        struct Acc {
+            i: i64,
+            f: f64,
+            mean: f64,
+            m2: f64,
         }
 
-        // Aggregate as f64 throughout; emit Int only for count and for
-        // int-column sum/min/max (exact for |values| < 2^53 per group).
-        let mut acc = vec![0f64; n_groups];
-        let mut acc_sq = vec![0f64; n_groups]; // for Var/Std
-        let mut have = vec![false; n_groups];
-        let fold = |acc: &mut f64, acc_sq: &mut f64, have: &mut bool, x: f64| match op {
-            AggOp::Count => {}
-            AggOp::Sum | AggOp::Mean => *acc += x,
-            AggOp::Var | AggOp::Std => {
-                *acc += x;
-                *acc_sq += x * x;
-            }
-            AggOp::Min => {
-                if !*have || x < *acc {
-                    *acc = x;
+        // Initialize a group's accumulator from its first value.
+        let init = |row: usize| -> Acc {
+            let mut a = Acc::default();
+            match (src, op) {
+                (Src::None, _) | (_, AggOp::Count) => {}
+                (Src::Int(v), AggOp::Sum | AggOp::Mean | AggOp::Min | AggOp::Max) => {
+                    a.i = v[row];
                 }
-                *have = true;
-            }
-            AggOp::Max => {
-                if !*have || x > *acc {
-                    *acc = x;
+                (Src::Float(v), AggOp::Sum | AggOp::Mean | AggOp::Min | AggOp::Max) => {
+                    a.f = v[row];
                 }
-                *have = true;
+                (Src::Int(v), AggOp::Var | AggOp::Std) => a.mean = v[row] as f64,
+                (Src::Float(v), AggOp::Var | AggOp::Std) => a.mean = v[row],
+            }
+            a
+        };
+        // Fold one more value into an existing group; `count` is the
+        // group's row count *including* this row.
+        let fold = |a: &mut Acc, count: i64, row: usize| {
+            match (src, op) {
+                (Src::None, _) | (_, AggOp::Count) => {}
+                (Src::Int(v), AggOp::Sum | AggOp::Mean) => a.i = a.i.saturating_add(v[row]),
+                (Src::Float(v), AggOp::Sum | AggOp::Mean) => a.f += v[row],
+                (Src::Int(v), AggOp::Min) => a.i = a.i.min(v[row]),
+                (Src::Int(v), AggOp::Max) => a.i = a.i.max(v[row]),
+                // Keep-first NaN semantics: only replace on a strict
+                // comparison win, like the sequential kernel always did.
+                (Src::Float(v), AggOp::Min) => {
+                    if v[row] < a.f {
+                        a.f = v[row];
+                    }
+                }
+                (Src::Float(v), AggOp::Max) => {
+                    if v[row] > a.f {
+                        a.f = v[row];
+                    }
+                }
+                (Src::Int(v), AggOp::Var | AggOp::Std) => {
+                    let x = v[row] as f64;
+                    let delta = x - a.mean;
+                    a.mean += delta / count as f64;
+                    a.m2 += delta * (x - a.mean);
+                }
+                (Src::Float(v), AggOp::Var | AggOp::Std) => {
+                    let x = v[row];
+                    let delta = x - a.mean;
+                    a.mean += delta / count as f64;
+                    a.m2 += delta * (x - a.mean);
+                }
             }
         };
-        match &src {
-            Src::None => {}
-            Src::Int(v) => {
-                for (i, &g) in ids.iter().enumerate() {
-                    let g = g as usize;
-                    fold(
-                        &mut acc[g],
-                        &mut acc_sq[g],
-                        &mut have[g],
-                        v[row_at(i)] as f64,
-                    );
+        // Merge morsel-local group `b` (count `nb`) into global group `a`
+        // (count `na`, *before* the merge). Associative in morsel order.
+        let merge = |a: &mut Acc, na: i64, b: Acc, nb: i64| match op {
+            AggOp::Count => {}
+            AggOp::Sum | AggOp::Mean => match src {
+                Src::Int(_) => a.i = a.i.saturating_add(b.i),
+                _ => a.f += b.f,
+            },
+            AggOp::Min => match src {
+                Src::Int(_) => a.i = a.i.min(b.i),
+                _ => {
+                    if b.f < a.f {
+                        a.f = b.f;
+                    }
+                }
+            },
+            AggOp::Max => match src {
+                Src::Int(_) => a.i = a.i.max(b.i),
+                _ => {
+                    if b.f > a.f {
+                        a.f = b.f;
+                    }
+                }
+            },
+            // Chan's parallel variance combine.
+            AggOp::Var | AggOp::Std => {
+                let (na, nb) = (na as f64, nb as f64);
+                let tot = na + nb;
+                let delta = b.mean - a.mean;
+                a.mean += delta * (nb / tot);
+                a.m2 += b.m2 + delta * delta * (na * nb / tot);
+            }
+        };
+
+        /// One morsel's aggregation state, keys in first-appearance order.
+        struct Partial {
+            keys: Vec<RowKey>,
+            first_row: Vec<u32>,
+            count: Vec<i64>,
+            acc: Vec<Acc>,
+        }
+        let (partials, stats) = parallel_map_morsels(n, self.threads, |_, range| {
+            let mut map: HashMap<RowKey, u32> = HashMap::new();
+            let mut first_row: Vec<u32> = Vec::new();
+            let mut count: Vec<i64> = Vec::new();
+            let mut acc: Vec<Acc> = Vec::new();
+            for i in range {
+                let row = row_at(i);
+                match map.entry(self.row_key(row, &gidx)) {
+                    Entry::Occupied(e) => {
+                        let g = *e.get() as usize;
+                        count[g] += 1;
+                        fold(&mut acc[g], count[g], row);
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(first_row.len() as u32);
+                        first_row.push(row as u32);
+                        count.push(1);
+                        acc.push(init(row));
+                    }
                 }
             }
-            Src::Float(v) => {
-                for (i, &g) in ids.iter().enumerate() {
-                    let g = g as usize;
-                    fold(&mut acc[g], &mut acc_sq[g], &mut have[g], v[row_at(i)]);
+            // Recover first-appearance key order from the map (the key
+            // itself lives in the map; local ids index the vectors, and
+            // every id in `0..first_row.len()` has exactly one key).
+            let mut keys: Vec<RowKey> = (0..first_row.len()).map(|_| RowKey::new()).collect();
+            for (k, id) in map {
+                keys[id as usize] = k;
+            }
+            Partial {
+                keys,
+                first_row,
+                count,
+                acc,
+            }
+        });
+
+        // Merge partials sequentially in morsel order: global group ids
+        // come out in first-appearance order over `sel`, exactly as a
+        // sequential scan would assign them.
+        let mut gmap: HashMap<RowKey, u32> = HashMap::new();
+        let mut rep: Vec<u32> = Vec::new();
+        let mut counts: Vec<i64> = Vec::new();
+        let mut accs: Vec<Acc> = Vec::new();
+        for p in partials {
+            for (local, key) in p.keys.into_iter().enumerate() {
+                match gmap.entry(key) {
+                    Entry::Vacant(e) => {
+                        e.insert(rep.len() as u32);
+                        rep.push(p.first_row[local]);
+                        counts.push(p.count[local]);
+                        accs.push(p.acc[local]);
+                    }
+                    Entry::Occupied(e) => {
+                        let g = *e.get() as usize;
+                        merge(&mut accs[g], counts[g], p.acc[local], p.count[local]);
+                        counts[g] += p.count[local];
+                    }
                 }
             }
         }
+        let n_groups = rep.len();
 
         let mut schema = Schema::default();
         let mut cols: Vec<ColumnData> = Vec::new();
@@ -194,7 +309,7 @@ impl Table {
             let data: Vec<i64> = (0..n_groups)
                 .map(|g| match op {
                     AggOp::Count => counts[g],
-                    _ => acc[g] as i64,
+                    _ => accs[g].i,
                 })
                 .collect();
             schema.push_unique(out_name, ColumnType::Int);
@@ -202,19 +317,24 @@ impl Table {
         } else {
             let data: Vec<f64> = (0..n_groups)
                 .map(|g| {
-                    let n = counts[g] as f64;
+                    let nf = counts[g] as f64;
                     match op {
-                        AggOp::Mean => acc[g] / n,
+                        AggOp::Mean => match src {
+                            // Exact i64 sum, one rounding at the divide.
+                            Src::Int(_) => accs[g].i as f64 / nf,
+                            _ => accs[g].f / nf,
+                        },
                         AggOp::Var | AggOp::Std => {
-                            let mean = acc[g] / n;
-                            let var = (acc_sq[g] / n - mean * mean).max(0.0);
+                            // m2 is a sum of products of same-signed terms;
+                            // clamp only defends against float round-off.
+                            let var = (accs[g].m2 / nf).max(0.0);
                             if op == AggOp::Std {
                                 var.sqrt()
                             } else {
                                 var
                             }
                         }
-                        _ => acc[g],
+                        _ => accs[g].f,
                     }
                 })
                 .collect();
@@ -224,7 +344,7 @@ impl Table {
 
         let mut out = Table::from_parts(schema, cols, self.pool.clone())?;
         out.threads = self.threads;
-        Ok(out)
+        Ok((out, stats))
     }
 
     /// Returns a table keeping the first row of each distinct combination
@@ -336,6 +456,62 @@ mod tests {
             .group_by(&["region"], Some("amount"), AggOp::Std, "s")
             .unwrap();
         assert!((s.float_col("s").unwrap()[1] - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_exact_for_large_mean_small_spread() {
+        // mean ≈ 1e9, spread ≈ 1: the retired naive `E[x²] − E[x]²`
+        // formula cancels catastrophically here (f64 ulp at 1e18 is 128,
+        // five orders of magnitude above the true variance) — Welford
+        // keeps every significant bit.
+        let mut t = Table::from_int_column("g", vec![0, 0, 0]);
+        t.add_float_column("x", vec![1e9, 1e9 + 1.0, 1e9 + 2.0])
+            .unwrap();
+        let v = t.group_by(&["g"], Some("x"), AggOp::Var, "v").unwrap();
+        let got = v.float_col("v").unwrap()[0];
+        assert!((got - 2.0 / 3.0).abs() < 1e-12, "var = {got}");
+        let s = t.group_by(&["g"], Some("x"), AggOp::Std, "s").unwrap();
+        let got = s.float_col("s").unwrap()[0];
+        assert!((got - (2.0f64 / 3.0).sqrt()).abs() < 1e-12, "std = {got}");
+    }
+
+    #[test]
+    fn int_aggregates_exact_beyond_2_pow_53() {
+        // 2^53 + 1 is not representable in f64; the retired f64
+        // accumulator rounded it to 2^53 on the way in, so sum, min and
+        // max all came back wrong.
+        let big = (1i64 << 53) + 1;
+        let mut t = Table::from_int_column("g", vec![0, 0]);
+        t.add_int_column("x", vec![big, big]).unwrap();
+        let s = t.group_by(&["g"], Some("x"), AggOp::Sum, "s").unwrap();
+        assert_eq!(s.int_col("s").unwrap(), &[2 * big]);
+        let m = t.group_by(&["g"], Some("x"), AggOp::Min, "m").unwrap();
+        assert_eq!(m.int_col("m").unwrap(), &[big]);
+        let x = t.group_by(&["g"], Some("x"), AggOp::Max, "x2").unwrap();
+        assert_eq!(x.int_col("x2").unwrap(), &[big]);
+    }
+
+    #[test]
+    fn int_sum_saturates_on_overflow() {
+        // Documented overflow policy: integer sums saturate rather than
+        // wrap or panic.
+        let mut t = Table::from_int_column("g", vec![0, 0, 0]);
+        t.add_int_column("x", vec![i64::MAX, i64::MAX, 1]).unwrap();
+        let s = t.group_by(&["g"], Some("x"), AggOp::Sum, "s").unwrap();
+        assert_eq!(s.int_col("s").unwrap(), &[i64::MAX]);
+    }
+
+    #[test]
+    fn empty_table_groups_to_zero_rows_with_schema() {
+        let t = Table::from_int_column("g", Vec::new());
+        let g = t.group_by(&["g"], None, AggOp::Count, "n").unwrap();
+        assert_eq!(g.n_rows(), 0);
+        assert_eq!(g.n_cols(), 2, "key column and aggregate column");
+        assert_eq!(g.schema().name(0), "g");
+        assert_eq!(g.schema().name(1), "n");
+        let (ids, n) = t.group_ids(&["g"]).unwrap();
+        assert!(ids.is_empty());
+        assert_eq!(n, 0, "no phantom group on empty input");
     }
 
     #[test]

@@ -7,7 +7,11 @@
 //! the contention-free pattern used throughout Ringo's engine.
 
 use crate::{ColumnData, Result, Table, TableError};
-use ringo_concurrent::{parallel_map, IntHashTable};
+use ringo_concurrent::hash_table::hash_i64;
+use ringo_concurrent::{
+    morsel_bounds, parallel_for_morsels, parallel_map, parallel_map_morsels, DisjointSlice,
+    IntHashTable, MorselStats,
+};
 use std::collections::HashMap;
 
 impl Table {
@@ -20,29 +24,42 @@ impl Table {
         sp.rows_in(self.n_rows() + other.n_rows());
         let li = self.schema.index_of(left_col)?;
         let ri = other.schema.index_of(right_col)?;
-        let (left_rows, right_rows) = join_pairs_sel(self, other, li, ri, None, None)?;
+        let (left_rows, right_rows, _) = join_pairs_sel_stats(self, other, li, ri, None, None)?;
         let out = materialize_join(self, other, &left_rows, &right_rows)?;
         sp.rows_out(out.n_rows());
         Ok(out)
     }
 }
 
+/// Minimum build-side rows before the partitioned parallel build kicks in;
+/// below this a sequential single-partition build is faster than two
+/// scatter passes (and the output is identical either way).
+const PARALLEL_BUILD_MIN_ROWS: usize = 4096;
+
 /// Probe kernel shared by the eager verb and the lazy executor: matched
 /// `(left_row, right_row)` position pairs (into the underlying tables) for
 /// the equi join of `left[li] == right[ri]`, restricted to the rows of the
 /// optional selection vectors. Builds the hash index on the side with fewer
-/// surviving rows and probes with the other in parallel, workers emitting
-/// private match lists — the same contention-free pattern as before, so the
-/// pair order matches what the eager join over pre-materialized inputs
-/// would produce.
-pub(crate) fn join_pairs_sel(
+/// surviving rows and probes with the other side morsel by morsel.
+///
+/// For large build sides the index is radix-partitioned by the top bits of
+/// the key hash: a stable two-pass scatter groups build positions by
+/// partition (preserving selection order within each partition), then one
+/// hash table per partition is built in parallel. Every key lives in
+/// exactly one partition and its match list keeps selection order, so the
+/// partitioned index answers probes identically to the sequential build —
+/// pair output is byte-identical at any thread count. The probe side runs
+/// as fixed-size morsels whose private pair lists are concatenated in
+/// morsel (= selection) order; the returned [`MorselStats`] describe the
+/// probe dispatch.
+pub(crate) fn join_pairs_sel_stats(
     left: &Table,
     right: &Table,
     li: usize,
     ri: usize,
     lsel: Option<&[u32]>,
     rsel: Option<&[u32]>,
-) -> Result<(Vec<u32>, Vec<u32>)> {
+) -> Result<(Vec<u32>, Vec<u32>, MorselStats)> {
     let lt = left.cols[li].column_type();
     let rt = right.cols[ri].column_type();
     if lt != rt {
@@ -66,18 +83,46 @@ pub(crate) fn join_pairs_sel(
             None => i,
         }
     };
-    let pairs: Vec<(u32, u32)> = match &build.cols[bi] {
+    let parts = if build.threads <= 1 || bn < PARALLEL_BUILD_MIN_ROWS {
+        1
+    } else {
+        build.threads.next_power_of_two().min(256)
+    };
+    // Partition by the *top* hash bits: the open-addressing table derives
+    // slots from the low bits, so partition and slot choice stay
+    // independent. With a single partition the mask is 0, so the shift is
+    // irrelevant — wrap it to keep `>>` in range.
+    let shift = (64 - parts.trailing_zeros()) % 64;
+    let (pairs, stats): (Vec<(u32, u32)>, MorselStats) = match &build.cols[bi] {
         ColumnData::Int(bkeys) => {
-            let mut index: IntHashTable<Vec<u32>> = IntHashTable::with_capacity(bn);
-            for i in 0..bn {
-                let row = brow(i);
-                index
-                    .get_or_insert_with(bkeys[row], Vec::new)
-                    .push(row as u32);
-            }
+            let key_at = |i: usize| bkeys[brow(i)];
+            let part_of = |i: usize| ((hash_i64(key_at(i)) >> shift) & (parts as u64 - 1)) as usize;
+            let (scatter, offsets) = partition_build_positions(bn, build.threads, parts, &part_of);
+            let indexes: Vec<IntHashTable<Vec<u32>>> =
+                parallel_map(parts, build.threads, |range| {
+                    range
+                        .map(|p| {
+                            let slice = &scatter[offsets[p]..offsets[p + 1]];
+                            let mut index: IntHashTable<Vec<u32>> =
+                                IntHashTable::with_capacity(slice.len());
+                            for &i in slice {
+                                let row = brow(i as usize);
+                                index
+                                    .get_or_insert_with(bkeys[row], Vec::new)
+                                    .push(row as u32);
+                            }
+                            index
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
             let keys = probe.cols[pi].as_int();
-            probe_pairs_sel(pn, psel, probe.threads, |row, emit| {
-                if let Some(rows) = index.get(keys[row]) {
+            probe_pairs_morsels(pn, psel, probe.threads, |row, emit| {
+                let k = keys[row];
+                let p = ((hash_i64(k) >> shift) & (parts as u64 - 1)) as usize;
+                if let Some(rows) = indexes[p].get(k) {
                     for &b in rows {
                         emit(b);
                     }
@@ -85,17 +130,36 @@ pub(crate) fn join_pairs_sel(
             })
         }
         ColumnData::Str(bsyms) => {
-            let mut index: HashMap<&str, Vec<u32>> = HashMap::with_capacity(bn);
-            for i in 0..bn {
-                let row = brow(i);
-                index
-                    .entry(build.pool.get(bsyms[row]))
-                    .or_default()
-                    .push(row as u32);
-            }
+            let part_of = |i: usize| {
+                ((hash_str(build.pool.get(bsyms[brow(i)])) >> shift) & (parts as u64 - 1)) as usize
+            };
+            let (scatter, offsets) = partition_build_positions(bn, build.threads, parts, &part_of);
+            let indexes: Vec<HashMap<&str, Vec<u32>>> =
+                parallel_map(parts, build.threads, |range| {
+                    range
+                        .map(|p| {
+                            let slice = &scatter[offsets[p]..offsets[p + 1]];
+                            let mut index: HashMap<&str, Vec<u32>> =
+                                HashMap::with_capacity(slice.len());
+                            for &i in slice {
+                                let row = brow(i as usize);
+                                index
+                                    .entry(build.pool.get(bsyms[row]))
+                                    .or_default()
+                                    .push(row as u32);
+                            }
+                            index
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
             let syms = probe.cols[pi].as_str_syms();
-            probe_pairs_sel(pn, psel, probe.threads, |row, emit| {
-                if let Some(rows) = index.get(probe.pool.get(syms[row])) {
+            probe_pairs_morsels(pn, psel, probe.threads, |row, emit| {
+                let s = probe.pool.get(syms[row]);
+                let p = ((hash_str(s) >> shift) & (parts as u64 - 1)) as usize;
+                if let Some(rows) = indexes[p].get(s) {
                     for &b in rows {
                         emit(b);
                     }
@@ -110,22 +174,100 @@ pub(crate) fn join_pairs_sel(
     };
 
     // Orient pairs as (left_row, right_row).
-    Ok(if left_is_build {
+    let (l, r) = if left_is_build {
         pairs.iter().map(|&(p, b)| (b, p)).unzip()
     } else {
         pairs.into_iter().unzip()
-    })
+    };
+    Ok((l, r, stats))
+}
+
+/// FNV-1a over the key bytes; used only to pick a build partition, so it
+/// must hash *string contents* (probe and build sides intern into
+/// different pools, making symbol ids incomparable).
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Stable radix scatter of build positions: returns build-side selection
+/// positions (`0..bn`) grouped by partition, each partition's run keeping
+/// ascending position (= selection) order, plus per-partition offsets.
+/// Two morsel-driven passes — per-(morsel, partition) histogram, then
+/// exact scatter through disjoint cursors — mirror the select kernel's
+/// count-then-fill discipline.
+fn partition_build_positions(
+    bn: usize,
+    threads: usize,
+    parts: usize,
+    part_of: &(dyn Fn(usize) -> usize + Sync),
+) -> (Vec<u32>, Vec<usize>) {
+    if parts == 1 {
+        return ((0..bn as u32).collect(), vec![0, bn]);
+    }
+    let (hists, _) = parallel_map_morsels(bn, threads, |_, range| {
+        let mut h = vec![0u32; parts];
+        for i in range {
+            h[part_of(i)] += 1;
+        }
+        h
+    });
+    // Partition-major cursor layout: partition p's run holds morsel 0's
+    // positions, then morsel 1's, ... so ascending position order is
+    // preserved within each partition.
+    let mut offsets = vec![0usize; parts + 1];
+    for p in 0..parts {
+        let total: usize = hists.iter().map(|h| h[p] as usize).sum();
+        offsets[p + 1] = offsets[p] + total;
+    }
+    let morsels = hists.len();
+    let mut cursors = vec![0usize; morsels * parts];
+    for p in 0..parts {
+        let mut at = offsets[p];
+        for (m, h) in hists.iter().enumerate() {
+            cursors[m * parts + p] = at;
+            at += h[p] as usize;
+        }
+    }
+    let mut scatter = vec![0u32; bn];
+    let out = DisjointSlice::new(&mut scatter);
+    let bounds = morsel_bounds(bn);
+    parallel_for_morsels(bn, threads, |morsel, range| {
+        debug_assert_eq!(range.start, bounds[morsel]);
+        let mut cur = cursors[morsel * parts..(morsel + 1) * parts].to_vec();
+        for i in range {
+            let p = part_of(i);
+            // SAFETY: morsel `morsel` writes partition `p` only in
+            // `cursors[morsel][p]..cursors[morsel][p] + hists[morsel][p]`;
+            // those windows are disjoint across (morsel, partition) by
+            // construction of the histogram prefix sums.
+            unsafe { out.write(cur[p], i as u32) };
+            cur[p] += 1;
+        }
+    });
+    (scatter, offsets)
 }
 
 /// Probes each position of the probe side's selection (every row when
-/// `None`), collecting `(probe_row, build_row)` pairs of underlying row
-/// positions. Workers emit into private vectors, concatenated afterwards.
-fn probe_pairs_sel<F>(pn: usize, psel: Option<&[u32]>, threads: usize, lookup: F) -> Vec<(u32, u32)>
+/// `None`) morsel by morsel, collecting `(probe_row, build_row)` pairs of
+/// underlying row positions. Each morsel emits into a private vector;
+/// concatenating them in morsel order reproduces the sequential pair
+/// order exactly.
+fn probe_pairs_morsels<F>(
+    pn: usize,
+    psel: Option<&[u32]>,
+    threads: usize,
+    lookup: F,
+) -> (Vec<(u32, u32)>, MorselStats)
 where
     F: Fn(usize, &mut dyn FnMut(u32)) + Sync,
 {
     let lookup = &lookup;
-    let parts = parallel_map(pn, threads, |range| {
+    let (parts, stats) = parallel_map_morsels(pn, threads, |_, range| {
         let mut out: Vec<(u32, u32)> = Vec::new();
         for i in range {
             let row = match psel {
@@ -142,7 +284,7 @@ where
     for p in parts {
         pairs.extend(p);
     }
-    pairs
+    (pairs, stats)
 }
 
 /// Which input table a join output column is drawn from.

@@ -8,8 +8,10 @@
 //! contention-free OpenMP loops).
 
 use crate::{ColumnData, Result, Table, TableError};
-use ringo_concurrent::parallel::chunk_bounds;
-use ringo_concurrent::{parallel_for, parallel_map, DisjointSlice};
+use ringo_concurrent::{
+    morsel_bounds, parallel_for_morsels, parallel_map, parallel_map_morsels, DisjointSlice,
+    MorselStats,
+};
 
 /// Comparison operator for predicates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -276,11 +278,27 @@ impl Table {
     /// executor: positions (into this table) of the rows matching `pred`,
     /// drawn from `sel` (every row when `None`), in `sel` order.
     ///
-    /// Runs two parallel passes — count, then fill into one exactly-sized
-    /// vector through per-chunk disjoint windows — so the kernel performs a
-    /// bounded number of allocations regardless of the match count, instead
-    /// of growing one hit list per chunk.
+    /// See [`Table::select_sel_stats`] for the kernel; this wrapper drops
+    /// the morsel dispatch stats.
     pub(crate) fn select_sel(&self, pred: &Predicate, sel: Option<&[u32]>) -> Result<Vec<u32>> {
+        self.select_sel_stats(pred, sel).map(|(keep, _)| keep)
+    }
+
+    /// Morsel-driven selection kernel. The index space is cut into
+    /// fixed-size row-range morsels ([`morsel_bounds`] — a function of the
+    /// row count only, never the thread count) claimed dynamically by pool
+    /// workers; each morsel fills a private window of the output.
+    ///
+    /// Runs two passes — count, then fill into one exactly-sized vector
+    /// through per-morsel disjoint windows — so the kernel performs a
+    /// bounded number of allocations regardless of the match count, and
+    /// the concatenation-by-offset keeps hits in `sel` order: the output
+    /// is byte-identical to a sequential scan at any thread count.
+    pub(crate) fn select_sel_stats(
+        &self,
+        pred: &Predicate,
+        sel: Option<&[u32]>,
+    ) -> Result<(Vec<u32>, MorselStats)> {
         let compiled = compile(pred, self)?;
         let compiled = &compiled;
         let n = sel.map_or(self.n_rows(), <[u32]>::len);
@@ -290,7 +308,7 @@ impl Table {
                 None => i,
             }
         };
-        let counts = parallel_map(n, self.threads, |range| {
+        let (counts, _) = parallel_map_morsels(n, self.threads, |_, range| {
             let mut c = 0usize;
             for i in range {
                 if compiled.eval(self, row_at(i)) {
@@ -301,10 +319,10 @@ impl Table {
         });
         let total: usize = counts.iter().sum();
         let mut keep = vec![0u32; total];
-        // Both passes partition `0..n` with the same chunk bounds, so chunk
-        // `t` of the fill pass writes exactly `counts[t]` hits starting at
-        // the prefix sum of the earlier chunks.
-        let bounds = chunk_bounds(n, self.threads);
+        // Both passes partition `0..n` with the same morsel bounds, so
+        // morsel `m` of the fill pass writes exactly `counts[m]` hits
+        // starting at the prefix sum of the earlier morsels.
+        let bounds = morsel_bounds(n);
         let mut offsets = Vec::with_capacity(counts.len());
         let mut acc = 0usize;
         for c in &counts {
@@ -312,22 +330,22 @@ impl Table {
             acc += c;
         }
         let out = DisjointSlice::new(&mut keep);
-        parallel_for(n, self.threads, |chunk, range| {
-            debug_assert_eq!(range.start, bounds[chunk]);
-            let mut cursor = offsets[chunk];
+        let stats = parallel_for_morsels(n, self.threads, |morsel, range| {
+            debug_assert_eq!(range.start, bounds[morsel]);
+            let mut cursor = offsets[morsel];
             for i in range {
                 let row = row_at(i);
                 if compiled.eval(self, row) {
-                    // SAFETY: chunk `chunk` writes only
-                    // `offsets[chunk]..offsets[chunk] + counts[chunk]`, and
-                    // those windows are disjoint by construction of the
-                    // prefix sums over identical chunk bounds.
+                    // SAFETY: morsel `morsel` writes only
+                    // `offsets[morsel]..offsets[morsel] + counts[morsel]`,
+                    // and those windows are disjoint by construction of the
+                    // prefix sums over identical morsel bounds.
                     unsafe { out.write(cursor, row as u32) };
                     cursor += 1;
                 }
             }
         });
-        Ok(keep)
+        Ok((keep, stats))
     }
 
     /// Positions of all rows matching `pred`, computed in parallel.

@@ -391,6 +391,61 @@ impl Plan {
         out
     }
 
+    /// Like [`Plan::display`], but annotates every node with what the
+    /// executor actually did — `-> rows=N`, plus `morsels=M workers=W`
+    /// for morsel-driven nodes (select, join, group) — and appends the
+    /// final `Collect` line with its gather count. `stats` is the
+    /// post-order [`NodeStat`] vector from [`crate::exec::Executed`]
+    /// (with or without its trailing `collect` entry).
+    pub fn display_executed(
+        &self,
+        tables: &[&Table],
+        stats: &[crate::exec::NodeStat],
+        gathers: u32,
+    ) -> String {
+        use std::fmt::Write;
+        // Map each printed line (pre-order) to its post-order stat index.
+        fn collect_post(p: &Plan, base: usize, pre: &mut Vec<usize>) -> usize {
+            let slot = pre.len();
+            pre.push(0);
+            let mut sz = 0;
+            match p {
+                Plan::Scan { .. } => {}
+                Plan::Select { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::GroupBy { input, .. }
+                | Plan::OrderBy { input, .. }
+                | Plan::NextK { input, .. } => {
+                    sz += collect_post(input, base, pre);
+                }
+                Plan::Join { left, right, .. } => {
+                    sz += collect_post(left, base, pre);
+                    sz += collect_post(right, base + sz, pre);
+                }
+            }
+            pre[slot] = base + sz;
+            sz + 1
+        }
+        let mut pre = Vec::new();
+        let n_nodes = collect_post(self, 0, &mut pre);
+        let plain = self.display(tables);
+        let mut out = String::new();
+        for (line, &idx) in plain.lines().zip(&pre) {
+            out.push_str(line);
+            if let Some(s) = stats.get(idx) {
+                let _ = write!(out, "  -> rows={}", s.rows_out);
+                if s.morsels > 0 {
+                    let _ = write!(out, " morsels={} workers={}", s.morsels, s.workers);
+                }
+            }
+            out.push('\n');
+        }
+        if let Some(c) = stats.get(n_nodes) {
+            let _ = writeln!(out, "Collect rows={} gathers={gathers}", c.rows_out);
+        }
+        out
+    }
+
     fn fmt_into(&self, tables: &[&Table], depth: usize, out: &mut String) {
         use std::fmt::Write;
         for _ in 0..depth {

@@ -2,12 +2,14 @@
 //! contract in trace output.
 //!
 //! Run with `RINGO_TRACE=1 RINGO_TRACE_JSON=out.json \
-//! cargo run --release --example plan_smoke`. The example runs exactly
-//! three `collect()`s, each ending in a pending selection/projection, so
-//! the dumped trace must contain `plan.*` spans and a `table.gather`
+//! cargo run --release --example plan_smoke`. The first three
+//! `collect()`s each end in a pending selection/projection, so the
+//! dumped trace must contain `plan.*` spans and a `table.gather`
 //! histogram with count == 3 — a regression that sneaks a second gather
 //! into the executor (or stops gathering lazily at all) fails CI rather
-//! than just losing the optimization.
+//! than just losing the optimization. The fourth collect ends in a
+//! group-by, whose output is already owned (gathers=0); under
+//! `RINGO_THREADS>1` it also pins the `plan.morsel.*` dispatch spans.
 
 use ringo::trace::mem::TrackingAllocator;
 use ringo::{Cmp, Predicate, Ringo, Table};
@@ -62,12 +64,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect()?;
     println!("select.order.project: {} rows", out.n_rows());
 
-    // Every collect above must have materialized exactly once.
+    // Collect 4: select + group-by aggregate. The group-by emits an owned
+    // table, so nothing is left pending and no gather runs; with more than
+    // one thread the select and group both dispatch as morsels.
+    let out = ringo
+        .query(&t)
+        .select(&p1)
+        .group_by(&["bucket"], Some("w"), ringo::AggOp::Sum, "w_sum")
+        .collect()?;
+    println!("select.group: {} rows", out.n_rows());
+
+    // The pending-tail collects must have materialized exactly once; the
+    // group-by collect owns its output and must not gather at all.
     for rec in ringo.op_log().iter().filter(|r| r.name == "query") {
+        let want = if rec.params.contains("group[") {
+            "gathers=0"
+        } else {
+            "gathers=1"
+        };
         assert!(
-            rec.params.ends_with("gathers=1"),
-            "collect ran {} gathers: {}",
-            rec.params.rsplit('=').next().unwrap_or("?"),
+            rec.params.ends_with(want),
+            "collect expected {want}: {}",
             rec.params
         );
         println!("query: {}", rec.params);

@@ -158,7 +158,14 @@ fn random_pipelines_lazy_equals_eager() {
                     let (agg_col, op) = match &agg {
                         Some(a) if rng.bool() => (
                             Some(a.as_str()),
-                            [AggOp::Sum, AggOp::Min, AggOp::Max, AggOp::Mean][rng.below(4)],
+                            [
+                                AggOp::Sum,
+                                AggOp::Min,
+                                AggOp::Max,
+                                AggOp::Mean,
+                                AggOp::Var,
+                                AggOp::Std,
+                            ][rng.below(6)],
                         ),
                         _ => (None, AggOp::Count),
                     };
@@ -172,6 +179,267 @@ fn random_pipelines_lazy_equals_eager() {
         assert_tables_identical(&lazy, &eager, &format!("threads={threads} steps:{desc}"));
         assert_eq!(lazy.threads(), threads);
     });
+}
+
+/// Random 2–5 step pipelines are **bit-for-bit identical** across thread
+/// counts: the morsel partition depends only on row counts and partial
+/// results merge in fixed morsel order, so threads {2, 4, 8} must
+/// reproduce the threads=1 output exactly — schema, row order, row ids
+/// and float bits included.
+#[test]
+fn random_pipelines_bitwise_identical_across_threads() {
+    for_cases("random_pipelines_bitwise_identical_across_threads", |rng| {
+        let seed = rng.u64();
+        let run_at = |threads: usize| -> Table {
+            // A fresh rng from the shared seed: every thread count sees
+            // the identical random pipeline over identical tables.
+            let mut rng = Rng64::new(seed);
+            let ringo = Ringo::with_threads(threads);
+            let base = rmat_table(&mut rng, threads);
+            let dim = dim_table(&mut rng, threads);
+            let steps = 2 + rng.below(4);
+            let mut q = ringo.query(&base);
+            let mut joined = false;
+            for _ in 0..steps {
+                let schema = q.schema().unwrap();
+                match rng.below(5) {
+                    0 => q = q.select(&random_predicate(&mut rng, &schema)),
+                    1 => {
+                        let mut cols: Vec<String> =
+                            schema.iter().map(|(n, _)| n.to_string()).collect();
+                        rng.shuffle(&mut cols);
+                        cols.truncate(1 + rng.below(cols.len()));
+                        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                        q = q.project(&refs);
+                    }
+                    2 => {
+                        let col = schema.name(rng.below(schema.len())).to_string();
+                        q = q.order_by(&[&col], rng.bool());
+                    }
+                    3 if !joined => {
+                        let Some(col) = schema
+                            .iter()
+                            .find(|(_, ty)| *ty == ColumnType::Int)
+                            .map(|(n, _)| n.to_string())
+                        else {
+                            continue;
+                        };
+                        joined = true;
+                        q = q.join(&dim, &col, "k");
+                    }
+                    _ => {
+                        let keys: Vec<String> = schema
+                            .iter()
+                            .filter(|(_, ty)| *ty != ColumnType::Float)
+                            .map(|(n, _)| n.to_string())
+                            .take(1 + rng.below(2))
+                            .collect();
+                        if keys.is_empty() {
+                            continue;
+                        }
+                        let krefs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                        let agg = schema
+                            .iter()
+                            .find(|(_, ty)| *ty == ColumnType::Float)
+                            .map(|(n, _)| n.to_string());
+                        let (agg_col, op) = match &agg {
+                            Some(a) if rng.bool() => (
+                                Some(a.as_str()),
+                                [
+                                    AggOp::Sum,
+                                    AggOp::Min,
+                                    AggOp::Max,
+                                    AggOp::Mean,
+                                    AggOp::Var,
+                                    AggOp::Std,
+                                ][rng.below(6)],
+                            ),
+                            _ => (None, AggOp::Count),
+                        };
+                        q = q.group_by(&krefs, agg_col, op, "agg_out");
+                    }
+                }
+            }
+            q.collect().unwrap()
+        };
+        let baseline = run_at(1);
+        for threads in [2usize, 4, 8] {
+            let out = run_at(threads);
+            assert_tables_identical(&out, &baseline, &format!("threads={threads} vs 1"));
+        }
+    });
+}
+
+/// Seeded property test: the morsel-partitioned group-by (partial maps
+/// merged at the barrier) agrees with a sequential `HashMap` reference —
+/// exactly for count and integer aggregates, and to tight relative
+/// tolerance for float Mean/Var/Std computed from large-mean data that
+/// the pre-Welford kernel got catastrophically wrong. Tables are large
+/// enough (> 2 morsels) that the merge path genuinely runs, and the
+/// threads=8 result must be bit-identical to threads=1.
+#[test]
+fn parallel_group_by_matches_sequential_reference() {
+    use std::collections::HashMap;
+    for case in 0..6u64 {
+        let mut rng = Rng64::new(0x5EED_0000 + case);
+        let n = 150_000 + rng.below(100_000);
+        // Enough keys that per-group i64 sums of ~2^53 values stay far
+        // from i64::MAX (the reference must not overflow).
+        let n_keys = 2048 + rng.below(2048);
+        let keys: Vec<i64> = (0..n).map(|_| rng.below(n_keys) as i64).collect();
+        // Int values straddling 2^53 so an f64 accumulator would round.
+        let ints: Vec<i64> = (0..n)
+            .map(|_| (1i64 << 53) + 1 + rng.range_i64(0..1024))
+            .collect();
+        // Large mean, small spread: the Welford stress regime.
+        let floats: Vec<f64> = (0..n).map(|_| 1e9 + rng.f64()).collect();
+        let mut t = Table::from_int_column("k", keys.clone());
+        t.add_int_column("i", ints.clone()).unwrap();
+        t.add_float_column("f", floats.clone()).unwrap();
+        t.set_threads(8);
+
+        // Sequential reference: per-key value lists in first-appearance
+        // key order.
+        let mut order: Vec<i64> = Vec::new();
+        let mut by_key: HashMap<i64, (Vec<i64>, Vec<f64>)> = HashMap::new();
+        for r in 0..n {
+            by_key
+                .entry(keys[r])
+                .or_insert_with(|| {
+                    order.push(keys[r]);
+                    (Vec::new(), Vec::new())
+                })
+                .0
+                .push(ints[r]);
+            by_key.get_mut(&keys[r]).unwrap().1.push(floats[r]);
+        }
+
+        let mut t1 = t.clone();
+        t1.set_threads(1);
+        for (op, col) in [
+            (AggOp::Count, None),
+            (AggOp::Sum, Some("i")),
+            (AggOp::Min, Some("i")),
+            (AggOp::Max, Some("i")),
+            (AggOp::Mean, Some("f")),
+            (AggOp::Var, Some("f")),
+            (AggOp::Std, Some("f")),
+        ] {
+            let g = t.group_by(&["k"], col, op, "out").unwrap();
+            let g1 = t1.group_by(&["k"], col, op, "out").unwrap();
+            assert_eq!(g.n_rows(), order.len(), "case {case} {op:?}: group count");
+            for (row, key) in order.iter().enumerate() {
+                let (gi, gf) = &by_key[key];
+                match op {
+                    AggOp::Count => {
+                        assert_eq!(g.int_col("out").unwrap()[row], gi.len() as i64);
+                    }
+                    AggOp::Sum => {
+                        let want: i64 = gi.iter().sum();
+                        assert_eq!(g.int_col("out").unwrap()[row], want, "case {case} sum");
+                    }
+                    AggOp::Min => {
+                        assert_eq!(g.int_col("out").unwrap()[row], *gi.iter().min().unwrap());
+                    }
+                    AggOp::Max => {
+                        assert_eq!(g.int_col("out").unwrap()[row], *gi.iter().max().unwrap());
+                    }
+                    AggOp::Mean | AggOp::Var | AggOp::Std => {
+                        let cnt = gf.len() as f64;
+                        let mean = gf.iter().sum::<f64>() / cnt;
+                        let want = match op {
+                            AggOp::Mean => mean,
+                            _ => {
+                                let var =
+                                    gf.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / cnt;
+                                if op == AggOp::Std {
+                                    var.sqrt()
+                                } else {
+                                    var
+                                }
+                            }
+                        };
+                        let got = g.float_col("out").unwrap()[row];
+                        // At mean 1e9 / var ~0.1 both Welford and the
+                        // two-pass reference carry ~1e-7 relative error
+                        // (f64 conditioning); the retired naive formula
+                        // was off by ~1e3 relative here.
+                        let rel = match op {
+                            AggOp::Mean => 1e-9,
+                            _ => 1e-6,
+                        };
+                        let tol = rel * want.abs().max(1e-9);
+                        assert!(
+                            (got - want).abs() <= tol,
+                            "case {case} {op:?} row {row}: got {got}, want {want}"
+                        );
+                    }
+                }
+                // Bit-identical across thread counts, not just close.
+                if g.schema().column_type(1) == ColumnType::Float {
+                    let a = g.float_col("out").unwrap()[row];
+                    let b = g1.float_col("out").unwrap()[row];
+                    assert_eq!(a.to_bits(), b.to_bits(), "case {case} {op:?} bits");
+                } else {
+                    assert_eq!(
+                        g.int_col("out").unwrap()[row],
+                        g1.int_col("out").unwrap()[row]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An empty selection flowing into group-by through the lazy path yields
+/// a zero-row table with the right schema — no panic, no phantom group.
+#[test]
+fn empty_selection_group_by_yields_zero_rows() {
+    let ringo = Ringo::with_threads(4);
+    let mut t = Table::from_int_column("k", (0..1000).collect());
+    t.add_float_column("w", (0..1000).map(|v| v as f64).collect())
+        .unwrap();
+    for (op, col) in [
+        (AggOp::Count, None),
+        (AggOp::Sum, Some("w")),
+        (AggOp::Var, Some("w")),
+    ] {
+        let out = ringo
+            .query(&t)
+            .select(&Predicate::int("k", Cmp::Lt, 0))
+            .group_by(&["k"], col, op, "out")
+            .collect()
+            .unwrap();
+        assert_eq!(out.n_rows(), 0, "{op:?}: zero groups");
+        assert_eq!(out.n_cols(), 2, "{op:?}: key + aggregate");
+        let names: Vec<&str> = out.schema().iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["k", "out"], "{op:?}: schema");
+    }
+}
+
+/// `explain_analyze` surfaces per-node parallelism: executed row counts
+/// on every node and morsels/workers on the morsel-driven ones.
+#[test]
+fn explain_analyze_reports_morsel_dispatch() {
+    let ringo = Ringo::with_threads(4);
+    let mut t = Table::from_int_column("id", (0..200_000).collect());
+    t.add_int_column("bucket", (0..200_000).map(|v| v % 97).collect())
+        .unwrap();
+    let plan = ringo
+        .query(&t)
+        .select(&Predicate::int("id", Cmp::Lt, 100_000))
+        .group_by(&["bucket"], Some("id"), AggOp::Sum, "s")
+        .explain_analyze()
+        .unwrap();
+    assert!(plan.contains("-> rows="), "executed rows:\n{plan}");
+    assert!(plan.contains("morsels="), "morsel dispatch:\n{plan}");
+    assert!(plan.contains("workers="), "worker count:\n{plan}");
+    assert!(
+        plan.contains("Collect rows=97 gathers=0"),
+        "collect line:\n{plan}"
+    );
+    // 200k rows at the default 64Ki morsel size = 4 select morsels.
+    assert!(plan.contains("morsels=4"), "select morsel count:\n{plan}");
 }
 
 /// A select→select→project chain gathers column data exactly once, and
