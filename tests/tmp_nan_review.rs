@@ -1,0 +1,13 @@
+use ringo_table::{AggOp, Table};
+
+#[test]
+fn nan_min_across_morsel_boundary() {
+    // group rows in order: 5.0 | NaN, 1.0  (morsel boundary after first row
+    // when RINGO_MORSEL_ROWS=1)
+    let mut t = Table::from_int_column("g", vec![0, 0, 0]);
+    t.add_float_column("x", vec![5.0, f64::NAN, 1.0]).unwrap();
+    let m = t.group_by(&["g"], Some("x"), AggOp::Min, "m").unwrap();
+    let got = m.float_col("m").unwrap()[0];
+    println!("min = {got}");
+    assert_eq!(got, 1.0, "sequential keep-first-NaN min is 1.0");
+}
