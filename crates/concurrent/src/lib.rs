@@ -39,8 +39,8 @@ pub use atomic_vec::ConcurrentVec;
 pub use hash_table::{ConcurrentIntTable, IntHashTable};
 pub use parallel::{
     morsel_bounds, morsel_rows, num_threads, parallel_for, parallel_for_dynamic,
-    parallel_for_morsels, parallel_map, parallel_map_morsels, parallel_reduce, DisjointSlice,
-    MorselStats, DEFAULT_MORSEL_ROWS,
+    parallel_for_morsels, parallel_for_morsels_traced, parallel_map, parallel_map_morsels,
+    parallel_map_morsels_traced, parallel_reduce, DisjointSlice, MorselStats, DEFAULT_MORSEL_ROWS,
 };
 pub use pool::{pool_stats, Pool, PoolStats};
 pub use radix::{

@@ -194,15 +194,21 @@ pub fn morsel_bounds(len: usize) -> Vec<usize> {
 }
 
 /// How a morsel-driven dispatch actually ran: how many morsels the index
-/// space split into and how many distinct threads executed at least one
-/// of them (the *effective* worker count — what the plan executor
-/// surfaces per node).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// space split into, how many distinct threads executed at least one of
+/// them (the *effective* worker count — what the plan executor surfaces
+/// per node), and how the busy time divided between those threads (the
+/// per-worker busy share `QueryBuilder::profile` renders).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MorselStats {
     /// Morsels dispatched (≥ 1 for any non-degenerate input).
     pub morsels: u32,
     /// Distinct threads that executed at least one morsel.
     pub workers: u32,
+    /// Nanoseconds spent inside morsel bodies per distinct executing
+    /// thread, sorted descending (one entry per worker counted in
+    /// `workers`). The spread exposes skew: a balanced dispatch has
+    /// near-equal entries, a skewed one is dominated by the first.
+    pub busy_ns: Vec<u64>,
 }
 
 /// Runs `body(morsel_index, index_range)` over `0..len` split into
@@ -221,50 +227,26 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
-    let bounds = morsel_bounds(len);
-    let morsels = bounds.len() - 1;
-    if threads <= 1 || morsels <= 1 {
-        let out = (0..morsels)
-            .map(|m| body(m, bounds[m]..bounds[m + 1]))
-            .collect();
-        return (
-            out,
-            MorselStats {
-                morsels: morsels as u32,
-                workers: 1,
-            },
-        );
-    }
-    let mut slots: Vec<Option<T>> = (0..morsels).map(|_| None).collect();
-    let workers: std::sync::Mutex<std::collections::HashSet<std::thread::ThreadId>> =
-        std::sync::Mutex::new(std::collections::HashSet::new());
-    {
-        let slots_ptr = SendPtr(slots.as_mut_ptr());
-        Pool::global().run(morsels, &|m| {
-            let result = body(m, bounds[m]..bounds[m + 1]);
-            workers
-                .lock()
-                .expect("morsel worker set poisoned")
-                .insert(std::thread::current().id());
-            // SAFETY: morsel `m` exclusively owns slot `m`; the vector
-            // outlives the blocking `run` call.
-            unsafe { *slots_ptr.get().add(m) = Some(result) };
-        });
-    }
-    let distinct = workers
-        .into_inner()
-        .expect("morsel worker set poisoned")
-        .len();
-    (
-        slots
-            .into_iter()
-            .map(|s| s.expect("every morsel fills its slot"))
-            .collect(),
-        MorselStats {
-            morsels: morsels as u32,
-            workers: distinct as u32,
-        },
-    )
+    morsel_dispatch(None, len, threads, body)
+}
+
+/// [`parallel_map_morsels`] with flight-recorder attribution: every morsel
+/// body runs inside a trace span named `span` (rows-in = morsel length),
+/// recorded into the executing thread's per-thread event buffer. On the
+/// dispatching thread the morsel spans nest under the caller's open
+/// operator span; on pool workers they are that thread's top-level slices
+/// — which is how the Chrome export reconstructs per-worker timelines.
+pub fn parallel_map_morsels_traced<T, F>(
+    span: &'static str,
+    len: usize,
+    threads: usize,
+    body: F,
+) -> (Vec<T>, MorselStats)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    morsel_dispatch(Some(span), len, threads, body)
 }
 
 /// [`parallel_map_morsels`] without per-morsel results: runs
@@ -277,6 +259,105 @@ where
 {
     let (_, stats) = parallel_map_morsels(len, threads, body);
     stats
+}
+
+/// [`parallel_for_morsels`] with flight-recorder attribution; see
+/// [`parallel_map_morsels_traced`].
+pub fn parallel_for_morsels_traced<F>(
+    span: &'static str,
+    len: usize,
+    threads: usize,
+    body: F,
+) -> MorselStats
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let (_, stats) = parallel_map_morsels_traced(span, len, threads, body);
+    stats
+}
+
+/// Shared implementation of the morsel dispatchers: splits `0..len` into
+/// fixed-size morsels, runs them (inline or dynamically claimed on the
+/// pool), optionally wraps each body in a trace span, and accounts busy
+/// nanoseconds per executing thread for [`MorselStats::busy_ns`].
+fn morsel_dispatch<T, F>(
+    span: Option<&'static str>,
+    len: usize,
+    threads: usize,
+    body: F,
+) -> (Vec<T>, MorselStats)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let bounds = morsel_bounds(len);
+    let morsels = bounds.len() - 1;
+    let timed = |m: usize| -> (T, u64) {
+        let range = bounds[m]..bounds[m + 1];
+        let started = std::time::Instant::now();
+        let out = match span {
+            Some(name) => {
+                let mut sp = ringo_trace::Span::enter(name);
+                sp.rows_in(range.len());
+                body(m, range)
+            }
+            None => body(m, range),
+        };
+        (out, started.elapsed().as_nanos() as u64)
+    };
+    if threads <= 1 || morsels <= 1 {
+        let mut busy = 0u64;
+        let out = (0..morsels)
+            .map(|m| {
+                let (v, ns) = timed(m);
+                busy += ns;
+                v
+            })
+            .collect();
+        return (
+            out,
+            MorselStats {
+                morsels: morsels as u32,
+                workers: 1,
+                busy_ns: vec![busy],
+            },
+        );
+    }
+    let mut slots: Vec<Option<T>> = (0..morsels).map(|_| None).collect();
+    let workers: std::sync::Mutex<std::collections::HashMap<std::thread::ThreadId, u64>> =
+        std::sync::Mutex::new(std::collections::HashMap::new());
+    {
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        Pool::global().run(morsels, &|m| {
+            let (result, ns) = timed(m);
+            *workers
+                .lock()
+                .expect("morsel worker set poisoned")
+                .entry(std::thread::current().id())
+                .or_insert(0) += ns;
+            // SAFETY: morsel `m` exclusively owns slot `m`; the vector
+            // outlives the blocking `run` call.
+            unsafe { *slots_ptr.get().add(m) = Some(result) };
+        });
+    }
+    let mut busy_ns: Vec<u64> = workers
+        .into_inner()
+        .expect("morsel worker set poisoned")
+        .into_values()
+        .collect();
+    busy_ns.sort_unstable_by(|a, b| b.cmp(a));
+    let distinct = busy_ns.len();
+    (
+        slots
+            .into_iter()
+            .map(|s| s.expect("every morsel fills its slot"))
+            .collect(),
+        MorselStats {
+            morsels: morsels as u32,
+            workers: distinct as u32,
+            busy_ns,
+        },
+    )
 }
 
 /// Runs `body(i)` for every `i` in `0..items` with items claimed

@@ -45,6 +45,9 @@ struct TraceCounters {
     chunks: &'static ringo_trace::Counter,
     busy_ns: &'static ringo_trace::Counter,
     workers: &'static ringo_trace::Counter,
+    /// Gauge (`set`, not `add`): executors currently inside chunk bodies.
+    /// The background sampler reads it to plot busy/idle worker counts.
+    busy_workers: &'static ringo_trace::Counter,
 }
 
 fn trace_counters() -> &'static TraceCounters {
@@ -54,6 +57,7 @@ fn trace_counters() -> &'static TraceCounters {
         chunks: ringo_trace::counter("pool.chunks_executed"),
         busy_ns: ringo_trace::counter("pool.busy_ns"),
         workers: ringo_trace::counter("pool.workers"),
+        busy_workers: ringo_trace::counter("pool.busy_workers"),
     })
 }
 
@@ -109,6 +113,9 @@ struct Shared {
     jobs_dispatched: VAtomicU64,
     chunks_executed: VAtomicU64,
     busy_nanos: VAtomicU64,
+    /// Executors (workers and dispatching threads) currently engaged in
+    /// chunk bodies of some job — the pool's busy/idle instrumentation.
+    busy_workers: AtomicUsize,
 }
 
 /// Observability snapshot of a [`Pool`], taken with [`Pool::stats`].
@@ -126,6 +133,9 @@ pub struct PoolStats {
     pub chunks_executed: u64,
     /// Cumulative time spent executing chunk bodies.
     pub busy: Duration,
+    /// Executors currently inside chunk bodies at snapshot time (a
+    /// point-in-time gauge, unlike the cumulative fields above).
+    pub busy_workers: usize,
 }
 
 /// A persistent team of worker threads executing fork-join jobs.
@@ -149,6 +159,7 @@ impl Pool {
             jobs_dispatched: VAtomicU64::new(0),
             chunks_executed: VAtomicU64::new(0),
             busy_nanos: VAtomicU64::new(0),
+            busy_workers: AtomicUsize::new(0),
         });
         for i in 0..workers {
             let shared = Arc::clone(&shared);
@@ -255,6 +266,7 @@ impl Pool {
             jobs_dispatched: self.shared.jobs_dispatched.load(Ordering::Relaxed),
             chunks_executed: self.shared.chunks_executed.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.shared.busy_nanos.load(Ordering::Relaxed)),
+            busy_workers: self.shared.busy_workers.load(Ordering::Relaxed),
         }
     }
 }
@@ -283,15 +295,27 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Claims and executes chunks of `job` until none are left unclaimed.
-/// Shared by workers and dispatching threads.
+/// Shared by workers and dispatching threads. While this executor holds at
+/// least one claimed chunk it counts as *busy* in the pool's busy-worker
+/// gauge (idle/busy transition instrumentation for the sampler).
 fn execute_chunks(shared: &Shared, job: &Job) {
+    let mut engaged = false;
     loop {
         // ORDERING: Relaxed — the claim only needs atomicity (each index
         // handed out once); the chunk body's effects are published by the
         // `done` mutex, not by this counter.
         let t = job.next.fetch_add(1, Ordering::Relaxed);
         if t >= job.chunks {
-            return;
+            break;
+        }
+        if !engaged {
+            engaged = true;
+            // ORDERING: Relaxed — point-in-time gauge for observability
+            // snapshots; no data is published through it.
+            let now = shared.busy_workers.fetch_add(1, Ordering::Relaxed) + 1;
+            if ringo_trace::enabled() {
+                trace_counters().busy_workers.set(now as u64);
+            }
         }
         let started = Instant::now();
         // `t < chunks` was claimed exclusively above, so the dispatcher is
@@ -315,6 +339,13 @@ fn execute_chunks(shared: &Shared, job: &Job) {
         }
         if d.remaining == 0 {
             job.done_cv.notify_all();
+        }
+    }
+    if engaged {
+        // ORDERING: Relaxed — gauge decrement, see the increment above.
+        let now = shared.busy_workers.fetch_sub(1, Ordering::Relaxed) - 1;
+        if ringo_trace::enabled() {
+            trace_counters().busy_workers.set(now as u64);
         }
     }
 }

@@ -43,7 +43,7 @@ pub use ringo_table as table;
 pub use ringo_trace as trace;
 
 pub use oplog::{OpLog, OpRecord, OpTiming};
-pub use query::QueryBuilder;
+pub use query::{OpProfile, QueryBuilder, QueryProfile};
 
 pub use ringo_algo::{Direction, PageRankConfig};
 pub use ringo_graph::{CsrGraph, DirectedGraph, NodeId, UndirectedGraph, WeightedDigraph};

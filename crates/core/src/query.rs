@@ -149,6 +149,40 @@ impl<'a> QueryBuilder<'a> {
         Ok(optimized.display_executed(&self.tables, &executed.stats, executed.gathers))
     }
 
+    /// Executes the optimized plan and returns a structured per-operator
+    /// profile: wall time, output cardinality, morsel dispatch, and the
+    /// per-worker busy split of every node, plus query totals. The
+    /// materialized output table is discarded and no `"query"` op-log
+    /// record is written — like [`QueryBuilder::explain_analyze`], but
+    /// returning data instead of a rendered tree (call
+    /// [`QueryProfile::render`] for the human-readable table).
+    pub fn profile(&self) -> Result<QueryProfile> {
+        self.plan.schema(&self.tables)?;
+        let optimized = self.plan.clone().optimize(&self.tables)?;
+        let start = std::time::Instant::now();
+        let executed = exec::execute(&optimized, &self.tables)?;
+        let total_wall_ns = start.elapsed().as_nanos() as u64;
+        let rows_out = executed.table.n_rows() as u64;
+        let ops = executed
+            .stats
+            .into_iter()
+            .map(|s| OpProfile {
+                op: s.op,
+                rows_out: s.rows_out,
+                morsels: s.morsels,
+                workers: s.workers,
+                wall_ns: s.wall_ns,
+                busy_ns: s.busy_ns,
+            })
+            .collect();
+        Ok(QueryProfile {
+            ops,
+            rows_out,
+            gathers: executed.gathers,
+            total_wall_ns,
+        })
+    }
+
     /// Validates and optimizes the plan, executes it with one gather
     /// pass, logs a `"query"` op-log record with the executed plan
     /// shape, and returns the materialized table.
@@ -195,6 +229,104 @@ impl<'a> QueryBuilder<'a> {
             mem_peak_delta: ringo_trace::mem::peak_bytes().saturating_sub(peak_start) as u64,
         });
         Ok(table)
+    }
+}
+
+/// One executed plan node in a [`QueryProfile`], post-order (ending with
+/// the final `collect`).
+#[derive(Clone, Debug)]
+pub struct OpProfile {
+    /// Short operator name (`scan`, `select`, `join`, ..., `collect`).
+    pub op: &'static str,
+    /// Rows flowing out of the node.
+    pub rows_out: u64,
+    /// Morsels dispatched (0 for non-morsel-driven nodes).
+    pub morsels: u32,
+    /// Distinct pool workers that executed at least one morsel.
+    pub workers: u32,
+    /// Wall time of the node in nanoseconds (always recorded).
+    pub wall_ns: u64,
+    /// Busy nanoseconds per executing worker, sorted descending; the
+    /// spread exposes skew (empty for non-morsel-driven nodes).
+    pub busy_ns: Vec<u64>,
+}
+
+impl OpProfile {
+    /// Each worker's share of the node's total busy time, in percent,
+    /// matching `busy_ns` order (descending). Empty when the node was not
+    /// morsel-driven or recorded no busy time.
+    pub fn busy_share(&self) -> Vec<f64> {
+        let total: u64 = self.busy_ns.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.busy_ns
+            .iter()
+            .map(|&ns| ns as f64 * 100.0 / total as f64)
+            .collect()
+    }
+}
+
+/// Structured result of [`QueryBuilder::profile`]: per-operator timings
+/// and parallelism plus query totals.
+#[derive(Clone, Debug)]
+pub struct QueryProfile {
+    /// Per-node profile entries, post-order, ending with `collect`.
+    pub ops: Vec<OpProfile>,
+    /// Rows in the (discarded) output table.
+    pub rows_out: u64,
+    /// Gather passes executed (0 or 1 per collect).
+    pub gathers: u32,
+    /// End-to-end wall time of the optimized plan, nanoseconds.
+    pub total_wall_ns: u64,
+}
+
+impl QueryProfile {
+    /// Renders the profile as an aligned table: one row per operator with
+    /// wall time, its share of the total, output rows, morsel dispatch,
+    /// and the per-worker busy split.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "query profile  total={}  rows={}  gathers={}",
+            ringo_trace::fmt_ns(self.total_wall_ns),
+            self.rows_out,
+            self.gathers
+        );
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>10} {:>10} {:>5} {:>8} {:>8}  busy share",
+            "op", "rows", "time", "%", "morsels", "workers"
+        );
+        for op in &self.ops {
+            let pct = if self.total_wall_ns > 0 {
+                op.wall_ns as f64 * 100.0 / self.total_wall_ns as f64
+            } else {
+                0.0
+            };
+            let _ = write!(
+                out,
+                "  {:<8} {:>10} {:>10} {:>4.0}%",
+                op.op,
+                op.rows_out,
+                ringo_trace::fmt_ns(op.wall_ns),
+                pct
+            );
+            if op.morsels > 0 {
+                let _ = write!(out, " {:>8} {:>8}  ", op.morsels, op.workers);
+                let shares = op.busy_share();
+                for (i, s) in shares.iter().enumerate() {
+                    if i > 0 {
+                        out.push('/');
+                    }
+                    let _ = write!(out, "{s:.0}%");
+                }
+            }
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -295,6 +427,41 @@ mod tests {
             .unwrap();
         assert_eq!(lazy.n_rows(), eager.n_rows());
         assert_eq!(lazy.int_col("n").unwrap(), eager.int_col("n").unwrap());
+    }
+
+    #[test]
+    fn profile_reports_per_operator_times_and_workers() {
+        let ringo = Ringo::with_threads(2);
+        let t = sample();
+        let q = ringo
+            .query(&t)
+            .select(&Predicate::int("val", Cmp::Lt, 3))
+            .project(&["id"]);
+        let p = q.profile().unwrap();
+        let ops: Vec<&str> = p.ops.iter().map(|o| o.op).collect();
+        // The optimizer may insert a pruning projection before the select, so
+        // assert on the load-bearing shape rather than the exact node list.
+        assert_eq!(ops.first(), Some(&"scan"));
+        assert_eq!(ops.last(), Some(&"collect"));
+        assert!(
+            ops.contains(&"select") && ops.contains(&"project"),
+            "{ops:?}"
+        );
+        let select = p.ops.iter().find(|o| o.op == "select").unwrap();
+        assert!(select.morsels >= 1, "select is morsel-driven");
+        assert!(select.workers >= 1);
+        assert_eq!(select.busy_ns.len(), select.workers as usize);
+        let shares = select.busy_share();
+        if !shares.is_empty() {
+            assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+        }
+        assert!(p.gathers <= 1);
+        let rendered = p.render();
+        assert!(rendered.contains("query profile"), "{rendered}");
+        assert!(rendered.contains("select"), "{rendered}");
+        assert!(rendered.contains("busy share"), "{rendered}");
+        // No op-log record: profile is observe-only, like explain_analyze.
+        assert!(ringo.op_log().iter().all(|r| r.name != "query"));
     }
 
     #[test]

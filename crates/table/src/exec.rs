@@ -14,11 +14,12 @@
 //! Each executed node records a `plan.<op>` trace span; the single
 //! gather records the `table.gather` span, so one `table.gather` per
 //! `collect()` is observable in trace output. Morsel-driven operators
-//! (select, join, group) additionally record a `plan.morsel.<op>` span
-//! whose rows-in is the number of morsels dispatched and rows-out the
-//! number of distinct pool workers that executed at least one of them —
-//! the per-node parallelism record that `explain`-with-stats and the
-//! op-log surface.
+//! (select, join, group) dispatch through the `_traced` morsel helpers,
+//! so every individual morsel records a `plan.morsel.<op>` span in the
+//! executing thread's flight-recorder buffer (nested under the operator
+//! span on the dispatching thread, top-level on pool workers). Each
+//! [`NodeStat`] additionally carries always-on wall time and the
+//! per-worker busy split — the raw material of `QueryBuilder::profile`.
 
 use crate::ops::join::{self, JoinOutCol, JoinSide};
 use crate::plan::{Plan, Side};
@@ -39,6 +40,12 @@ pub struct NodeStat {
     /// Distinct pool workers that executed at least one morsel (0 when
     /// `morsels` is 0).
     pub workers: u32,
+    /// Wall time of the node, nanoseconds (always recorded, even with
+    /// tracing disabled — the plan executor times every node inline).
+    pub wall_ns: u64,
+    /// Busy nanoseconds per executing worker, sorted descending (empty
+    /// for nodes that are not morsel-driven). The spread exposes skew.
+    pub busy_ns: Vec<u64>,
 }
 
 impl NodeStat {
@@ -48,6 +55,8 @@ impl NodeStat {
             rows_out,
             morsels: 0,
             workers: 0,
+            wall_ns: 0,
+            busy_ns: Vec::new(),
         }
     }
 
@@ -57,18 +66,16 @@ impl NodeStat {
             rows_out,
             morsels: m.morsels,
             workers: m.workers,
+            wall_ns: 0,
+            busy_ns: m.busy_ns,
         }
     }
-}
 
-/// Records the `plan.morsel.<op>` dispatch span: rows-in = morsels
-/// dispatched, rows-out = distinct workers that ran them.
-macro_rules! morsel_span {
-    ($name:literal, $stats:expr) => {{
-        let mut msp = ringo_trace::span!($name);
-        msp.rows_in($stats.morsels as usize);
-        msp.rows_out($stats.workers as usize);
-    }};
+    /// Stamps the node's wall time from its start instant.
+    fn timed(mut self, started: std::time::Instant) -> Self {
+        self.wall_ns = started.elapsed().as_nanos() as u64;
+        self
+    }
 }
 
 /// The result of executing a plan: the output table plus the per-node
@@ -153,8 +160,9 @@ pub fn execute(plan: &Plan, tables: &[&Table]) -> Result<Executed> {
     let mut stats = Vec::new();
     let frame = run(plan, tables, &mut stats)?;
     let mut gathers = 0u32;
+    let started = std::time::Instant::now();
     let table = collect_frame(frame, &mut gathers)?;
-    stats.push(NodeStat::new("collect", table.n_rows() as u64));
+    stats.push(NodeStat::new("collect", table.n_rows() as u64).timed(started));
     Ok(Executed {
         table,
         stats,
@@ -175,13 +183,14 @@ fn validate_pred_cols(frame: &Frame<'_>, pred: &Predicate) -> Result<()> {
 fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Result<Frame<'a>> {
     match plan {
         Plan::Scan { table } => {
+            let started = std::time::Instant::now();
             let t = tables.get(*table).ok_or_else(|| {
                 TableError::InvalidArgument(format!(
                     "plan references table #{table}, only {} bound",
                     tables.len()
                 ))
             })?;
-            stats.push(NodeStat::new("scan", t.n_rows() as u64));
+            stats.push(NodeStat::new("scan", t.n_rows() as u64).timed(started));
             Ok(Frame {
                 rows: Rows::Borrowed(t),
                 sel: None,
@@ -192,6 +201,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             input, predicate, ..
         } => {
             let frame = run(input, tables, stats)?;
+            let started = std::time::Instant::now();
             let mut sp = ringo_trace::span!("plan.select");
             sp.rows_in(frame.n_rows());
             validate_pred_cols(&frame, predicate)?;
@@ -199,9 +209,8 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
                 .rows
                 .table()
                 .select_sel_stats(predicate, frame.sel.as_deref())?;
-            morsel_span!("plan.morsel.select", mstats);
             sp.rows_out(sel.len());
-            stats.push(NodeStat::with_morsels("select", sel.len() as u64, mstats));
+            stats.push(NodeStat::with_morsels("select", sel.len() as u64, mstats).timed(started));
             Ok(Frame {
                 rows: frame.rows,
                 sel: Some(sel),
@@ -210,6 +219,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
         }
         Plan::Project { input, cols, .. } => {
             let frame = run(input, tables, stats)?;
+            let started = std::time::Instant::now();
             let mut sp = ringo_trace::span!("plan.project");
             sp.rows_in(frame.n_rows());
             sp.rows_out(frame.n_rows());
@@ -217,7 +227,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
                 .iter()
                 .map(|c| frame.col_index(c))
                 .collect::<Result<Vec<usize>>>()?;
-            stats.push(NodeStat::new("project", frame.n_rows() as u64));
+            stats.push(NodeStat::new("project", frame.n_rows() as u64).timed(started));
             Ok(Frame {
                 rows: frame.rows,
                 sel: frame.sel,
@@ -233,6 +243,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
         } => {
             let lf = run(left, tables, stats)?;
             let rf = run(right, tables, stats)?;
+            let started = std::time::Instant::now();
             let mut sp = ringo_trace::span!("plan.join");
             sp.rows_in(lf.n_rows() + rf.n_rows());
             let lt = lf.rows.table();
@@ -241,7 +252,6 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             let ri = rf.col_index(right_col)?;
             let (lrows, rrows, mstats) =
                 join::join_pairs_sel_stats(lt, rt, li, ri, lf.sel.as_deref(), rf.sel.as_deref())?;
-            morsel_span!("plan.morsel.join", mstats);
             let out_cols: Vec<JoinOutCol> = match keep {
                 Some(kept) => kept
                     .iter()
@@ -283,7 +293,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             };
             let out = join::materialize_join_cols(lt, rt, &lrows, &rrows, &out_cols)?;
             sp.rows_out(out.n_rows());
-            stats.push(NodeStat::with_morsels("join", out.n_rows() as u64, mstats));
+            stats.push(NodeStat::with_morsels("join", out.n_rows() as u64, mstats).timed(started));
             Ok(Frame {
                 rows: Rows::Owned(out),
                 sel: None,
@@ -298,6 +308,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             out_name,
         } => {
             let frame = run(input, tables, stats)?;
+            let started = std::time::Instant::now();
             let mut sp = ringo_trace::span!("plan.group");
             sp.rows_in(frame.n_rows());
             for c in group_cols {
@@ -314,9 +325,8 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
                 out_name,
                 frame.sel.as_deref(),
             )?;
-            morsel_span!("plan.morsel.group", mstats);
             sp.rows_out(out.n_rows());
-            stats.push(NodeStat::with_morsels("group", out.n_rows() as u64, mstats));
+            stats.push(NodeStat::with_morsels("group", out.n_rows() as u64, mstats).timed(started));
             Ok(Frame {
                 rows: Rows::Owned(out),
                 sel: None,
@@ -329,6 +339,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             ascending,
         } => {
             let frame = run(input, tables, stats)?;
+            let started = std::time::Instant::now();
             let mut sp = ringo_trace::span!("plan.order");
             sp.rows_in(frame.n_rows());
             sp.rows_out(frame.n_rows());
@@ -341,7 +352,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
                     .rows
                     .table()
                     .order_perm_sel(&scols, *ascending, frame.sel.as_deref())?;
-            stats.push(NodeStat::new("order", sel.len() as u64));
+            stats.push(NodeStat::new("order", sel.len() as u64).timed(started));
             Ok(Frame {
                 rows: frame.rows,
                 sel: Some(sel),
@@ -355,6 +366,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             k,
         } => {
             let frame = run(input, tables, stats)?;
+            let started = std::time::Instant::now();
             let mut sp = ringo_trace::span!("plan.nextk");
             sp.rows_in(frame.n_rows());
             if let Some(g) = group_col {
@@ -375,7 +387,7 @@ fn run<'a>(plan: &Plan, tables: &[&'a Table], stats: &mut Vec<NodeStat>) -> Resu
             }
             let out = join::materialize_join_cols(t, t, &lrows, &rrows, &out_cols)?;
             sp.rows_out(out.n_rows());
-            stats.push(NodeStat::new("nextk", out.n_rows() as u64));
+            stats.push(NodeStat::new("nextk", out.n_rows() as u64).timed(started));
             Ok(Frame {
                 rows: Rows::Owned(out),
                 sel: None,

@@ -6,7 +6,7 @@
 
 use crate::ops::rowkey::RowKey;
 use crate::{ColumnData, ColumnType, Result, Schema, Table, TableError};
-use ringo_concurrent::{parallel_map_morsels, MorselStats};
+use ringo_concurrent::{parallel_map_morsels_traced, MorselStats};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -234,41 +234,42 @@ impl Table {
             count: Vec<i64>,
             acc: Vec<Acc>,
         }
-        let (partials, stats) = parallel_map_morsels(n, self.threads, |_, range| {
-            let mut map: HashMap<RowKey, u32> = HashMap::new();
-            let mut first_row: Vec<u32> = Vec::new();
-            let mut count: Vec<i64> = Vec::new();
-            let mut acc: Vec<Acc> = Vec::new();
-            for i in range {
-                let row = row_at(i);
-                match map.entry(self.row_key(row, &gidx)) {
-                    Entry::Occupied(e) => {
-                        let g = *e.get() as usize;
-                        count[g] += 1;
-                        fold(&mut acc[g], count[g], row);
-                    }
-                    Entry::Vacant(e) => {
-                        e.insert(first_row.len() as u32);
-                        first_row.push(row as u32);
-                        count.push(1);
-                        acc.push(init(row));
+        let (partials, stats) =
+            parallel_map_morsels_traced("plan.morsel.group", n, self.threads, |_, range| {
+                let mut map: HashMap<RowKey, u32> = HashMap::new();
+                let mut first_row: Vec<u32> = Vec::new();
+                let mut count: Vec<i64> = Vec::new();
+                let mut acc: Vec<Acc> = Vec::new();
+                for i in range {
+                    let row = row_at(i);
+                    match map.entry(self.row_key(row, &gidx)) {
+                        Entry::Occupied(e) => {
+                            let g = *e.get() as usize;
+                            count[g] += 1;
+                            fold(&mut acc[g], count[g], row);
+                        }
+                        Entry::Vacant(e) => {
+                            e.insert(first_row.len() as u32);
+                            first_row.push(row as u32);
+                            count.push(1);
+                            acc.push(init(row));
+                        }
                     }
                 }
-            }
-            // Recover first-appearance key order from the map (the key
-            // itself lives in the map; local ids index the vectors, and
-            // every id in `0..first_row.len()` has exactly one key).
-            let mut keys: Vec<RowKey> = (0..first_row.len()).map(|_| RowKey::new()).collect();
-            for (k, id) in map {
-                keys[id as usize] = k;
-            }
-            Partial {
-                keys,
-                first_row,
-                count,
-                acc,
-            }
-        });
+                // Recover first-appearance key order from the map (the key
+                // itself lives in the map; local ids index the vectors, and
+                // every id in `0..first_row.len()` has exactly one key).
+                let mut keys: Vec<RowKey> = (0..first_row.len()).map(|_| RowKey::new()).collect();
+                for (k, id) in map {
+                    keys[id as usize] = k;
+                }
+                Partial {
+                    keys,
+                    first_row,
+                    count,
+                    acc,
+                }
+            });
 
         // Merge partials sequentially in morsel order: global group ids
         // come out in first-appearance order over `sel`, exactly as a

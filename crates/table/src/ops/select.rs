@@ -9,8 +9,8 @@
 
 use crate::{ColumnData, Result, Table, TableError};
 use ringo_concurrent::{
-    morsel_bounds, parallel_for_morsels, parallel_map, parallel_map_morsels, DisjointSlice,
-    MorselStats,
+    morsel_bounds, parallel_for_morsels_traced, parallel_map, parallel_map_morsels_traced,
+    DisjointSlice, MorselStats,
 };
 
 /// Comparison operator for predicates.
@@ -308,15 +308,16 @@ impl Table {
                 None => i,
             }
         };
-        let (counts, _) = parallel_map_morsels(n, self.threads, |_, range| {
-            let mut c = 0usize;
-            for i in range {
-                if compiled.eval(self, row_at(i)) {
-                    c += 1;
+        let (counts, _) =
+            parallel_map_morsels_traced("plan.morsel.select", n, self.threads, |_, range| {
+                let mut c = 0usize;
+                for i in range {
+                    if compiled.eval(self, row_at(i)) {
+                        c += 1;
+                    }
                 }
-            }
-            c
-        });
+                c
+            });
         let total: usize = counts.iter().sum();
         let mut keep = vec![0u32; total];
         // Both passes partition `0..n` with the same morsel bounds, so
@@ -330,21 +331,22 @@ impl Table {
             acc += c;
         }
         let out = DisjointSlice::new(&mut keep);
-        let stats = parallel_for_morsels(n, self.threads, |morsel, range| {
-            debug_assert_eq!(range.start, bounds[morsel]);
-            let mut cursor = offsets[morsel];
-            for i in range {
-                let row = row_at(i);
-                if compiled.eval(self, row) {
-                    // SAFETY: morsel `morsel` writes only
-                    // `offsets[morsel]..offsets[morsel] + counts[morsel]`,
-                    // and those windows are disjoint by construction of the
-                    // prefix sums over identical morsel bounds.
-                    unsafe { out.write(cursor, row as u32) };
-                    cursor += 1;
+        let stats =
+            parallel_for_morsels_traced("plan.morsel.select", n, self.threads, |morsel, range| {
+                debug_assert_eq!(range.start, bounds[morsel]);
+                let mut cursor = offsets[morsel];
+                for i in range {
+                    let row = row_at(i);
+                    if compiled.eval(self, row) {
+                        // SAFETY: morsel `morsel` writes only
+                        // `offsets[morsel]..offsets[morsel] + counts[morsel]`,
+                        // and those windows are disjoint by construction of the
+                        // prefix sums over identical morsel bounds.
+                        unsafe { out.write(cursor, row as u32) };
+                        cursor += 1;
+                    }
                 }
-            }
-        });
+            });
         Ok((keep, stats))
     }
 

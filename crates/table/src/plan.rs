@@ -392,11 +392,12 @@ impl Plan {
     }
 
     /// Like [`Plan::display`], but annotates every node with what the
-    /// executor actually did — `-> rows=N`, plus `morsels=M workers=W`
-    /// for morsel-driven nodes (select, join, group) — and appends the
-    /// final `Collect` line with its gather count. `stats` is the
-    /// post-order [`NodeStat`] vector from [`crate::exec::Executed`]
-    /// (with or without its trailing `collect` entry).
+    /// executor actually did — `-> rows=N time=T`, plus
+    /// `morsels=M workers=W` for morsel-driven nodes (select, join,
+    /// group) — and appends the final `Collect` line with its gather
+    /// count. `stats` is the post-order [`NodeStat`] vector from
+    /// [`crate::exec::Executed`] (with or without its trailing `collect`
+    /// entry).
     pub fn display_executed(
         &self,
         tables: &[&Table],
@@ -433,7 +434,12 @@ impl Plan {
         for (line, &idx) in plain.lines().zip(&pre) {
             out.push_str(line);
             if let Some(s) = stats.get(idx) {
-                let _ = write!(out, "  -> rows={}", s.rows_out);
+                let _ = write!(
+                    out,
+                    "  -> rows={} time={}",
+                    s.rows_out,
+                    ringo_trace::fmt_ns(s.wall_ns)
+                );
                 if s.morsels > 0 {
                     let _ = write!(out, " morsels={} workers={}", s.morsels, s.workers);
                 }

@@ -1,0 +1,182 @@
+//! Hand-rolled Chrome trace-event JSON exporter (no dependencies).
+//!
+//! [`to_chrome_json`] serializes the flight recorder
+//! ([`crate::timelines_snapshot`]) and the sampler series
+//! ([`crate::sampler::samples_snapshot`]) in the Chrome trace-event
+//! format, so a profile written via `RINGO_TRACE_CHROME=<path>` opens
+//! directly in `chrome://tracing` or <https://ui.perfetto.dev>:
+//!
+//! * every registered thread becomes a named track (`M` thread-name
+//!   metadata events; pool workers show up as `ringo-worker-N`),
+//! * completed spans whose begin event is still retained become balanced
+//!   `B`/`E` pairs — per-morsel `plan.morsel.*` slices nest under their
+//!   `plan.*` operator span on the dispatching thread and stand alone on
+//!   worker tracks,
+//! * completed spans whose begin event was overwritten (ring overflow)
+//!   become self-contained `X` complete events reconstructed from the end
+//!   event's carried start timestamp,
+//! * spans still open at export time (crash dumps) remain unmatched `B`
+//!   events, which Perfetto renders as running-to-the-end slices,
+//! * sampler ticks become `C` counter tracks (pool busy/idle workers,
+//!   live and peak heap bytes).
+//!
+//! Timestamps are microseconds since the trace epoch with nanosecond
+//! precision (three decimals), the unit the format specifies.
+
+use crate::events::{EventKind, ThreadTimeline, TimelineEvent};
+use crate::json::write_escaped;
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Writes `ns` as fractional microseconds (`123.456`).
+fn write_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn write_event_prefix(out: &mut String, first: &mut bool, ph: char, name: &str, tid: u32) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n    {\"ph\": \"");
+    out.push(ph);
+    out.push_str("\", \"pid\": 1, \"tid\": ");
+    let _ = write!(out, "{tid}, \"name\": ");
+    write_escaped(out, name);
+}
+
+fn write_slice_args(out: &mut String, ev: &TimelineEvent) {
+    let _ = write!(
+        out,
+        ", \"args\": {{\"rows_in\": {}, \"rows_out\": {}, \"mem_delta\": {}, \"span_id\": {}, \"parent_id\": {}}}",
+        ev.rows_in, ev.rows_out, ev.mem_delta, ev.span_id, ev.parent_id
+    );
+}
+
+fn write_thread(out: &mut String, first: &mut bool, tl: &ThreadTimeline) {
+    // Thread-name metadata so Perfetto labels the track.
+    write_event_prefix(out, first, 'M', "thread_name", tl.tid);
+    out.push_str(", \"args\": {\"name\": ");
+    write_escaped(out, &tl.thread_name);
+    out.push_str("}}");
+
+    // Span ids whose begin event survived in this thread's window: their
+    // ends close a `B` with an `E`; orphaned ends fall back to `X`.
+    let begun: HashSet<u64> = tl
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Begin)
+        .map(|e| e.span_id)
+        .collect();
+    for ev in &tl.events {
+        match ev.kind {
+            EventKind::Begin => {
+                write_event_prefix(out, first, 'B', ev.name, tl.tid);
+                out.push_str(", \"ts\": ");
+                write_us(out, ev.t_ns);
+                out.push('}');
+            }
+            EventKind::End if begun.contains(&ev.span_id) => {
+                write_event_prefix(out, first, 'E', ev.name, tl.tid);
+                out.push_str(", \"ts\": ");
+                write_us(out, ev.t_ns);
+                write_slice_args(out, ev);
+                out.push('}');
+            }
+            EventKind::End => {
+                // The begin was overwritten; the end event carries its
+                // start timestamp, so emit a self-contained complete event.
+                write_event_prefix(out, first, 'X', ev.name, tl.tid);
+                out.push_str(", \"ts\": ");
+                write_us(out, ev.start_ns);
+                out.push_str(", \"dur\": ");
+                write_us(out, ev.t_ns.saturating_sub(ev.start_ns));
+                write_slice_args(out, ev);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_counters(out: &mut String, first: &mut bool) {
+    for s in crate::sampler::samples_snapshot() {
+        write_event_prefix(out, first, 'C', "pool.workers", 0);
+        out.push_str(", \"ts\": ");
+        write_us(out, s.t_ns);
+        let _ = write!(
+            out,
+            ", \"args\": {{\"busy\": {}, \"idle\": {}}}}}",
+            s.busy_workers, s.idle_workers
+        );
+        write_event_prefix(out, first, 'C', "mem.bytes", 0);
+        out.push_str(", \"ts\": ");
+        write_us(out, s.t_ns);
+        let _ = write!(
+            out,
+            ", \"args\": {{\"current\": {}, \"peak\": {}}}}}",
+            s.mem_current, s.mem_peak
+        );
+    }
+}
+
+/// Serializes the flight recorder and sampler series as a Chrome
+/// trace-event JSON document (`{"traceEvents": [...]}`).
+pub fn to_chrome_json() -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("{\n  \"traceEvents\": [");
+    let mut first = true;
+    write_event_prefix(&mut out, &mut first, 'M', "process_name", 0);
+    out.push_str(", \"args\": {\"name\": \"ringo\"}}");
+    for tl in crate::timelines_snapshot() {
+        write_thread(&mut out, &mut first, &tl);
+    }
+    write_counters(&mut out, &mut first);
+    out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+    out
+}
+
+/// Writes [`to_chrome_json`] to `path`.
+pub fn dump_chrome(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_chrome_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_contains_balanced_named_slices() {
+        let _l = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let mut sp = crate::span!("test.chrome_outer");
+            sp.rows_in(3);
+            {
+                let _inner = crate::span!("test.chrome_inner");
+            }
+        }
+        crate::set_enabled(false);
+        let j = to_chrome_json();
+        assert!(j.contains("\"traceEvents\""), "{j}");
+        assert!(j.contains("\"thread_name\""), "{j}");
+        assert!(j.contains("test.chrome_outer"), "{j}");
+        assert!(j.contains("test.chrome_inner"), "{j}");
+        // Completed spans with retained begins export as B/E pairs.
+        let b = j.matches("\"ph\": \"B\"").count();
+        let e = j.matches("\"ph\": \"E\"").count();
+        assert_eq!(b, e, "balanced B/E: {j}");
+        assert!(b >= 2, "both spans exported: {j}");
+        crate::reset();
+    }
+
+    #[test]
+    fn microsecond_formatting_keeps_ns_precision() {
+        let mut s = String::new();
+        write_us(&mut s, 1_234_567);
+        assert_eq!(s, "1234.567");
+        s.clear();
+        write_us(&mut s, 999);
+        assert_eq!(s, "0.999");
+    }
+}

@@ -1,0 +1,666 @@
+//! Per-thread flight-recorder event buffers.
+//!
+//! Every thread that records an enabled span owns one fixed-capacity
+//! **SPSC ring** of timeline events: the owning thread is the only
+//! writer, and drains happen under a snapshot of the thread registry.
+//! Spans record a [`EventKind::Begin`] event at entry and an
+//! [`EventKind::End`] event at drop, both carrying the span id, the
+//! parent span id and the thread's registration id — enough to
+//! reconstruct a per-worker timeline (and to export it to the Chrome
+//! trace-event format, see [`crate::chrome`]).
+//!
+//! # Overflow policy
+//!
+//! The ring keeps the **most recent** [`EVENTS_PER_THREAD`] events per
+//! thread: a writer never blocks and never drops fresh data — it
+//! overwrites the oldest slot, like an aircraft flight recorder. Each
+//! overwritten event counts toward the thread's `dropped` tally, surfaced
+//! as the `trace.events.dropped` counter in [`crate::report`] and the
+//! JSON dump.
+//!
+//! # Concurrency
+//!
+//! Slots are seqlock-protected: the single writer marks a slot odd,
+//! stores the payload into plain atomics, then publishes the slot with an
+//! even generation tag derived from the ring position. A concurrent
+//! drain validates the tag before and after copying the payload and
+//! discards the slot on any mismatch, so a reader never observes a torn
+//! event. All payload fields are themselves atomics; the only `unsafe`
+//! is reassembling the `&'static str` span name from its (pointer,
+//! length) pair after validation proves the pair consistent.
+
+use std::cell::RefCell;
+use std::sync::atomic::{fence, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events retained per thread; older events are overwritten (and counted
+/// as dropped).
+pub const EVENTS_PER_THREAD: usize = 4096;
+
+/// How many trailing events per thread a panic dump prints.
+const PANIC_DUMP_EVENTS: usize = 16;
+
+/// What a timeline event marks: span entry or span exit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span entry; `t_ns` is the entry timestamp.
+    Begin,
+    /// Span exit; `t_ns` is the exit timestamp and `start_ns` the entry.
+    End,
+}
+
+/// One event drained from a thread buffer.
+#[derive(Clone, Debug)]
+pub struct TimelineEvent {
+    /// Entry or exit.
+    pub kind: EventKind,
+    /// Span name (e.g. `"plan.morsel.select"`).
+    pub name: &'static str,
+    /// Process-unique span id (nonzero).
+    pub span_id: u64,
+    /// Span id of the enclosing span on the same thread; 0 for roots.
+    pub parent_id: u64,
+    /// Nesting depth at entry: 0 for top-level spans.
+    pub depth: u32,
+    /// Event timestamp in nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// For [`EventKind::End`]: the matching entry timestamp.
+    pub start_ns: u64,
+    /// For [`EventKind::End`]: process-wide completion order.
+    pub seq: u64,
+    /// Input cardinality (end events; 0 unless annotated).
+    pub rows_in: u64,
+    /// Output cardinality (end events; 0 unless annotated).
+    pub rows_out: u64,
+    /// Net allocator delta over the span (end events).
+    pub mem_delta: i64,
+    /// Peak-heap raise over the span (end events).
+    pub mem_peak_delta: u64,
+}
+
+/// One thread's drained timeline, oldest event first.
+#[derive(Clone, Debug)]
+pub struct ThreadTimeline {
+    /// Small registration id (1-based, in registration order); the `tid`
+    /// the Chrome exporter emits.
+    pub tid: u32,
+    /// OS thread name at registration (`main`, `ringo-worker-3`, ...).
+    pub thread_name: String,
+    /// Events lost to ring overwrite (plus any slots skipped because the
+    /// writer was mid-store during the drain).
+    pub dropped: u64,
+    /// Retained events in write order.
+    pub events: Vec<TimelineEvent>,
+}
+
+/// One completed span, in the legacy aggregate-view shape kept for
+/// [`crate::events_snapshot`] (the `events` array of the JSON dump).
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (process-wide order of completion).
+    pub seq: u64,
+    /// Span name (e.g. `"table.join"`).
+    pub name: &'static str,
+    /// Nesting depth at entry: 0 for top-level operations.
+    pub depth: u32,
+    /// Wall time of the span in nanoseconds.
+    pub wall_ns: u64,
+    /// Input cardinality (rows or edges), when the caller set it.
+    pub rows_in: u64,
+    /// Output cardinality (rows or edges), when the caller set it.
+    pub rows_out: u64,
+    /// Net allocator delta over the span (current bytes at exit minus
+    /// entry); 0 unless [`crate::mem::TrackingAllocator`] is installed.
+    pub mem_delta: i64,
+    /// How much the span raised the process-wide peak-heap high-water
+    /// mark (0 when an earlier peak still dominates).
+    pub mem_peak_delta: u64,
+    /// Registration id of the recording thread.
+    pub tid: u32,
+    /// Process-unique span id.
+    pub span_id: u64,
+    /// Enclosing span id on the same thread; 0 for roots.
+    pub parent_id: u64,
+}
+
+/// Payload handed to [`ThreadBuffer::push`] before slot encoding.
+#[derive(Clone, Copy)]
+pub(crate) struct RawEvent {
+    pub kind: EventKind,
+    pub name: &'static str,
+    pub span_id: u64,
+    pub parent_id: u64,
+    pub depth: u32,
+    pub t_ns: u64,
+    pub start_ns: u64,
+    pub seq: u64,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub mem_delta: i64,
+    pub mem_peak_delta: u64,
+}
+
+/// One seqlock-protected slot. `guard` is `2*pos + 2` when position `pos`
+/// is published here, `2*pos + 1` while the writer is mid-store, and 0
+/// for a never-written slot. All payload fields are plain atomics so a
+/// racing drain reads stale-or-new words, never torn ones; the guard
+/// protocol rejects mixed reads.
+struct Slot {
+    guard: AtomicU64,
+    /// `kind` in bit 0, `depth` in the bits above.
+    meta: AtomicU64,
+    name_ptr: AtomicPtr<u8>,
+    name_len: AtomicUsize,
+    span_id: AtomicU64,
+    parent_id: AtomicU64,
+    t_ns: AtomicU64,
+    start_ns: AtomicU64,
+    seq: AtomicU64,
+    rows_in: AtomicU64,
+    rows_out: AtomicU64,
+    mem_delta: AtomicU64,
+    mem_peak_delta: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            guard: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            name_ptr: AtomicPtr::new(std::ptr::null_mut()),
+            name_len: AtomicUsize::new(0),
+            span_id: AtomicU64::new(0),
+            parent_id: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            rows_in: AtomicU64::new(0),
+            rows_out: AtomicU64::new(0),
+            mem_delta: AtomicU64::new(0),
+            mem_peak_delta: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One thread's event ring. Single-writer: only the owning thread calls
+/// [`ThreadBuffer::push`]; everyone else drains via [`ThreadBuffer::drain`].
+pub(crate) struct ThreadBuffer {
+    tid: u32,
+    thread_name: String,
+    /// Next position to write. Only the owner stores (Release, after the
+    /// slot is published); drains load Acquire.
+    head: AtomicU64,
+    /// Reset watermark: positions below it are invisible to drains.
+    floor: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ThreadBuffer {
+    fn with_capacity(tid: u32, thread_name: String, capacity: usize) -> Self {
+        ThreadBuffer {
+            tid,
+            thread_name,
+            head: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Appends one event, overwriting the oldest on overflow. Must only
+    /// be called by the owning thread (the SPSC writer).
+    pub(crate) fn push(&self, ev: RawEvent) {
+        // ORDERING: Relaxed — this thread is the only writer of `head`,
+        // so it reads its own last store; publication happens below.
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+        // Seqlock write protocol: mark the slot odd, fence, store the
+        // payload, publish even. The Release fence orders the odd tag
+        // before the payload stores as observed through the drain's
+        // Acquire fence, so a drain that saw any fresh payload word must
+        // also see the odd (or newer) tag and reject the slot.
+        // ORDERING: Relaxed on the odd tag — the Release fence right
+        // after it provides the needed edge.
+        slot.guard.store(2 * pos + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        // ORDERING: Relaxed payload stores — ordered against readers by
+        // the fence above and the Release publication below.
+        let o = Ordering::Relaxed;
+        slot.meta.store(
+            u64::from(ev.depth) << 1 | u64::from(ev.kind == EventKind::End),
+            o,
+        );
+        slot.name_ptr.store(ev.name.as_ptr().cast_mut(), o);
+        slot.name_len.store(ev.name.len(), o);
+        slot.span_id.store(ev.span_id, o);
+        slot.parent_id.store(ev.parent_id, o);
+        slot.t_ns.store(ev.t_ns, o);
+        slot.start_ns.store(ev.start_ns, o);
+        slot.seq.store(ev.seq, o);
+        slot.rows_in.store(ev.rows_in, o);
+        slot.rows_out.store(ev.rows_out, o);
+        slot.mem_delta.store(ev.mem_delta as u64, o);
+        slot.mem_peak_delta.store(ev.mem_peak_delta, o);
+        slot.guard.store(2 * pos + 2, Ordering::Release);
+        self.head.store(pos + 1, Ordering::Release);
+    }
+
+    /// Validated copy of position `pos`, or `None` if the slot was
+    /// overwritten or mid-write during the copy.
+    fn read_slot(&self, pos: u64) -> Option<TimelineEvent> {
+        let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+        let want = 2 * pos + 2;
+        let g1 = slot.guard.load(Ordering::Acquire);
+        if g1 != want {
+            return None;
+        }
+        // ORDERING: Relaxed payload loads — bracketed by the Acquire
+        // above (sees at least `pos`'s payload) and the Acquire fence +
+        // re-check below (rejects any newer overlap).
+        let o = Ordering::Relaxed;
+        let meta = slot.meta.load(o);
+        let name_ptr = slot.name_ptr.load(o);
+        let name_len = slot.name_len.load(o);
+        let span_id = slot.span_id.load(o);
+        let parent_id = slot.parent_id.load(o);
+        let t_ns = slot.t_ns.load(o);
+        let start_ns = slot.start_ns.load(o);
+        let seq = slot.seq.load(o);
+        let rows_in = slot.rows_in.load(o);
+        let rows_out = slot.rows_out.load(o);
+        let mem_delta = slot.mem_delta.load(o) as i64;
+        let mem_peak_delta = slot.mem_peak_delta.load(o);
+        fence(Ordering::Acquire);
+        // ORDERING: Relaxed re-check — the Acquire fence above orders it
+        // after the payload loads; equality with the pre-check proves no
+        // writer touched the slot in between.
+        if slot.guard.load(Ordering::Relaxed) != g1 {
+            return None;
+        }
+        // SAFETY: the name pointer/length pair was stored from one
+        // `&'static str` between the two guard transitions of position
+        // `pos`, and the seqlock validation above proves this copy did
+        // not interleave with any writer — the pair is consistent and
+        // points at 'static UTF-8 bytes.
+        let name: &'static str = unsafe {
+            std::str::from_utf8_unchecked(std::slice::from_raw_parts(name_ptr, name_len))
+        };
+        Some(TimelineEvent {
+            kind: if meta & 1 == 1 {
+                EventKind::End
+            } else {
+                EventKind::Begin
+            },
+            name,
+            span_id,
+            parent_id,
+            depth: (meta >> 1) as u32,
+            t_ns,
+            start_ns,
+            seq,
+            rows_in,
+            rows_out,
+            mem_delta,
+            mem_peak_delta,
+        })
+    }
+
+    /// Drains the visible window: retained events in write order plus the
+    /// count of events lost to overwrite (or skipped mid-write).
+    pub(crate) fn drain(&self) -> ThreadTimeline {
+        let head = self.head.load(Ordering::Acquire);
+        let floor = self.floor.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let window = head.saturating_sub(floor);
+        let lo = floor.max(head.saturating_sub(cap));
+        let mut dropped = window.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - lo) as usize);
+        for pos in lo..head {
+            match self.read_slot(pos) {
+                Some(ev) => events.push(ev),
+                None => dropped += 1,
+            }
+        }
+        ThreadTimeline {
+            tid: self.tid,
+            thread_name: self.thread_name.clone(),
+            dropped,
+            events,
+        }
+    }
+
+    /// Events recorded in the current window (including overwritten ones).
+    fn recorded(&self) -> u64 {
+        self.head
+            .load(Ordering::Acquire)
+            .saturating_sub(self.floor.load(Ordering::Acquire))
+    }
+
+    /// Opens a fresh window: everything recorded so far becomes invisible.
+    fn reset_window(&self) {
+        self.floor
+            .store(self.head.load(Ordering::Acquire), Ordering::Release);
+    }
+}
+
+/// Registry of every thread buffer ever created (pruned of dead threads
+/// on [`reset`]).
+struct ThreadRegistry {
+    threads: Mutex<Vec<Arc<ThreadBuffer>>>,
+}
+
+fn registry() -> &'static ThreadRegistry {
+    static REGISTRY: OnceLock<ThreadRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| ThreadRegistry {
+        threads: Mutex::new(Vec::new()),
+    })
+}
+
+fn registry_threads() -> std::sync::MutexGuard<'static, Vec<Arc<ThreadBuffer>>> {
+    registry().threads.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static END_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide monotonic clock all timeline events share, anchored at
+/// first use.
+pub fn epoch_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Per-thread recording context: the thread's buffer (created and
+/// registered on first use) plus the stack of open span ids.
+struct ThreadCtx {
+    buf: Option<Arc<ThreadBuffer>>,
+    stack: Vec<u64>,
+}
+
+impl ThreadCtx {
+    fn buffer(&mut self) -> &Arc<ThreadBuffer> {
+        if self.buf.is_none() {
+            // ORDERING: Relaxed — the counter only hands out unique ids.
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("thread-{tid}"));
+            let buf = Arc::new(ThreadBuffer::with_capacity(tid, name, EVENTS_PER_THREAD));
+            registry_threads().push(Arc::clone(&buf));
+            self.buf = Some(buf);
+        }
+        self.buf.as_ref().unwrap_or_else(|| unreachable!())
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<ThreadCtx> = const {
+        RefCell::new(ThreadCtx { buf: None, stack: Vec::new() })
+    };
+}
+
+/// What [`begin_span`] hands the span to carry until its drop.
+#[derive(Clone, Copy)]
+pub(crate) struct SpanToken {
+    pub span_id: u64,
+    pub parent_id: u64,
+    pub depth: u32,
+    pub start_ns: u64,
+}
+
+/// Records a [`EventKind::Begin`] event on the calling thread and pushes
+/// the span onto the thread's open-span stack. Only called for enabled
+/// spans.
+pub(crate) fn begin_span(name: &'static str) -> SpanToken {
+    let t_ns = epoch_ns();
+    // ORDERING: Relaxed — the counter only hands out unique span ids.
+    let span_id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        let parent_id = c.stack.last().copied().unwrap_or(0);
+        let depth = c.stack.len() as u32;
+        c.stack.push(span_id);
+        c.buffer().push(RawEvent {
+            kind: EventKind::Begin,
+            name,
+            span_id,
+            parent_id,
+            depth,
+            t_ns,
+            start_ns: t_ns,
+            seq: 0,
+            rows_in: 0,
+            rows_out: 0,
+            mem_delta: 0,
+            mem_peak_delta: 0,
+        });
+        SpanToken {
+            span_id,
+            parent_id,
+            depth,
+            start_ns: t_ns,
+        }
+    })
+}
+
+/// Records the matching [`EventKind::End`] event, pops the open-span
+/// stack, and returns the span's wall time in nanoseconds.
+pub(crate) fn end_span(
+    name: &'static str,
+    token: SpanToken,
+    rows_in: u64,
+    rows_out: u64,
+    mem_delta: i64,
+    mem_peak_delta: u64,
+) -> u64 {
+    let t_ns = epoch_ns();
+    let wall_ns = t_ns.saturating_sub(token.start_ns);
+    // ORDERING: Relaxed — completion order only needs unique, per-thread
+    // monotonic values; cross-thread order is reconstructed from
+    // timestamps, not from this counter.
+    let seq = END_SEQ.fetch_add(1, Ordering::Relaxed);
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        // RAII spans unwind LIFO; tolerate out-of-order drops anyway.
+        if c.stack.last() == Some(&token.span_id) {
+            c.stack.pop();
+        } else if let Some(i) = c.stack.iter().rposition(|&s| s == token.span_id) {
+            c.stack.remove(i);
+        }
+        c.buffer().push(RawEvent {
+            kind: EventKind::End,
+            name,
+            span_id: token.span_id,
+            parent_id: token.parent_id,
+            depth: token.depth,
+            t_ns,
+            start_ns: token.start_ns,
+            seq,
+            rows_in,
+            rows_out,
+            mem_delta,
+            mem_peak_delta,
+        });
+    });
+    wall_ns
+}
+
+/// Drains every registered thread buffer under one registry snapshot.
+/// Timelines are ordered by registration id; events within a timeline
+/// are in write order.
+pub fn timelines_snapshot() -> Vec<ThreadTimeline> {
+    let threads = registry_threads();
+    let mut out: Vec<ThreadTimeline> = threads.iter().map(|b| b.drain()).collect();
+    out.sort_by_key(|t| t.tid);
+    out
+}
+
+/// The completed spans across all threads, oldest first (by completion
+/// sequence) — the aggregate view the JSON dump's `events` array keeps.
+pub fn events_snapshot() -> Vec<Event> {
+    let mut out: Vec<Event> = Vec::new();
+    for tl in timelines_snapshot() {
+        for ev in &tl.events {
+            if ev.kind == EventKind::End {
+                out.push(Event {
+                    seq: ev.seq,
+                    name: ev.name,
+                    depth: ev.depth,
+                    wall_ns: ev.t_ns.saturating_sub(ev.start_ns),
+                    rows_in: ev.rows_in,
+                    rows_out: ev.rows_out,
+                    mem_delta: ev.mem_delta,
+                    mem_peak_delta: ev.mem_peak_delta,
+                    tid: tl.tid,
+                    span_id: ev.span_id,
+                    parent_id: ev.parent_id,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|e| e.seq);
+    out
+}
+
+/// Total events recorded in the current window across all threads
+/// (including those since overwritten).
+pub fn total_recorded() -> u64 {
+    registry_threads().iter().map(|b| b.recorded()).sum()
+}
+
+/// Total events lost to ring overwrite in the current window.
+pub fn total_dropped() -> u64 {
+    registry_threads()
+        .iter()
+        .map(|b| b.recorded().saturating_sub(b.slots.len() as u64))
+        .sum()
+}
+
+/// Opens a fresh window on every buffer and prunes buffers whose owning
+/// thread has exited (their TLS handle is gone, so only the registry's
+/// `Arc` remains).
+pub(crate) fn reset() {
+    let mut threads = registry_threads();
+    threads.retain(|b| Arc::strong_count(b) > 1);
+    for b in threads.iter() {
+        b.reset_window();
+    }
+}
+
+/// Renders the flight recorder (recent per-thread events plus the sampler
+/// tail) as human-readable text — what the panic hook dumps to stderr.
+pub fn flight_dump() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("=== ringo flight recorder ===\n");
+    let timelines = timelines_snapshot();
+    if timelines.is_empty() {
+        out.push_str("  (no events recorded; was tracing enabled?)\n");
+    }
+    for tl in &timelines {
+        let _ = writeln!(
+            out,
+            "thread {} \"{}\" ({} events retained, {} dropped):",
+            tl.tid,
+            tl.thread_name,
+            tl.events.len(),
+            tl.dropped
+        );
+        let tail_from = tl.events.len().saturating_sub(PANIC_DUMP_EVENTS);
+        for ev in &tl.events[tail_from..] {
+            let mark = match ev.kind {
+                EventKind::Begin => "B",
+                EventKind::End => "E",
+            };
+            let _ = write!(
+                out,
+                "  [{:>12}ns] {mark} {:indent$}{}",
+                ev.t_ns,
+                "",
+                ev.name,
+                indent = (ev.depth as usize) * 2
+            );
+            if ev.kind == EventKind::End {
+                let _ = write!(
+                    out,
+                    " wall={} rows={}->{}",
+                    crate::fmt_ns(ev.t_ns.saturating_sub(ev.start_ns)),
+                    ev.rows_in,
+                    ev.rows_out
+                );
+            }
+            out.push('\n');
+        }
+    }
+    let samples = crate::sampler::samples_snapshot();
+    if !samples.is_empty() {
+        let _ = writeln!(out, "sampler tail ({} samples total):", samples.len());
+        let tail_from = samples.len().saturating_sub(8);
+        for s in &samples[tail_from..] {
+            let _ = writeln!(
+                out,
+                "  [{:>12}ns] busy={} idle={} chunks+={} mem={}",
+                s.t_ns,
+                s.busy_workers,
+                s.idle_workers,
+                s.chunks_delta,
+                crate::mem::format_bytes(s.mem_current as usize)
+            );
+        }
+    }
+    out.push_str("=== end flight recorder ===\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(name: &'static str, n: u64) -> RawEvent {
+        RawEvent {
+            kind: EventKind::End,
+            name,
+            span_id: n,
+            parent_id: 0,
+            depth: 0,
+            t_ns: n,
+            start_ns: 0,
+            seq: n,
+            rows_in: 0,
+            rows_out: 0,
+            mem_delta: 0,
+            mem_peak_delta: 0,
+        }
+    }
+
+    #[test]
+    fn buffer_retains_newest_and_counts_dropped() {
+        let buf = ThreadBuffer::with_capacity(7, "test".into(), 64);
+        for i in 0..64 + 10 {
+            buf.push(raw("test.sat", i));
+        }
+        let tl = buf.drain();
+        assert_eq!(tl.tid, 7);
+        assert_eq!(tl.events.len(), 64, "bounded at capacity");
+        assert_eq!(tl.dropped, 10, "overwritten events are counted");
+        // Oldest-first write order, newest retained.
+        assert_eq!(tl.events.first().map(|e| e.span_id), Some(10));
+        assert_eq!(tl.events.last().map(|e| e.span_id), Some(73));
+        buf.reset_window();
+        let tl = buf.drain();
+        assert!(tl.events.is_empty());
+        assert_eq!(tl.dropped, 0, "fresh window");
+    }
+
+    #[test]
+    fn drain_skips_unwritten_slots() {
+        let buf = ThreadBuffer::with_capacity(1, "test".into(), 8);
+        buf.push(raw("test.one", 1));
+        let tl = buf.drain();
+        assert_eq!(tl.events.len(), 1);
+        assert_eq!(tl.events[0].name, "test.one");
+        assert_eq!(tl.dropped, 0);
+    }
+}

@@ -10,22 +10,32 @@
 //!   [`Counter`]s and fixed log2-bucket latency [`Histogram`]s
 //!   ([`registry`]),
 //! * an **RAII span API** ([`span!`] / [`Span`]) recording wall time,
-//!   rows/edges in and out, and allocator deltas per operation into a
-//!   bounded in-memory **event ring** ([`ring`]),
+//!   rows/edges in and out, and allocator deltas per operation,
+//! * a **flight recorder** ([`events`]): per-thread fixed-capacity
+//!   lock-free event buffers (one seqlock-protected SPSC ring per
+//!   registered thread) holding span begin/end events with thread and
+//!   parent-span attribution, so per-worker timelines are
+//!   reconstructable after the fact,
 //! * the **allocator instrumentation** ([`mem`], moved here from
 //!   `ringo-core` so every layer of the engine can read it),
-//! * three **sinks**: a human-readable [`report`] table, a JSON dump
+//! * a std-only **background sampler** ([`sampler`], `RINGO_SAMPLE_MS`)
+//!   snapshotting pool busy/idle counts, counter deltas, and allocator
+//!   watermarks into a bounded time series,
+//! * four **sinks**: a human-readable [`report`] table, a JSON dump
 //!   ([`to_json`] / [`dump_json`], triggered at process exit by
 //!   `RINGO_TRACE=1` / `RINGO_TRACE_JSON=<path>` via [`init_from_env`]),
-//!   and the per-facade op-log kept by `ringo-core` on top of this crate.
+//!   a Chrome trace-event export ([`chrome`], `RINGO_TRACE_CHROME=<path>`,
+//!   opens in `chrome://tracing`/Perfetto), and a panic-hook flight dump
+//!   ([`install_panic_hook`] / [`flight_dump`]) for post-mortems.
 //!
 //! # Overhead contract
 //!
 //! Tracing is **off by default**. A disabled span costs one relaxed atomic
 //! load plus a `None` write — a few nanoseconds, measured continuously by
 //! `crates/bench/benches/bench_trace_overhead.rs` (< 5% on a ~50ns hot
-//! loop). Instrumented hot paths therefore keep their spans unconditional;
-//! there is no feature flag to strip them.
+//! loop) and `bench_profile_overhead.rs` (enabled recording < 3% on a
+//! 1M-row query). Instrumented hot paths therefore keep their spans
+//! unconditional; there is no feature flag to strip them.
 //!
 //! # Example
 //!
@@ -36,7 +46,7 @@
 //!     sp.rows_in(100);
 //!     // ... do the join ...
 //!     sp.rows_out(42);
-//! } // drop records latency + memory into the registry and event ring
+//! } // drop records latency + memory into the registry and event buffer
 //! let text = ringo_trace::report();
 //! assert!(text.contains("table.join"));
 //! ringo_trace::set_enabled(false);
@@ -45,18 +55,23 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod events;
 pub mod json;
 pub mod mem;
 pub mod registry;
-pub mod ring;
+pub mod sampler;
 mod span;
 pub mod sync;
 
+pub use events::{
+    events_snapshot, flight_dump, timelines_snapshot, Event, EventKind, ThreadTimeline,
+    TimelineEvent, EVENTS_PER_THREAD,
+};
 pub use registry::{
     counter, counters_snapshot, histogram, histograms_snapshot, Counter, CounterSnapshot,
     Histogram, HistogramSnapshot, Registry, HIST_BUCKETS,
 };
-pub use ring::{events_snapshot, Event, RING_CAPACITY};
 pub use span::Span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -97,25 +112,31 @@ macro_rules! span {
     };
 }
 
-/// Zeroes every counter, histogram, and the event ring, starting a fresh
-/// measurement window. Registered names survive (they keep their slots);
-/// the cumulative `PoolStats` of the worker pool are unaffected because
-/// the pool feeds the registry with per-chunk *deltas*, so a window opened
-/// by `reset()` sees only work dispatched after it.
+/// Zeroes every counter, histogram, per-thread event buffer, and the
+/// sampler series, starting a fresh measurement window. Registered names
+/// survive (they keep their slots); the cumulative `PoolStats` of the
+/// worker pool are unaffected because the pool feeds the registry with
+/// per-chunk *deltas*, so a window opened by `reset()` sees only work
+/// dispatched after it.
 pub fn reset() {
     registry::reset();
-    ring::reset();
+    events::reset();
+    sampler::clear();
 }
 
 /// Renders the registry as a human-readable table: one row per histogram
-/// (calls, total, mean, p50, p99, max) followed by the named counters.
+/// (calls, total, mean, p50, p99, max) followed by the named counters and
+/// the derived flight-recorder tallies (`trace.events.recorded` /
+/// `trace.events.dropped`).
 pub fn report() -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let hists = histograms_snapshot();
     let counters = counters_snapshot();
+    let recorded = events::total_recorded();
+    let dropped = events::total_dropped();
     out.push_str("ringo-trace report\n");
-    if hists.is_empty() && counters.is_empty() {
+    if hists.is_empty() && counters.is_empty() && recorded == 0 {
         out.push_str("  (no metrics recorded; is tracing enabled?)\n");
         return out;
     }
@@ -144,12 +165,12 @@ pub fn report() -> String {
             .unwrap();
         }
     }
-    if !counters.is_empty() {
-        writeln!(out, "  {:<28} {:>8}", "counter", "value").unwrap();
-        for c in &counters {
-            writeln!(out, "  {:<28} {:>8}", c.name, c.value).unwrap();
-        }
+    writeln!(out, "  {:<28} {:>8}", "counter", "value").unwrap();
+    for c in &counters {
+        writeln!(out, "  {:<28} {:>8}", c.name, c.value).unwrap();
     }
+    writeln!(out, "  {:<28} {:>8}", "trace.events.recorded", recorded).unwrap();
+    writeln!(out, "  {:<28} {:>8}", "trace.events.dropped", dropped).unwrap();
     out
 }
 
@@ -166,8 +187,10 @@ pub fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Serializes the full trace state (counters, histograms, events, memory
-/// watermarks) as a JSON object. See [`json`] for the writer.
+/// Serializes the full trace state (counters, histograms, events, per
+/// thread tallies, sampler series, memory watermarks) as a JSON object.
+/// See [`json`] for the writer and [`json::parse`] for the matching
+/// reader.
 pub fn to_json() -> String {
     json::trace_to_json()
 }
@@ -177,43 +200,104 @@ pub fn dump_json(path: &std::path::Path) -> std::io::Result<()> {
     std::fs::write(path, to_json())
 }
 
-/// Enables tracing and schedules a process-exit JSON dump when the
-/// `RINGO_TRACE` / `RINGO_TRACE_JSON` environment variables ask for it.
+/// Serializes the flight recorder in the Chrome trace-event format; see
+/// [`chrome`].
+pub fn to_chrome_json() -> String {
+    chrome::to_chrome_json()
+}
+
+/// Installs a panic hook that dumps the flight recorder (recent
+/// per-thread events plus the sampler tail) to stderr before the default
+/// hook runs. Idempotent; chains to the previously installed hook so
+/// backtraces still print. [`init_from_env`] installs it automatically
+/// whenever tracing is enabled through the environment.
+pub fn install_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            eprintln!("{}", flight_dump());
+            prev(info);
+        }));
+    });
+}
+
+/// Enables tracing and schedules process-exit dumps when the trace
+/// environment variables ask for it.
 ///
 /// * `RINGO_TRACE=1` (or `true`) — enable tracing; the returned guard
 ///   writes the JSON trace to `RINGO_TRACE_JSON` (default
 ///   `ringo_trace.json`) when dropped at the end of `main`.
 /// * `RINGO_TRACE_JSON=<path>` alone also implies `RINGO_TRACE=1`.
+/// * `RINGO_TRACE_CHROME=<path>` — also enables tracing; the guard writes
+///   a Chrome trace-event file there (open in `chrome://tracing` or
+///   Perfetto).
+/// * `RINGO_SAMPLE_MS=<n>` — also enables tracing and starts the
+///   background [`sampler`] at an `n`-millisecond interval; the guard
+///   stops it before writing the dumps so the series is complete.
+///
+/// Any of these also installs the [panic hook](install_panic_hook), so a
+/// crash under tracing leaves a flight-recorder dump on stderr.
 ///
 /// Call it first thing in `main` and keep the guard alive:
 ///
 /// ```no_run
 /// let _trace = ringo_trace::init_from_env();
-/// // ... program; guard drop at the end of main writes the JSON dump ...
+/// // ... program; guard drop at the end of main writes the dumps ...
 /// ```
-#[must_use = "hold the guard until the end of main so the JSON dump is written"]
+#[must_use = "hold the guard until the end of main so the trace dumps are written"]
 pub fn init_from_env() -> TraceGuard {
     let on = std::env::var("RINGO_TRACE")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false);
     let json_path = std::env::var_os("RINGO_TRACE_JSON").map(std::path::PathBuf::from);
+    let chrome_path = std::env::var_os("RINGO_TRACE_CHROME").map(std::path::PathBuf::from);
+    let sample_ms = std::env::var("RINGO_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&ms| ms > 0);
+    let any = on || json_path.is_some() || chrome_path.is_some() || sample_ms.is_some();
     let dump_to = if on || json_path.is_some() {
-        set_enabled(true);
         Some(json_path.unwrap_or_else(|| std::path::PathBuf::from("ringo_trace.json")))
     } else {
         None
     };
-    TraceGuard { dump_to }
+    let mut stop_sampler = false;
+    if any {
+        set_enabled(true);
+        install_panic_hook();
+        if let Some(ms) = sample_ms {
+            stop_sampler = sampler::start(std::time::Duration::from_millis(ms));
+        }
+    }
+    TraceGuard {
+        dump_to,
+        chrome_to: chrome_path,
+        stop_sampler,
+    }
 }
 
-/// Guard returned by [`init_from_env`]; writes the JSON dump (if
-/// requested) when dropped.
+/// Guard returned by [`init_from_env`]; stops the sampler and writes the
+/// requested dumps when dropped.
 pub struct TraceGuard {
     dump_to: Option<std::path::PathBuf>,
+    chrome_to: Option<std::path::PathBuf>,
+    stop_sampler: bool,
 }
 
 impl Drop for TraceGuard {
     fn drop(&mut self) {
+        // Stop the sampler first so its final tick is in both dumps.
+        if self.stop_sampler {
+            sampler::stop();
+        }
+        if let Some(path) = self.chrome_to.take() {
+            if let Err(e) = chrome::dump_chrome(&path) {
+                eprintln!("ringo-trace: failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("ringo-trace: wrote {}", path.display());
+            }
+        }
         if let Some(path) = self.dump_to.take() {
             if let Err(e) = dump_json(&path) {
                 eprintln!("ringo-trace: failed to write {}: {e}", path.display());
@@ -265,6 +349,8 @@ mod tests {
         let r = report();
         assert!(r.contains("test.report_op"), "{r}");
         assert!(r.contains("test.report_counter"), "{r}");
+        assert!(r.contains("trace.events.recorded"), "{r}");
+        assert!(r.contains("trace.events.dropped"), "{r}");
         set_enabled(false);
         reset();
     }
@@ -283,7 +369,15 @@ mod tests {
         assert!(histograms_snapshot().iter().all(|h| h.count == 0));
         assert!(counters_snapshot().iter().all(|c| c.value == 0));
         assert!(events_snapshot().is_empty());
+        assert!(events::total_recorded() == 0);
         set_enabled(false);
+    }
+
+    #[test]
+    fn panic_hook_is_idempotent() {
+        // No test_lock needed: installs a process-global hook once.
+        install_panic_hook();
+        install_panic_hook();
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Background resource sampler (std-only, off by default).
+//!
+//! [`start`] spawns one named thread (`ringo-sampler`) that every
+//! interval snapshots a fixed set of engine vitals — worker-pool busy and
+//! idle counts, per-window counter deltas, the
+//! [`crate::mem::TrackingAllocator`] live-bytes and peak watermarks, and
+//! the flight recorder's recorded/dropped tallies — into a **bounded**
+//! in-memory time series ([`MAX_SAMPLES`] entries, oldest evicted). The
+//! series is dumped with the JSON trace (`samples` array), exported as
+//! Chrome counter tracks by [`crate::chrome`], and its tail rides along
+//! in panic-hook flight dumps.
+//!
+//! The sampler is wired to `RINGO_SAMPLE_MS` by [`crate::init_from_env`];
+//! [`start`]/[`stop`] are idempotent and safe to call in any order. Each
+//! tick records a `trace.sample` span, so the sampler thread shows up as
+//! its own timeline in the flight recorder and the Chrome export.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Bounded length of the in-memory time series.
+pub const MAX_SAMPLES: usize = 4096;
+
+/// One sampler tick.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Tick timestamp in nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// Pool executors currently inside chunk bodies (`pool.busy_workers`
+    /// gauge; includes dispatching threads that claimed a chunk).
+    pub busy_workers: u64,
+    /// Pool workers not currently executing (`pool.workers` minus busy,
+    /// clamped at zero).
+    pub idle_workers: u64,
+    /// Chunks executed since the previous tick (`pool.chunks_executed`
+    /// delta).
+    pub chunks_delta: u64,
+    /// Busy nanoseconds accumulated since the previous tick
+    /// (`pool.busy_ns` delta).
+    pub busy_ns_delta: u64,
+    /// Live heap bytes at the tick.
+    pub mem_current: u64,
+    /// Peak heap bytes at the tick.
+    pub mem_peak: u64,
+    /// Flight-recorder events recorded in the current window.
+    pub events_recorded: u64,
+    /// Flight-recorder events lost to ring overwrite.
+    pub events_dropped: u64,
+}
+
+struct Sampler {
+    /// True while a sampler thread should keep running; the condvar wakes
+    /// it early on [`stop`].
+    running: Mutex<bool>,
+    wake: Condvar,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    samples: Mutex<VecDeque<Sample>>,
+}
+
+fn sampler() -> &'static Sampler {
+    static SAMPLER: OnceLock<Sampler> = OnceLock::new();
+    SAMPLER.get_or_init(|| Sampler {
+        running: Mutex::new(false),
+        wake: Condvar::new(),
+        handle: Mutex::new(None),
+        samples: Mutex::new(VecDeque::new()),
+    })
+}
+
+fn counter_value(snapshot: &[crate::CounterSnapshot], name: &str) -> u64 {
+    snapshot
+        .iter()
+        .find(|c| c.name == name)
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
+/// Takes one sample given the previous tick's cumulative counters,
+/// returning the new cumulative values.
+fn tick(prev_chunks: &mut u64, prev_busy_ns: &mut u64) {
+    let _sp = crate::span!("trace.sample");
+    let counters = crate::counters_snapshot();
+    let busy = counter_value(&counters, "pool.busy_workers");
+    let workers = counter_value(&counters, "pool.workers");
+    let chunks = counter_value(&counters, "pool.chunks_executed");
+    let busy_ns = counter_value(&counters, "pool.busy_ns");
+    let sample = Sample {
+        t_ns: crate::events::epoch_ns(),
+        busy_workers: busy,
+        idle_workers: workers.saturating_sub(busy),
+        chunks_delta: chunks.saturating_sub(*prev_chunks),
+        busy_ns_delta: busy_ns.saturating_sub(*prev_busy_ns),
+        mem_current: crate::mem::current_bytes() as u64,
+        mem_peak: crate::mem::peak_bytes() as u64,
+        events_recorded: crate::events::total_recorded(),
+        events_dropped: crate::events::total_dropped(),
+    };
+    *prev_chunks = chunks;
+    *prev_busy_ns = busy_ns;
+    let mut q = sampler().samples.lock().unwrap_or_else(|e| e.into_inner());
+    if q.len() == MAX_SAMPLES {
+        q.pop_front();
+    }
+    q.push_back(sample);
+}
+
+/// Starts the background sampler at `interval` if it is not already
+/// running. Returns `true` when this call started it, `false` when a
+/// sampler was already active (idempotent). Intervals are clamped to at
+/// least one millisecond.
+pub fn start(interval: Duration) -> bool {
+    let s = sampler();
+    {
+        let mut running = s.running.lock().unwrap_or_else(|e| e.into_inner());
+        if *running {
+            return false;
+        }
+        *running = true;
+    }
+    let interval = interval.max(Duration::from_millis(1));
+    let spawned = std::thread::Builder::new()
+        .name("ringo-sampler".to_owned())
+        .spawn(move || {
+            let s = sampler();
+            let (mut prev_chunks, mut prev_busy_ns) = (0u64, 0u64);
+            loop {
+                tick(&mut prev_chunks, &mut prev_busy_ns);
+                let mut running = s.running.lock().unwrap_or_else(|e| e.into_inner());
+                while *running {
+                    let (guard, timeout) = s
+                        .wake
+                        .wait_timeout(running, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    running = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                if !*running {
+                    return;
+                }
+            }
+        });
+    match spawned {
+        Ok(handle) => {
+            *s.handle.lock().unwrap_or_else(|e| e.into_inner()) = Some(handle);
+            true
+        }
+        Err(e) => {
+            eprintln!("ringo-trace: failed to spawn sampler thread: {e}");
+            *s.running.lock().unwrap_or_else(|e| e.into_inner()) = false;
+            false
+        }
+    }
+}
+
+/// Stops the sampler and joins its thread. Returns `true` when a running
+/// sampler was stopped, `false` when none was active (idempotent). The
+/// collected series stays available through [`samples_snapshot`].
+pub fn stop() -> bool {
+    let s = sampler();
+    {
+        let mut running = s.running.lock().unwrap_or_else(|e| e.into_inner());
+        if !*running {
+            return false;
+        }
+        *running = false;
+    }
+    s.wake.notify_all();
+    let handle = s.handle.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+    true
+}
+
+/// Whether a sampler thread is currently running.
+pub fn is_running() -> bool {
+    *sampler().running.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The collected time series, oldest first.
+pub fn samples_snapshot() -> Vec<Sample> {
+    sampler()
+        .samples
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .copied()
+        .collect()
+}
+
+/// Clears the collected series (part of [`crate::reset`]).
+pub(crate) fn clear() {
+    sampler()
+        .samples
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_stop_are_idempotent_and_collect_samples() {
+        let _l = crate::test_lock();
+        // Repeated stops on a cold sampler are no-ops.
+        assert!(!stop());
+        assert!(!stop());
+        assert!(start(Duration::from_millis(1)));
+        assert!(!start(Duration::from_millis(1)), "second start is a no-op");
+        assert!(is_running());
+        // The first tick fires immediately on the sampler thread.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while samples_snapshot().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(stop());
+        assert!(!stop(), "second stop is a no-op");
+        assert!(!is_running());
+        let samples = samples_snapshot();
+        assert!(!samples.is_empty(), "sampler collected at least one tick");
+        // Restart after stop works.
+        assert!(start(Duration::from_millis(1)));
+        assert!(stop());
+        clear();
+        assert!(samples_snapshot().is_empty());
+    }
+}

@@ -1,37 +1,31 @@
 //! RAII spans: enter with [`crate::span!`], annotate cardinalities, and
-//! the drop records latency, memory deltas, and an [`Event`].
+//! the drop records latency, memory deltas, and a begin/end event pair in
+//! the calling thread's flight-recorder buffer.
 
-use crate::ring::{self, Event};
+use crate::events::{self, SpanToken};
 use crate::{histogram, mem};
-use std::cell::Cell;
-use std::time::Instant;
-
-thread_local! {
-    /// Current span nesting depth on this thread (active spans only).
-    static DEPTH: Cell<u32> = const { Cell::new(0) };
-}
 
 /// An RAII measurement of one named operation.
 ///
 /// Created with [`crate::span!`]. When tracing is disabled at entry the
 /// span is inert: construction is one relaxed atomic load, annotation
 /// methods are no-ops, and drop does nothing — the overhead contract the
-/// `bench_trace_overhead` benchmark enforces. When enabled, the drop
-/// records the wall time into the span's named [`crate::Histogram`] and
-/// appends an [`Event`] (with rows in/out and allocator deltas) to the
-/// event ring.
+/// `bench_trace_overhead` / `bench_profile_overhead` benchmarks enforce.
+/// When enabled, entry records a begin event (with the span's id, parent
+/// and thread attribution) into the thread's event buffer, and the drop
+/// records the wall time into the span's named [`crate::Histogram`] plus
+/// the matching end event carrying rows in/out and allocator deltas.
 pub struct Span {
     inner: Option<ActiveSpan>,
 }
 
 struct ActiveSpan {
     name: &'static str,
-    start: Instant,
+    token: SpanToken,
     mem_start: usize,
     peak_start: usize,
     rows_in: u64,
     rows_out: u64,
-    depth: u32,
 }
 
 impl Span {
@@ -41,20 +35,14 @@ impl Span {
         if !crate::enabled() {
             return Span { inner: None };
         }
-        let depth = DEPTH.with(|d| {
-            let v = d.get();
-            d.set(v + 1);
-            v
-        });
         Span {
             inner: Some(ActiveSpan {
                 name,
-                start: Instant::now(),
+                token: events::begin_span(name),
                 mem_start: mem::current_bytes(),
                 peak_start: mem::peak_bytes(),
                 rows_in: 0,
                 rows_out: 0,
-                depth,
             }),
         }
     }
@@ -94,19 +82,15 @@ impl Drop for Span {
 /// Out-of-line slow path: only runs for enabled spans.
 #[cold]
 fn finish(s: ActiveSpan) {
-    let wall_ns = u64::try_from(s.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    let wall_ns = events::end_span(
+        s.name,
+        s.token,
+        s.rows_in,
+        s.rows_out,
+        mem::current_bytes() as i64 - s.mem_start as i64,
+        mem::peak_bytes().saturating_sub(s.peak_start) as u64,
+    );
     histogram(s.name).record(wall_ns);
-    ring::push(Event {
-        seq: 0, // assigned by the ring
-        name: s.name,
-        depth: s.depth,
-        wall_ns,
-        rows_in: s.rows_in,
-        rows_out: s.rows_out,
-        mem_delta: mem::current_bytes() as i64 - s.mem_start as i64,
-        mem_peak_delta: mem::peak_bytes().saturating_sub(s.peak_start) as u64,
-    });
 }
 
 #[cfg(test)]
@@ -142,6 +126,17 @@ mod tests {
         let seq_of = |n: &str| events.iter().find(|e| e.name == n).unwrap().seq;
         assert!(seq_of("test.nest_inner") < seq_of("test.nest_mid"));
         assert!(seq_of("test.nest_mid") < seq_of("test.nest_outer"));
+        // Parent attribution: inner spans point at their enclosing span.
+        let ev = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(ev("test.nest_outer").parent_id, 0);
+        assert_eq!(ev("test.nest_mid").parent_id, ev("test.nest_outer").span_id);
+        assert_eq!(ev("test.nest_inner").parent_id, ev("test.nest_mid").span_id);
+        assert_eq!(
+            ev("test.nest_sibling").parent_id,
+            ev("test.nest_outer").span_id
+        );
+        // All on this thread.
+        assert!(events.windows(2).all(|w| w[0].tid == w[1].tid));
         // Cardinality annotations land on the right event.
         let outer = events.iter().find(|e| e.name == "test.nest_outer").unwrap();
         assert_eq!((outer.rows_in, outer.rows_out), (10, 5));
@@ -167,6 +162,38 @@ mod tests {
         crate::set_enabled(true);
         drop(sp); // was created disabled: must not record
         assert!(events_snapshot().is_empty());
+        crate::set_enabled(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn begin_and_end_events_pair_up_in_timelines() {
+        let _l = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _sp = crate::span!("test.pairing");
+        }
+        let timelines = crate::timelines_snapshot();
+        let tl = timelines
+            .iter()
+            .find(|t| t.events.iter().any(|e| e.name == "test.pairing"))
+            .expect("timeline with the span");
+        let begins: Vec<_> = tl
+            .events
+            .iter()
+            .filter(|e| e.name == "test.pairing" && e.kind == crate::EventKind::Begin)
+            .collect();
+        let ends: Vec<_> = tl
+            .events
+            .iter()
+            .filter(|e| e.name == "test.pairing" && e.kind == crate::EventKind::End)
+            .collect();
+        assert_eq!(begins.len(), 1);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(begins[0].span_id, ends[0].span_id);
+        assert_eq!(ends[0].start_ns, begins[0].t_ns);
+        assert!(ends[0].t_ns >= begins[0].t_ns);
         crate::set_enabled(false);
         crate::reset();
     }

@@ -58,6 +58,8 @@ commands:
                                              where <col> <op> <value> | project <a,b,..>
                                              | join <table> <lcol> <rcol>
   explain <table> [clauses...]               print the optimized plan (same clauses)
+  profile <table> [clauses...]               run the plan, print per-operator profile
+  stats                                      pool / allocator / flight-recorder gauges
   group <out> <table> <col> count            group sizes
   order <table> <col> [asc|desc]             sort in place
   tograph <name> <table> <srccol> <dstcol>   build a directed graph
@@ -211,6 +213,47 @@ impl Shell {
                 let t = self.table(table)?;
                 let q = apply_clauses(&self.tables, self.ringo.query(t), clauses)?;
                 print!("{}", q.explain().map_err(|e| e.to_string())?);
+                Ok(true)
+            }
+            ["profile", table, clauses @ ..] => {
+                let t = self.table(table)?;
+                let q = apply_clauses(&self.tables, self.ringo.query(t), clauses)?;
+                let p = q.profile().map_err(|e| e.to_string())?;
+                print!("{}", p.render());
+                Ok(true)
+            }
+            ["stats"] => {
+                let pool = ringo::concurrent::pool_stats();
+                println!(
+                    "pool: {} workers ({} busy now), {} jobs, {} chunks, {:.1?} busy",
+                    pool.workers,
+                    pool.busy_workers,
+                    pool.jobs_dispatched,
+                    pool.chunks_executed,
+                    pool.busy
+                );
+                println!(
+                    "mem: {} current, {} peak, {} allocations",
+                    ringo::trace::mem::format_bytes(ringo::trace::mem::current_bytes()),
+                    ringo::trace::mem::format_bytes(ringo::trace::mem::peak_bytes()),
+                    ringo::trace::mem::alloc_count()
+                );
+                println!(
+                    "flight recorder: {} (events {} recorded, {} dropped across {} threads)",
+                    if ringo::trace::enabled() { "on" } else { "off" },
+                    ringo::trace::events::total_recorded(),
+                    ringo::trace::events::total_dropped(),
+                    ringo::trace::timelines_snapshot().len()
+                );
+                println!(
+                    "sampler: {} ({} samples held)",
+                    if ringo::trace::sampler::is_running() {
+                        "running"
+                    } else {
+                        "stopped"
+                    },
+                    ringo::trace::sampler::samples_snapshot().len()
+                );
                 Ok(true)
             }
             ["join", out, left, right, lcol, rcol] => {

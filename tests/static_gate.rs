@@ -225,10 +225,13 @@ const UNWRAP_ALLOWLIST: &[(&str, &str)] = &[
     ),
 ];
 
-/// Where `thread::spawn` / `thread::Builder` may appear: the worker pool
-/// and the checker's virtual-thread runtime.
+/// Where `thread::spawn` / `thread::Builder` may appear: the worker pool,
+/// the checker's virtual-thread runtime, and the trace crate's background
+/// resource sampler.
 fn thread_spawn_allowed(rel: &str) -> bool {
-    rel == "crates/concurrent/src/pool.rs" || rel.starts_with("crates/check/")
+    rel == "crates/concurrent/src/pool.rs"
+        || rel == "crates/trace/src/sampler.rs"
+        || rel.starts_with("crates/check/")
 }
 
 fn workspace_root() -> PathBuf {
