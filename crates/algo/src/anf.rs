@@ -8,6 +8,7 @@
 //! The effective-diameter estimate derived from it is how large-graph
 //! studies report distances.
 
+use ringo_concurrent::{num_threads, parallel_for_morsels, DisjointSlice};
 use ringo_graph::DirectedTopology;
 
 /// Flajolet–Martin sketch state: `k` bitmasks per node.
@@ -33,7 +34,9 @@ impl Sketches {
 /// of the result estimates the number of ordered pairs `(u, v)` with
 /// `0 < dist(u, v) <= h`, for `h = 1..=max_hops`. `k` is the number of
 /// parallel sketches (e.g. 32; more = tighter). Deterministic for a
-/// fixed `seed`.
+/// fixed `seed` — the hop sweep is morsel-parallel, but each slot's
+/// sketch window is an OR-fold of the previous hop's snapshot, so the
+/// output is bit-identical at every thread count.
 pub fn approx_neighborhood_function<G: DirectedTopology>(
     g: &G,
     max_hops: usize,
@@ -72,22 +75,38 @@ pub fn approx_neighborhood_function<G: DirectedTopology>(
         return vec![0.0; max_hops];
     }
 
+    let threads = num_threads();
     let mut curve = Vec::with_capacity(max_hops);
     let mut next = cur.bits.clone();
     for _ in 0..max_hops {
-        // next[u] = cur[u] | OR of cur[v] over out-neighbors v.
-        next.copy_from_slice(&cur.bits);
-        for slot in 0..n_slots {
-            if g.slot_id(slot).is_none() {
-                continue;
-            }
-            for &nbr in g.out_nbrs_of_slot(slot) {
-                let ns = g.slot_of(nbr).expect("neighbor exists");
-                for j in 0..k {
-                    next[slot * k + j] |= cur.bits[ns * k + j];
+        // next[u] = cur[u] | OR of cur[v] over out-neighbors v. Morsels
+        // over the slot range; each slot's k-word window belongs to
+        // exactly one morsel, so the writes are disjoint.
+        let mut sweep = ringo_trace::span!("algo.anf.sweep");
+        sweep.rows_in(live_count);
+        {
+            let cur_bits = &cur.bits;
+            let out = DisjointSlice::new(&mut next);
+            parallel_for_morsels(n_slots, threads, |_, range| {
+                for slot in range {
+                    let base = slot * k;
+                    // SAFETY: morsels partition `0..n_slots`, so slot
+                    // window `[base, base + k)` is written by one worker.
+                    let win = unsafe { out.slice_mut(base, base + k) };
+                    win.copy_from_slice(&cur_bits[base..base + k]);
+                    if g.slot_id(slot).is_none() {
+                        continue;
+                    }
+                    for &nbr in g.out_nbrs_of_slot(slot) {
+                        let ns = g.slot_of(nbr).expect("neighbor exists") * k;
+                        for (w, &c) in win.iter_mut().zip(&cur_bits[ns..ns + k]) {
+                            *w |= c;
+                        }
+                    }
                 }
-            }
+            });
         }
+        sweep.rows_out(live_count);
         std::mem::swap(&mut cur.bits, &mut next);
         // Sum of per-node neighborhood sizes, minus the nodes themselves.
         let total: f64 = (0..n_slots)

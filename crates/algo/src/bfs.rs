@@ -1,36 +1,17 @@
 //! Breadth-first search over the directed topology.
+//!
+//! All entry points route through the shared parallel frontier engine in
+//! [`crate::frontier`] — dense slot-indexed state, morsel-parallel
+//! expansion, direction-optimizing top-down/bottom-up switching. The
+//! hash-map outputs here exist for API compatibility; callers that want
+//! the flat state should use [`crate::frontier::FrontierEngine`]
+//! directly.
 
+use crate::frontier::{FrontierEngine, FrontierState};
 use ringo_concurrent::IntHashTable;
 use ringo_graph::{DirectedTopology, NodeId};
-use std::collections::VecDeque;
 
-/// Which edges a directed traversal follows.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Direction {
-    /// Follow out-edges (successors).
-    Out,
-    /// Follow in-edges (predecessors).
-    In,
-    /// Treat edges as undirected.
-    Both,
-}
-
-fn neighbors<'g, G: DirectedTopology>(
-    g: &'g G,
-    slot: usize,
-    dir: Direction,
-) -> Box<dyn Iterator<Item = NodeId> + 'g> {
-    match dir {
-        Direction::Out => Box::new(g.out_nbrs_of_slot(slot).iter().copied()),
-        Direction::In => Box::new(g.in_nbrs_of_slot(slot).iter().copied()),
-        Direction::Both => Box::new(
-            g.out_nbrs_of_slot(slot)
-                .iter()
-                .chain(g.in_nbrs_of_slot(slot))
-                .copied(),
-        ),
-    }
-}
+pub use ringo_graph::Direction;
 
 /// BFS hop distances from `src`, as a map id → distance (the source maps
 /// to 0). Unreachable nodes are absent. Returns an empty map when `src`
@@ -38,51 +19,63 @@ fn neighbors<'g, G: DirectedTopology>(
 pub fn bfs_distances<G: DirectedTopology>(g: &G, src: NodeId, dir: Direction) -> IntHashTable<u32> {
     let mut sp = ringo_trace::span!("algo.bfs");
     sp.rows_in(g.node_count());
-    let mut dist: IntHashTable<u32> = IntHashTable::new();
-    let src_slot = match g.slot_of(src) {
-        Some(s) => s,
-        None => return dist,
+    let out = match FrontierEngine::new(g, dir).run(src) {
+        Some(state) => distances_table(g, &state),
+        None => IntHashTable::new(),
     };
-    let mut queue = VecDeque::new();
-    dist.insert(src, 0);
-    queue.push_back(src_slot);
-    while let Some(slot) = queue.pop_front() {
-        let id = g.slot_id(slot).expect("queued slot is live");
-        let d = *dist.get(id).expect("queued node has distance");
-        for nbr in neighbors(g, slot, dir) {
-            if !dist.contains(nbr) {
-                dist.insert(nbr, d + 1);
-                queue.push_back(g.slot_of(nbr).expect("neighbor exists"));
-            }
+    sp.rows_out(out.len());
+    out
+}
+
+/// BFS tree from `src`, as a map id → parent id (the source maps to
+/// itself). Unreachable nodes are absent; empty when `src` is missing.
+/// Parents are deterministic at every thread count: among all
+/// shortest-path predecessors, the one in the minimum slot wins.
+pub fn bfs_tree<G: DirectedTopology>(g: &G, src: NodeId, dir: Direction) -> IntHashTable<NodeId> {
+    let mut sp = ringo_trace::span!("algo.bfs.tree");
+    sp.rows_in(g.node_count());
+    let mut out = IntHashTable::new();
+    if let Some(state) = FrontierEngine::new(g, dir).run(src) {
+        out = IntHashTable::with_capacity(state.visited.len());
+        for &s in &state.visited {
+            let id = g.slot_id(s as usize).expect("visited slot is live");
+            let pid = g
+                .slot_id(state.parent[s as usize] as usize)
+                .expect("parent slot is live");
+            out.insert(id, pid);
         }
     }
-    sp.rows_out(dist.len());
-    dist
+    sp.rows_out(out.len());
+    out
+}
+
+/// Converts a finished run's flat distances into the id-keyed table shape
+/// the original sequential BFS produced.
+pub(crate) fn distances_table<G: DirectedTopology>(
+    g: &G,
+    state: &FrontierState,
+) -> IntHashTable<u32> {
+    let mut out = IntHashTable::with_capacity(state.visited.len());
+    for &s in &state.visited {
+        let id = g.slot_id(s as usize).expect("visited slot is live");
+        out.insert(id, state.dist[s as usize]);
+    }
+    out
 }
 
 /// Nodes in BFS visit order from `src` (the BFS "tree" order). Ties among
-/// same-level nodes follow adjacency order.
+/// same-level nodes follow adjacency order, so this runs the engine's
+/// sequential path regardless of the pool size.
 pub fn bfs_order<G: DirectedTopology>(g: &G, src: NodeId, dir: Direction) -> Vec<NodeId> {
-    let mut order = Vec::new();
-    let src_slot = match g.slot_of(src) {
-        Some(s) => s,
-        None => return order,
-    };
-    let mut seen: IntHashTable<()> = IntHashTable::new();
-    let mut queue = VecDeque::new();
-    seen.insert(src, ());
-    queue.push_back(src_slot);
-    while let Some(slot) = queue.pop_front() {
-        let id = g.slot_id(slot).expect("queued slot is live");
-        order.push(id);
-        for nbr in neighbors(g, slot, dir) {
-            if !seen.contains(nbr) {
-                seen.insert(nbr, ());
-                queue.push_back(g.slot_of(nbr).expect("neighbor exists"));
-            }
-        }
+    let eng = FrontierEngine::with_params(g, dir, 1, 0, 0);
+    match eng.run(src) {
+        Some(state) => state
+            .visited
+            .iter()
+            .map(|&s| g.slot_id(s as usize).expect("visited slot is live"))
+            .collect(),
+        None => Vec::new(),
     }
-    order
 }
 
 #[cfg(test)]
@@ -131,6 +124,7 @@ mod tests {
         let g = chain();
         assert!(bfs_distances(&g, 99, Direction::Out).is_empty());
         assert!(bfs_order(&g, 99, Direction::Out).is_empty());
+        assert!(bfs_tree(&g, 99, Direction::Out).is_empty());
     }
 
     #[test]
@@ -152,5 +146,21 @@ mod tests {
         let d = bfs_distances(&g, 0, Direction::Out);
         assert!(!d.contains(100));
         assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn tree_parents_are_shortest_path_predecessors() {
+        let mut g = DirectedGraph::new();
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let t = bfs_tree(&g, 0, Direction::Out);
+        assert_eq!(t.get(0), Some(&0), "source is its own parent");
+        assert_eq!(t.get(1), Some(&0));
+        assert_eq!(t.get(2), Some(&0));
+        // 3 is reached via 1 and 2 at the same level; min slot (node 1,
+        // inserted first) wins deterministically.
+        assert_eq!(t.get(3), Some(&1));
     }
 }

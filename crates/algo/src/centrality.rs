@@ -5,8 +5,9 @@
 //! experts.
 
 use crate::bfs::{bfs_distances, Direction};
+use crate::frontier::{FrontierEngine, FrontierState};
+use ringo_concurrent::num_threads;
 use ringo_graph::{DirectedTopology, NodeId};
-use std::collections::VecDeque;
 
 /// Degree centrality: `deg(v) / (n - 1)`, using out-, in-, or total degree
 /// per `dir`. Returns `(id, score)` in slot order.
@@ -69,7 +70,7 @@ pub fn betweenness_centrality<G: DirectedTopology>(g: &G, normalized: bool) -> V
     let sources: Vec<usize> = (0..g.n_slots())
         .filter(|&s| g.slot_id(s).is_some())
         .collect();
-    brandes(g, &sources, normalized, sources.len())
+    brandes(g, &sources, normalized, sources.len(), 1)
 }
 
 /// Exact betweenness computed in parallel: Brandes is embarrassingly
@@ -89,9 +90,11 @@ pub fn betweenness_centrality_parallel<G: DirectedTopology>(
     let partials: Vec<Vec<(NodeId, f64)>> =
         ringo_concurrent::parallel_map(sources.len(), threads, |range| {
             // Pass the chunk length as the population so brandes applies
-            // no sample-extrapolation scaling (scale = len/len = 1).
+            // no sample-extrapolation scaling (scale = len/len = 1). The
+            // inner BFS runs single-threaded: parallelism lives in the
+            // source partition here.
             let chunk = &sources[range];
-            brandes(g, chunk, false, chunk.len())
+            brandes(g, chunk, false, chunk.len(), 1)
         });
     let n_slots = g.n_slots();
     let mut acc = vec![0.0f64; n_slots];
@@ -127,14 +130,24 @@ pub fn betweenness_centrality_sampled<G: DirectedTopology>(
     }
     let stride = live.len().div_ceil(samples).max(1);
     let sources: Vec<usize> = live.iter().copied().step_by(stride).collect();
-    brandes(g, &sources, normalized, live.len())
+    // Few sources, whole graph each: parallelize *inside* the per-source
+    // BFS via the frontier engine rather than across sources.
+    brandes(g, &sources, normalized, live.len(), num_threads())
 }
 
+/// Brandes' accumulation driven by the shared frontier engine: the
+/// per-source BFS (the dominant cost) runs through the
+/// direction-optimizing engine with `threads` workers, and the
+/// sigma/delta sweeps walk the engine's level buckets
+/// (`FrontierState::level_starts`) with *pull* scans — path counts from
+/// in-neighbors one level up, dependencies from out-neighbors one level
+/// down — so no predecessor lists are materialized.
 fn brandes<G: DirectedTopology>(
     g: &G,
     sources: &[usize],
     normalized: bool,
     n_live: usize,
+    threads: usize,
 ) -> Vec<(NodeId, f64)> {
     let n_slots = g.n_slots();
     let mut centrality = vec![0.0f64; n_slots];
@@ -144,45 +157,57 @@ fn brandes<G: DirectedTopology>(
         n_live as f64 / sources.len() as f64
     };
 
+    let eng = FrontierEngine::with_threads(g, Direction::Out, threads);
+    let mut state = FrontierState::new(n_slots);
     let mut sigma = vec![0.0f64; n_slots];
-    let mut dist = vec![-1i64; n_slots];
     let mut delta = vec![0.0f64; n_slots];
-    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n_slots];
 
     for &s in sources {
-        // Reset per-source state lazily via the visit stack.
-        let mut stack: Vec<usize> = Vec::new();
-        let mut queue = VecDeque::new();
+        let levels = eng.run_into(s, &mut state) as usize;
         sigma[s] = 1.0;
-        dist[s] = 0;
-        queue.push_back(s);
-        while let Some(v) = queue.pop_front() {
-            stack.push(v);
-            for &w_id in g.out_nbrs_of_slot(v) {
-                let w = g.slot_of(w_id).expect("neighbor exists");
-                if dist[w] < 0 {
-                    dist[w] = dist[v] + 1;
-                    queue.push_back(w);
+        let bucket = |l: usize| state.level_starts[l] as usize..state.level_starts[l + 1] as usize;
+        // Forward: path counts level by level. A node's count is the sum
+        // over in-neighbors exactly one level shallower (the engine's
+        // pull rows — slot-CSR, no hashing).
+        for l in 1..levels {
+            let d0 = l as u32 - 1;
+            for i in bucket(l) {
+                let w = state.visited[i] as usize;
+                let mut sw = 0.0;
+                for &u in eng.pull_nbrs(w) {
+                    if state.dist[u as usize] == d0 {
+                        sw += sigma[u as usize];
+                    }
                 }
-                if dist[w] == dist[v] + 1 {
-                    sigma[w] += sigma[v];
-                    preds[w].push(v);
-                }
+                sigma[w] = sw;
             }
         }
-        while let Some(w) = stack.pop() {
-            for &v in &preds[w] {
-                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        // Backward: dependency accumulation, deepest level first. A
+        // node's delta pulls from out-neighbors one level deeper (the
+        // deepest level keeps delta 0 — it has no successors).
+        for l in (0..levels.saturating_sub(1)).rev() {
+            let d1 = l as u32 + 1;
+            for i in bucket(l) {
+                let v = state.visited[i] as usize;
+                let mut dv = 0.0;
+                for &w in eng.push_nbrs(v) {
+                    let w = w as usize;
+                    if state.dist[w] == d1 {
+                        dv += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                    }
+                }
+                delta[v] = dv;
             }
+        }
+        for &w in &state.visited {
+            let w = w as usize;
             if w != s {
                 centrality[w] += delta[w] * scale;
             }
-            // Reset state for the next source.
             sigma[w] = 0.0;
-            dist[w] = -1;
             delta[w] = 0.0;
-            preds[w].clear();
         }
+        state.reset();
     }
 
     let norm = if normalized && n_live > 2 {

@@ -1,8 +1,9 @@
 //! Connected components: weak (edge direction ignored) and strong
 //! (mutually reachable). SCC decomposition is a Table 6 kernel.
 
+use crate::frontier::{FrontierEngine, FrontierState};
 use ringo_concurrent::IntHashTable;
-use ringo_graph::{DirectedTopology, NodeId};
+use ringo_graph::{DirectedTopology, Direction, NodeId};
 
 /// Result of a component decomposition.
 #[derive(Clone, Debug)]
@@ -33,35 +34,31 @@ impl Components {
 const UNVISITED: u32 = u32::MAX;
 
 /// Weakly connected components: treats every edge as undirected and
-/// labels each node with its component, via slot-indexed BFS.
+/// labels each node with its component.
+///
+/// Routed through the shared [`FrontierEngine`] with
+/// [`Direction::Both`]: one reusable [`FrontierState`] sweeps every
+/// component — slots claimed by earlier sweeps act as walls, so each
+/// node is expanded exactly once and the per-component membership falls
+/// out of the engine's visit log.
 pub fn weakly_connected_components<G: DirectedTopology>(g: &G) -> Components {
     let mut sp = ringo_trace::span!("algo.wcc");
     sp.rows_in(g.node_count());
     let n_slots = g.n_slots();
+    let eng = FrontierEngine::new(g, Direction::Both);
+    let mut state = FrontierState::new(n_slots);
     let mut comp = vec![UNVISITED; n_slots];
     let mut sizes = Vec::new();
-    let mut queue: Vec<usize> = Vec::new();
     for start in 0..n_slots {
-        if g.slot_id(start).is_none() || comp[start] != UNVISITED {
+        if g.slot_id(start).is_none() || state.dist[start] != UNVISITED {
             continue;
         }
+        let base = state.visited.len();
+        eng.run_into(start, &mut state);
         let c = sizes.len() as u32;
-        sizes.push(0usize);
-        comp[start] = c;
-        queue.push(start);
-        while let Some(slot) = queue.pop() {
-            sizes[c as usize] += 1;
-            for &nbr in g
-                .out_nbrs_of_slot(slot)
-                .iter()
-                .chain(g.in_nbrs_of_slot(slot))
-            {
-                let ns = g.slot_of(nbr).expect("neighbor exists");
-                if comp[ns] == UNVISITED {
-                    comp[ns] = c;
-                    queue.push(ns);
-                }
-            }
+        sizes.push(state.visited.len() - base);
+        for &s in &state.visited[base..] {
+            comp[s as usize] = c;
         }
     }
     let out = pack(g, &comp, sizes);

@@ -1,8 +1,10 @@
-//! Undirected connectivity structure: articulation points, bridges, and
-//! biconnected components, via an iterative Hopcroft–Tarjan lowpoint DFS
-//! (explicit stack — safe on deep graphs).
+//! Undirected connectivity: reachability queries (routed through the
+//! shared frontier engine) plus articulation points and bridges via an
+//! iterative Hopcroft–Tarjan lowpoint DFS (explicit stack — safe on deep
+//! graphs).
 
-use ringo_graph::{NodeId, UndirectedGraph};
+use crate::frontier::{FrontierEngine, UNVISITED as UNREACHED};
+use ringo_graph::{Direction, NodeId, UndirectedGraph};
 
 /// Output of the lowpoint DFS.
 #[derive(Clone, Debug, Default)]
@@ -12,6 +14,39 @@ pub struct CutStructure {
     /// Edges whose removal disconnects their component, as `(a, b)` with
     /// `a <= b`.
     pub bridges: Vec<(NodeId, NodeId)>,
+}
+
+/// Ids reachable from `src` in the undirected graph (including `src`
+/// itself), in ascending id order. Empty when `src` is not in the graph.
+///
+/// Runs the direction-optimizing [`FrontierEngine`] over the undirected
+/// adjacency ([`UndirectedGraph`] implements `DirectedTopology` with
+/// out = in = the symmetric neighbor set).
+pub fn reachable_from(g: &UndirectedGraph, src: NodeId) -> Vec<NodeId> {
+    let mut sp = ringo_trace::span!("algo.reachable");
+    sp.rows_in(g.node_count());
+    let mut ids: Vec<NodeId> = match FrontierEngine::new(g, Direction::Out).run(src) {
+        Some(state) => state
+            .visited
+            .iter()
+            .map(|&s| g.slot_id(s as usize).expect("visited slot live"))
+            .collect(),
+        None => Vec::new(),
+    };
+    ids.sort_unstable();
+    sp.rows_out(ids.len());
+    ids
+}
+
+/// Whether `b` is reachable from `a` (trivially true when `a == b` and
+/// `a` exists). False when either endpoint is missing.
+pub fn is_reachable(g: &UndirectedGraph, a: NodeId, b: NodeId) -> bool {
+    let Some(bs) = UndirectedGraph::slot_of(g, b) else {
+        return false;
+    };
+    FrontierEngine::new(g, Direction::Out)
+        .run(a)
+        .is_some_and(|state| state.dist[bs] != UNREACHED)
 }
 
 /// Computes articulation points and bridges of an undirected graph.
@@ -171,21 +206,30 @@ mod tests {
         }
         let c = cut_structure(&g);
         for &(a, b) in c.bridges.iter().take(5) {
+            assert!(is_reachable(&g, a, b), "bridge endpoints share a component");
             let mut cut = g.clone();
             cut.del_edge(a, b);
-            // BFS from a must no longer reach b.
-            let mut seen = vec![a];
-            let mut frontier = vec![a];
-            while let Some(v) = frontier.pop() {
-                for &n in cut.nbrs(v) {
-                    if !seen.contains(&n) {
-                        seen.push(n);
-                        frontier.push(n);
-                    }
-                }
-            }
-            assert!(!seen.contains(&b), "bridge {a}-{b} did not disconnect");
+            assert!(
+                !is_reachable(&cut, a, b),
+                "bridge {a}-{b} did not disconnect"
+            );
+            let reach = reachable_from(&cut, a);
+            assert!(!reach.contains(&b));
+            assert!(reach.contains(&a));
         }
+    }
+
+    #[test]
+    fn reachable_from_reports_the_component_sorted() {
+        let g = graph(&[(5, 1), (1, 9), (20, 21)]);
+        assert_eq!(reachable_from(&g, 9), vec![1, 5, 9]);
+        assert_eq!(reachable_from(&g, 20), vec![20, 21]);
+        assert!(reachable_from(&g, 404).is_empty());
+        assert!(is_reachable(&g, 5, 9));
+        assert!(!is_reachable(&g, 5, 20));
+        assert!(is_reachable(&g, 21, 21));
+        assert!(!is_reachable(&g, 21, 404));
+        assert!(!is_reachable(&g, 404, 21));
     }
 
     #[test]

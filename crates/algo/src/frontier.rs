@@ -1,0 +1,663 @@
+//! Shared parallel frontier engine: direction-optimizing BFS over flat
+//! slot-indexed state.
+//!
+//! Every traversal kernel in this crate (BFS distances and trees,
+//! unit-weight SSSP, weak components, reachability, the per-source BFS
+//! inside sampled betweenness) used to carry its own queue loop over an
+//! `IntHashTable` of distances, with a boxed neighbor iterator allocated
+//! per visited node. This module replaces all of them with one
+//! level-synchronous engine:
+//!
+//! * **Flat state.** Distances and parents are dense `u32` arrays indexed
+//!   by slot (`u32::MAX` = unvisited); no hash maps, no boxed iterators,
+//!   zero allocations per visited node.
+//! * **Slot-CSR adjacency.** Engine construction re-indexes the
+//!   adjacency lists from neighbor *ids* to neighbor *slots* once
+//!   (morsel-parallel, forward and reverse senses). That is the last
+//!   id→slot hash translation the engine ever performs — every
+//!   traversal step afterwards is pure array arithmetic, where the old
+//!   kernels paid a hash lookup per edge per run.
+//! * **Morsel-parallel expansion.** Frontiers are split into fixed-size
+//!   morsels claimed dynamically from the worker pool, so one hub node's
+//!   giant adjacency list does not serialize a level.
+//! * **Direction-optimizing switch (Beamer et al., SC'12).** Levels run
+//!   *top-down* (each frontier node pushes to unvisited neighbors,
+//!   claiming them with a compare-exchange) until the frontier's edge
+//!   mass exceeds `unexplored / alpha`, then flip to *bottom-up* (each
+//!   unvisited node pulls — scans its reverse neighbors for any frontier
+//!   member, tracked in a [`ConcurrentBitset`]), and back to top-down
+//!   once the frontier shrinks below `live / beta`. `alpha`/`beta`
+//!   default to 15/18 and are tunable via `RINGO_BFS_ALPHA` /
+//!   `RINGO_BFS_BETA`.
+//!
+//! **Determinism.** Distances are level-synchronous and therefore
+//! set-determined. Parents are tie-broken to the *minimum slot* among all
+//! previous-level candidates: top-down claims `fetch_min` the parent word
+//! (every same-level discoverer participates, not just the claim winner),
+//! and bottom-up scans the full reverse adjacency for the smallest
+//! frontier slot. Both phases compute the same function, so `dist` and
+//! `parent` are bit-identical at every thread count, every morsel size,
+//! and every alpha/beta setting.
+//!
+//! Per-level work is visible to the flight recorder as
+//! `algo.bfs.topdown` / `algo.bfs.bottomup` spans (rows in = frontier
+//! size, rows out = next frontier size) plus `algo.bfs.*` counters for
+//! switch points and worker busy-time.
+
+use crate::bfs::Direction;
+use ringo_concurrent::{
+    num_threads, parallel_for_morsels, parallel_map_morsels, ConcurrentBitset, DisjointSlice,
+};
+use ringo_graph::{DirectedTopology, NodeId};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sentinel for "not reached" in [`FrontierState::dist`] and
+/// [`FrontierState::parent`].
+pub const UNVISITED: u32 = u32::MAX;
+
+/// Frontiers below this edge mass are expanded inline even when the
+/// engine has threads: dispatching a handful of edges to the pool costs
+/// more than scanning them.
+const PAR_MIN_EDGES: u64 = 2048;
+
+/// Default Beamer crossover parameters (top-down → bottom-up when
+/// `frontier_edges * alpha > unexplored_edges`; back when
+/// `frontier_len * beta < live_nodes`).
+const DEFAULT_ALPHA: u64 = 15;
+/// See [`DEFAULT_ALPHA`].
+const DEFAULT_BETA: u64 = 18;
+
+fn env_knob(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reusable per-run BFS state: flat slot-indexed arrays plus the visit
+/// log. Allocate once ([`FrontierState::new`]) and reuse across runs —
+/// [`FrontierState::reset`] clears only the slots the last run touched.
+#[derive(Clone, Debug)]
+pub struct FrontierState {
+    /// Hop distance per slot; [`UNVISITED`] for unreached or vacant slots.
+    pub dist: Vec<u32>,
+    /// Parent *slot* per reached slot (the source is its own parent);
+    /// [`UNVISITED`] elsewhere. Deterministic: minimum slot among all
+    /// previous-level neighbors.
+    pub parent: Vec<u32>,
+    /// Slots reached by the run, frontier by frontier. Within one level
+    /// the order is unspecified under parallel expansion (membership is
+    /// deterministic; use `dist`/`parent` for ordered output).
+    pub visited: Vec<u32>,
+    /// Offsets into `visited`: level `l` of the last run is
+    /// `visited[level_starts[l]..level_starts[l + 1]]`
+    /// (`level_starts.len() == levels + 1`).
+    pub level_starts: Vec<u32>,
+    /// Number of BFS levels of the last run (max distance + 1).
+    pub levels: u32,
+}
+
+impl FrontierState {
+    /// Fresh all-unvisited state for a graph with `n_slots` slots.
+    pub fn new(n_slots: usize) -> Self {
+        Self {
+            dist: vec![UNVISITED; n_slots],
+            parent: vec![UNVISITED; n_slots],
+            visited: Vec::with_capacity(n_slots),
+            level_starts: Vec::new(),
+            levels: 0,
+        }
+    }
+
+    /// Clears the slots touched by the last run(s) — `O(visited)`, not
+    /// `O(n_slots)` — and empties the visit log.
+    pub fn reset(&mut self) {
+        for &s in &self.visited {
+            self.dist[s as usize] = UNVISITED;
+            self.parent[s as usize] = UNVISITED;
+        }
+        self.visited.clear();
+        self.level_starts.clear();
+        self.levels = 0;
+    }
+}
+
+/// The engine: graph + traversal direction + crossover parameters +
+/// precomputed per-slot degrees (via the bulk
+/// [`DirectedTopology::degrees`] accessor) + slot-CSR adjacency in the
+/// push and pull senses. Construction is `O(V + E)`; running from many
+/// sources amortizes it (the routed kernels — components, betweenness,
+/// reachability — all reuse one engine).
+pub struct FrontierEngine<'g, G: DirectedTopology> {
+    g: &'g G,
+    dir: Direction,
+    threads: usize,
+    alpha: u64,
+    beta: u64,
+    deg: Vec<u32>,
+    total_deg: u64,
+    live: usize,
+    push_offs: Vec<usize>,
+    push_adj: Vec<u32>,
+    /// Empty for [`Direction::Both`], where pull == push.
+    pull_offs: Vec<usize>,
+    pull_adj: Vec<u32>,
+}
+
+impl<'g, G: DirectedTopology> FrontierEngine<'g, G> {
+    /// Engine with the pool's thread count and the `RINGO_BFS_ALPHA` /
+    /// `RINGO_BFS_BETA` environment knobs (defaults 15 / 18).
+    pub fn new(g: &'g G, dir: Direction) -> Self {
+        Self::with_params(
+            g,
+            dir,
+            num_threads(),
+            env_knob("RINGO_BFS_ALPHA", DEFAULT_ALPHA),
+            env_knob("RINGO_BFS_BETA", DEFAULT_BETA),
+        )
+    }
+
+    /// Engine with an explicit thread count but the environment crossover
+    /// knobs — for callers that manage parallelism themselves (e.g.
+    /// source-parallel betweenness runs its inner BFS single-threaded).
+    pub fn with_threads(g: &'g G, dir: Direction, threads: usize) -> Self {
+        Self::with_params(
+            g,
+            dir,
+            threads,
+            env_knob("RINGO_BFS_ALPHA", DEFAULT_ALPHA),
+            env_knob("RINGO_BFS_BETA", DEFAULT_BETA),
+        )
+    }
+
+    /// Engine with explicit thread count and crossover parameters.
+    /// `alpha = 0` forces pure top-down; a huge `alpha` *and* `beta`
+    /// force bottom-up from the first parallel level.
+    pub fn with_params(g: &'g G, dir: Direction, threads: usize, alpha: u64, beta: u64) -> Self {
+        let threads = threads.max(1);
+        let deg = g.degrees(dir);
+        let total_deg = deg.iter().map(|&d| u64::from(d)).sum();
+        let (push_offs, push_adj) = build_csr(g, dir, &deg, false, threads);
+        let (pull_offs, pull_adj) = match dir {
+            Direction::Both => (Vec::new(), Vec::new()),
+            Direction::Out => {
+                let rdeg = g.degrees(Direction::In);
+                build_csr(g, dir, &rdeg, true, threads)
+            }
+            Direction::In => {
+                let rdeg = g.degrees(Direction::Out);
+                build_csr(g, dir, &rdeg, true, threads)
+            }
+        };
+        Self {
+            g,
+            dir,
+            threads,
+            alpha,
+            beta,
+            deg,
+            total_deg,
+            live: g.node_count(),
+            push_offs,
+            push_adj,
+            pull_offs,
+            pull_adj,
+        }
+    }
+
+    /// Neighbor *slots* reachable from `slot` along the traversal
+    /// direction — the engine's slot-CSR row. Row order matches the
+    /// graph's adjacency order. Public because level-structured
+    /// algorithms (Brandes' sweeps) scan the same rows.
+    #[inline]
+    pub fn push_nbrs(&self, slot: usize) -> &[u32] {
+        &self.push_adj[self.push_offs[slot]..self.push_offs[slot + 1]]
+    }
+
+    /// Reverse rows: slots with a push-edge *into* `slot` (for
+    /// [`Direction::Both`] pull and push coincide).
+    #[inline]
+    pub fn pull_nbrs(&self, slot: usize) -> &[u32] {
+        if matches!(self.dir, Direction::Both) {
+            self.push_nbrs(slot)
+        } else {
+            &self.pull_adj[self.pull_offs[slot]..self.pull_offs[slot + 1]]
+        }
+    }
+
+    /// The traversal direction this engine expands.
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// BFS from `src` into fresh state; `None` when `src` is not in the
+    /// graph.
+    pub fn run(&self, src: NodeId) -> Option<FrontierState> {
+        let slot = self.g.slot_of(src)?;
+        let mut state = FrontierState::new(self.g.n_slots());
+        self.run_into(slot, &mut state);
+        Some(state)
+    }
+
+    /// BFS from the live slot `src_slot` into caller-owned state, which
+    /// must hold [`UNVISITED`] in every slot this run can reach (reuse
+    /// across disjoint regions — e.g. component sweeps — is the point:
+    /// already-claimed slots act as walls). Appends to `state.visited`,
+    /// rewrites `state.level_starts`/`state.levels` for this run, and
+    /// returns the level count.
+    pub fn run_into(&self, src_slot: usize, state: &mut FrontierState) -> u32 {
+        let n_slots = self.g.n_slots();
+        debug_assert_eq!(state.dist.len(), n_slots, "state sized for this graph");
+        debug_assert_eq!(state.dist[src_slot], UNVISITED, "source already claimed");
+        state.dist[src_slot] = 0;
+        state.parent[src_slot] = src_slot as u32;
+        state.level_starts.clear();
+        let run_start = state.visited.len();
+        state.visited.push(src_slot as u32);
+
+        let mut lo = run_start;
+        let mut level = 0u32;
+        let mut frontier_edges = u64::from(self.deg[src_slot]);
+        let mut unexplored = self.total_deg - frontier_edges;
+        let mut prev_bottom = false;
+        let mut bits_cur: Option<ConcurrentBitset> = None;
+        let mut bits_next: Option<ConcurrentBitset> = None;
+        let mut switches = 0u64;
+
+        while lo < state.visited.len() {
+            state.level_starts.push(lo as u32);
+            let hi = state.visited.len();
+            let par = self.threads > 1 && frontier_edges >= PAR_MIN_EDGES;
+            let bottom = par
+                && if prev_bottom {
+                    // Stay bottom-up until the frontier thins out again.
+                    ((hi - lo) as u64).saturating_mul(self.beta) >= self.live as u64
+                } else {
+                    frontier_edges.saturating_mul(self.alpha) > unexplored
+                };
+            if bottom != prev_bottom && level > 0 {
+                switches += 1;
+            }
+
+            let mut sp = ringo_trace::Span::enter(if bottom {
+                "algo.bfs.bottomup"
+            } else {
+                "algo.bfs.topdown"
+            });
+            sp.rows_in(hi - lo);
+
+            let next_edges = if !par {
+                self.step_seq(state, lo, hi, level)
+            } else if bottom {
+                let (cur, next) = self.prepare_bitsets(
+                    &mut bits_cur,
+                    &mut bits_next,
+                    prev_bottom,
+                    &state.visited[lo..hi],
+                );
+                let edges = self.step_bottom_up(state, level, &cur, &next);
+                // Keep the sets: on a bottom-up → bottom-up transition
+                // `next` holds the frontier the following level pulls
+                // against.
+                bits_cur = Some(cur);
+                bits_next = Some(next);
+                edges
+            } else {
+                self.step_top_down(state, lo, hi, level)
+            };
+
+            sp.rows_out(state.visited.len() - hi);
+            unexplored -= next_edges.min(unexplored);
+            frontier_edges = next_edges;
+            prev_bottom = bottom;
+            lo = hi;
+            level += 1;
+        }
+        state.level_starts.push(lo as u32);
+        state.levels = level;
+        ringo_trace::counter("algo.bfs.switches").add(switches);
+        level
+    }
+
+    /// Sequential level expansion over plain slices — the `threads <= 1`
+    /// path and the small-frontier fast path. The frontier lives in
+    /// `state.visited[lo..hi]` (slot and depth travel together — no
+    /// distance lookup per dequeued node, unlike the old hash-map BFS).
+    fn step_seq(&self, state: &mut FrontierState, lo: usize, hi: usize, level: u32) -> u64 {
+        let d1 = level + 1;
+        let mut next_edges = 0u64;
+        let mut i = lo;
+        while i < hi {
+            let u = state.visited[i];
+            i += 1;
+            for &v in self.push_nbrs(u as usize) {
+                let vs = v as usize;
+                if state.dist[vs] == UNVISITED {
+                    state.dist[vs] = d1;
+                    state.parent[vs] = u;
+                    state.visited.push(v);
+                    next_edges += u64::from(self.deg[vs]);
+                } else if state.dist[vs] == d1 && u < state.parent[vs] {
+                    // Same-level rediscovery: keep the minimum-slot parent.
+                    state.parent[vs] = u;
+                }
+            }
+        }
+        next_edges
+    }
+
+    /// Parallel top-down push: morsels over the frontier; unvisited
+    /// neighbors are claimed with a compare-exchange on their distance
+    /// word, and every same-level discoverer `fetch_min`s the parent.
+    fn step_top_down(&self, state: &mut FrontierState, lo: usize, hi: usize, level: u32) -> u64 {
+        let d1 = level + 1;
+        let dist = as_atomic(&mut state.dist);
+        let parent = as_atomic(&mut state.parent);
+        let frontier = &state.visited[lo..hi];
+        let (bufs, stats) = parallel_map_morsels(frontier.len(), self.threads, |_, range| {
+            let mut buf: Vec<u32> = Vec::new();
+            let mut edges = 0u64;
+            for &u in &frontier[range] {
+                for &v in self.push_nbrs(u as usize) {
+                    let vs = v as usize;
+                    // ORDERING: Relaxed — the CAS claim needs only
+                    // atomicity (one winner per slot); parents are a
+                    // commutative fetch_min settled before the pool
+                    // barrier, and the next level reads both *after*
+                    // that barrier's synchronization.
+                    match dist[vs].compare_exchange(
+                        UNVISITED,
+                        d1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        // ORDERING: Relaxed fetch_min — commutative, and
+                        // settled before the pool barrier the next level
+                        // synchronizes on (see the claim comment above).
+                        Ok(_) => {
+                            parent[vs].fetch_min(u, Ordering::Relaxed);
+                            buf.push(v);
+                            edges += u64::from(self.deg[vs]);
+                        }
+                        Err(cur) if cur == d1 => {
+                            parent[vs].fetch_min(u, Ordering::Relaxed);
+                        }
+                        Err(_) => {}
+                    }
+                }
+            }
+            (buf, edges)
+        });
+        record_busy(&stats);
+        let mut next_edges = 0u64;
+        for (buf, edges) in &bufs {
+            state.visited.extend_from_slice(buf);
+            next_edges += edges;
+        }
+        next_edges
+    }
+
+    /// Parallel bottom-up pull: morsels over *all* slots; each unvisited
+    /// slot scans its reverse adjacency for the minimum-slot frontier
+    /// member (full scan — the early-exit Beamer variant would make the
+    /// parent depend on adjacency order, not on the slot minimum). Owner
+    /// morsels write their own slots, so stores suffice; next-frontier
+    /// membership is claimed in the bitset for the following level.
+    fn step_bottom_up(
+        &self,
+        state: &mut FrontierState,
+        level: u32,
+        cur: &ConcurrentBitset,
+        next: &ConcurrentBitset,
+    ) -> u64 {
+        let d1 = level + 1;
+        let dist = as_atomic(&mut state.dist);
+        let parent = as_atomic(&mut state.parent);
+        let n_slots = self.g.n_slots();
+        let (bufs, stats) = parallel_map_morsels(n_slots, self.threads, |_, range| {
+            let mut buf: Vec<u32> = Vec::new();
+            let mut edges = 0u64;
+            for vs in range {
+                // ORDERING: Relaxed — `vs` is written only by this
+                // morsel (ranges are disjoint), earlier levels were
+                // published by the pool barrier, and a racing read of a
+                // *concurrent* claim can only observe `d1`, which is
+                // correctly "not unvisited" and not in the frontier.
+                if dist[vs].load(Ordering::Relaxed) != UNVISITED {
+                    continue;
+                }
+                let mut best = UNVISITED;
+                for &us in self.pull_nbrs(vs) {
+                    if us < best && cur.get(us as usize) {
+                        best = us;
+                    }
+                }
+                if best != UNVISITED {
+                    // ORDERING: Relaxed — owner-morsel store; published
+                    // to the next level by the pool barrier.
+                    dist[vs].store(d1, Ordering::Relaxed);
+                    parent[vs].store(best, Ordering::Relaxed);
+                    next.set(vs);
+                    buf.push(vs as u32);
+                    edges += u64::from(self.deg[vs]);
+                }
+            }
+            (buf, edges)
+        });
+        record_busy(&stats);
+        let mut next_edges = 0u64;
+        for (buf, edges) in &bufs {
+            state.visited.extend_from_slice(buf);
+            next_edges += edges;
+        }
+        next_edges
+    }
+
+    /// Hands out `(current, next)` frontier bitsets for a bottom-up
+    /// level: lazily allocated, current filled from the frontier list on
+    /// a top-down → bottom-up switch (on bottom-up → bottom-up the
+    /// previous level's claims *are* the current frontier, so the sets
+    /// just swap), next cleared for this level's claims.
+    fn prepare_bitsets(
+        &self,
+        bits_cur: &mut Option<ConcurrentBitset>,
+        bits_next: &mut Option<ConcurrentBitset>,
+        prev_bottom: bool,
+        frontier: &[u32],
+    ) -> (ConcurrentBitset, ConcurrentBitset) {
+        let n_slots = self.g.n_slots();
+        let mut cur = bits_cur
+            .take()
+            .unwrap_or_else(|| ConcurrentBitset::new(n_slots));
+        let mut next = bits_next
+            .take()
+            .unwrap_or_else(|| ConcurrentBitset::new(n_slots));
+        if prev_bottom {
+            std::mem::swap(&mut cur, &mut next);
+        } else {
+            cur.clear();
+            let stats = parallel_for_morsels(frontier.len(), self.threads, |_, range| {
+                for &s in &frontier[range] {
+                    cur.set(s as usize);
+                }
+            });
+            record_busy(&stats);
+        }
+        next.clear();
+        (cur, next)
+    }
+}
+
+/// Folds a morsel dispatch's per-worker busy time into the
+/// `algo.bfs.busy_ns` counter (the flight recorder's per-thread
+/// timelines carry the fine-grained attribution).
+fn record_busy(stats: &ringo_concurrent::MorselStats) {
+    let busy: u64 = stats.busy_ns.iter().sum();
+    ringo_trace::counter("algo.bfs.busy_ns").add(busy);
+}
+
+/// Builds one sense of the engine's slot-CSR: `offs[s]..offs[s + 1]`
+/// indexes the neighbor-*slot* row of slot `s` in `adj`. `row_deg` must
+/// hold the row lengths for the requested sense (push: `degrees(dir)`;
+/// pull: degrees of the flipped direction), which lets the fill run as
+/// morsels over disjoint rows. This translation is the only id→slot
+/// hashing in the engine's lifetime.
+fn build_csr<G: DirectedTopology>(
+    g: &G,
+    dir: Direction,
+    row_deg: &[u32],
+    pull: bool,
+    threads: usize,
+) -> (Vec<usize>, Vec<u32>) {
+    let n = g.n_slots();
+    let mut offs = vec![0usize; n + 1];
+    for s in 0..n {
+        offs[s + 1] = offs[s] + row_deg[s] as usize;
+    }
+    let mut adj = vec![0u32; offs[n]];
+    {
+        let cell = DisjointSlice::new(&mut adj);
+        let offs = &offs;
+        parallel_for_morsels(n, threads, |_, range| {
+            for s in range {
+                if offs[s + 1] == offs[s] {
+                    continue;
+                }
+                let (a, b) = if pull {
+                    pull_slices(g, s, dir)
+                } else {
+                    push_slices(g, s, dir)
+                };
+                // SAFETY: rows `[offs[s], offs[s + 1])` are pairwise
+                // disjoint per slot, and morsels partition the slot
+                // range, so each row is written by exactly one worker.
+                let row = unsafe { cell.slice_mut(offs[s], offs[s + 1]) };
+                for (o, &id) in row.iter_mut().zip(a.iter().chain(b)) {
+                    *o = g.slot_of(id).expect("neighbor exists") as u32;
+                }
+            }
+        });
+    }
+    (offs, adj)
+}
+
+/// `(primary, secondary)` neighbor-id slices to *push along* for `dir`
+/// (the secondary slice is empty except for `Both`). Plain slices — no
+/// boxed iterator, no per-node allocation.
+#[inline]
+pub(crate) fn push_slices<G: DirectedTopology>(
+    g: &G,
+    slot: usize,
+    dir: Direction,
+) -> (&[NodeId], &[NodeId]) {
+    match dir {
+        Direction::Out => (g.out_nbrs_of_slot(slot), &[]),
+        Direction::In => (g.in_nbrs_of_slot(slot), &[]),
+        Direction::Both => (g.out_nbrs_of_slot(slot), g.in_nbrs_of_slot(slot)),
+    }
+}
+
+/// Reverse of [`push_slices`]: the slices a bottom-up *pull* scans.
+#[inline]
+pub(crate) fn pull_slices<G: DirectedTopology>(
+    g: &G,
+    slot: usize,
+    dir: Direction,
+) -> (&[NodeId], &[NodeId]) {
+    match dir {
+        Direction::Out => (g.in_nbrs_of_slot(slot), &[]),
+        Direction::In => (g.out_nbrs_of_slot(slot), &[]),
+        Direction::Both => (g.out_nbrs_of_slot(slot), g.in_nbrs_of_slot(slot)),
+    }
+}
+
+/// Views a `u32` slice as atomics for the parallel phases. The exclusive
+/// borrow is what makes this sound: no plain-typed alias can exist while
+/// the atomic view is alive.
+pub(crate) fn as_atomic(xs: &mut [u32]) -> &[AtomicU32] {
+    // SAFETY: `AtomicU32` has the same size, alignment and validity as
+    // `u32` (guaranteed by std), and the `&mut` receiver proves no other
+    // reference — plain or atomic — aliases the slice for the returned
+    // borrow's lifetime.
+    unsafe { &*(xs as *mut [u32] as *const [AtomicU32]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringo_graph::DirectedGraph;
+
+    fn chain(n: i64) -> DirectedGraph {
+        let mut g = DirectedGraph::new();
+        for i in 0..n {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn seq_chain_distances_and_parents() {
+        let g = chain(5);
+        let eng = FrontierEngine::with_params(&g, Direction::Out, 1, DEFAULT_ALPHA, DEFAULT_BETA);
+        let st = eng.run(0).expect("source exists");
+        for i in 0..=5i64 {
+            let s = g.slot_of(i).unwrap();
+            assert_eq!(st.dist[s], i as u32);
+        }
+        let s3 = g.slot_of(3).unwrap();
+        assert_eq!(st.parent[s3], g.slot_of(2).unwrap() as u32);
+        assert_eq!(st.levels, 6);
+        assert_eq!(st.level_starts.len(), 7);
+        assert_eq!(st.visited.len(), 6);
+    }
+
+    #[test]
+    fn missing_source_is_none() {
+        let g = chain(3);
+        let eng = FrontierEngine::new(&g, Direction::Out);
+        assert!(eng.run(99).is_none());
+    }
+
+    #[test]
+    fn min_slot_parent_tie_break() {
+        // 0 and 1 both point at 9; 1 is added first so slot order is
+        // 1, 9, 0 — the minimum *slot* parent of 9 is node 1.
+        let mut g = DirectedGraph::new();
+        g.add_edge(1, 9);
+        g.add_edge(0, 9);
+        g.add_edge(7, 0);
+        g.add_edge(7, 1);
+        for threads in [1usize, 4] {
+            for (alpha, beta) in [
+                (0u64, 0u64),
+                (DEFAULT_ALPHA, DEFAULT_BETA),
+                (u64::MAX, u64::MAX),
+            ] {
+                let eng = FrontierEngine::with_params(&g, Direction::Out, threads, alpha, beta);
+                let st = eng.run(7).expect("source exists");
+                let s9 = g.slot_of(9).unwrap();
+                assert_eq!(st.parent[s9], g.slot_of(1).unwrap() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn state_reuse_walls_off_prior_runs() {
+        let mut g = chain(2); // 0-1-2
+        g.add_edge(10, 11); // separate component
+        let eng = FrontierEngine::with_params(&g, Direction::Both, 1, DEFAULT_ALPHA, DEFAULT_BETA);
+        let mut st = FrontierState::new(g.n_slots());
+        eng.run_into(g.slot_of(0).unwrap(), &mut st);
+        let first = st.visited.len();
+        assert_eq!(first, 3);
+        eng.run_into(g.slot_of(10).unwrap(), &mut st);
+        assert_eq!(
+            st.visited.len(),
+            first + 2,
+            "second run claims only its component"
+        );
+        st.reset();
+        assert!(st.visited.is_empty());
+        assert!(st.dist.iter().all(|&d| d == UNVISITED));
+    }
+}

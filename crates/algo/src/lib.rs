@@ -31,6 +31,7 @@ pub mod community;
 pub mod components;
 pub mod connectivity;
 pub mod eigen;
+pub mod frontier;
 pub mod hits;
 pub mod independent;
 pub mod kcore;
@@ -48,7 +49,7 @@ pub mod union_find;
 pub mod weighted;
 
 pub use anf::{anf_effective_diameter, approx_neighborhood_function};
-pub use bfs::{bfs_distances, bfs_order, Direction};
+pub use bfs::{bfs_distances, bfs_order, bfs_tree, Direction};
 pub use bipartite::{bipartite_sides, is_bipartite, project_onto};
 pub use centrality::{
     betweenness_centrality, betweenness_centrality_parallel, betweenness_centrality_sampled,
@@ -57,8 +58,9 @@ pub use centrality::{
 pub use clustering::{clustering_coefficient, node_clustering};
 pub use community::label_propagation;
 pub use components::{strongly_connected_components, weakly_connected_components, Components};
-pub use connectivity::{cut_structure, CutStructure};
+pub use connectivity::{cut_structure, is_reachable, reachable_from, CutStructure};
 pub use eigen::{eigenvector_centrality, personalized_pagerank};
+pub use frontier::{FrontierEngine, FrontierState, UNVISITED};
 pub use hits::{hits, HitsScores};
 pub use independent::{greedy_coloring, maximal_independent_set, maximal_matching};
 pub use kcore::{core_numbers, k_core};

@@ -9,6 +9,8 @@ use std::collections::BinaryHeap;
 
 /// Unweighted shortest paths: BFS hop distances (id → hops). This is the
 /// SSSP variant Table 6 measures, as the benchmark graphs carry no weights.
+/// Routes through the shared direction-optimizing frontier engine (see
+/// [`crate::frontier`]), inheriting its parallelism and determinism.
 pub fn sssp_unweighted<G: DirectedTopology>(
     g: &G,
     src: NodeId,

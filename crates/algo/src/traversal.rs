@@ -1,7 +1,10 @@
 //! Depth-first traversal utilities: DFS order, topological sort, cycle
 //! detection.
 
+use crate::frontier::as_atomic;
+use ringo_concurrent::{num_threads, parallel_map_morsels};
 use ringo_graph::{DirectedTopology, NodeId};
+use std::sync::atomic::Ordering;
 
 /// Nodes in iterative depth-first preorder from `src`, following
 /// out-edges. Neighbors are visited in adjacency (ascending id) order.
@@ -34,32 +37,75 @@ pub fn dfs_order<G: DirectedTopology>(g: &G, src: NodeId) -> Vec<NodeId> {
     order
 }
 
+/// Frontiers below this size are relaxed inline even when the pool has
+/// workers — matching the frontier engine's small-level fast path.
+const PAR_MIN_FRONTIER: usize = 256;
+
 /// Topological order of the whole graph, or `None` if it contains a
-/// directed cycle. Kahn's algorithm; ties resolved by slot order, so the
-/// result is deterministic.
+/// directed cycle. Level-synchronous Kahn's algorithm in the style of the
+/// frontier engine: each round emits every node whose in-degree has
+/// dropped to zero, and large rounds relax their out-edges in parallel
+/// morsels (claims via an atomic decrement — the worker that takes the
+/// last incoming edge owns the node). Ties are resolved by slot order
+/// within each level, so the result is deterministic at every thread
+/// count.
 pub fn topological_sort<G: DirectedTopology>(g: &G) -> Option<Vec<NodeId>> {
     let n_slots = g.n_slots();
-    let mut indeg = vec![0usize; n_slots];
+    let mut indeg = vec![0u32; n_slots];
     let mut live = 0usize;
     for (s, cell) in indeg.iter_mut().enumerate() {
         if g.slot_id(s).is_some() {
             live += 1;
-            *cell = g.in_nbrs_of_slot(s).len();
+            *cell = g.in_nbrs_of_slot(s).len() as u32;
         }
     }
-    let mut queue: std::collections::VecDeque<usize> = (0..n_slots)
+    let mut frontier: Vec<u32> = (0..n_slots)
         .filter(|&s| g.slot_id(s).is_some() && indeg[s] == 0)
+        .map(|s| s as u32)
         .collect();
+    let threads = num_threads();
     let mut order = Vec::with_capacity(live);
-    while let Some(slot) = queue.pop_front() {
-        order.push(g.slot_id(slot).expect("queued slot live"));
-        for &nbr in g.out_nbrs_of_slot(slot) {
-            let ns = g.slot_of(nbr).expect("neighbor exists");
-            indeg[ns] -= 1;
-            if indeg[ns] == 0 {
-                queue.push_back(ns);
+    while !frontier.is_empty() {
+        order.extend(
+            frontier
+                .iter()
+                .map(|&s| g.slot_id(s as usize).expect("queued slot live")),
+        );
+        let mut next: Vec<u32> = if threads > 1 && frontier.len() >= PAR_MIN_FRONTIER {
+            let indeg = as_atomic(&mut indeg);
+            let fr = &frontier;
+            let (bufs, _) = parallel_map_morsels(fr.len(), threads, |_, range| {
+                let mut buf: Vec<u32> = Vec::new();
+                for &u in &fr[range] {
+                    for &nbr in g.out_nbrs_of_slot(u as usize) {
+                        let ns = g.slot_of(nbr).expect("neighbor exists");
+                        // ORDERING: Relaxed — the decrement only needs
+                        // atomicity (exactly one worker sees the count
+                        // hit zero); the next round reads after the pool
+                        // barrier's synchronization.
+                        if indeg[ns].fetch_sub(1, Ordering::Relaxed) == 1 {
+                            buf.push(ns as u32);
+                        }
+                    }
+                }
+                buf
+            });
+            bufs.into_iter().flatten().collect()
+        } else {
+            let mut buf: Vec<u32> = Vec::new();
+            for &u in &frontier {
+                for &nbr in g.out_nbrs_of_slot(u as usize) {
+                    let ns = g.slot_of(nbr).expect("neighbor exists");
+                    indeg[ns] -= 1;
+                    if indeg[ns] == 0 {
+                        buf.push(ns as u32);
+                    }
+                }
             }
-        }
+            buf
+        };
+        next.sort_unstable();
+        frontier = next;
     }
     (order.len() == live).then_some(order)
 }

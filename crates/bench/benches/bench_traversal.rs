@@ -1,0 +1,253 @@
+//! Frontier-engine BFS vs the seed sequential BFS, plus the sampled
+//! betweenness pipeline that rides on it.
+//!
+//! The seed baseline reproduces the pre-engine kernel exactly: hop
+//! distances in an `IntHashTable` keyed by node id, a `VecDeque` work
+//! queue, a boxed neighbor iterator allocated per dequeued node, and a
+//! distance hash lookup per pop. The engine rows run the shared frontier
+//! engine in top-down-only mode (`alpha = 0`) and with the default
+//! direction-optimizing crossover, at the pool's thread count and pinned
+//! to one thread (the morsel/engine overhead floor).
+//!
+//! Results are printed and recorded in `BENCH_traversal.json` at the
+//! workspace root.
+
+use ringo_core::algo::{betweenness_centrality_sampled, Direction, FrontierEngine, FrontierState};
+use ringo_core::concurrent::{num_threads, IntHashTable};
+use ringo_core::gen::{edges_to_table, rmat, RmatConfig};
+use ringo_core::graph::DirectedTopology;
+use ringo_core::{DirectedGraph, NodeId};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::time::Instant;
+
+/// The pre-engine BFS, byte for byte in spirit: hash-map distances, FIFO
+/// queue of ids, boxed per-node neighbor iterator, hash lookup per pop.
+fn seed_bfs(g: &DirectedGraph, src: NodeId, dir: Direction) -> IntHashTable<u32> {
+    fn neighbors<'a>(
+        g: &'a DirectedGraph,
+        slot: usize,
+        dir: Direction,
+    ) -> Box<dyn Iterator<Item = NodeId> + 'a> {
+        match dir {
+            Direction::Out => Box::new(g.out_nbrs_of_slot(slot).iter().copied()),
+            Direction::In => Box::new(g.in_nbrs_of_slot(slot).iter().copied()),
+            Direction::Both => Box::new(
+                g.out_nbrs_of_slot(slot)
+                    .iter()
+                    .chain(g.in_nbrs_of_slot(slot))
+                    .copied(),
+            ),
+        }
+    }
+    let mut dist: IntHashTable<u32> = IntHashTable::new();
+    if DirectedTopology::slot_of(g, src).is_none() {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist.insert(src, 0);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let d = *dist.get(u).expect("queued node has distance");
+        let slot = DirectedTopology::slot_of(g, u).expect("queued node live");
+        for v in neighbors(g, slot, dir) {
+            if dist.get(v).is_none() {
+                dist.insert(v, d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The pre-engine Brandes inner loop: queue-based BFS with materialized
+/// predecessor lists and a stack-order dependency pass.
+fn seed_brandes_sampled(g: &DirectedGraph, samples: usize) -> Vec<(NodeId, f64)> {
+    let live: Vec<usize> = (0..g.n_slots())
+        .filter(|&s| g.slot_id(s).is_some())
+        .collect();
+    if live.is_empty() || samples == 0 {
+        return Vec::new();
+    }
+    let stride = live.len().div_ceil(samples).max(1);
+    let sources: Vec<usize> = live.iter().copied().step_by(stride).collect();
+    let n_slots = g.n_slots();
+    let n_live = live.len();
+    let scale = n_live as f64 / sources.len() as f64;
+    let mut centrality = vec![0.0f64; n_slots];
+    let mut sigma = vec![0.0f64; n_slots];
+    let mut dist = vec![-1i64; n_slots];
+    let mut delta = vec![0.0f64; n_slots];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n_slots];
+    for &s in &sources {
+        let mut stack: Vec<usize> = Vec::new();
+        let mut queue = VecDeque::new();
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w_id in g.out_nbrs_of_slot(v) {
+                let w = DirectedTopology::slot_of(g, w_id).expect("neighbor exists");
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                centrality[w] += delta[w] * scale;
+            }
+            sigma[w] = 0.0;
+            dist[w] = -1;
+            delta[w] = 0.0;
+            preds[w].clear();
+        }
+    }
+    (0..n_slots)
+        .filter_map(|s| g.slot_id(s).map(|id| (id, centrality[s])))
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Median seconds over `iters` runs of `f` (odd `iters` → true middle).
+fn time_it<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    median(samples)
+}
+
+fn main() {
+    let threads = num_threads();
+    let scale = 17u32;
+    let edges = 1_200_000usize;
+    let e = rmat(&RmatConfig {
+        scale,
+        edges,
+        seed: 42,
+        ..Default::default()
+    });
+    let g: DirectedGraph =
+        ringo_core::convert::table_to_graph(&edges_to_table(&e), "src", "dst").unwrap();
+    let n = g.node_count();
+    println!("=== BFS on R-MAT scale {scale}: {n} nodes, {edges} edges ({threads} threads) ===");
+
+    // Sources: a handful of live ids spread across the slot range, fixed
+    // for every contender.
+    let sources: Vec<NodeId> = (0..g.n_slots())
+        .step_by((g.n_slots() / 7).max(1))
+        .filter_map(|s| g.slot_id(s))
+        .take(5)
+        .collect();
+
+    let iters = 5;
+    let seed_s = time_it(iters, || {
+        sources
+            .iter()
+            .map(|&s| seed_bfs(&g, s, Direction::Out).len())
+            .sum::<usize>()
+    });
+
+    // Engine contenders reuse one state across sources, like the routed
+    // kernels do.
+    let run_engine = |alpha: u64, beta: u64, t: usize| {
+        let eng = FrontierEngine::with_params(&g, Direction::Out, t, alpha, beta);
+        let mut state = FrontierState::new(g.n_slots());
+        time_it(iters, || {
+            sources
+                .iter()
+                .map(|&s| {
+                    let slot = DirectedTopology::slot_of(&g, s).expect("source live");
+                    eng.run_into(slot, &mut state);
+                    let reached = state.visited.len();
+                    state.reset();
+                    reached
+                })
+                .sum::<usize>()
+        })
+    };
+    let td_s = run_engine(0, 0, threads);
+    let do_s = run_engine(15, 18, threads);
+    let t1_s = run_engine(15, 18, 1);
+
+    println!(
+        "seed sequential {:>8.2}ms   engine top-down {:>8.2}ms ({:.2}x)   \
+         engine dir-opt {:>8.2}ms ({:.2}x)   engine t=1 {:>8.2}ms ({:.2}x)",
+        seed_s * 1e3,
+        td_s * 1e3,
+        seed_s / td_s,
+        do_s * 1e3,
+        seed_s / do_s,
+        t1_s * 1e3,
+        seed_s / t1_s,
+    );
+
+    // End-to-end consumer: sampled betweenness, whose per-source BFS is
+    // the routed kernel. Smaller source budget — Brandes touches the
+    // whole graph per source.
+    let samples = 8usize;
+    let bc_seed_s = time_it(3, || seed_brandes_sampled(&g, samples).len());
+    let bc_new_s = time_it(3, || {
+        betweenness_centrality_sampled(&g, samples, false).len()
+    });
+    println!(
+        "sampled betweenness ({samples} sources): seed {:>8.1}ms   engine {:>8.1}ms   \
+         speedup {:.2}x",
+        bc_seed_s * 1e3,
+        bc_new_s * 1e3,
+        bc_seed_s / bc_new_s,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"traversal\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"graph\": {{\"scale\": {scale}, \"edges\": {edges}, \"nodes\": {n}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"bfs\": {{\"sources\": {}, \"seed_ms\": {:.2}, \"topdown_ms\": {:.2}, \
+         \"diropt_ms\": {:.2}, \"engine_t1_ms\": {:.2}, \"speedup_topdown\": {:.2}, \
+         \"speedup_diropt\": {:.2}, \"speedup_t1\": {:.2}}},\n",
+        sources.len(),
+        seed_s * 1e3,
+        td_s * 1e3,
+        do_s * 1e3,
+        t1_s * 1e3,
+        seed_s / td_s,
+        seed_s / do_s,
+        seed_s / t1_s,
+    ));
+    json.push_str(&format!(
+        "  \"betweenness_sampled\": {{\"samples\": {samples}, \"seed_ms\": {:.1}, \
+         \"engine_ms\": {:.1}, \"speedup\": {:.2}}}\n",
+        bc_seed_s * 1e3,
+        bc_new_s * 1e3,
+        bc_seed_s / bc_new_s,
+    ));
+    json.push_str("}\n");
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_traversal.json");
+    let mut f = std::fs::File::create(&out).expect("create BENCH_traversal.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_traversal.json");
+    println!("wrote {}", out.display());
+}

@@ -109,6 +109,14 @@ macro_rules! int_atomic {
                 )
             }
 
+            pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old | v, || self.inner.fetch_or(v, ord))
+            }
+
+            pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                self.rmw(ord, |old| old & v, || self.inner.fetch_and(v, ord))
+            }
+
             pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
                 self.rmw(ord, |old| old.min(v), || self.inner.fetch_min(v, ord))
             }

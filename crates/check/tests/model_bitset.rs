@@ -1,0 +1,86 @@
+//! Schedule exploration of [`ringo_concurrent::ConcurrentBitset`]'s claim
+//! protocol — the primitive the frontier engine's bottom-up BFS phase
+//! leans on. Compiled with `--features model`, every `fetch_or` inside
+//! the bitset routes through the deterministic scheduler.
+
+use ringo_concurrent::ConcurrentBitset;
+use std::sync::Arc;
+
+use ringo_check::vthread;
+
+/// Two threads race to claim the same bit: exactly one must win, under
+/// every interleaving, and the bit must read as set afterwards.
+#[test]
+fn same_bit_claim_has_exactly_one_winner() {
+    ringo_check::check("bitset_same_bit_claim", || {
+        let b = Arc::new(ConcurrentBitset::new(64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = b.clone();
+                vthread::spawn(move || b.set(7))
+            })
+            .collect();
+        let wins = handles
+            .into_iter()
+            .map(|h| h.join().expect("claimer panicked"))
+            .filter(|&w| w)
+            .count();
+        assert_eq!(wins, 1, "claim must have a unique winner");
+        assert!(b.get(7), "claimed bit must be visible");
+        assert_eq!(b.count_ones(), 1, "no stray bits");
+    });
+}
+
+/// Three threads claim distinct bits that share one 64-bit word: no
+/// claim may be lost to a torn read-modify-write, and every claimer must
+/// see its own win.
+#[test]
+fn distinct_bits_in_one_word_lose_nothing() {
+    ringo_check::check("bitset_distinct_bits_one_word", || {
+        let b = Arc::new(ConcurrentBitset::new(64));
+        let handles: Vec<_> = [3usize, 17, 44]
+            .into_iter()
+            .map(|bit| {
+                let b = b.clone();
+                vthread::spawn(move || b.set(bit))
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().expect("setter panicked"), "uncontended bit wins");
+        }
+        for bit in [3usize, 17, 44] {
+            assert!(b.get(bit), "bit {bit} lost to a concurrent fetch_or");
+        }
+        assert_eq!(b.count_ones(), 3);
+    });
+}
+
+/// The BFS claim pattern end-to-end: two "workers" discover the same two
+/// "nodes"; each node is processed by exactly one worker regardless of
+/// schedule, and both nodes get processed.
+#[test]
+fn frontier_claim_partitions_work() {
+    ringo_check::check("bitset_frontier_claim", || {
+        let b = Arc::new(ConcurrentBitset::new(64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = b.clone();
+                vthread::spawn(move || {
+                    let mut mine = Vec::new();
+                    for node in [5usize, 9] {
+                        if b.set(node) {
+                            mine.push(node);
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut processed: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        processed.sort_unstable();
+        assert_eq!(processed, vec![5, 9], "each node claimed exactly once");
+    });
+}

@@ -23,11 +23,15 @@
 //!   [`hash_table::ConcurrentIntTable`], a fixed-capacity concurrent set
 //!   with CAS insertion used during parallel graph construction,
 //! * [`atomic_vec`] — [`atomic_vec::ConcurrentVec`], a fixed-capacity
-//!   vector whose `push` claims an index with `fetch_add`.
+//!   vector whose `push` claims an index with `fetch_add`,
+//! * [`bitset`] — [`bitset::ConcurrentBitset`], a packed atomic visited
+//!   set whose `set` is a `fetch_or` claim, used by the frontier engine's
+//!   bottom-up traversal phase.
 
 #![warn(missing_docs)]
 
 pub mod atomic_vec;
+pub mod bitset;
 pub mod hash_table;
 pub mod parallel;
 pub mod pool;
@@ -36,6 +40,7 @@ pub mod sort;
 pub mod sync;
 
 pub use atomic_vec::ConcurrentVec;
+pub use bitset::ConcurrentBitset;
 pub use hash_table::{ConcurrentIntTable, IntHashTable};
 pub use parallel::{
     morsel_bounds, morsel_rows, num_threads, parallel_for, parallel_for_dynamic,

@@ -429,6 +429,23 @@ impl Ringo {
         )
     }
 
+    /// BFS tree: id → parent id, deterministic minimum-slot tie-break
+    /// (the source maps to itself).
+    pub fn bfs_tree(
+        &self,
+        g: &DirectedGraph,
+        src: NodeId,
+        dir: Direction,
+    ) -> ringo_concurrent::IntHashTable<NodeId> {
+        self.ops.run(
+            "bfs_tree",
+            format!("from {src} ({dir:?})"),
+            g.node_count(),
+            ringo_concurrent::IntHashTable::len,
+            || ringo_algo::bfs_tree(g, src, dir),
+        )
+    }
+
     /// Weakly connected components.
     pub fn wcc(&self, g: &DirectedGraph) -> ringo_algo::Components {
         self.ops.run(

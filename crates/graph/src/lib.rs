@@ -29,7 +29,7 @@ pub mod weighted;
 
 pub use csr::CsrGraph;
 pub use directed::DirectedGraph;
-pub use traits::DirectedTopology;
+pub use traits::{DirectedTopology, Direction};
 pub use undirected::UndirectedGraph;
 pub use weighted::WeightedDigraph;
 

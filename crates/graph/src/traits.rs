@@ -2,6 +2,21 @@
 
 use crate::NodeId;
 
+/// Which edges a directed traversal follows.
+///
+/// Lives in the graph layer (rather than with any one algorithm) because
+/// both the traversal kernels in `ringo-algo` and the bulk
+/// [`DirectedTopology::degrees`] accessor are parameterized by it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (successors).
+    Out,
+    /// Follow in-edges (predecessors).
+    In,
+    /// Treat edges as undirected.
+    Both,
+}
+
 /// Read-only, slot-addressed view of a directed graph.
 ///
 /// Slots are dense handles in `0..n_slots()`; a slot may be vacant (after a
@@ -28,4 +43,25 @@ pub trait DirectedTopology: Sync {
     fn node_count(&self) -> usize;
     /// Number of directed edges.
     fn edge_count(&self) -> usize;
+
+    /// Per-slot degree in the traversal sense of `dir` (vacant slots get
+    /// 0). Bulk accessor for frontier-style engines: the
+    /// direction-optimizing crossover heuristic needs the edge mass of a
+    /// frontier, and summing precomputed degrees is much cheaper than
+    /// re-touching adjacency lists every level.
+    fn degrees(&self, dir: Direction) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n_slots()];
+        for (s, d) in deg.iter_mut().enumerate() {
+            if self.slot_id(s).is_some() {
+                *d = match dir {
+                    Direction::Out => self.out_nbrs_of_slot(s).len(),
+                    Direction::In => self.in_nbrs_of_slot(s).len(),
+                    Direction::Both => {
+                        self.out_nbrs_of_slot(s).len() + self.in_nbrs_of_slot(s).len()
+                    }
+                } as u32;
+            }
+        }
+        deg
+    }
 }

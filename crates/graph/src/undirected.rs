@@ -302,6 +302,47 @@ impl UndirectedGraph {
     }
 }
 
+/// Undirected adjacency viewed as a symmetric directed topology: out- and
+/// in-neighbors are the same sorted list, so every `DirectedTopology`
+/// algorithm (BFS, the frontier engine, reachability) runs unchanged with
+/// `Direction::Out`. `edge_count` reports directed arcs — `2m` minus one
+/// per self-loop — keeping degree sums and edge counts consistent.
+impl crate::DirectedTopology for UndirectedGraph {
+    fn n_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn slot_id(&self, slot: usize) -> Option<NodeId> {
+        UndirectedGraph::slot_id(self, slot)
+    }
+
+    fn slot_of(&self, id: NodeId) -> Option<usize> {
+        UndirectedGraph::slot_of(self, id)
+    }
+
+    fn out_nbrs_of_slot(&self, slot: usize) -> &[NodeId] {
+        self.nbrs_of_slot(slot)
+    }
+
+    fn in_nbrs_of_slot(&self, slot: usize) -> &[NodeId] {
+        self.nbrs_of_slot(slot)
+    }
+
+    fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn edge_count(&self) -> usize {
+        let self_loops: usize = self
+            .nodes
+            .iter()
+            .flatten()
+            .filter(|c| c.nbrs.binary_search(&c.id).is_ok())
+            .count();
+        2 * self.n_edges - self_loops
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

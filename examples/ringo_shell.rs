@@ -69,6 +69,7 @@ commands:
   triads <graph>                             16-class triad census
   wcc <graph> | scc <graph>                  connected components
   bfs <graph> <node>                         reachability from a node
+  bfstree <graph> <node>                     BFS parent tree from a node
   describe <table>                           per-column summary statistics
   sample <out> <table> <n>                   uniform row sample
   savegraph <graph> <path>                   write SNAP-style edge list
@@ -497,6 +498,25 @@ impl Shell {
                 let src: i64 = src.parse().map_err(|_| "bad node id".to_string())?;
                 let d = self.ringo.bfs(g, src, Direction::Out);
                 println!("{} nodes reachable from {src}", d.len());
+                Ok(true)
+            }
+            ["bfstree", graph, src] => {
+                let g = self.graph(graph)?;
+                let src: i64 = src.parse().map_err(|_| "bad node id".to_string())?;
+                let t = self.ringo.bfs_tree(g, src, Direction::Out);
+                let mut sample: Vec<(i64, i64)> = t
+                    .iter()
+                    .filter(|(id, _)| *id != src)
+                    .map(|(id, p)| (id, *p))
+                    .collect();
+                sample.sort_unstable();
+                println!("BFS tree from {src}: {} nodes", t.len());
+                for (id, p) in sample.iter().take(10) {
+                    println!("  {p} -> {id}");
+                }
+                if sample.len() > 10 {
+                    println!("  ... {} more edges", sample.len() - 10);
+                }
                 Ok(true)
             }
             _ => err("unknown command; try `help`"),

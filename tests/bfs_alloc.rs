@@ -1,0 +1,63 @@
+//! Allocation discipline of the frontier engine.
+//!
+//! The old BFS allocated a boxed neighbor iterator per visited node and
+//! grew a hash table of distances; the frontier engine walks flat
+//! slot-indexed arrays and monomorphized adjacency slices, so a warmed-up
+//! traversal performs **zero allocations per visited node**. This test
+//! pins that: a 100k-node sweep over a reused [`FrontierState`] must stay
+//! below a small constant allocation count (a single alloc-per-visit
+//! regression would exceed it by five orders of magnitude).
+//!
+//! Kept in its own test binary so concurrent sibling tests cannot
+//! inflate the process-global allocation counter mid-measurement.
+
+use ringo::algo::{FrontierEngine, FrontierState};
+use ringo::graph::DirectedTopology;
+use ringo::trace::mem::{alloc_count, TrackingAllocator};
+use ringo::{DirectedGraph, Direction};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+#[test]
+fn warmed_traversal_allocates_constant_not_per_visit() {
+    const N: i64 = 100_000;
+    // Star-of-paths: one hub fanning out to 100 chains of 1000 nodes —
+    // exercises both a wide level and deep narrow ones.
+    let mut g = DirectedGraph::with_capacity(N as usize);
+    for c in 0..100i64 {
+        let base = 1 + c * 1_000;
+        g.add_edge(0, base);
+        for i in 0..999 {
+            g.add_edge(base + i, base + i + 1);
+        }
+    }
+    let n_visited = g.node_count();
+
+    let eng = FrontierEngine::with_params(&g, Direction::Out, 1, 0, 0);
+    let mut state = FrontierState::new(g.n_slots());
+    let src = DirectedTopology::slot_of(&g, 0).unwrap();
+
+    // Warm up: grows `visited` / `level_starts` to their high-water
+    // capacity, which `reset` retains.
+    for _ in 0..3 {
+        eng.run_into(src, &mut state);
+        assert_eq!(state.visited.len(), n_visited);
+        state.reset();
+    }
+
+    let mut best = usize::MAX;
+    for _ in 0..5 {
+        let before = alloc_count();
+        eng.run_into(src, &mut state);
+        let delta = alloc_count() - before;
+        assert_eq!(state.visited.len(), n_visited);
+        state.reset();
+        best = best.min(delta);
+    }
+    assert!(
+        best <= 8,
+        "warmed BFS allocated {best} times for {n_visited} visits; \
+         expected the flat-state engine's small constant"
+    );
+}

@@ -1,0 +1,117 @@
+//! Equivalence tests for the kernels rerouted through the frontier
+//! engine: each must agree with an independent implementation (or an
+//! algorithm-specific invariant) on R-MAT data, confirming the engine
+//! swap changed performance, not results.
+
+use ringo::algo::{
+    betweenness_centrality, betweenness_centrality_sampled, bfs_distances, bfs_tree, sssp_dijkstra,
+    topological_sort, weakly_connected_components, weakly_connected_components_parallel,
+};
+use ringo::gen::{edges_to_table, RmatConfig};
+use ringo::{DirectedGraph, Direction};
+
+fn rmat_graph(scale: u32, edges: usize, seed: u64) -> DirectedGraph {
+    let e = ringo::gen::rmat(&RmatConfig {
+        scale,
+        edges,
+        seed,
+        ..Default::default()
+    });
+    ringo::convert::table_to_graph(&edges_to_table(&e), "src", "dst").unwrap()
+}
+
+/// Canonical form of a component labeling: node set of each component,
+/// sorted — label numbering may legitimately differ between algorithms.
+fn partition(c: &ringo::algo::Components) -> Vec<Vec<i64>> {
+    let mut groups: std::collections::HashMap<u32, Vec<i64>> = std::collections::HashMap::new();
+    for (id, &lab) in c.comp_of.iter() {
+        groups.entry(lab).or_default().push(id);
+    }
+    let mut out: Vec<Vec<i64>> = groups
+        .into_values()
+        .map(|mut v| {
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn wcc_via_engine_matches_union_find() {
+    for seed in [1, 23] {
+        let g = rmat_graph(10, 9_000, seed);
+        let a = weakly_connected_components(&g);
+        let b = weakly_connected_components_parallel(&g, 4);
+        assert_eq!(partition(&a), partition(&b));
+        let total: usize = a.sizes.iter().sum();
+        assert_eq!(total, g.node_count());
+    }
+}
+
+#[test]
+fn engine_bfs_matches_dijkstra_on_unit_weights() {
+    let g = rmat_graph(11, 20_000, 9);
+    let src = g.node_ids().next().unwrap();
+    let bfs = bfs_distances(&g, src, Direction::Out);
+    let dij = sssp_dijkstra(&g, src, |_, _| 1.0);
+    assert_eq!(bfs.len(), dij.len());
+    for (id, &hops) in bfs.iter() {
+        assert_eq!(*dij.get(id).unwrap(), f64::from(hops), "node {id}");
+    }
+}
+
+#[test]
+fn bfs_tree_edges_step_one_level() {
+    let g = rmat_graph(10, 9_000, 5);
+    let src = g.node_ids().next().unwrap();
+    let dist = bfs_distances(&g, src, Direction::Out);
+    let tree = bfs_tree(&g, src, Direction::Out);
+    assert_eq!(dist.len(), tree.len());
+    for (id, &p) in tree.iter() {
+        if id == src {
+            assert_eq!(p, src);
+            continue;
+        }
+        assert_eq!(dist.get(id).unwrap() - 1, *dist.get(p).unwrap());
+        assert!(g.out_nbrs(p).contains(&id), "tree edge {p}->{id} exists");
+    }
+}
+
+#[test]
+fn sampled_betweenness_with_full_sample_matches_exact_on_rmat() {
+    let g = rmat_graph(8, 2_000, 13);
+    let exact = betweenness_centrality(&g, false);
+    let sampled = betweenness_centrality_sampled(&g, g.node_count(), false);
+    assert_eq!(exact.len(), sampled.len());
+    for ((ia, va), (ib, vb)) in exact.iter().zip(&sampled) {
+        assert_eq!(ia, ib);
+        assert!((va - vb).abs() < 1e-9, "id {ia}: {va} vs {vb}");
+    }
+}
+
+#[test]
+fn parallel_topological_sort_is_valid_and_deterministic() {
+    // R-MAT edges oriented small id -> large id form a DAG.
+    let e = ringo::gen::rmat(&RmatConfig {
+        scale: 11,
+        edges: 30_000,
+        seed: 3,
+        ..Default::default()
+    });
+    let mut g = DirectedGraph::new();
+    for &(s, d) in &e {
+        if s < d {
+            g.add_edge(s, d);
+        }
+    }
+    let order = topological_sort(&g).expect("acyclic by construction");
+    assert_eq!(order.len(), g.node_count());
+    let pos: std::collections::HashMap<i64, usize> =
+        order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    for (s, d) in g.edges() {
+        assert!(pos[&s] < pos[&d], "{s} before {d}");
+    }
+    assert_eq!(order, topological_sort(&g).unwrap(), "deterministic");
+}

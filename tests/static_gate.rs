@@ -80,6 +80,10 @@ const UNWRAP_ALLOWLIST: &[(&str, &str)] = &[
         "invariant expects in kernel loops",
     ),
     (
+        "crates/algo/src/frontier.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
         "crates/algo/src/hits.rs",
         "invariant expects in kernel loops",
     ),
