@@ -323,6 +323,7 @@ impl<'g, G: DirectedTopology> FrontierEngine<'g, G> {
     /// path and the small-frontier fast path. The frontier lives in
     /// `state.visited[lo..hi]` (slot and depth travel together — no
     /// distance lookup per dequeued node, unlike the old hash-map BFS).
+    // LINT: hot — per-visit allocations here would void the bfs_alloc pin.
     fn step_seq(&self, state: &mut FrontierState, lo: usize, hi: usize, level: u32) -> u64 {
         let d1 = level + 1;
         let mut next_edges = 0u64;

@@ -1,0 +1,86 @@
+//! Wall-time budget for the `ringo-lint` static gate.
+//!
+//! The lint runs everywhere — tier-1 tests, CI, contributors' inner
+//! loops — so it has a latency budget: a **full workspace pass**
+//! (load + lex + tree-build + all nine lints) must finish in under two
+//! seconds, or the gate starts getting skipped. Takes the minimum over
+//! several repetitions (rep 0 is warmup: page cache, allocator); the
+//! minimum is the honest measure of the analyzer itself rather than of
+//! cold I/O.
+//!
+//! Results are printed and recorded in `BENCH_lint.json` at the
+//! workspace root, alongside the other `BENCH_*.json` series.
+
+use std::io::Write;
+use std::time::Instant;
+
+use ringo_lint::{run_all, Config, Workspace};
+
+const REPS: usize = 5;
+const BUDGET_MS: f64 = 2000.0;
+
+fn main() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = Config::project();
+
+    let mut load_best = f64::INFINITY;
+    let mut lint_best = f64::INFINITY;
+    let mut full_best = f64::INFINITY;
+    let mut files = 0usize;
+    let mut bytes = 0usize;
+
+    for rep in 0..=REPS {
+        let t0 = Instant::now();
+        let ws = Workspace::load(&root).expect("workspace must load");
+        let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let findings = run_all(&ws, &cfg);
+        let lint_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        assert!(
+            findings.is_empty(),
+            "bench requires a clean tree; ringo-lint reported {} finding(s)",
+            findings.len()
+        );
+
+        files = ws.lib_files.len() + ws.example_files.len();
+        bytes = ws
+            .lib_files
+            .iter()
+            .chain(ws.example_files.iter())
+            .map(|f| f.text.len())
+            .sum();
+
+        if rep > 0 {
+            load_best = load_best.min(load_ms);
+            lint_best = lint_best.min(lint_ms);
+            full_best = full_best.min(load_ms + lint_ms);
+        }
+    }
+
+    println!("=== ringo-lint full-workspace wall time ===");
+    println!("sources      {files} files, {} KiB", bytes / 1024);
+    println!("load+lex     {load_best:>8.2} ms");
+    println!("lints        {lint_best:>8.2} ms");
+    println!("full pass    {full_best:>8.2} ms   (budget {BUDGET_MS:.0} ms)");
+
+    assert!(
+        full_best < BUDGET_MS,
+        "ringo-lint full pass took {full_best:.1} ms; the gate's budget is {BUDGET_MS:.0} ms"
+    );
+
+    // Hand-rolled JSON (no serde in the hermetic workspace).
+    let json = format!(
+        "{{\n  \"bench\": \"lint_workspace\",\n  \
+         \"files\": {files},\n  \"source_bytes\": {bytes},\n  \
+         \"load_ms\": {load_best:.2},\n  \
+         \"lint_ms\": {lint_best:.2},\n  \
+         \"full_pass_ms\": {full_best:.2},\n  \
+         \"budget_ms\": {BUDGET_MS:.0}\n}}\n"
+    );
+    let out = root.join("BENCH_lint.json");
+    let mut f = std::fs::File::create(&out).expect("create BENCH_lint.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_lint.json");
+    println!("wrote {}", out.display());
+}

@@ -372,6 +372,7 @@ where
 /// with a single worker no further counting scans run at all (the totals
 /// are the worker histogram of every arrangement). Callers gate on
 /// [`SEQ_THRESHOLD`] and the `u32` count limit.
+// LINT: hot — exact-size buffers only (`vec![…]`/`with_capacity` stay legal).
 fn lsd_u64(data: &mut [u64], threads: usize) {
     let len = data.len();
     let bounds = chunk_bounds(len, threads);
@@ -487,6 +488,7 @@ fn lsd_u64(data: &mut [u64], threads: usize) {
 
 /// The LSD core: histogram pre-pass, digit skipping, ping-pong passes.
 /// Stable. Callers gate on [`SEQ_THRESHOLD`].
+// LINT: hot — exact-size buffers only (`vec![…]`/`with_capacity` stay legal).
 fn lsd_by_key<T, F>(data: &mut [T], threads: usize, key: &F)
 where
     T: Copy + Send + Sync,

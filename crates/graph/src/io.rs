@@ -232,6 +232,11 @@ mod tests {
     #[test]
     fn binary_load_rejects_wrong_magic() {
         let p = tmp("badmagic.rg");
+        // 8 bytes of deliberately-wrong magic plus 8 bytes of padding so
+        // the header read succeeds and rejection is on content, not size.
+        // (Audited for the env-knob registry: the `RINGO________` tail is
+        // not a `RINGO_*` knob — all-underscore tails are excluded, and
+        // `NOT` glues onto the word anyway.)
         std::fs::write(&p, b"NOTRINGO________").unwrap();
         assert!(load_binary(&p).is_err());
         std::fs::remove_file(p).ok();

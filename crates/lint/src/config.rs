@@ -1,0 +1,385 @@
+//! Lint configuration: lookback window, per-lint allowlists, the knob
+//! inventory, and the synthetic-metric registry.
+//!
+//! Policy (PR 4 style, enforced mechanically by the lints themselves):
+//! allowlists are **shrink-only** — every entry records the reason the
+//! audit concluded the site is fine, and an entry that no longer
+//! suppresses anything is reported as a stale-allowlist finding, so the
+//! lists can only get shorter as code improves.
+//!
+//! [`Config::project`] is the one place Ringo's own tables live. The
+//! literal-scanning lints (`env-knob-registry`, `metric-registry`) skip
+//! this file (see [`Config::scan_exempt`]): the inventory necessarily
+//! *names* every knob, and letting it satisfy its own freshness check
+//! would make the registry unfalsifiable.
+
+/// Everything a lint run can be parameterized on.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// How many lines above a flagged site an annotation comment may
+    /// sit (shared by the SAFETY and ORDERING lints).
+    pub lookback: usize,
+    /// Files whose `.unwrap()` / `.expect(` uses have been audited:
+    /// `(workspace-relative path, audit conclusion)`.
+    pub unwrap_allow: Vec<(String, String)>,
+    /// Where `thread::spawn` / `thread::Builder` may appear. An entry
+    /// ending in `/` matches a directory prefix, otherwise exact file.
+    pub thread_spawn_allow: Vec<String>,
+    /// Metric names legitimately recorded from more than one call site:
+    /// `(name, reason)`.
+    pub shared_metric_allow: Vec<(String, String)>,
+    /// Metric names that exist only at export time (never registered
+    /// through `span!`/`counter`): `(name, reason)`. They satisfy CI
+    /// cross-checks; freshness requires the literal to still appear in
+    /// library source.
+    pub synthetic_metrics: Vec<(String, String)>,
+    /// The complete `RINGO_*` knob inventory: `(name, description)`.
+    /// `ringo-lint --knobs` prints it; the env-knob lint enforces that
+    /// it exactly matches the knobs read by library code and that every
+    /// entry appears in README's knob table.
+    pub knob_inventory: Vec<(String, String)>,
+    /// `Release`-side atomic writes allowed to have no `Acquire`-side
+    /// partner in their crate: `("crate-dir::field", reason)` — e.g.
+    /// when the acquire side lives in another crate or behind a fence.
+    pub release_pair_allow: Vec<(String, String)>,
+    /// Files excluded from the literal-scanning lints (the config
+    /// itself, which must name every knob and shared metric).
+    pub scan_exempt: Vec<String>,
+}
+
+impl Config {
+    /// An empty configuration: no allowlists, default lookback. The
+    /// fixture tests run against this so every trip fixture trips.
+    pub fn empty() -> Self {
+        Self {
+            lookback: 10,
+            unwrap_allow: Vec::new(),
+            thread_spawn_allow: Vec::new(),
+            shared_metric_allow: Vec::new(),
+            synthetic_metrics: Vec::new(),
+            knob_inventory: Vec::new(),
+            release_pair_allow: Vec::new(),
+            scan_exempt: Vec::new(),
+        }
+    }
+
+    /// Ringo's own configuration — the audited allowlists and the knob
+    /// inventory for this workspace.
+    pub fn project() -> Self {
+        let own = |pairs: &[(&str, &str)]| -> Vec<(String, String)> {
+            pairs
+                .iter()
+                .map(|(a, b)| ((*a).to_owned(), (*b).to_owned()))
+                .collect()
+        };
+        Self {
+            lookback: 10,
+            unwrap_allow: own(UNWRAP_ALLOWLIST),
+            thread_spawn_allow: THREAD_SPAWN_ALLOW.iter().map(|s| (*s).to_owned()).collect(),
+            shared_metric_allow: own(SHARED_METRIC_ALLOW),
+            synthetic_metrics: own(SYNTHETIC_METRICS),
+            knob_inventory: own(KNOB_INVENTORY),
+            release_pair_allow: own(RELEASE_PAIR_ALLOW),
+            scan_exempt: vec!["crates/lint/src/config.rs".to_owned()],
+        }
+    }
+}
+
+/// Files whose `.unwrap()` / `.expect(` uses have been audited, with the
+/// audit's conclusion (carried over from the PR 4 gate; the freshness
+/// lint keeps it shrink-only).
+const UNWRAP_ALLOWLIST: &[(&str, &str)] = &[
+    // Traversal/algorithm kernels: every use is an `expect` naming a loop
+    // invariant established by the surrounding code (queued slots are
+    // live, popped nodes have distances, neighbors exist in the graph).
+    (
+        "crates/algo/src/anf.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/bfs.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/bipartite.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/centrality.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/community.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/components.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/connectivity.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/eigen.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/frontier.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/hits.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/independent.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/kcore.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/ktruss.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/pagerank.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/random_walk.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/similarity.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/sssp.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/stats.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/traversal.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/union_find.rs",
+        "invariant expects in kernel loops",
+    ),
+    (
+        "crates/algo/src/weighted.rs",
+        "invariant expects in kernel loops",
+    ),
+    // Benchmark drivers and harness: setup failures (I/O, column lookups)
+    // abort the run loudly by design — a benchmark must not limp on.
+    (
+        "crates/bench/src/bin/all_tables.rs",
+        "bench driver aborts loudly",
+    ),
+    (
+        "crates/bench/src/bin/table4.rs",
+        "bench driver aborts loudly",
+    ),
+    (
+        "crates/bench/src/bin/table5.rs",
+        "bench driver aborts loudly",
+    ),
+    ("crates/bench/src/harness.rs", "bench harness aborts loudly"),
+    ("crates/bench/src/lib.rs", "bench fixtures abort loudly"),
+    // Checker internals: a violated invariant inside the scheduler or the
+    // memory model is a checker bug; it must panic so the schedule fails
+    // loudly rather than report a wrong verdict.
+    (
+        "crates/check/src/memory.rs",
+        "checker invariants panic loudly",
+    ),
+    (
+        "crates/check/src/sched.rs",
+        "checker invariants panic loudly",
+    ),
+    (
+        "crates/check/src/vthread.rs",
+        "checker invariants panic loudly",
+    ),
+    // Lock-free/parallel kernels: occupied-slot and just-inserted expects
+    // in the sequential table, chunk-fill expects in parallel_map, and
+    // the pool's lock/spawn failures which are fatal by design.
+    (
+        "crates/concurrent/src/hash_table.rs",
+        "occupied-slot invariants",
+    ),
+    ("crates/concurrent/src/parallel.rs", "chunk-fill invariant"),
+    (
+        "crates/concurrent/src/pool.rs",
+        "poisoning/spawn failure is fatal",
+    ),
+    ("crates/concurrent/src/sort.rs", "run-bound invariant"),
+    // Conversion layer: prefix-sum offsets (`last()` after a push) and
+    // caller-validated equal-length column extraction.
+    ("crates/convert/src/lib.rs", "prefix-sum/column invariants"),
+    // Generators: fixed catalogs and self-consistent generated columns.
+    ("crates/gen/src/catalog.rs", "fixed-catalog membership"),
+    ("crates/gen/src/lib.rs", "generated columns are consistent"),
+    (
+        "crates/gen/src/stackoverflow.rs",
+        "generated columns are consistent",
+    ),
+    // Graph mutation paths: cells ensured earlier in the same call.
+    (
+        "crates/graph/src/csr.rs",
+        "index built in the same function",
+    ),
+    (
+        "crates/graph/src/directed.rs",
+        "cells ensured in the same call",
+    ),
+    (
+        "crates/graph/src/transform.rs",
+        "cells ensured in the same call",
+    ),
+    (
+        "crates/graph/src/undirected.rs",
+        "cells ensured in the same call",
+    ),
+    (
+        "crates/graph/src/weighted.rs",
+        "cells ensured in the same call",
+    ),
+    // Weighted sampling table is non-empty by construction.
+    ("crates/rng/src/lib.rs", "cumulative table non-empty"),
+    // Table layer: summary columns built together stay consistent.
+    (
+        "crates/table/src/ops/describe.rs",
+        "summary columns consistent",
+    ),
+    (
+        "crates/table/src/strings.rs",
+        "u32 symbol-space overflow is fatal",
+    ),
+    ("crates/table/src/table.rs", "single-column consistency"),
+    // `fmt::Write` into `String` is infallible.
+    (
+        "crates/trace/src/json.rs",
+        "write! into String is infallible",
+    ),
+    (
+        "crates/trace/src/lib.rs",
+        "write! into String is infallible",
+    ),
+];
+
+/// Where `thread::spawn` / `thread::Builder` may appear: the worker
+/// pool, the checker's virtual-thread runtime, and the trace crate's
+/// background resource sampler.
+const THREAD_SPAWN_ALLOW: &[&str] = &[
+    "crates/concurrent/src/pool.rs",
+    "crates/trace/src/sampler.rs",
+    "crates/check/",
+];
+
+/// Metric names recorded from more than one call site on purpose.
+const SHARED_METRIC_ALLOW: &[(&str, &str)] = &[
+    (
+        "convert.fill.count",
+        "directed and undirected conversion record the same fill phase",
+    ),
+    (
+        "convert.fill.scatter",
+        "directed and undirected conversion record the same fill phase",
+    ),
+    (
+        "plan.morsel.select",
+        "count and fill passes of one selection kernel",
+    ),
+    (
+        "plan.morsel.join",
+        "build, probe, and materialize passes of one join kernel",
+    ),
+    (
+        "sort.radix.passes",
+        "u64/i64/by-key variants of one radix sorter",
+    ),
+    (
+        "sort.radix.digits_skipped",
+        "u64/i64/by-key variants of one radix sorter",
+    ),
+];
+
+/// Names that exist only at export time.
+const SYNTHETIC_METRICS: &[(&str, &str)] = &[(
+    "mem.bytes",
+    "Chrome-exporter counter track synthesized from the sampler series",
+)];
+
+/// The complete `RINGO_*` knob inventory. `ringo-lint --knobs` prints
+/// this table; the env-knob lint fails if library code reads a knob not
+/// listed here, if an entry is no longer read anywhere, or if README's
+/// knob table omits an entry.
+const KNOB_INVENTORY: &[(&str, &str)] = &[
+    (
+        "RINGO_BENCH_SAMPLES",
+        "benchmark harness: samples per measurement",
+    ),
+    (
+        "RINGO_BFS_ALPHA",
+        "frontier engine: top-down to bottom-up crossover factor (0 forces top-down)",
+    ),
+    (
+        "RINGO_BFS_BETA",
+        "frontier engine: bottom-up to top-down crossover factor (MAX forces bottom-up)",
+    ),
+    (
+        "RINGO_CHECK_PCT_DEPTH",
+        "concurrency checker: PCT strategy change points",
+    ),
+    (
+        "RINGO_CHECK_SCHEDULES",
+        "concurrency checker: schedules explored per strategy",
+    ),
+    (
+        "RINGO_CHECK_SEED",
+        "concurrency checker: replay one exact interleaving",
+    ),
+    (
+        "RINGO_CHECK_STRATEGY",
+        "concurrency checker: restrict exploration strategies",
+    ),
+    (
+        "RINGO_LJ_SCALE",
+        "benchmark fixtures: LiveJournal-shaped dataset scale",
+    ),
+    (
+        "RINGO_MORSEL_ROWS",
+        "parallel executor: rows per morsel (read once per process)",
+    ),
+    (
+        "RINGO_SAMPLE_MS",
+        "trace: background resource sampler period (off when unset)",
+    ),
+    ("RINGO_THREADS", "worker pool: default worker count"),
+    (
+        "RINGO_TRACE",
+        "trace: enable span/counter recording (dump at exit)",
+    ),
+    (
+        "RINGO_TRACE_CHROME",
+        "trace: Chrome trace-event export path (implies recording)",
+    ),
+    (
+        "RINGO_TRACE_JSON",
+        "trace: JSON dump path (implies RINGO_TRACE=1)",
+    ),
+    (
+        "RINGO_TW_SCALE",
+        "benchmark fixtures: Twitter-shaped dataset scale",
+    ),
+];
+
+/// `Release` writes allowed to go unpaired within their crate.
+const RELEASE_PAIR_ALLOW: &[(&str, &str)] = &[];

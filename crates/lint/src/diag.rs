@@ -1,0 +1,152 @@
+//! Findings and their renderings.
+//!
+//! Every lint reports violations as [`Finding`]s with exact
+//! `file:line:col` positions derived from token byte offsets. The
+//! driver renders them two ways: a human report grouped by lint, and a
+//! machine-readable JSON array (hand-rolled, like `crates/trace`'s
+//! dumps — the workspace is hermetic).
+
+use std::fmt::Write as _;
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Name of the lint that produced this finding.
+    pub lint: &'static str,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding; the usual constructor inside lints.
+    pub fn new(
+        lint: &'static str,
+        file: &str,
+        line: usize,
+        col: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            lint,
+            file: file.to_owned(),
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+/// Renders findings as a human report: one `file:line:col` block per
+/// finding, grouped under the lint that produced it, with a trailing
+/// total. Empty input renders a clean-bill line instead.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    if findings.is_empty() {
+        out.push_str("ringo-lint: no findings\n");
+        return out;
+    }
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (a.lint, &a.file, a.line, a.col).cmp(&(b.lint, &b.file, b.line, b.col)));
+    let mut current = "";
+    for f in &sorted {
+        if f.lint != current {
+            current = f.lint;
+            let _ = writeln!(out, "[{current}]");
+        }
+        let _ = writeln!(out, "  {}:{}:{}: {}", f.file, f.line, f.col, f.message);
+    }
+    let _ = writeln!(
+        out,
+        "ringo-lint: {} finding{} across {} lint{}",
+        sorted.len(),
+        if sorted.len() == 1 { "" } else { "s" },
+        count_lints(&sorted),
+        if count_lints(&sorted) == 1 { "" } else { "s" },
+    );
+    out
+}
+
+fn count_lints(sorted: &[&Finding]) -> usize {
+    let mut n = 0;
+    let mut last = "";
+    for f in sorted {
+        if f.lint != last {
+            n += 1;
+            last = f.lint;
+        }
+    }
+    n
+}
+
+/// Renders findings as a JSON array of objects with `lint`, `file`,
+/// `line`, `col`, and `message` fields.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            escape(f.lint),
+            escape(&f.file),
+            f.line,
+            f.col,
+            escape(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_report_groups_by_lint() {
+        let fs = vec![
+            Finding::new("b-lint", "b.rs", 2, 1, "second"),
+            Finding::new("a-lint", "a.rs", 1, 5, "first"),
+        ];
+        let r = render_human(&fs);
+        assert!(r.contains("[a-lint]\n  a.rs:1:5: first"), "{r}");
+        assert!(r.contains("[b-lint]\n  b.rs:2:1: second"), "{r}");
+        assert!(r.contains("2 findings across 2 lints"), "{r}");
+        assert!(render_human(&[]).contains("no findings"));
+    }
+
+    #[test]
+    fn json_escapes_content() {
+        let fs = vec![Finding::new("l", "f.rs", 1, 1, "say \"hi\"\\path")];
+        let j = render_json(&fs);
+        assert!(j.contains(r#""message": "say \"hi\"\\path""#), "{j}");
+    }
+}

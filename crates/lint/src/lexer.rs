@@ -1,0 +1,673 @@
+//! A std-only Rust lexer with exact byte spans.
+//!
+//! The lexer exists so the lints in this crate can reason about *tokens*
+//! instead of raw lines: a `SAFETY:` tag inside a string literal is data,
+//! an `unsafe` inside a comment is prose, and neither should trip (or
+//! satisfy) a rule. It handles the full literal surface the workspace
+//! uses — raw strings with arbitrary hash fences, nested block comments,
+//! char/byte literals, lifetimes vs char disambiguation, doc comments —
+//! and it is **total**: any `&str` input produces a token stream whose
+//! byte spans tile the input exactly (asserted by the seeded property
+//! test in `tests/lexer_prop.rs`). Unrecognized bytes become
+//! [`TokenKind::Unknown`] tokens rather than panics, so the lexer can be
+//! pointed at arbitrary files without pre-validation.
+//!
+//! Design notes:
+//! * Spans are `[start, end)` byte offsets into the original text; lines
+//!   and columns are derived lazily by [`crate::source::LineIndex`] so
+//!   the hot loop never tracks them.
+//! * Keywords are not distinguished from identifiers — lints match on
+//!   token text, which keeps the lexer stable across editions.
+//! * Numeric literals follow rustc's shape rules (`1.max(2)` is an int
+//!   followed by a method call, `1.5e-3f64` is one float token) but do
+//!   not validate digits against the base; a malformed number is still
+//!   one token with a correct span.
+
+/// What a single token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace characters.
+    Whitespace,
+    /// `// ...` to end of line; `doc` covers both `///` and `//!`.
+    LineComment {
+        /// True for `///` and `//!` doc comments.
+        doc: bool,
+    },
+    /// `/* ... */`, nesting-aware.
+    BlockComment {
+        /// True for `/**` and `/*!` doc comments.
+        doc: bool,
+        /// False when the comment runs to end of input unclosed.
+        terminated: bool,
+    },
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// `'a`, `'static`, `'_` — a lifetime or loop label.
+    Lifetime,
+    /// `'x'` with escapes.
+    Char {
+        /// False when the literal runs to end of line/input unclosed.
+        terminated: bool,
+    },
+    /// `b'x'`.
+    Byte {
+        /// See [`TokenKind::Char::terminated`].
+        terminated: bool,
+    },
+    /// `"..."` with escapes.
+    Str {
+        /// See [`TokenKind::Char::terminated`].
+        terminated: bool,
+    },
+    /// `b"..."`.
+    ByteStr {
+        /// See [`TokenKind::Char::terminated`].
+        terminated: bool,
+    },
+    /// `r"..."` / `r#"..."#` with any number of hashes.
+    RawStr {
+        /// See [`TokenKind::Char::terminated`].
+        terminated: bool,
+    },
+    /// `br"..."` / `br#"..."#`.
+    RawByteStr {
+        /// See [`TokenKind::Char::terminated`].
+        terminated: bool,
+    },
+    /// Integer or float literal, including base prefixes, underscores,
+    /// exponents, and type suffixes.
+    Num,
+    /// A punctuation token. Single characters, except `::` which is
+    /// glued into one token — it is the only compound operator the
+    /// sequence-matching lints care about (`Span :: enter`,
+    /// `Ordering :: Relaxed`, `thread :: spawn`).
+    Punct,
+    /// Any character the lexer has no rule for (stray `\`, emoji, …).
+    Unknown,
+}
+
+impl TokenKind {
+    /// True for whitespace and comments — tokens lints usually skip.
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// True for any comment token (line, block, doc).
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// True for any string-shaped literal whose content
+    /// [`str_content`] can extract.
+    pub fn is_string(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Str { .. }
+                | TokenKind::ByteStr { .. }
+                | TokenKind::RawStr { .. }
+                | TokenKind::RawByteStr { .. }
+        )
+    }
+}
+
+/// One lexed token: a kind plus its `[start, end)` byte span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within the file it was lexed from.
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Strips quotes, prefixes, and raw-string hash fences from a
+/// string-shaped literal's text, returning the inner content.
+///
+/// Escapes are left as written (`\n` stays two characters): the lints
+/// that scan literal content look for plain identifiers and dotted
+/// names, which never contain escapes. Returns `None` for non-string
+/// tokens or unterminated literals.
+pub fn str_content(kind: TokenKind, text: &str) -> Option<&str> {
+    let (prefix_len, terminated) = match kind {
+        TokenKind::Str { terminated } => (0, terminated),
+        TokenKind::ByteStr { terminated } => (1, terminated),
+        TokenKind::RawStr { terminated } => (1, terminated),
+        TokenKind::RawByteStr { terminated } => (2, terminated),
+        _ => return None,
+    };
+    if !terminated {
+        return None;
+    }
+    let rest = &text[prefix_len..];
+    let hashes = rest.len() - rest.trim_start_matches('#').len();
+    let body = &rest[hashes..];
+    // body is now `"...<content>..."` followed by `hashes` closing hashes.
+    let inner = body.strip_prefix('"')?;
+    let inner = &inner[..inner.len().checked_sub(1 + hashes)?];
+    Some(inner)
+}
+
+/// Lexes `source` into a token stream whose spans tile `[0, len)`.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut lexer = Lexer {
+        src: source,
+        pos: 0,
+    };
+    while let Some(c) = lexer.peek() {
+        let start = lexer.pos;
+        let kind = lexer.next_kind(c);
+        debug_assert!(lexer.pos > start, "lexer must always advance");
+        tokens.push(Token {
+            kind,
+            start,
+            end: lexer.pos,
+        });
+    }
+    tokens
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n_chars: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n_chars)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+
+    /// Lexes one token starting at `self.pos`; `c` is the character
+    /// already peeked there by the caller.
+    fn next_kind(&mut self, c: char) -> TokenKind {
+        if c.is_whitespace() {
+            self.eat_while(char::is_whitespace);
+            return TokenKind::Whitespace;
+        }
+
+        if c == '/' {
+            match self.peek_at(1) {
+                Some('/') => return self.line_comment(),
+                Some('*') => return self.block_comment(),
+                _ => {
+                    self.bump();
+                    return TokenKind::Punct;
+                }
+            }
+        }
+
+        if c == '\'' {
+            return self.lifetime_or_char();
+        }
+        if c == '"' {
+            return self.string(TokenKind::Str { terminated: true });
+        }
+
+        if is_ident_start(c) {
+            return self.ident_or_prefixed_literal();
+        }
+
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+
+        // `::` is the one compound operator the sequence-matching lints
+        // pattern on, so it gets glued; every other punctuation-like
+        // character is emitted one at a time (`->` is two tokens, which
+        // no lint cares about).
+        if c == ':' && self.peek_at(1) == Some(':') {
+            self.bump();
+            self.bump();
+            return TokenKind::Punct;
+        }
+        const PUNCT: &str = "!#$%&()*+,-./:;<=>?@[]^`{|}~\\";
+        if PUNCT.contains(c) {
+            self.bump();
+            return TokenKind::Punct;
+        }
+
+        self.bump();
+        TokenKind::Unknown
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // self.pos is at the first `/`.
+        let rest = &self.src[self.pos..];
+        let doc = (rest.starts_with("///") && !rest.starts_with("////")) || rest.starts_with("//!");
+        self.eat_while(|c| c != '\n');
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        let rest = &self.src[self.pos..];
+        let doc =
+            (rest.starts_with("/**") && !rest.starts_with("/***") && !rest.starts_with("/**/"))
+                || rest.starts_with("/*!");
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                None => {
+                    return TokenKind::BlockComment {
+                        doc,
+                        terminated: false,
+                    }
+                }
+                Some('/') if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+            }
+        }
+        TokenKind::BlockComment {
+            doc,
+            terminated: true,
+        }
+    }
+
+    /// At a `'`: decide between a lifetime/label and a char literal the
+    /// way rustc does — `'` + ident-start is a lifetime unless the ident
+    /// is exactly one character long and followed by a closing `'`.
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        let after = self.peek_at(1);
+        if let Some(a) = after {
+            if is_ident_start(a) {
+                // Scan the identifier run after the quote.
+                let mut chars = self.src[self.pos + 1..].char_indices();
+                let mut ident_end = 0;
+                for (i, ch) in &mut chars {
+                    if is_ident_continue(ch) {
+                        ident_end = i + ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let follows = self.src[self.pos + 1 + ident_end..].chars().next();
+                if follows != Some('\'') {
+                    self.pos += 1 + ident_end;
+                    return TokenKind::Lifetime;
+                }
+            }
+        }
+        self.char_like(TokenKind::Char { terminated: true })
+    }
+
+    /// Consumes a `'...'`-shaped literal (char or byte). `terminated_kind`
+    /// carries the kind to return on success; the unterminated variant is
+    /// produced when a newline or end of input arrives first.
+    fn char_like(&mut self, terminated_kind: TokenKind) -> TokenKind {
+        let unterminated = match terminated_kind {
+            TokenKind::Char { .. } => TokenKind::Char { terminated: false },
+            _ => TokenKind::Byte { terminated: false },
+        };
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                None | Some('\n') => return unterminated,
+                Some('\\') => {
+                    self.bump();
+                    self.bump(); // the escaped character, whatever it is
+                }
+                Some('\'') => {
+                    self.bump();
+                    return terminated_kind;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes a `"..."`-shaped literal with escapes. Unlike chars,
+    /// strings may span lines; only end of input leaves it unterminated.
+    fn string(&mut self, terminated_kind: TokenKind) -> TokenKind {
+        let unterminated = match terminated_kind {
+            TokenKind::Str { .. } => TokenKind::Str { terminated: false },
+            _ => TokenKind::ByteStr { terminated: false },
+        };
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                None => return unterminated,
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some('"') => {
+                    self.bump();
+                    return terminated_kind;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` bodies after the caller has positioned
+    /// `pos` at the first `#` or `"`. The literal ends at a `"` followed
+    /// by `hashes` hash characters.
+    fn raw_string(&mut self, byte: bool) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        let make = |terminated| {
+            if byte {
+                TokenKind::RawByteStr { terminated }
+            } else {
+                TokenKind::RawStr { terminated }
+            }
+        };
+        if self.peek() != Some('"') {
+            // `r#foo` raw identifier (or a stray `r#`): the caller
+            // classified too eagerly; treat what we consumed plus the
+            // identifier run as one Ident token.
+            self.eat_while(is_ident_continue);
+            return TokenKind::Ident;
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => return make(false),
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return make(true);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// An identifier, or one of the literal prefixes `r` / `b` / `br`
+    /// immediately followed by a quote or hash fence.
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let rest = &self.src[self.pos..];
+        if rest.starts_with("r\"") || rest.starts_with("r#") {
+            self.bump(); // `r`
+            return self.raw_string(false);
+        }
+        if rest.starts_with("br\"") || rest.starts_with("br#") {
+            self.bump(); // `b`
+            self.bump(); // `r`
+            return self.raw_string(true);
+        }
+        if rest.starts_with("b\"") {
+            self.bump(); // `b`
+            return self.string(TokenKind::ByteStr { terminated: true });
+        }
+        if rest.starts_with("b'") {
+            self.bump(); // `b`
+            return self.char_like(TokenKind::Byte { terminated: true });
+        }
+        self.eat_while(is_ident_continue);
+        TokenKind::Ident
+    }
+
+    /// Numeric literal: optional base prefix, digit/underscore run,
+    /// optional fraction and exponent (decimal only), optional ident
+    /// suffix (`u64`, `f32`, arbitrary).
+    fn number(&mut self) -> TokenKind {
+        let radix_prefixed = {
+            let rest = &self.src[self.pos..];
+            rest.starts_with("0x")
+                || rest.starts_with("0X")
+                || rest.starts_with("0o")
+                || rest.starts_with("0O")
+                || rest.starts_with("0b")
+                || rest.starts_with("0B")
+        };
+        if radix_prefixed {
+            self.pos += 2;
+            // Hex digits include `a-f`; `eat_while` over alphanumerics
+            // also swallows any type suffix, which is fine span-wise.
+            self.eat_while(is_ident_continue);
+            return TokenKind::Num;
+        }
+        self.eat_while(|c| c.is_ascii_digit() || c == '_');
+        // Fraction: a `.` NOT followed by another `.` (range) or an
+        // identifier start (method call / field access).
+        if self.peek() == Some('.') {
+            let after = self.peek_at(1);
+            let is_fraction = match after {
+                None => true,
+                Some(a) => a.is_ascii_digit() || !(a == '.' || is_ident_start(a)),
+            };
+            if is_fraction {
+                self.bump();
+                self.eat_while(|c| c.is_ascii_digit() || c == '_');
+            } else {
+                return TokenKind::Num;
+            }
+        }
+        // Exponent: `e`/`E` with optional sign, only if digits follow.
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let (sign_len, digit_at) = match self.peek_at(1) {
+                Some('+') | Some('-') => (1, 2),
+                _ => (0, 1),
+            };
+            if self.peek_at(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump(); // e
+                for _ in 0..sign_len {
+                    self.bump();
+                }
+                self.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`, …) — any ident run glued on.
+        if self.peek().is_some_and(is_ident_start) {
+            self.eat_while(is_ident_continue);
+        }
+        TokenKind::Num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn tiles(src: &str) {
+        let toks = lex(src);
+        let mut at = 0;
+        for t in &toks {
+            assert_eq!(t.start, at, "gap before {t:?} in {src:?}");
+            assert!(t.end > t.start);
+            at = t.end;
+        }
+        assert_eq!(at, src.len(), "tokens do not cover {src:?}");
+    }
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        let ks = kinds("pub unsafe fn f(x: &mut u8) -> u8 { x }");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unsafe"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Punct && *t == "{"));
+        tiles("pub unsafe fn f(x: &mut u8) -> u8 { x }");
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let ks = kinds("Ordering::Relaxed; a: b; x ::< y");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| *t).collect();
+        assert_eq!(
+            texts,
+            ["Ordering", "::", "Relaxed", ";", "a", ":", "b", ";", "x", "::", "<", "y"]
+        );
+        tiles("Ordering::Relaxed; a: b; x ::< y");
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let src = r#"let s = "unsafe // SAFETY: not a comment";"#;
+        let ks = kinds(src);
+        let strs: Vec<_> = ks.iter().filter(|(k, _)| k.is_string()).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(
+            str_content(strs[0].0, strs[0].1),
+            Some("unsafe // SAFETY: not a comment")
+        );
+        assert_eq!(
+            ks.iter().filter(|(_, t)| *t == "unsafe").count(),
+            0,
+            "no bare unsafe token outside the string"
+        );
+        tiles(src);
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        let src = r###"let s = r#"quote " inside"#; let t = r"plain";"###;
+        let ks = kinds(src);
+        let raws: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::RawStr { terminated: true }))
+            .collect();
+        assert_eq!(raws.len(), 2);
+        assert_eq!(str_content(raws[0].0, raws[0].1), Some("quote \" inside"));
+        assert_eq!(str_content(raws[1].0, raws[1].1), Some("plain"));
+        tiles(src);
+    }
+
+    #[test]
+    fn byte_literals_and_raw_idents() {
+        let src = r##"let m = b"RINGOGR1"; let b = b'x'; let k = r#match; let rb = br#"x"#;"##;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::ByteStr { terminated: true })));
+        assert!(ks
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::Byte { terminated: true })));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "r#match"));
+        assert!(ks
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::RawByteStr { terminated: true })));
+        tiles(src);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let lbl = 'outer: loop { break 'outer; }; let u = '_; }";
+        let ks = kinds(src);
+        let lifetimes: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'outer", "'outer", "'_"]);
+        let chars = ks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Char { terminated: true }))
+            .count();
+        assert_eq!(chars, 2);
+        tiles(src);
+    }
+
+    #[test]
+    fn nested_block_comments_and_docs() {
+        let src = "/* outer /* inner */ still */ code /// doc\n//! inner doc\n// plain";
+        let ks = kinds(src);
+        assert_eq!(ks[0].1, "/* outer /* inner */ still */");
+        assert!(matches!(
+            ks[0].0,
+            TokenKind::BlockComment {
+                doc: false,
+                terminated: true
+            }
+        ));
+        assert!(matches!(ks[2].0, TokenKind::LineComment { doc: true }));
+        assert!(matches!(ks[3].0, TokenKind::LineComment { doc: true }));
+        assert!(matches!(ks[4].0, TokenKind::LineComment { doc: false }));
+        tiles(src);
+    }
+
+    #[test]
+    fn numbers_floats_and_method_calls() {
+        for (src, want) in [
+            ("1.max(2)", "1"),
+            ("1.5e-3f64", "1.5e-3f64"),
+            ("0xFF_u32", "0xFF_u32"),
+            ("1..4", "1"),
+            ("2.", "2."),
+            ("1_000_000", "1_000_000"),
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks[0].kind, TokenKind::Num, "{src}");
+            assert_eq!(toks[0].text(src), want, "{src}");
+            tiles(src);
+        }
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"open", "r#\"open", "b\"open", "'", "'\\", "/* open", "b'"] {
+            tiles(src);
+        }
+    }
+}

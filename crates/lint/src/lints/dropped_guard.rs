@@ -1,0 +1,137 @@
+//! `dropped-guard`: a `span!` / `Span::enter` RAII guard must be bound
+//! to a live name.
+//!
+//! `let _ = span!("x");` and a bare `span!("x");` statement both destroy
+//! the guard at the end of the statement, recording a zero-length span —
+//! the operation being "measured" runs entirely after the guard died.
+//! `let _sp = span!("x");` is the correct form (an underscore-*prefixed*
+//! binding still lives to the end of scope; the bare `_` pattern never
+//! binds at all).
+//!
+//! The lint walks every brace group's statement list: a statement that
+//! is exactly a span-constructor call, or a `let _ =` whose right-hand
+//! side is exactly a span-constructor call, is flagged.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lints::{finding_at, Lint};
+use crate::source::{SourceFile, Workspace};
+use crate::tree::{self, TokenTree};
+
+/// See module docs.
+pub struct DroppedGuard;
+
+/// A statement's significant nodes: trivia leaves removed.
+fn sig_nodes<'t>(stmt: &[&'t TokenTree], file: &SourceFile) -> Vec<&'t TokenTree> {
+    stmt.iter()
+        .filter(|n| match n {
+            TokenTree::Leaf(i) => !file.tokens[*i].kind.is_trivia(),
+            TokenTree::Group { .. } => true,
+        })
+        .copied()
+        .collect()
+}
+
+/// True when `nodes` form exactly a span-constructor call: an optional
+/// path prefix (`crate ::`, `ringo_trace ::`, …) followed by
+/// `span ! ( … )` or `Span :: enter ( … )`.
+fn is_span_call(nodes: &[&TokenTree], file: &SourceFile) -> bool {
+    let Some((TokenTree::Group { delim: '(', .. }, head)) = nodes.split_last() else {
+        return false;
+    };
+    let texts: Vec<&str> = head
+        .iter()
+        .map(|n| match n {
+            TokenTree::Leaf(i) => file.tok_text(*i),
+            TokenTree::Group { .. } => "<group>",
+        })
+        .collect();
+    // Everything before the call group must be path-shaped.
+    if texts
+        .iter()
+        .any(|t| !(*t == "::" || *t == "!" || t.chars().all(|c| c.is_alphanumeric() || c == '_')))
+    {
+        return false;
+    }
+    texts.ends_with(&["span", "!"]) || texts.ends_with(&["Span", "::", "enter"])
+}
+
+/// Splits a brace group's children into `;`-terminated statements and
+/// flags dropped guards.
+fn scan_block(children: &[TokenTree], file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut stmt: Vec<&TokenTree> = Vec::new();
+    for node in children {
+        let is_semi = matches!(node, TokenTree::Leaf(i) if file.tok_text(*i) == ";");
+        if is_semi {
+            check_statement(&stmt, file, out);
+            stmt.clear();
+        } else {
+            stmt.push(node);
+        }
+    }
+    // A trailing expression without `;` returns its value — not a drop.
+}
+
+fn check_statement(stmt: &[&TokenTree], file: &SourceFile, out: &mut Vec<Finding>) {
+    let nodes = sig_nodes(stmt, file);
+    if nodes.is_empty() {
+        return;
+    }
+    let first_tok = match nodes[0] {
+        TokenTree::Leaf(i) => *i,
+        TokenTree::Group { open, .. } => *open,
+    };
+    if file.in_test_code(first_tok) {
+        return;
+    }
+    // Bare `span!(…);` / `Span::enter(…);` statement.
+    if is_span_call(&nodes, file) {
+        out.push(finding_at(
+            "dropped-guard",
+            file,
+            first_tok,
+            "span guard dropped immediately: a bare `span!(…);` statement records a \
+             zero-length span — bind it (`let _sp = span!(…);`) for the scope it measures",
+        ));
+        return;
+    }
+    // `let _ = <span call>;`
+    let texts: Vec<&str> = nodes
+        .iter()
+        .take(3)
+        .map(|n| match n {
+            TokenTree::Leaf(i) => file.tok_text(*i),
+            TokenTree::Group { .. } => "<group>",
+        })
+        .collect();
+    if texts == ["let", "_", "="] && is_span_call(&nodes[3..], file) {
+        out.push(finding_at(
+            "dropped-guard",
+            file,
+            first_tok,
+            "span guard dropped immediately: `let _ = span!(…)` destroys the RAII guard \
+             on the spot — use a named binding (`let _sp = …`) so it lives to end of scope",
+        ));
+    }
+}
+
+impl Lint for DroppedGuard {
+    fn name(&self) -> &'static str {
+        "dropped-guard"
+    }
+
+    fn check(&self, ws: &Workspace, _cfg: &Config, out: &mut Vec<Finding>) {
+        for file in &ws.lib_files {
+            tree::walk(&file.trees, &mut |t| {
+                if let TokenTree::Group {
+                    delim: '{',
+                    children,
+                    ..
+                } = t
+                {
+                    scan_block(children, file, out);
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! `hot-alloc`: no per-element allocation idioms inside functions
+//! annotated `// LINT: hot`.
+//!
+//! The annotated kernels (frontier traversal steps, radix digit passes,
+//! morsel select) have their total allocation counts pinned by
+//! `tests/bfs_alloc.rs` / `tests/select_alloc.rs`; this lint catches
+//! the *source* pattern before the test catches the count. Flagged
+//! inside a hot body: `Vec::new`, `Box::new`, `format!`, and
+//! `.to_string(`. Pre-sized bulk buffers (`vec![0; n]`,
+//! `Vec::with_capacity`) stay legal — the tripwire targets the idioms
+//! that allocate per element or per call, not the one-time setup a
+//! kernel legitimately does.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::lints::{finding_at, Lint};
+use crate::source::{SourceFile, Workspace};
+
+/// See module docs.
+pub struct HotAlloc;
+
+/// True for a plain `// LINT: hot` annotation comment. Doc comments
+/// that merely *mention* the annotation (this module's own docs, the
+/// crate-level lint table) are prose, not annotations.
+fn is_hot_annotation(kind: TokenKind, text: &str) -> bool {
+    matches!(kind, TokenKind::LineComment { doc: false })
+        && text
+            .strip_prefix("//")
+            .is_some_and(|rest| rest.trim().starts_with("LINT: hot"))
+}
+
+/// Sig-position of the body `{` for the `fn` at sig-position `fn_p`,
+/// plus its matching close — found by brace-depth counting over the
+/// significant token stream.
+fn body_range(file: &SourceFile, fn_p: usize) -> Option<(usize, usize)> {
+    let open = (fn_p..file.sig.len()).find(|&p| file.tok_text(file.sig[p]) == "{")?;
+    let mut depth = 0usize;
+    for p in open..file.sig.len() {
+        match file.tok_text(file.sig[p]) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, p));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open, file.sig.len() - 1))
+}
+
+const PATTERNS: &[&[&str]] = &[
+    &["Vec", "::", "new"],
+    &["Box", "::", "new"],
+    &["format", "!"],
+    &[".", "to_string"],
+];
+
+impl Lint for HotAlloc {
+    fn name(&self) -> &'static str {
+        "hot-alloc"
+    }
+
+    fn check(&self, ws: &Workspace, _cfg: &Config, out: &mut Vec<Finding>) {
+        for file in &ws.lib_files {
+            for (ci, tok) in file.tokens.iter().enumerate() {
+                if !is_hot_annotation(tok.kind, tok.text(&file.text)) {
+                    continue;
+                }
+                if file.in_test_code(ci) {
+                    continue;
+                }
+                // The annotated function: first `fn` at or after the
+                // comment, at most a few tokens away (visibility,
+                // attributes).
+                let first_sig = file
+                    .sig
+                    .partition_point(|&i| file.tokens[i].start < tok.end);
+                let fn_p = (first_sig..(first_sig + 16).min(file.sig.len()))
+                    .find(|&p| file.tok_text(file.sig[p]) == "fn");
+                let Some(fn_p) = fn_p else {
+                    out.push(finding_at(
+                        self.name(),
+                        file,
+                        ci,
+                        "`// LINT: hot` annotation with no function following it",
+                    ));
+                    continue;
+                };
+                let fn_name = file
+                    .sig_tok(fn_p + 1)
+                    .map(|ti| file.tok_text(ti).to_owned())
+                    .unwrap_or_default();
+                let Some((open, close)) = body_range(file, fn_p) else {
+                    continue;
+                };
+                for p in open..close {
+                    for pat in PATTERNS {
+                        if file.sig_matches(p, pat) {
+                            let ti = file.sig[p];
+                            let idiom: String = pat.join("");
+                            out.push(finding_at(
+                                self.name(),
+                                file,
+                                ti,
+                                format!(
+                                    "`{idiom}` inside `// LINT: hot` function `{fn_name}` \
+                                     — hot kernels must not allocate per element; hoist \
+                                     the buffer or pre-size it"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! `ordering-pairing`: a `Release` write to an atomic field with no
+//! `Acquire`-side load of the same field anywhere in the crate is
+//! flagged for review.
+//!
+//! A release store publishes; somebody has to acquire, or the edge the
+//! store claims to create is never consumed and the store is either dead
+//! synchronization or (worse) the acquire side was written with
+//! `Relaxed` by mistake. The lint groups atomic method calls by
+//! `(crate, receiver field)`:
+//!
+//! * **release-side**: `store` / `swap` / `fetch_*` /
+//!   `compare_exchange*` whose ordering arguments include `Release` and
+//!   no acquire-class ordering;
+//! * **acquire-side**: any non-`store` atomic method whose ordering
+//!   arguments include `Acquire`, `AcqRel`, or `SeqCst` (an `AcqRel`
+//!   RMW pairs with itself).
+//!
+//! Fields with release-side writes and no acquire-side reads in the
+//! crate are reported, unless the allowlist records why the partner
+//! lives elsewhere (`("crate::field", reason)`). Entries that no longer
+//! suppress anything are stale findings, keeping the list shrink-only.
+//! Fences are out of scope (none of the workspace's `fence` calls
+//! publish a field by themselves).
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lints::{crate_of, finding_at, Lint};
+use crate::source::{SourceFile, Workspace};
+use crate::tree::TokenTree;
+
+/// See module docs.
+pub struct OrderingPairing;
+
+const ATOMIC_METHODS: &[&str] = &[
+    "store",
+    "load",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+];
+
+/// Ordering idents named inside a call's argument group (after an
+/// `Ordering ::` path, so unrelated idents never count).
+fn orderings_in(children: &[TokenTree], file: &SourceFile, out: &mut Vec<String>) {
+    let mut flat: Vec<usize> = Vec::new();
+    crate::tree::flatten_into(children, &mut flat);
+    let sig: Vec<usize> = flat
+        .into_iter()
+        .filter(|&i| !file.tokens[i].kind.is_trivia())
+        .collect();
+    for w in sig.windows(3) {
+        if file.tok_text(w[0]) == "Ordering" && file.tok_text(w[1]) == "::" {
+            out.push(file.tok_text(w[2]).to_owned());
+        }
+    }
+}
+
+#[derive(Default)]
+struct FieldInfo {
+    release_sites: Vec<(usize, usize)>, // (file index, token index)
+    has_acquire: bool,
+}
+
+fn scan_children(
+    children: &[TokenTree],
+    file: &SourceFile,
+    fi: usize,
+    fields: &mut BTreeMap<(String, String), FieldInfo>,
+    krate: &str,
+) {
+    let sig: Vec<usize> = children
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| match n {
+            TokenTree::Leaf(i) => !file.tokens[*i].kind.is_trivia(),
+            TokenTree::Group { .. } => true,
+        })
+        .map(|(idx, _)| idx)
+        .collect();
+    for (k, &idx) in sig.iter().enumerate() {
+        if let TokenTree::Group {
+            children: inner, ..
+        } = &children[idx]
+        {
+            scan_children(inner, file, fi, fields, krate);
+        }
+        let TokenTree::Group {
+            delim: '(',
+            children: inner,
+            ..
+        } = &children[idx]
+        else {
+            continue;
+        };
+        // Pattern: <receiver> [index]? . method ( … )
+        if k < 2 {
+            continue;
+        }
+        let method = match &children[sig[k - 1]] {
+            TokenTree::Leaf(i) if !file.in_test_code(*i) => file.tok_text(*i),
+            _ => continue,
+        };
+        if !ATOMIC_METHODS.contains(&method) {
+            continue;
+        }
+        if !matches!(&children[sig[k - 2]], TokenTree::Leaf(i) if file.tok_text(*i) == ".") {
+            continue;
+        }
+        // Receiver: optionally skip one index group, then take an ident.
+        let mut r = k as isize - 3;
+        if r >= 0 {
+            if let TokenTree::Group { delim: '[', .. } = &children[sig[r as usize]] {
+                r -= 1;
+            }
+        }
+        let field = match r {
+            r if r >= 0 => match &children[sig[r as usize]] {
+                TokenTree::Leaf(i) => {
+                    let t = file.tok_text(*i);
+                    if t.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                        t.to_owned()
+                    } else {
+                        continue;
+                    }
+                }
+                _ => continue,
+            },
+            _ => continue,
+        };
+        let mut ords = Vec::new();
+        orderings_in(inner, file, &mut ords);
+        if ords.is_empty() {
+            continue; // not an atomic call after all (or ordering via variable)
+        }
+        let acq = ords
+            .iter()
+            .any(|o| o == "Acquire" || o == "AcqRel" || o == "SeqCst");
+        let rel = ords.iter().any(|o| o == "Release");
+        let info = fields.entry((krate.to_owned(), field)).or_default();
+        if method != "store" && acq {
+            info.has_acquire = true;
+        }
+        if rel && !acq {
+            let ti = match &children[sig[k - 1]] {
+                TokenTree::Leaf(i) => *i,
+                _ => continue,
+            };
+            info.release_sites.push((fi, ti));
+        }
+    }
+}
+
+impl Lint for OrderingPairing {
+    fn name(&self) -> &'static str {
+        "ordering-pairing"
+    }
+
+    fn check(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+        let mut fields: BTreeMap<(String, String), FieldInfo> = BTreeMap::new();
+        for (fi, file) in ws.lib_files.iter().enumerate() {
+            let krate = crate_of(&file.rel).to_owned();
+            scan_children(&file.trees, file, fi, &mut fields, &krate);
+        }
+        let mut suppressed: Vec<&str> = Vec::new();
+        for ((krate, field), info) in &fields {
+            if info.has_acquire || info.release_sites.is_empty() {
+                continue;
+            }
+            let key = format!("{krate}::{field}");
+            if let Some((k, _)) = cfg.release_pair_allow.iter().find(|(k, _)| *k == key) {
+                suppressed.push(k);
+                continue;
+            }
+            for &(fi, ti) in &info.release_sites {
+                out.push(finding_at(
+                    self.name(),
+                    &ws.lib_files[fi],
+                    ti,
+                    format!(
+                        "`Release` write to `{field}` has no `Acquire`-side load of the \
+                         field anywhere in crate `{krate}` — the published edge is never \
+                         consumed (pair it, or record why in the release-pair allowlist)"
+                    ),
+                ));
+            }
+        }
+        for (key, reason) in &cfg.release_pair_allow {
+            if !suppressed.contains(&key.as_str()) {
+                out.push(Finding::new(
+                    self.name(),
+                    "crates/lint/src/config.rs",
+                    1,
+                    1,
+                    format!(
+                        "stale release-pair allowlist entry `{key}` ({reason}): no \
+                         unpaired Release write remains — remove the entry"
+                    ),
+                ));
+            }
+        }
+    }
+}

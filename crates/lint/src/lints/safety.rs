@@ -1,0 +1,45 @@
+//! `unsafe-safety-comment`: every `unsafe` keyword must carry a
+//! `// SAFETY:` comment (or a `# Safety` doc heading, for `unsafe fn`
+//! declarations) on the same line or within the lookback window above.
+//!
+//! Token-aware re-implementation of PR 4's rule 1: an `unsafe` inside a
+//! string literal or a comment is no longer flagged, and a `SAFETY:`
+//! that only appears inside a string no longer satisfies the rule —
+//! only real comment tokens count.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lints::{finding_at, Lint};
+use crate::source::Workspace;
+
+/// See module docs.
+pub struct UnsafeSafetyComment;
+
+impl Lint for UnsafeSafetyComment {
+    fn name(&self) -> &'static str {
+        "unsafe-safety-comment"
+    }
+
+    fn check(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+        for file in &ws.lib_files {
+            for &ti in &file.sig {
+                if file.tok_text(ti) != "unsafe" || file.in_test_code(ti) {
+                    continue;
+                }
+                let (line, _) = file.tok_line_col(ti);
+                if !file.annotated(line, cfg.lookback, &["SAFETY:", "# Safety"]) {
+                    out.push(finding_at(
+                        self.name(),
+                        file,
+                        ti,
+                        format!(
+                            "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
+                             section) on the same line or the {} lines above",
+                            cfg.lookback
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `unwrap-audit`: no `.unwrap()` / `.expect(` in library code outside
+//! the audited per-file allowlist.
+//!
+//! Token-aware re-implementation of PR 4's rule 4, with the same
+//! shrink-only freshness contract: an allowlist entry that points at a
+//! missing file, or a file with no live use left, is itself a finding
+//! (`stale allowlist entry`), so the list can only shrink.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lints::{finding_at, Lint};
+use crate::source::{SourceFile, Workspace};
+
+/// See module docs.
+pub struct UnwrapAudit;
+
+/// Sig-positions of `.unwrap()` / `.expect(` uses outside test code.
+fn live_uses(file: &SourceFile) -> Vec<usize> {
+    let mut out = Vec::new();
+    for p in 0..file.sig.len() {
+        let hit = file.sig_matches(p, &[".", "unwrap", "(", ")"])
+            || file.sig_matches(p, &[".", "expect", "("]);
+        if !hit {
+            continue;
+        }
+        if let Some(ti) = file.sig_tok(p + 1) {
+            if !file.in_test_code(ti) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+impl Lint for UnwrapAudit {
+    fn name(&self) -> &'static str {
+        "unwrap-audit"
+    }
+
+    fn check(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+        let mut seen: Vec<&str> = Vec::new();
+        for file in &ws.lib_files {
+            let uses = live_uses(file);
+            let allowed = cfg.unwrap_allow.iter().any(|(p, _)| p == &file.rel);
+            if allowed {
+                if !uses.is_empty() {
+                    seen.push(&file.rel);
+                }
+                continue;
+            }
+            for p in uses {
+                if let Some(ti) = file.sig_tok(p + 1) {
+                    out.push(finding_at(
+                        self.name(),
+                        file,
+                        ti,
+                        "`.unwrap()`/`.expect(` outside the audited allowlist (handle \
+                         the error, or audit the file and add an allowlist entry with \
+                         the reason)",
+                    ));
+                }
+            }
+        }
+        // Freshness: every allowlist entry must still point at a scanned
+        // file with at least one live use.
+        for (path, reason) in &cfg.unwrap_allow {
+            let exists = ws.lib_files.iter().any(|f| &f.rel == path);
+            if !exists {
+                out.push(Finding::new(
+                    self.name(),
+                    path,
+                    1,
+                    1,
+                    format!("stale allowlist entry: file not under the lint ({reason})"),
+                ));
+            } else if !seen.contains(&path.as_str()) {
+                out.push(Finding::new(
+                    self.name(),
+                    path,
+                    1,
+                    1,
+                    "stale allowlist entry: no unwrap/expect left; remove it",
+                ));
+            }
+        }
+    }
+}

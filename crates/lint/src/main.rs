@@ -1,0 +1,120 @@
+//! `ringo-lint` command-line driver.
+//!
+//! ```text
+//! ringo-lint --workspace           # lint the enclosing workspace
+//! ringo-lint --root <path>         # lint an explicit root
+//! ringo-lint --workspace --json    # machine-readable findings
+//! ringo-lint --knobs               # print the RINGO_* knob inventory
+//! ```
+//!
+//! Exits non-zero when any finding is reported, so CI can gate on it.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ringo_lint::{render_human, render_json, run_all, Config, Workspace};
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut knobs = false;
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--knobs" => knobs = true,
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ringo-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ringo-lint [--workspace | --root <path>] [--json] [--knobs]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ringo-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = Config::project();
+
+    if knobs {
+        println!(
+            "RINGO_* knob inventory ({} knobs):",
+            cfg.knob_inventory.len()
+        );
+        for (name, desc) in &cfg.knob_inventory {
+            println!("  {name:<24} {desc}");
+        }
+        if !workspace && root.is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            if !workspace {
+                eprintln!("ringo-lint: pass --workspace or --root <path> (see --help)");
+                return ExitCode::from(2);
+            }
+            let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "ringo-lint: no enclosing workspace (no Cargo.toml with \
+                         [workspace] above the current directory)"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("ringo-lint: failed to load {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = run_all(&ws, &cfg);
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

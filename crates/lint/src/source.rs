@@ -1,0 +1,300 @@
+//! Parsed source files and the workspace view the lints run over.
+//!
+//! A [`SourceFile`] bundles everything a lint needs about one file:
+//! the text, the token stream, the token-tree forest, a line index for
+//! `file:line:col` diagnostics, the significant (non-trivia) token
+//! subsequence, and the byte offset where `#[cfg(test)]` code begins
+//! (everything at or past that offset is exempt, mirroring the PR 4
+//! gate's convention that test modules come last).
+//!
+//! A [`Workspace`] is the lint driver's input: every library source file
+//! under `crates/*/src` and `src/`, plus the auxiliary files some lints
+//! cross-check against (README, the CI workflow, the example sources).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Token};
+use crate::tree::{self, TokenTree};
+
+/// Maps byte offsets to 1-based line and column numbers.
+#[derive(Clone, Debug)]
+pub struct LineIndex {
+    /// Byte offset of the start of each line.
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the index for `text`.
+    pub fn new(text: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        Self { starts }
+    }
+
+    /// 1-based `(line, column)` of a byte offset. Columns count bytes
+    /// from the line start, which matches how editors address ASCII
+    /// source; multi-byte characters earlier in the line shift columns
+    /// but never lines.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.starts[line] + 1)
+    }
+}
+
+/// One lexed + structured source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// The raw text.
+    pub text: String,
+    /// Every token, spans tiling the text.
+    pub tokens: Vec<Token>,
+    /// Indices (into `tokens`) of non-trivia tokens, in order.
+    pub sig: Vec<usize>,
+    /// Token-tree forest over all tokens.
+    pub trees: Vec<TokenTree>,
+    /// Line index for diagnostics.
+    pub lines: LineIndex,
+    /// Byte offset where the first `#[cfg(test)]` attribute starts;
+    /// tokens at or past this offset are exempt from lints.
+    pub test_cutoff: Option<usize>,
+}
+
+impl SourceFile {
+    /// Lexes and structures `text`.
+    pub fn parse(rel: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let tokens = lexer::lex(&text);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_trivia())
+            .map(|(i, _)| i)
+            .collect();
+        let trees = tree::build(&text, &tokens);
+        let lines = LineIndex::new(&text);
+        let test_cutoff = find_test_cutoff(&text, &tokens, &sig);
+        Self {
+            rel: rel.into(),
+            text,
+            tokens,
+            sig,
+            trees,
+            lines,
+            test_cutoff,
+        }
+    }
+
+    /// Text of token `i`.
+    pub fn tok_text(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.text)
+    }
+
+    /// True when token `i` sits in the file's `#[cfg(test)]` tail.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_cutoff
+            .is_some_and(|cut| self.tokens[i].start >= cut)
+    }
+
+    /// 1-based `(line, col)` of token `i`.
+    pub fn tok_line_col(&self, i: usize) -> (usize, usize) {
+        self.lines.line_col(self.tokens[i].start)
+    }
+
+    /// The significant token following sig-position `p`, if any.
+    /// `p` indexes into [`SourceFile::sig`], not `tokens`.
+    pub fn sig_tok(&self, p: usize) -> Option<usize> {
+        self.sig.get(p).copied()
+    }
+
+    /// True when the significant tokens starting at sig-position `p`
+    /// have exactly the given texts, in order.
+    pub fn sig_matches(&self, p: usize, texts: &[&str]) -> bool {
+        texts.iter().enumerate().all(|(k, want)| {
+            self.sig
+                .get(p + k)
+                .is_some_and(|&ti| self.tok_text(ti) == *want)
+        })
+    }
+
+    /// True when any comment token containing one of `tags` ends within
+    /// `lookback` lines above `line` (and starts no later than `line`).
+    /// This is the annotation rule shared by the SAFETY/ORDERING lints:
+    /// a block annotation covers the statements beneath it.
+    pub fn annotated(&self, line: usize, lookback: usize, tags: &[&str]) -> bool {
+        let lo = line.saturating_sub(lookback);
+        self.tokens.iter().filter(|t| t.kind.is_comment()).any(|t| {
+            let (start_line, _) = self.lines.line_col(t.start);
+            let (end_line, _) = self.lines.line_col(t.end.saturating_sub(1).max(t.start));
+            start_line <= line
+                && end_line >= lo
+                && tags.iter().any(|tag| t.text(&self.text).contains(tag))
+        })
+    }
+}
+
+/// Finds the byte offset of the first top-level `#[cfg(test)]`
+/// attribute: the exact significant-token sequence `# [ cfg ( test ) ]`.
+fn find_test_cutoff(text: &str, tokens: &[Token], sig: &[usize]) -> Option<usize> {
+    let texts: Vec<&str> = sig.iter().map(|&i| tokens[i].text(text)).collect();
+    const SEQ: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    for p in 0..texts.len().saturating_sub(SEQ.len() - 1) {
+        if (0..SEQ.len()).all(|k| texts[p + k] == SEQ[k]) {
+            return Some(tokens[sig[p]].start);
+        }
+    }
+    None
+}
+
+/// The full input a lint run sees.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Library sources: `crates/*/src/**/*.rs` plus the root `src/`.
+    pub lib_files: Vec<SourceFile>,
+    /// `README.md` text (empty when absent).
+    pub readme: String,
+    /// `.github/workflows/ci.yml` text (empty when absent).
+    pub ci_yaml: String,
+    /// `examples/*.rs`, lexed — the metric lint cross-checks the names
+    /// they reference.
+    pub example_files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root` from disk.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut lib_paths = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in fs::read_dir(&crates_dir)? {
+                let src = entry?.path().join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut lib_paths)?;
+                }
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            collect_rs(&root_src, &mut lib_paths)?;
+        }
+        lib_paths.sort();
+
+        let mut lib_files = Vec::with_capacity(lib_paths.len());
+        for p in &lib_paths {
+            lib_files.push(SourceFile::parse(rel_of(root, p), fs::read_to_string(p)?));
+        }
+
+        let mut example_files = Vec::new();
+        let examples = root.join("examples");
+        if examples.is_dir() {
+            let mut paths = Vec::new();
+            collect_rs(&examples, &mut paths)?;
+            paths.sort();
+            for p in &paths {
+                example_files.push(SourceFile::parse(rel_of(root, p), fs::read_to_string(p)?));
+            }
+        }
+
+        Ok(Self {
+            lib_files,
+            readme: fs::read_to_string(root.join("README.md")).unwrap_or_default(),
+            ci_yaml: fs::read_to_string(root.join(".github/workflows/ci.yml")).unwrap_or_default(),
+            example_files,
+        })
+    }
+
+    /// Builds an in-memory workspace — the fixture tests' entry point.
+    /// `lib` maps workspace-relative paths to file contents.
+    pub fn synthetic(
+        lib: &[(&str, &str)],
+        readme: &str,
+        ci_yaml: &str,
+        examples: &[(&str, &str)],
+    ) -> Self {
+        Self {
+            lib_files: lib
+                .iter()
+                .map(|(rel, text)| SourceFile::parse(*rel, *text))
+                .collect(),
+            readme: readme.to_owned(),
+            ci_yaml: ci_yaml.to_owned(),
+            example_files: examples
+                .iter()
+                .map(|(rel, text)| SourceFile::parse(*rel, *text))
+                .collect(),
+        }
+    }
+}
+
+fn rel_of(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_index_round_trips() {
+        let idx = LineIndex::new("ab\ncd\n\nx");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(1), (1, 2));
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(6), (3, 1));
+        assert_eq!(idx.line_col(7), (4, 1));
+    }
+
+    #[test]
+    fn test_cutoff_ignores_strings_and_comments() {
+        let src = "\
+// #[cfg(test)] in a comment does not count
+const S: &str = \"#[cfg(test)]\";
+fn live() {}
+#[cfg(test)]
+mod tests {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        let cut = f.test_cutoff.expect("real attribute found");
+        assert!(src[cut..].starts_with("#[cfg(test)]"));
+        assert!(!f.in_test_code(0));
+    }
+
+    #[test]
+    fn annotated_respects_lookback_window() {
+        let src = "\
+// SAFETY: fine here
+line2();
+line3();
+line4();
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.annotated(2, 1, &["SAFETY:"]));
+        assert!(f.annotated(3, 2, &["SAFETY:"]));
+        assert!(!f.annotated(3, 1, &["SAFETY:"]));
+    }
+}

@@ -1,0 +1,165 @@
+//! Token trees: the lexer's flat stream grouped by `()` / `[]` / `{}`.
+//!
+//! Lints that care about *structure* — "is this `span!` call a whole
+//! statement?", "what is inside this function body?" — walk trees
+//! instead of scanning lines. The builder is error-tolerant: a stray
+//! closing delimiter becomes a plain leaf, and a group left open at end
+//! of input is closed implicitly (`close: None`), so any input produces
+//! a tree. Flattening a tree in order yields exactly the input token
+//! indices (asserted by the property test in `tests/lexer_prop.rs`).
+
+use crate::lexer::{Token, TokenKind};
+
+/// One node of a token tree. Leaves and group delimiters are stored as
+/// indices into the file's token vector, which keeps the tree cheap and
+/// every node traceable to an exact byte span.
+#[derive(Clone, Debug)]
+pub enum TokenTree {
+    /// A single non-delimiter token (index into the token vector).
+    Leaf(usize),
+    /// A delimited group and everything inside it.
+    Group {
+        /// The opening delimiter character: `(`, `[`, or `{`.
+        delim: char,
+        /// Token index of the opening delimiter.
+        open: usize,
+        /// Token index of the closing delimiter; `None` when the group
+        /// ran to end of input unclosed.
+        close: Option<usize>,
+        /// Child nodes, in source order.
+        children: Vec<TokenTree>,
+    },
+}
+
+/// Builds the token-tree forest for a token stream.
+///
+/// Trivia tokens (whitespace, comments) are kept as leaves so the
+/// flattened tree reproduces the stream exactly; lints skip them via
+/// [`TokenKind::is_trivia`].
+pub fn build(source: &str, tokens: &[Token]) -> Vec<TokenTree> {
+    // Each stack frame is (delim char, open index, children collected so
+    // far); the bottom frame is the top-level forest.
+    let mut stack: Vec<(char, usize, Vec<TokenTree>)> = vec![(' ', usize::MAX, Vec::new())];
+    for (i, t) in tokens.iter().enumerate() {
+        let text = if t.kind == TokenKind::Punct {
+            t.text(source)
+        } else {
+            ""
+        };
+        match text {
+            "(" | "[" | "{" => {
+                stack.push((text.chars().next().unwrap_or('('), i, Vec::new()));
+            }
+            ")" | "]" | "}" => {
+                let want = match text {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                if stack.len() > 1 && stack[stack.len() - 1].0 == want {
+                    let (delim, open, children) =
+                        stack.pop().unwrap_or((' ', usize::MAX, Vec::new()));
+                    let node = TokenTree::Group {
+                        delim,
+                        open,
+                        close: Some(i),
+                        children,
+                    };
+                    if let Some(top) = stack.last_mut() {
+                        top.2.push(node);
+                    }
+                } else {
+                    // Mismatched or stray closer: keep it as a leaf so the
+                    // tree still flattens to the input.
+                    if let Some(top) = stack.last_mut() {
+                        top.2.push(TokenTree::Leaf(i));
+                    }
+                }
+            }
+            _ => {
+                if let Some(top) = stack.last_mut() {
+                    top.2.push(TokenTree::Leaf(i));
+                }
+            }
+        }
+    }
+    // Close any groups left open at end of input.
+    while stack.len() > 1 {
+        let (delim, open, children) = stack.pop().unwrap_or((' ', usize::MAX, Vec::new()));
+        let node = TokenTree::Group {
+            delim,
+            open,
+            close: None,
+            children,
+        };
+        if let Some(top) = stack.last_mut() {
+            top.2.push(node);
+        }
+    }
+    stack.pop().map(|(_, _, c)| c).unwrap_or_default()
+}
+
+/// Depth-first walk over every node of a forest.
+pub fn walk<'t>(trees: &'t [TokenTree], f: &mut impl FnMut(&'t TokenTree)) {
+    for t in trees {
+        f(t);
+        if let TokenTree::Group { children, .. } = t {
+            walk(children, f);
+        }
+    }
+}
+
+/// Appends every token index under `trees`, in source order.
+pub fn flatten_into(trees: &[TokenTree], out: &mut Vec<usize>) {
+    for t in trees {
+        match t {
+            TokenTree::Leaf(i) => out.push(*i),
+            TokenTree::Group {
+                open,
+                close,
+                children,
+                ..
+            } => {
+                out.push(*open);
+                flatten_into(children, out);
+                if let Some(c) = close {
+                    out.push(*c);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn groups_nest_and_flatten() {
+        let src = "fn f(a: [u8; 2]) { g(a[0]); }";
+        let toks = lex(src);
+        let trees = build(src, &toks);
+        let mut flat = Vec::new();
+        flatten_into(&trees, &mut flat);
+        assert_eq!(flat, (0..toks.len()).collect::<Vec<_>>());
+        let mut groups = 0;
+        walk(&trees, &mut |t| {
+            if matches!(t, TokenTree::Group { .. }) {
+                groups += 1;
+            }
+        });
+        assert_eq!(groups, 5, "( [ ) {{ ( [ nest count");
+    }
+
+    #[test]
+    fn stray_and_unclosed_delimiters_survive() {
+        for src in ["} stray", "open { never", "a ) b ( c", "((("] {
+            let toks = lex(src);
+            let trees = build(src, &toks);
+            let mut flat = Vec::new();
+            flatten_into(&trees, &mut flat);
+            assert_eq!(flat, (0..toks.len()).collect::<Vec<_>>(), "{src}");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Pass control: guards bound to underscore-prefixed names live to end
+//! of scope and measure the whole function.
+
+pub fn work(xs: &[u32]) -> u64 {
+    let _sp = ringo_trace::span!("fixture.work");
+    let _sum = ringo_trace::Span::enter("fixture.sum");
+    xs.iter().map(|&x| u64::from(x)).sum()
+}

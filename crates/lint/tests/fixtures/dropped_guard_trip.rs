@@ -1,0 +1,8 @@
+//! Trip fixture: span guards destroyed on the spot — both the bare
+//! statement form and the `let _ =` form record zero-length spans.
+
+pub fn work(xs: &[u32]) -> u64 {
+    ringo_trace::span!("fixture.work");
+    let _ = ringo_trace::Span::enter("fixture.sum");
+    xs.iter().map(|&x| u64::from(x)).sum()
+}

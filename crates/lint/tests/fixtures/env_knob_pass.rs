@@ -1,0 +1,9 @@
+//! Pass control: the same knob read — the test config inventories it
+//! and the synthetic README documents it.
+
+pub fn threads() -> usize {
+    std::env::var("RINGO_FIXTURE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,9 @@
+//! Trip fixture: a `RINGO_*` knob read by library code but absent from
+//! the knob inventory.
+
+pub fn threads() -> usize {
+    std::env::var("RINGO_FIXTURE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,13 @@
+//! Pass control: the same kernel with a pre-sized buffer — bulk
+//! allocation up front stays legal inside hot functions.
+
+// LINT: hot
+pub fn collect_even(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(xs.len());
+    for &x in xs {
+        if x % 2 == 0 {
+            out.push(x);
+        }
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! Trip fixture: a `// LINT: hot` kernel growing a buffer from empty —
+//! the per-element reallocation idiom the tripwire exists for.
+
+// LINT: hot
+pub fn collect_even(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &x in xs {
+        if x % 2 == 0 {
+            out.push(x);
+        }
+    }
+    out
+}

@@ -1,0 +1,8 @@
+//! Pass control: dotted names, one call site each, matching what the
+//! synthetic ci.yml asserts (exact and prefix forms).
+
+pub fn scan(xs: &[u32]) -> u64 {
+    let _sp = ringo_trace::span!("fixture.scan");
+    ringo_trace::counter("fixture.scan.rows").add(xs.len() as u64);
+    xs.iter().map(|&x| u64::from(x)).sum()
+}

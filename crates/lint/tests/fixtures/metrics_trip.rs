@@ -1,0 +1,14 @@
+//! Trip fixture: a malformed metric name and a name registered from two
+//! call sites with no shared-name allowlist entry. (The CI dead-assert
+//! arm of the lint trips via the synthetic ci.yml the test supplies.)
+
+pub fn scan(xs: &[u32]) -> u64 {
+    let _sp = ringo_trace::span!("BadName");
+    ringo_trace::counter("fixture.dup").add(1);
+    xs.iter().map(|&x| u64::from(x)).sum()
+}
+
+pub fn rescan(xs: &[u32]) -> u64 {
+    ringo_trace::counter("fixture.dup").add(1);
+    xs.iter().map(|&x| u64::from(x)).sum()
+}

@@ -1,0 +1,18 @@
+//! Pass control: the same `Release` store, paired with an `Acquire`
+//! load of the field in the same crate.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub struct Cell {
+    ready: AtomicU32,
+}
+
+impl Cell {
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire) == 1
+    }
+}

@@ -1,0 +1,15 @@
+//! Trip fixture: a `Release` store whose field is never loaded with an
+//! acquire-class ordering anywhere in the crate — the published edge is
+//! never consumed.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub struct Cell {
+    ready: AtomicU32,
+}
+
+impl Cell {
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+}

@@ -1,0 +1,8 @@
+//! Pass control: the same `Ordering::Relaxed`, annotated.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // ORDERING: pure statistics counter — no data is published through it.
+    counter.fetch_add(1, Ordering::Relaxed)
+}

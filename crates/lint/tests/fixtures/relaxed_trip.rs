@@ -1,0 +1,7 @@
+//! Trip fixture: `Ordering::Relaxed` with no ORDERING annotation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+//! Pass control: the same `unsafe` token, annotated.
+
+/// Reads one element without bounds checking.
+///
+/// # Safety
+///
+/// `i` must be in bounds for `xs`.
+// SAFETY: callers uphold `i < xs.len()` per the doc contract.
+pub unsafe fn get_unchecked(xs: &[u32], i: usize) -> u32 {
+    *xs.get_unchecked(i)
+}

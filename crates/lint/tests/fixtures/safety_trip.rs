@@ -1,0 +1,6 @@
+//! Trip fixture: an `unsafe` token with no SAFETY annotation in range.
+
+/// Reads one element without bounds checking.
+pub unsafe fn get_unchecked(xs: &[u32], i: usize) -> u32 {
+    *xs.get_unchecked(i)
+}

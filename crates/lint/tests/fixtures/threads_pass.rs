@@ -1,0 +1,8 @@
+//! Pass control: identical spawn — the test config allowlists this file,
+//! the way the real config allowlists the pool, sampler, and checker.
+
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| {});
+}

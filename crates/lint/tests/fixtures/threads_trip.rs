@@ -1,0 +1,7 @@
+//! Trip fixture: an ad-hoc thread outside the allowed files.
+
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| {});
+}

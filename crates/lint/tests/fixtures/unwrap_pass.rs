@@ -1,0 +1,7 @@
+//! Pass control: identical `.unwrap()` — the test config carries an
+//! audited allowlist entry for this file (and the live use keeps the
+//! entry fresh).
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

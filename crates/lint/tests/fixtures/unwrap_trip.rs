@@ -1,0 +1,5 @@
+//! Trip fixture: `.unwrap()` in a file no audit has covered.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

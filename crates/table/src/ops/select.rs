@@ -294,6 +294,7 @@ impl Table {
     /// bounded number of allocations regardless of the match count, and
     /// the concatenation-by-offset keeps hits in `sel` order: the output
     /// is byte-identical to a sequential scan at any thread count.
+    // LINT: hot — the select_alloc pin depends on the bounded-alloc design.
     pub(crate) fn select_sel_stats(
         &self,
         pred: &Predicate,

@@ -1,419 +1,158 @@
-//! Tier-1 source-level safety gate for the engine's library code.
+//! Tier-1 static-analysis gate, driven by `ringo-lint` (`crates/lint`).
 //!
-//! Four rules, enforced over every crate's `src/` tree (tests, benches and
-//! examples live in other directories and are exempt by construction;
-//! within a file, everything from the first `#[cfg(test)]` line onward is
-//! likewise exempt — the workspace keeps test modules last):
+//! PR 4 shipped this gate as a line-based tripwire; it is now a thin
+//! driver over the token-aware analyzer, which enforces the same four
+//! source rules plus the observability/concurrency lints the line scan
+//! could not express:
 //!
-//! 1. **`unsafe` needs a safety argument.** Every line containing the
-//!    `unsafe` keyword must carry a `// SAFETY:` comment (or a `# Safety`
-//!    doc heading, for `unsafe fn` declarations) on the same line or
-//!    within the [`LOOKBACK`] preceding lines.
-//! 2. **`Relaxed` needs an ordering argument.** Every use of
-//!    `Ordering::Relaxed` must carry a `// ORDERING:` comment in the same
-//!    window explaining why no synchronization is required. Stronger
-//!    orderings are self-documenting (they claim an edge); `Relaxed`
-//!    claims the *absence* of one, which is exactly the claim the
-//!    deterministic checker in `crates/check` exists to test — so the
-//!    source must say why it believes it.
-//! 3. **No ad-hoc threads.** `thread::spawn` / `thread::Builder` are
-//!    forbidden outside the worker pool (`crates/concurrent/src/pool.rs`)
-//!    and the checker itself (`crates/check`, whose virtual threads are
-//!    the point). Everything else must go through the pool so work is
-//!    observable in pool stats and bounded by its worker count.
-//! 4. **No unannotated `.unwrap()` / `.expect(` in library code.** Files
-//!    with audited invariant-style uses are allowlisted below with the
-//!    reason recorded; anything else must handle its errors. A companion
-//!    test fails when an allowlist entry goes stale so the list can only
-//!    shrink.
+//! * `unsafe-safety-comment` — every `unsafe` token carries `// SAFETY:`
+//!   (or a `# Safety` doc heading) within the lookback window;
+//! * `relaxed-ordering-comment` — every `Ordering::Relaxed` carries
+//!   `// ORDERING:` explaining why no synchronization edge is needed;
+//! * `thread-confinement` — `thread::spawn`/`Builder` only in the pool,
+//!   the checker, and the trace sampler;
+//! * `unwrap-audit` — `.unwrap()`/`.expect(` only in audited files;
+//! * `dropped-guard` — no span guards destroyed on the spot;
+//! * `metric-registry` — span/counter names dotted, unique per call
+//!   site, and cross-checked against the names CI asserts;
+//! * `env-knob-registry` — every `RINGO_*` knob inventoried and in
+//!   README's knob table;
+//! * `ordering-pairing` — `Release` writes have an `Acquire`-side
+//!   partner in-crate;
+//! * `hot-alloc` — no allocation idioms inside `// LINT: hot` kernels.
 //!
-//! The gate is line-based on purpose: it is a tripwire for unreviewed
-//! additions, not a parser. `// SAFETY:`/`// ORDERING:` block comments
-//! cover the statements beneath them (up to [`LOOKBACK`] lines), so one
-//! justification can serve a short cluster of related operations.
+//! Being token-aware buys exactness the line scan lacked: `unsafe` in a
+//! string literal is data, `SAFETY:` inside a doc example is prose, and
+//! everything at or past a file's first `#[cfg(test)]` token is exempt
+//! (the workspace keeps test modules last). Allowlists live in
+//! [`ringo_lint::Config::project`] and are shrink-only: each entry
+//! records its audit reason, and a stale entry is itself a finding
+//! (enforced by the per-lint freshness checks, so the lists cannot
+//! accrete). Per-lint tests below keep failures attributable; the
+//! fixture suite in `crates/lint/tests/` proves every rule live.
 
-use std::collections::BTreeMap;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// How many lines above a flagged site an annotation may sit.
-const LOOKBACK: usize = 10;
+use ringo_lint::{render_human, Config, Finding, Workspace};
 
-/// Files whose `.unwrap()` / `.expect(` uses have been audited, with the
-/// audit's conclusion. Entries must stay *live*: `unwrap_allowlist_is_fresh`
-/// fails on paths that no longer exist or no longer contain any use, so
-/// the list can only shrink over time.
-const UNWRAP_ALLOWLIST: &[(&str, &str)] = &[
-    // Traversal/algorithm kernels: every use is an `expect` naming a loop
-    // invariant established by the surrounding code (queued slots are
-    // live, popped nodes have distances, neighbors exist in the graph).
-    (
-        "crates/algo/src/anf.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/bfs.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/bipartite.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/centrality.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/community.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/components.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/connectivity.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/eigen.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/frontier.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/hits.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/independent.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/kcore.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/ktruss.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/pagerank.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/random_walk.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/similarity.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/sssp.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/stats.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/traversal.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/union_find.rs",
-        "invariant expects in kernel loops",
-    ),
-    (
-        "crates/algo/src/weighted.rs",
-        "invariant expects in kernel loops",
-    ),
-    // Benchmark drivers and harness: setup failures (I/O, column lookups)
-    // abort the run loudly by design — a benchmark must not limp on.
-    (
-        "crates/bench/src/bin/all_tables.rs",
-        "bench driver aborts loudly",
-    ),
-    (
-        "crates/bench/src/bin/table4.rs",
-        "bench driver aborts loudly",
-    ),
-    (
-        "crates/bench/src/bin/table5.rs",
-        "bench driver aborts loudly",
-    ),
-    ("crates/bench/src/harness.rs", "bench harness aborts loudly"),
-    ("crates/bench/src/lib.rs", "bench fixtures abort loudly"),
-    // Checker internals: a violated invariant inside the scheduler or the
-    // memory model is a checker bug; it must panic so the schedule fails
-    // loudly rather than report a wrong verdict.
-    (
-        "crates/check/src/memory.rs",
-        "checker invariants panic loudly",
-    ),
-    (
-        "crates/check/src/sched.rs",
-        "checker invariants panic loudly",
-    ),
-    (
-        "crates/check/src/vthread.rs",
-        "checker invariants panic loudly",
-    ),
-    // Lock-free/parallel kernels: occupied-slot and just-inserted expects
-    // in the sequential table, chunk-fill expects in parallel_map, and
-    // the pool's lock/spawn failures which are fatal by design.
-    (
-        "crates/concurrent/src/hash_table.rs",
-        "occupied-slot invariants",
-    ),
-    ("crates/concurrent/src/parallel.rs", "chunk-fill invariant"),
-    (
-        "crates/concurrent/src/pool.rs",
-        "poisoning/spawn failure is fatal",
-    ),
-    ("crates/concurrent/src/sort.rs", "run-bound invariant"),
-    // Conversion layer: prefix-sum offsets (`last()` after a push) and
-    // caller-validated equal-length column extraction.
-    ("crates/convert/src/lib.rs", "prefix-sum/column invariants"),
-    // Generators: fixed catalogs and self-consistent generated columns.
-    ("crates/gen/src/catalog.rs", "fixed-catalog membership"),
-    ("crates/gen/src/lib.rs", "generated columns are consistent"),
-    (
-        "crates/gen/src/stackoverflow.rs",
-        "generated columns are consistent",
-    ),
-    // Graph mutation paths: cells ensured earlier in the same call.
-    (
-        "crates/graph/src/csr.rs",
-        "index built in the same function",
-    ),
-    (
-        "crates/graph/src/directed.rs",
-        "cells ensured in the same call",
-    ),
-    (
-        "crates/graph/src/transform.rs",
-        "cells ensured in the same call",
-    ),
-    (
-        "crates/graph/src/undirected.rs",
-        "cells ensured in the same call",
-    ),
-    (
-        "crates/graph/src/weighted.rs",
-        "cells ensured in the same call",
-    ),
-    // Weighted sampling table is non-empty by construction.
-    ("crates/rng/src/lib.rs", "cumulative table non-empty"),
-    // Table layer: summary columns built together stay consistent.
-    (
-        "crates/table/src/ops/describe.rs",
-        "summary columns consistent",
-    ),
-    (
-        "crates/table/src/strings.rs",
-        "u32 symbol-space overflow is fatal",
-    ),
-    ("crates/table/src/table.rs", "single-column consistency"),
-    // `fmt::Write` into `String` is infallible.
-    (
-        "crates/trace/src/json.rs",
-        "write! into String is infallible",
-    ),
-    (
-        "crates/trace/src/lib.rs",
-        "write! into String is infallible",
-    ),
-];
-
-/// Where `thread::spawn` / `thread::Builder` may appear: the worker pool,
-/// the checker's virtual-thread runtime, and the trace crate's background
-/// resource sampler.
-fn thread_spawn_allowed(rel: &str) -> bool {
-    rel == "crates/concurrent/src/pool.rs"
-        || rel == "crates/trace/src/sampler.rs"
-        || rel.starts_with("crates/check/")
+/// This integration test runs with the workspace root as its manifest dir.
+fn load_workspace() -> Workspace {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    Workspace::load(root).expect("workspace sources must be readable")
 }
 
-fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    for entry in fs::read_dir(dir).expect("readable source dir") {
-        let path = entry.expect("readable dir entry").path();
-        if path.is_dir() {
-            collect_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Every library source file as (workspace-relative path, lines up to the
-/// first `#[cfg(test)]`).
-fn library_sources() -> BTreeMap<String, Vec<String>> {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    for entry in fs::read_dir(root.join("crates")).expect("crates dir") {
-        let src = entry.expect("crate dir").path().join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files);
-        }
-    }
-    collect_rs(&root.join("src"), &mut files);
-    files
+/// Runs the full catalog once and returns the findings of one lint.
+fn findings_of(lint: &str) -> Vec<Finding> {
+    let ws = load_workspace();
+    let cfg = Config::project();
+    ringo_lint::run_all(&ws, &cfg)
         .into_iter()
-        .map(|p| {
-            let rel = p
-                .strip_prefix(&root)
-                .expect("file under workspace root")
-                .to_string_lossy()
-                .replace('\\', "/");
-            let text = fs::read_to_string(&p).expect("readable source file");
-            let lines = text
-                .lines()
-                .take_while(|l| !l.trim_start().starts_with("#[cfg(test)]"))
-                .map(str::to_owned)
-                .collect();
-            (rel, lines)
-        })
+        .filter(|f| f.lint == lint)
         .collect()
 }
 
-fn is_comment(line: &str) -> bool {
-    line.trim_start().starts_with("//")
-}
-
-/// True when any of `tags` appears on line `idx` itself or within the
-/// `LOOKBACK` lines above it (block annotations cover the statements
-/// beneath them).
-fn annotated(lines: &[String], idx: usize, tags: &[&str]) -> bool {
-    let lo = idx.saturating_sub(LOOKBACK);
-    lines[lo..=idx]
-        .iter()
-        .any(|l| tags.iter().any(|t| l.contains(t)))
-}
-
-/// Whole-word occurrence of `token` (so `unsafe` does not match inside an
-/// identifier).
-fn has_token(line: &str, token: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(token) {
-        let start = from + pos;
-        let end = start + token.len();
-        let word = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
-        let lone =
-            (start == 0 || !word(bytes[start - 1])) && (end == bytes.len() || !word(bytes[end]));
-        if lone {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// Runs `flag` over every non-comment library line, collecting
-/// `path:line: text` strings for the failure message.
-fn scan(flag: impl Fn(&str, &[String], usize) -> bool) -> Vec<String> {
-    let mut out = Vec::new();
-    for (rel, lines) in library_sources() {
-        for (i, line) in lines.iter().enumerate() {
-            if is_comment(line) {
-                continue;
-            }
-            if flag(&rel, &lines, i) {
-                out.push(format!("{rel}:{}: {}", i + 1, line.trim()));
-            }
-        }
-    }
-    out
+fn assert_clean(lint: &str) {
+    let f = findings_of(lint);
+    assert!(
+        f.is_empty(),
+        "static gate failed ({} finding{}):\n{}",
+        f.len(),
+        if f.len() == 1 { "" } else { "s" },
+        render_human(&f)
+    );
 }
 
 #[test]
 fn unsafe_blocks_have_safety_comments() {
-    let missing = scan(|_, lines, i| {
-        has_token(&lines[i], "unsafe") && !annotated(lines, i, &["SAFETY:", "# Safety"])
-    });
-    assert!(
-        missing.is_empty(),
-        "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
-         section) on the same line or the {LOOKBACK} lines above:\n  {}",
-        missing.join("\n  ")
-    );
+    assert_clean("unsafe-safety-comment");
 }
 
 #[test]
 fn relaxed_orderings_are_justified() {
-    let missing = scan(|_, lines, i| {
-        lines[i].contains("Ordering::Relaxed") && !annotated(lines, i, &["ORDERING:"])
-    });
-    assert!(
-        missing.is_empty(),
-        "`Ordering::Relaxed` without a `// ORDERING:` justification on the \
-         same line or the {LOOKBACK} lines above (Relaxed claims the \
-         *absence* of a needed edge; say why):\n  {}",
-        missing.join("\n  ")
-    );
+    assert_clean("relaxed-ordering-comment");
 }
 
 #[test]
-fn thread_spawn_only_in_pool_and_checker() {
-    let stray = scan(|rel, lines, i| {
-        !thread_spawn_allowed(rel)
-            && (lines[i].contains("thread::spawn") || lines[i].contains("thread::Builder"))
-    });
-    assert!(
-        stray.is_empty(),
-        "ad-hoc thread creation outside the worker pool and ringo-check \
-         (route work through ringo_concurrent::pool so it is bounded and \
-         observable):\n  {}",
-        stray.join("\n  ")
-    );
+fn thread_spawn_only_in_pool_checker_and_sampler() {
+    assert_clean("thread-confinement");
 }
 
 #[test]
 fn no_unannotated_unwrap_in_library_code() {
-    let allow: Vec<&str> = UNWRAP_ALLOWLIST.iter().map(|(p, _)| *p).collect();
-    let stray = scan(|rel, lines, i| {
-        !allow.contains(&rel) && (lines[i].contains(".unwrap()") || lines[i].contains(".expect("))
-    });
-    assert!(
-        stray.is_empty(),
-        "`.unwrap()`/`.expect(` in non-test library code outside the \
-         audited allowlist (handle the error, or audit the file and add an \
-         allowlist entry with the reason):\n  {}",
-        stray.join("\n  ")
-    );
+    // Covers allowlist freshness too: a stale entry is a finding of the
+    // same lint, so the list can only shrink.
+    assert_clean("unwrap-audit");
 }
 
-/// Allowlist entries must point at real files that still contain at least
-/// one `.unwrap()` / `.expect(` in library code — otherwise the entry is
-/// stale and must be removed, keeping the allowlist shrink-only.
 #[test]
-fn unwrap_allowlist_is_fresh() {
-    let sources = library_sources();
-    let mut stale = Vec::new();
-    for (path, reason) in UNWRAP_ALLOWLIST {
-        match sources.get(*path) {
-            None => stale.push(format!("{path}: file not under the gate ({reason})")),
-            Some(lines) => {
-                let live = lines
-                    .iter()
-                    .any(|l| !is_comment(l) && (l.contains(".unwrap()") || l.contains(".expect(")));
-                if !live {
-                    stale.push(format!("{path}: no unwrap/expect left; remove the entry"));
-                }
-            }
-        }
-    }
+fn span_guards_are_never_dropped_on_the_spot() {
+    assert_clean("dropped-guard");
+}
+
+#[test]
+fn metric_names_are_dotted_unique_and_ci_checked() {
+    assert_clean("metric-registry");
+}
+
+#[test]
+fn env_knobs_are_inventoried_and_documented() {
+    assert_clean("env-knob-registry");
+}
+
+#[test]
+fn release_stores_have_acquire_partners() {
+    assert_clean("ordering-pairing");
+}
+
+#[test]
+fn hot_kernels_do_not_allocate_per_element() {
+    assert_clean("hot-alloc");
+}
+
+/// The whole catalog at once — the same run CI performs via
+/// `cargo run --release -p ringo-lint -- --workspace`. Also pins that
+/// the catalog actually contains every lint the per-rule tests name
+/// (a typo'd name would otherwise filter to an empty, always-green set).
+#[test]
+fn full_lint_run_is_clean_and_catalog_is_complete() {
+    let ws = load_workspace();
+    let cfg = Config::project();
+    let findings = ringo_lint::run_all(&ws, &cfg);
     assert!(
-        stale.is_empty(),
-        "stale UNWRAP_ALLOWLIST entries:\n  {}",
-        stale.join("\n  ")
+        findings.is_empty(),
+        "ringo-lint found violations:\n{}",
+        render_human(&findings)
+    );
+
+    let lints = ringo_lint::all_lints();
+    let names: Vec<&str> = lints.iter().map(|l| l.name()).collect();
+    for expected in [
+        "unsafe-safety-comment",
+        "relaxed-ordering-comment",
+        "thread-confinement",
+        "unwrap-audit",
+        "dropped-guard",
+        "metric-registry",
+        "env-knob-registry",
+        "ordering-pairing",
+        "hot-alloc",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "lint `{expected}` missing from catalog"
+        );
+    }
+
+    // The workspace loader must actually be looking at the sources: a
+    // wrong root would vacuously pass every rule above.
+    assert!(
+        ws.lib_files
+            .iter()
+            .any(|f| f.rel == "crates/lint/src/lib.rs"),
+        "workspace load missed the lint crate itself"
+    );
+    assert!(
+        !ws.ci_yaml.is_empty() && !ws.readme.is_empty(),
+        "workspace load missed README/ci.yml"
     );
 }
