@@ -1,0 +1,693 @@
+//! Epoch-based version reclamation: wait-free reader pins, single-writer
+//! copy-on-write publish, deferred reclamation.
+//!
+//! This is the substrate under the core crate's `Catalog` (GraphX-style
+//! versioned snapshots of tables and graphs) and under graph compaction,
+//! which publishes a rewritten adjacency slab as a new version. The
+//! protocol is the classic epoch scheme specialized to one writer:
+//!
+//! * a [`EpochDomain`] holds a monotonically increasing **global epoch**
+//!   and a fixed array of per-thread **pin slots** (`RINGO_EPOCH_SLOTS`,
+//!   padded to a cache line each);
+//! * a reader [`EpochDomain::pin`]s by writing the epoch it observed
+//!   into its slot and re-validating the global epoch — steady-state
+//!   this is two loads and one store, no CAS, no lock, and never blocks
+//!   on a writer;
+//! * the single writer publishes a new [`Versioned`] value by swinging
+//!   the current pointer (`Release`) and *then* advancing the global
+//!   epoch, recording the displaced version with the post-advance epoch;
+//! * a retired version is freed only once [`EpochDomain::min_pinned`]
+//!   reaches its retire epoch, so any reader that could still hold a
+//!   reference keeps it alive.
+//!
+//! Why the re-validation loop in `pin` is load-bearing: the reader's
+//! slot store and the writer's reclamation scan race in both directions
+//! (Dekker's pattern — reader stores slot then loads global, writer
+//! stores global then loads slots). With plain acquire/release either
+//! side may miss the other and a version could be freed under a reader
+//! that just pinned. Both rungs are therefore `SeqCst`: the single total
+//! order guarantees that if the reader's re-load still sees the *old*
+//! epoch, its slot store precedes the writer's scan, and if it sees the
+//! *new* epoch, the acquire edge from the epoch advance makes the new
+//! current pointer (and nothing older) the only value the reader can
+//! load. The deliberately weakened variant of this protocol is killed by
+//! the checker in `crates/check/tests/model_epoch.rs`.
+//!
+//! Everything routes through [`crate::sync`], so the same source runs on
+//! real atomics in production and on `ringo-check`'s virtual atomics
+//! under `--features model`.
+
+use crate::sync::{yield_now, VAtomicPtr, VAtomicU64, VAtomicUsize, VMutex};
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock, Weak};
+
+/// Slot value meaning "no epoch pinned".
+const UNPINNED: u64 = u64::MAX;
+
+/// Slot owner flag: free for any thread to claim.
+const FREE: usize = 0;
+/// Slot owner flag: claimed by some thread (slots are thread-affine; the
+/// claim is cached thread-locally and released on thread exit).
+const CLAIMED: usize = 1;
+
+/// Default pin-slot count when `RINGO_EPOCH_SLOTS` is unset: generous
+/// enough that slot claiming never becomes the bottleneck for any pool
+/// size this repo targets.
+pub const DEFAULT_EPOCH_SLOTS: usize = 64;
+
+/// Pin-slot count for new domains: `RINGO_EPOCH_SLOTS` if set and
+/// positive, otherwise [`DEFAULT_EPOCH_SLOTS`] (same ignore-invalid
+/// policy as `RINGO_THREADS`).
+pub fn epoch_slots() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("RINGO_EPOCH_SLOTS") {
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => return n,
+                _ => eprintln!(
+                    "ringo: ignoring invalid RINGO_EPOCH_SLOTS={v:?} \
+                     (expected a positive integer); using {DEFAULT_EPOCH_SLOTS}"
+                ),
+            }
+        }
+        DEFAULT_EPOCH_SLOTS
+    })
+}
+
+/// One reader's pin slot, padded to its own cache line so pin/unpin
+/// traffic from different threads never false-shares.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Slot {
+    /// The epoch this slot's thread has pinned, or [`UNPINNED`]. Written
+    /// only by the owning thread; read by the writer's reclamation scan.
+    epoch: VAtomicU64,
+    /// [`FREE`] or [`CLAIMED`]; claims are thread-affine and long-lived.
+    owner: VAtomicUsize,
+}
+
+/// The slot array, `Arc`-shared so thread-local claim caches can release
+/// their claims on thread exit even if that races a domain drop.
+#[derive(Debug)]
+struct SlotArray {
+    slots: Box<[Slot]>,
+}
+
+thread_local! {
+    /// This thread's cached slot claims: `(domain id, slot index, array)`.
+    /// Dropping the vec at thread exit releases every claim whose domain
+    /// is still alive.
+    static CLAIMS: RefCell<Vec<Claim>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One cached slot claim (see [`CLAIMS`]).
+struct Claim {
+    domain_id: u64,
+    idx: usize,
+    array: Weak<SlotArray>,
+}
+
+impl Drop for Claim {
+    fn drop(&mut self) {
+        if let Some(array) = self.array.upgrade() {
+            // No guard can outlive its thread, so the slot is unpinned
+            // here; returning the claim lets a future thread reuse it.
+            array.slots[self.idx].owner.store(FREE, Ordering::Release);
+        }
+    }
+}
+
+/// A reclamation domain: one global epoch plus the pin slots of every
+/// reader thread that participates in it.
+///
+/// Readers call [`pin`](EpochDomain::pin) (or
+/// [`pin_owned`](EpochDomain::pin_owned) from an `Arc`) and hold the
+/// guard across every access to values protected by this domain. The
+/// writer side lives in [`Versioned`].
+#[derive(Debug)]
+pub struct EpochDomain {
+    /// Process-unique id, so thread-local claim caches never confuse two
+    /// domains even if one is dropped and another reuses its allocation.
+    id: u64,
+    /// The current epoch. Starts at 1 and only grows.
+    global: VAtomicU64,
+    array: Arc<SlotArray>,
+}
+
+impl Default for EpochDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochDomain {
+    /// A domain with [`epoch_slots`] pin slots.
+    pub fn new() -> Self {
+        Self::with_slots(epoch_slots())
+    }
+
+    /// A domain with an explicit slot count (the model tests shrink it to
+    /// force claim contention).
+    pub fn with_slots(n: usize) -> Self {
+        static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let mut slots = Vec::with_capacity(n.max(1));
+        slots.resize_with(n.max(1), || Slot {
+            epoch: VAtomicU64::new(UNPINNED),
+            owner: VAtomicUsize::new(FREE),
+        });
+        Self {
+            // ORDERING: Relaxed — the id is only a uniqueness token; no
+            // data is published through it. Deliberately a plain std
+            // atomic (not the facade) so id generation adds no
+            // preemption points to model schedules.
+            id: NEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            global: VAtomicU64::new(1),
+            array: Arc::new(SlotArray {
+                slots: slots.into_boxed_slice(),
+            }),
+        }
+    }
+
+    /// The current epoch (monotonic; advanced once per publish).
+    pub fn epoch(&self) -> u64 {
+        self.global.load(Ordering::Acquire)
+    }
+
+    /// Number of pin slots (fixed at construction).
+    pub fn slot_count(&self) -> usize {
+        self.array.slots.len()
+    }
+
+    /// Number of slots currently pinning an epoch — the shell's
+    /// "pinned readers" figure.
+    pub fn pinned_count(&self) -> usize {
+        self.array
+            .slots
+            .iter()
+            .filter(|s| s.epoch.load(Ordering::SeqCst) != UNPINNED)
+            .count()
+    }
+
+    /// The oldest pinned epoch, or `u64::MAX` when nothing is pinned.
+    /// A version retired at epoch `e` may be freed once
+    /// `min_pinned() >= e`.
+    pub fn min_pinned(&self) -> u64 {
+        let mut min = UNPINNED;
+        for slot in self.array.slots.iter() {
+            min = min.min(slot.epoch.load(Ordering::SeqCst));
+        }
+        min
+    }
+
+    /// Advances the global epoch, returning the new value. Called by
+    /// [`Versioned::publish`] after the pointer swing; the post-advance
+    /// epoch is the retire epoch of the displaced version.
+    pub fn advance(&self) -> u64 {
+        self.global.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Pins the current epoch, keeping every version retired after this
+    /// moment alive until the guard drops. Steady-state (slot already
+    /// claimed by this thread) this is wait-free: two loads and one
+    /// store, no CAS — strictly cheaper than an uncontended `RwLock`
+    /// read, and never blocked by a writer publishing.
+    // LINT: hot
+    pub fn pin(&self) -> EpochGuard<'_> {
+        let idx = self.claim_slot();
+        let slot = &self.array.slots[idx];
+        // ORDERING: Relaxed — the slot epoch is written only by this
+        // thread; this read just detects an outer pin on the same
+        // thread.
+        if slot.epoch.load(Ordering::Relaxed) != UNPINNED {
+            // Nested pin: the outer guard's older slot value already
+            // protects everything retired from here on; overwriting it
+            // with a newer epoch would un-protect the outer guard's
+            // version mid-use.
+            return EpochGuard {
+                domain: self,
+                idx,
+                epoch: self.global.load(Ordering::Acquire),
+                outermost: false,
+            };
+        }
+        let mut e = self.global.load(Ordering::Acquire);
+        loop {
+            slot.epoch.store(e, Ordering::SeqCst);
+            // ORDERING: SeqCst on both the store above and this re-load —
+            // Dekker's pattern against the writer's advance + scan; see
+            // the module docs. If the re-load disagrees, the pin may be
+            // invisible to an in-flight scan: retry at the newer epoch.
+            let seen = self.global.load(Ordering::SeqCst);
+            if seen == e {
+                break;
+            }
+            e = seen;
+        }
+        EpochGuard {
+            domain: self,
+            idx,
+            epoch: e,
+            outermost: true,
+        }
+    }
+
+    /// Like [`pin`](Self::pin), but the guard co-owns the domain, for
+    /// snapshots that must outlive the borrow (the catalog's `Snapshot`).
+    pub fn pin_owned(self: &Arc<Self>) -> OwnedEpochGuard {
+        let guard = self.pin();
+        let (idx, epoch, outermost) = (guard.idx, guard.epoch, guard.outermost);
+        std::mem::forget(guard);
+        OwnedEpochGuard {
+            domain: Arc::clone(self),
+            idx,
+            epoch,
+            outermost,
+        }
+    }
+
+    /// Finds this thread's slot in the claim cache, claiming one on the
+    /// first pin from this thread (and per *extra* nesting level beyond
+    /// the slot's own reentrancy handling, which needs no extra slot).
+    // LINT: hot
+    fn claim_slot(&self) -> usize {
+        let cached = CLAIMS.with(|c| {
+            c.borrow()
+                .iter()
+                .find(|cl| cl.domain_id == self.id)
+                .map(|cl| cl.idx)
+        });
+        if let Some(idx) = cached {
+            return idx;
+        }
+        let idx = self.claim_slot_slow();
+        CLAIMS.with(|c| {
+            let mut claims = c.borrow_mut();
+            // Prune cache entries for dead domains on the miss path (the
+            // only path that grows the list), so a long-lived thread
+            // touching many short-lived domains doesn't scan a growing
+            // list — and the steady-state hit path above stays a pure
+            // TLS scan with no per-pin `Weak` upgrade traffic.
+            claims.retain(|cl| cl.array.strong_count() > 0);
+            claims.push(Claim {
+                domain_id: self.id,
+                idx,
+                array: Arc::downgrade(&self.array),
+            });
+        });
+        idx
+    }
+
+    /// First pin from this thread on this domain: scan for a free slot
+    /// and claim it with a CAS. Spins (with yields) when every slot is
+    /// claimed — capacity is a configuration matter (`RINGO_EPOCH_SLOTS`
+    /// must be at least the number of concurrently-pinning threads), not
+    /// a correctness one.
+    fn claim_slot_slow(&self) -> usize {
+        loop {
+            for (idx, slot) in self.array.slots.iter().enumerate() {
+                // ORDERING: Relaxed — the pre-check load is a contention
+                // filter only; the AcqRel CAS (with a Relaxed failure
+                // load, another filter) carries the claim's edge.
+                if slot.owner.load(Ordering::Relaxed) == FREE
+                    && slot
+                        .owner
+                        .compare_exchange(FREE, CLAIMED, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return idx;
+                }
+            }
+            yield_now();
+        }
+    }
+}
+
+/// RAII pin on an [`EpochDomain`]; see [`EpochDomain::pin`].
+#[derive(Debug)]
+pub struct EpochGuard<'a> {
+    domain: &'a EpochDomain,
+    idx: usize,
+    epoch: u64,
+    /// Whether this guard wrote the slot (outermost pin on this thread).
+    /// Nested guards piggyback on the outer pin and must not clear it.
+    outermost: bool,
+}
+
+impl EpochGuard<'_> {
+    /// The epoch this guard observed at pin time.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn domain_id(&self) -> u64 {
+        self.domain.id
+    }
+}
+
+impl Drop for EpochGuard<'_> {
+    // LINT: hot
+    fn drop(&mut self) {
+        if self.outermost {
+            // ORDERING: Release — pairs with the writer scan's SeqCst
+            // loads of the slot epoch; everything this reader did while
+            // pinned is visible before the slot reads unpinned.
+            self.domain.array.slots[self.idx]
+                .epoch
+                .store(UNPINNED, Ordering::Release);
+        }
+    }
+}
+
+/// Owning variant of [`EpochGuard`]; see [`EpochDomain::pin_owned`].
+#[derive(Debug)]
+pub struct OwnedEpochGuard {
+    domain: Arc<EpochDomain>,
+    idx: usize,
+    epoch: u64,
+    outermost: bool,
+}
+
+impl OwnedEpochGuard {
+    /// The epoch this guard observed at pin time.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn domain_id(&self) -> u64 {
+        self.domain.id
+    }
+}
+
+impl Drop for OwnedEpochGuard {
+    fn drop(&mut self) {
+        if self.outermost {
+            // ORDERING: Release — same unpin edge as `EpochGuard::drop`.
+            self.domain.array.slots[self.idx]
+                .epoch
+                .store(UNPINNED, Ordering::Release);
+        }
+    }
+}
+
+/// One published version's heap node; owned by `current` while live,
+/// then by the retired list until reclaimed.
+#[derive(Debug)]
+struct VersionNode<T> {
+    value: T,
+}
+
+/// A version awaiting reclamation: freed once `min_pinned >= epoch`.
+struct Retired<T> {
+    /// The post-advance epoch of the publish that displaced this node.
+    epoch: u64,
+    node: *mut VersionNode<T>,
+}
+
+/// An epoch-versioned cell: readers [`load`](Versioned::load) the
+/// current value under a pin, a single writer
+/// [`publish`](Versioned::publish)es replacements, and displaced
+/// versions are reclaimed by [`gc`](Versioned::gc) once no pin predates
+/// them.
+///
+/// ```
+/// use ringo_concurrent::epoch::{EpochDomain, Versioned};
+/// use std::sync::Arc;
+///
+/// let domain = Arc::new(EpochDomain::new());
+/// let cell = Versioned::new(Arc::clone(&domain), "v1");
+/// let guard = domain.pin();
+/// assert_eq!(*cell.load(&guard), "v1");
+/// cell.publish("v2");
+/// // The pinned reader can still reach v1's memory; new pins see v2.
+/// assert_eq!(cell.gc(), 0, "v1 stays while the old pin lives");
+/// drop(guard);
+/// assert_eq!(cell.gc(), 1, "v1 reclaimed after unpin");
+/// let guard = domain.pin();
+/// assert_eq!(*cell.load(&guard), "v2");
+/// ```
+pub struct Versioned<T> {
+    domain: Arc<EpochDomain>,
+    /// Never null: constructed with an initial version.
+    current: VAtomicPtr<VersionNode<T>>,
+    /// Serializes publish against publish and against gc — the "single
+    /// writer" of the protocol is whoever holds this lock.
+    writer: VMutex<Vec<Retired<T>>>,
+}
+
+// SAFETY: the raw `VersionNode` pointers are created from `Box` and
+// uniquely owned by this cell's current-pointer / retired-list
+// structure; shared references handed out by `load` are `&T`, so the
+// usual `Send + Sync` bounds on `T` make cross-thread sharing of the
+// cell sound.
+unsafe impl<T: Send + Sync> Send for Versioned<T> {}
+// SAFETY: see the `Send` impl above; `load` only ever produces `&T`.
+unsafe impl<T: Send + Sync> Sync for Versioned<T> {}
+
+impl<T> Versioned<T> {
+    /// A cell whose first version is `initial`, protected by `domain`.
+    pub fn new(domain: Arc<EpochDomain>, initial: T) -> Self {
+        let node = Box::into_raw(Box::new(VersionNode { value: initial }));
+        Self {
+            domain,
+            current: VAtomicPtr::new(node),
+            writer: VMutex::new(Vec::new()),
+        }
+    }
+
+    /// The domain protecting this cell.
+    pub fn domain(&self) -> &Arc<EpochDomain> {
+        &self.domain
+    }
+
+    /// The current value, valid for as long as `guard` stays pinned.
+    ///
+    /// # Panics
+    /// Panics if `guard` pins a different domain than this cell's.
+    // LINT: hot
+    pub fn load<'a>(&'a self, guard: &'a EpochGuard<'_>) -> &'a T {
+        assert_eq!(
+            guard.domain_id(),
+            self.domain.id,
+            "epoch guard pins a different domain than this Versioned cell"
+        );
+        let p = self.current.load(Ordering::Acquire);
+        // SAFETY: `current` is never null, and the node it points at
+        // cannot have been freed: reclamation requires `min_pinned >=
+        // retire_epoch`, the validated pin holds the guard's slot at an
+        // epoch older than any publish that could retire this node, and
+        // the SeqCst pin/scan protocol (module docs) guarantees the scan
+        // sees that slot. The `'a` bound ties the borrow to both the
+        // guard (pin lifetime) and `self` (cell lifetime).
+        unsafe { &(*p).value }
+    }
+
+    /// Like [`load`](Self::load) but for an owned guard.
+    ///
+    /// # Panics
+    /// Panics if `guard` pins a different domain than this cell's.
+    pub fn load_owned<'a>(&'a self, guard: &'a OwnedEpochGuard) -> &'a T {
+        assert_eq!(
+            guard.domain_id(),
+            self.domain.id,
+            "epoch guard pins a different domain than this Versioned cell"
+        );
+        let p = self.current.load(Ordering::Acquire);
+        // SAFETY: identical argument to `load`; the owned guard pins the
+        // same slot protocol.
+        unsafe { &(*p).value }
+    }
+
+    /// Installs `value` as the new current version and retires the old
+    /// one, returning the new global epoch. Readers never block on this:
+    /// the swing is one `Release` pointer store.
+    pub fn publish(&self, value: T) -> u64 {
+        let mut sp = ringo_trace::span!("epoch.publish");
+        let mut retired = self.writer.lock();
+        let node = Box::into_raw(Box::new(VersionNode { value }));
+        // ORDERING: Acquire/Release on the current pointer — only the
+        // lock holder stores it, so load-then-store is not a race; the
+        // Release store publishes the new node's contents to readers'
+        // Acquire loads. The epoch advance AFTER the swing (SeqCst, see
+        // module docs) is what makes the retire epoch safe: any reader
+        // pinned before the advance can at worst still see the old node,
+        // whose retire epoch now exceeds that reader's pin.
+        let old = self.current.load(Ordering::Acquire);
+        self.current.store(node, Ordering::Release);
+        let epoch = self.domain.advance();
+        retired.push(Retired { epoch, node: old });
+        sp.rows_out(retired.len());
+        epoch
+    }
+
+    /// Number of versions retired but not yet reclaimed.
+    pub fn retired_count(&self) -> usize {
+        self.writer.lock().len()
+    }
+
+    /// Frees every retired version no pinned reader can still reach,
+    /// returning how many were freed.
+    pub fn gc(&self) -> usize {
+        let mut sp = ringo_trace::span!("epoch.gc");
+        let mut retired = self.writer.lock();
+        sp.rows_in(retired.len());
+        let min = self.domain.min_pinned();
+        let before = retired.len();
+        retired.retain(|r| {
+            if r.epoch <= min {
+                // SAFETY: retired nodes are uniquely owned by this list
+                // (the publish that displaced them holds the only other
+                // path, `current`, which now points elsewhere), and
+                // `min_pinned >= retire epoch` proves no reader pin can
+                // still reach the node (module docs).
+                drop(unsafe { Box::from_raw(r.node) });
+                false
+            } else {
+                true
+            }
+        });
+        let freed = before - retired.len();
+        ringo_trace::counter("epoch.reclaimed").add(freed as u64);
+        sp.rows_out(freed);
+        freed
+    }
+}
+
+impl<T> Drop for Versioned<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no guard-borrowed reference remains
+        // (load ties borrows to `&self`), so both the current node and
+        // every retired node are uniquely reachable from here.
+        unsafe {
+            drop(Box::from_raw(*self.current.get_mut()));
+            for r in self.writer.get_mut().drain(..) {
+                drop(Box::from_raw(r.node));
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Versioned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Versioned")
+            .field("epoch", &self.domain.epoch())
+            .field("retired", &self.retired_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_tracks_current_epoch() {
+        let d = EpochDomain::with_slots(4);
+        assert_eq!(d.epoch(), 1);
+        let g = d.pin();
+        assert_eq!(g.epoch(), 1);
+        assert_eq!(d.pinned_count(), 1);
+        assert_eq!(d.min_pinned(), 1);
+        drop(g);
+        assert_eq!(d.pinned_count(), 0);
+        assert_eq!(d.min_pinned(), u64::MAX);
+    }
+
+    #[test]
+    fn nested_pins_keep_oldest_epoch() {
+        let d = Arc::new(EpochDomain::with_slots(4));
+        let cell = Versioned::new(Arc::clone(&d), 1u32);
+        let outer = d.pin();
+        cell.publish(2);
+        let inner = d.pin();
+        // The inner pin must not overwrite the outer pin's older epoch.
+        assert_eq!(d.min_pinned(), outer.epoch());
+        assert_eq!(*cell.load(&inner), 2, "inner pin reads the new version");
+        assert_eq!(cell.gc(), 0, "outer pin still protects v1");
+        drop(inner);
+        assert_eq!(d.min_pinned(), outer.epoch(), "outer pin survives inner");
+        drop(outer);
+        assert_eq!(cell.gc(), 1);
+    }
+
+    #[test]
+    fn publish_retire_reclaim_cycle() {
+        let d = Arc::new(EpochDomain::with_slots(4));
+        let cell = Versioned::new(Arc::clone(&d), vec![1u8; 64]);
+        let g = d.pin();
+        assert_eq!(cell.load(&g).len(), 64);
+        for i in 0..5 {
+            cell.publish(vec![i; 64]);
+        }
+        assert_eq!(cell.retired_count(), 5);
+        assert_eq!(cell.gc(), 0, "pinned reader holds all retirees");
+        drop(g);
+        assert_eq!(cell.gc(), 5);
+        assert_eq!(cell.retired_count(), 0);
+        let g = d.pin();
+        assert_eq!(*cell.load(&g), vec![4u8; 64]);
+    }
+
+    #[test]
+    fn owned_guard_pins_like_borrowed() {
+        let d = Arc::new(EpochDomain::with_slots(4));
+        let cell = Versioned::new(Arc::clone(&d), 7i64);
+        let g = d.pin_owned();
+        cell.publish(8);
+        assert_eq!(*cell.load_owned(&g), 8);
+        assert_eq!(cell.gc(), 0);
+        drop(g);
+        assert_eq!(cell.gc(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_across_threads() {
+        let d = Arc::new(EpochDomain::with_slots(2));
+        // Sequential short-lived threads release their claims on exit,
+        // so two slots serve any number of them.
+        for i in 0..8u64 {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || {
+                let g = d.pin();
+                assert!(g.epoch() >= 1);
+                i
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(d.pinned_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_freed_versions() {
+        let d = Arc::new(EpochDomain::new());
+        let cell = Arc::new(Versioned::new(Arc::clone(&d), vec![0u64; 256]));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let (d, cell, stop) = (Arc::clone(&d), Arc::clone(&cell), Arc::clone(&stop));
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let g = d.pin();
+                        let v = cell.load(&g);
+                        let first = v[0];
+                        assert!(v.iter().all(|&x| x == first), "torn version");
+                        assert!(first >= last, "version went backwards");
+                        last = first;
+                    }
+                })
+            })
+            .collect();
+        for ver in 1..=200u64 {
+            cell.publish(vec![ver; 256]);
+            cell.gc();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        cell.gc();
+        assert_eq!(cell.retired_count(), 0, "all pins gone after join");
+    }
+}

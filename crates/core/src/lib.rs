@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod mem;
 pub mod oplog;
 pub mod query;
@@ -42,6 +43,7 @@ pub use ringo_graph as graph;
 pub use ringo_table as table;
 pub use ringo_trace as trace;
 
+pub use catalog::{Catalog, Dataset, DatasetKind, GcPolicy, Snapshot, VersionMeta};
 pub use oplog::{OpLog, OpRecord, OpTiming};
 pub use query::{OpProfile, QueryBuilder, QueryProfile};
 
@@ -65,6 +67,7 @@ pub type Result<T> = std::result::Result<T, TableError>;
 pub struct Ringo {
     threads: usize,
     ops: OpLog,
+    catalog: Catalog,
 }
 
 impl Default for Ringo {
@@ -80,6 +83,7 @@ impl Ringo {
         Self {
             threads: ringo_concurrent::num_threads(),
             ops: OpLog::default(),
+            catalog: Catalog::new(),
         }
     }
 
@@ -88,6 +92,7 @@ impl Ringo {
         Self {
             threads: threads.max(1),
             ops: OpLog::default(),
+            catalog: Catalog::new(),
         }
     }
 
@@ -113,6 +118,89 @@ impl Ringo {
     /// Clears the op-log history.
     pub fn clear_op_log(&self) {
         self.ops.clear()
+    }
+
+    // ---- versioned catalog (epoch snapshots; see [`catalog`]) ----
+
+    /// The versioned catalog shared by this context and its clones.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Publishes `table` as the new current version of `name`, returning
+    /// its per-name version number. Snapshots taken earlier keep reading
+    /// the version they pinned.
+    pub fn publish_table(&self, name: &str, mut table: Table) -> u64 {
+        table.set_threads(self.threads);
+        let rows = table.n_rows();
+        self.ops.run(
+            "publish",
+            format!("{name} (table)"),
+            rows,
+            |_| rows,
+            || self.catalog.publish_table(name, table),
+        )
+    }
+
+    /// Publishes `graph` as the new current version of `name`.
+    pub fn publish_graph(&self, name: &str, graph: DirectedGraph) -> u64 {
+        let edges = graph.edge_count();
+        self.ops.run(
+            "publish",
+            format!("{name} (graph)"),
+            edges,
+            |_| edges,
+            || self.catalog.publish_graph(name, graph),
+        )
+    }
+
+    /// The current version of `name`, if bound. A point read; take a
+    /// [`Ringo::snapshot`] for multi-step consistency.
+    pub fn get(&self, name: &str) -> Option<Dataset> {
+        self.catalog.get(name)
+    }
+
+    /// Every version published under `name`, oldest first (metadata
+    /// only).
+    pub fn versions(&self, name: &str) -> Vec<VersionMeta> {
+        self.catalog.versions(name)
+    }
+
+    /// Pins the current epoch: every name resolved through the returned
+    /// [`Snapshot`] — by [`Ringo::query_at`], by algorithm verbs fed
+    /// [`Snapshot::graph`] borrows — reads one consistent version of the
+    /// catalog for the snapshot's whole lifetime.
+    pub fn snapshot(&self) -> Snapshot {
+        self.ops
+            .run("snapshot", String::new(), 0, Snapshot::len, || {
+                self.catalog.snapshot()
+            })
+    }
+
+    /// Reclaims every catalog version no pinned snapshot can reach,
+    /// returning how many were freed.
+    pub fn catalog_gc(&self) -> usize {
+        self.ops.run(
+            "catalog_gc",
+            String::new(),
+            0,
+            |freed| *freed,
+            || self.catalog.gc(),
+        )
+    }
+
+    /// Compacts the adjacency storage of graph `name` and publishes the
+    /// rewrite as a new version (see [`Catalog::compact_graph`]).
+    pub fn compact_graph(&self, name: &str) -> Option<(u64, ringo_graph::CompactStats)> {
+        self.ops.run(
+            "compact",
+            name.to_string(),
+            0,
+            |r: &Option<(u64, ringo_graph::CompactStats)>| {
+                r.as_ref().map_or(0, |(_, s)| s.reclaimed_bytes())
+            },
+            || self.catalog.compact_graph(name),
+        )
     }
 
     // ---- table I/O ----

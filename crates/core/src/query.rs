@@ -12,10 +12,11 @@
 //! `scan[1000000] select[37 m16 w4] project[37] collect[37] gathers=1`
 //! (16 morsels executed by 4 distinct pool workers).
 
+use crate::catalog::Snapshot;
 use crate::{Result, Ringo};
 use ringo_table::exec;
 use ringo_table::plan::Plan;
-use ringo_table::{AggOp, Predicate, Schema, Table};
+use ringo_table::{AggOp, Predicate, Schema, Table, TableError};
 
 /// A lazy query under construction. Created by [`Ringo::query`]; verbs
 /// chain by value and nothing executes until [`QueryBuilder::collect`]
@@ -55,6 +56,36 @@ impl Ringo {
             plan: Plan::scan(0),
         }
     }
+
+    /// Starts a lazy query over the table bound to `name` in `snapshot`.
+    ///
+    /// Because the snapshot pins one epoch, every query resolved through
+    /// it — including tables pulled in later by
+    /// [`QueryBuilder::join_named`] — reads the same version of the
+    /// catalog, no matter how many publishes land in between collects.
+    ///
+    /// ```
+    /// use ringo_core::{Ringo, Table};
+    ///
+    /// let ringo = Ringo::with_threads(2);
+    /// ringo.publish_table("t", Table::from_int_column("x", vec![1, 2, 3]));
+    /// let snap = ringo.snapshot();
+    /// ringo.publish_table("t", Table::from_int_column("x", vec![9]));
+    /// let out = ringo.query_at(&snap, "t").unwrap().collect().unwrap();
+    /// assert_eq!(out.n_rows(), 3, "reads the pinned version");
+    /// ```
+    pub fn query_at<'a>(&'a self, snapshot: &'a Snapshot, name: &str) -> Result<QueryBuilder<'a>> {
+        Ok(self.query(resolve_table(snapshot, name)?))
+    }
+}
+
+/// Resolves `name` to a table borrow in `snapshot`, mapping a missing or
+/// non-table binding to [`TableError::InvalidArgument`].
+fn resolve_table<'a>(snapshot: &'a Snapshot, name: &str) -> Result<&'a Table> {
+    snapshot
+        .table(name)
+        .map(|t| &**t)
+        .ok_or_else(|| TableError::InvalidArgument(format!("no table {name:?} in snapshot")))
 }
 
 impl<'a> QueryBuilder<'a> {
@@ -78,6 +109,19 @@ impl<'a> QueryBuilder<'a> {
         self.tables.push(other);
         self.plan = Plan::join(self.plan, Plan::scan(idx), left_col, right_col);
         self
+    }
+
+    /// Like [`QueryBuilder::join`], but the right side is resolved by
+    /// name from a pinned [`Snapshot`] — the same consistent version of
+    /// the catalog the rest of the query reads.
+    pub fn join_named(
+        self,
+        snapshot: &'a Snapshot,
+        name: &str,
+        left_col: &str,
+        right_col: &str,
+    ) -> Result<Self> {
+        Ok(self.join(resolve_table(snapshot, name)?, left_col, right_col))
     }
 
     /// Groups and aggregates (lazy [`Table::group_by`]).
@@ -462,6 +506,33 @@ mod tests {
         assert!(rendered.contains("busy share"), "{rendered}");
         // No op-log record: profile is observe-only, like explain_analyze.
         assert!(ringo.op_log().iter().all(|r| r.name != "query"));
+    }
+
+    #[test]
+    fn snapshot_resolved_query_reads_one_version() {
+        let ringo = Ringo::with_threads(2);
+        ringo.publish_table("posts", sample());
+        ringo.publish_table("vals", Table::from_int_column("val", vec![0, 1, 2]));
+        let snap = ringo.snapshot();
+        // Publishes landing mid-session must not leak into the pinned
+        // snapshot — not even for tables joined in by name later.
+        ringo.publish_table("posts", Table::from_int_column("id", vec![1]));
+        ringo.publish_table("vals", Table::from_int_column("val", vec![7]));
+        let out = ringo
+            .query_at(&snap, "posts")
+            .unwrap()
+            .select(&Predicate::int("id", Cmp::Lt, 50))
+            .join_named(&snap, "vals", "val", "val")
+            .unwrap()
+            .group_by(&["val"], None, AggOp::Count, "n")
+            .collect()
+            .unwrap();
+        assert_eq!(out.n_rows(), 3, "joined the pinned 3-row vals table");
+        let n: i64 = out.int_col("n").unwrap().iter().sum();
+        // ids 0..50 with id%7 == 0 (8 of them), 1 (7), or 2 (7).
+        assert_eq!(n, 22);
+        // Unknown names and non-tables error cleanly.
+        assert!(ringo.query_at(&snap, "nope").is_err());
     }
 
     #[test]

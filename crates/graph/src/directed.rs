@@ -1,7 +1,7 @@
 //! The paper's dynamic directed graph: a node hash table with sorted
 //! in/out adjacency vectors per node.
 
-use crate::nbrs::NbrList;
+use crate::nbrs::{AdjacencyStats, CompactStats, NbrList};
 use crate::traits::DirectedTopology;
 use crate::NodeId;
 use ringo_concurrent::IntHashTable;
@@ -344,6 +344,52 @@ impl DirectedGraph {
         g
     }
 
+    /// Adjacency-storage accounting: slab vs owned lists, live vs dead
+    /// slab bytes. [`AdjacencyStats::dead_slab_bytes`] is the retention
+    /// that mutations leak and [`DirectedGraph::compact`] reclaims.
+    pub fn adjacency_stats(&self) -> AdjacencyStats {
+        let mut stats = AdjacencyStats::default();
+        let mut slabs = std::collections::HashMap::new();
+        for c in self.nodes.iter().flatten() {
+            c.in_nbrs.accumulate(&mut stats, &mut slabs);
+            c.out_nbrs.accumulate(&mut stats, &mut slabs);
+        }
+        stats.finish(&slabs)
+    }
+
+    /// Rewrites every adjacency list into two fresh, exactly-sized
+    /// shared slabs (one per direction), releasing dead slab ranges left
+    /// behind by mutations and collapsing per-node owned vectors back
+    /// into bulk storage. Topology is unchanged; the graph stays fully
+    /// dynamic afterwards.
+    ///
+    /// Rewriting the adjacency into a new immutable slab is exactly what
+    /// a copy-on-write version publish does, so the core crate's
+    /// `Catalog` runs this as one: clone (cheap — slab views share),
+    /// compact the clone, publish it as the next version, and let the
+    /// epoch machinery retire the old slabs once unpinned.
+    pub fn compact(&mut self) -> CompactStats {
+        let before = self.adjacency_stats();
+        let mut ins: Vec<&mut NbrList> = self
+            .nodes
+            .iter_mut()
+            .flatten()
+            .map(|c| &mut c.in_nbrs)
+            .collect();
+        NbrList::compact(&mut ins);
+        let mut outs: Vec<&mut NbrList> = self
+            .nodes
+            .iter_mut()
+            .flatten()
+            .map(|c| &mut c.out_nbrs)
+            .collect();
+        NbrList::compact(&mut outs);
+        CompactStats {
+            before,
+            after: self.adjacency_stats(),
+        }
+    }
+
     /// Collapses edge direction, returning the undirected version of this
     /// graph (self-loops preserved, reciprocal edges merged).
     pub fn to_undirected(&self) -> crate::UndirectedGraph {
@@ -618,5 +664,75 @@ mod tests {
         g.add_edge(-10, i64::MAX);
         assert!(g.has_edge(-10, i64::MAX));
         assert_eq!(g.out_nbrs(-10), &[i64::MAX]);
+    }
+
+    /// A bulk-loaded chain graph with ids 0..n (so every endpoint is a
+    /// distinct node and the slab layout is easy to reason about).
+    fn chain_graph(n: usize) -> DirectedGraph {
+        let ids: Vec<NodeId> = (0..n as NodeId).collect();
+        let mut out_off = vec![0usize];
+        let mut out_slab = Vec::new();
+        let mut in_off = vec![0usize];
+        let mut in_slab = Vec::new();
+        for k in 0..n {
+            if k + 1 < n {
+                out_slab.push((k + 1) as NodeId);
+            }
+            out_off.push(out_slab.len());
+            if k > 0 {
+                in_slab.push((k - 1) as NodeId);
+            }
+            in_off.push(in_slab.len());
+        }
+        DirectedGraph::from_sorted_parts(ids, &in_off, &in_slab, &out_off, &out_slab)
+    }
+
+    #[test]
+    fn compact_reclaims_dead_slab_ranges() {
+        let mut g = chain_graph(100);
+        let fresh = g.adjacency_stats();
+        assert_eq!(fresh.owned_lists, 0, "bulk load is all views");
+        assert_eq!(fresh.dead_slab_bytes(), 0);
+        // Mutations materialize some lists; their old ranges go dead but
+        // the slab stays fully retained.
+        for id in 0..40 {
+            g.del_edge(id, id + 1);
+        }
+        let dirty = g.adjacency_stats();
+        assert!(dirty.owned_lists > 0);
+        assert!(dirty.dead_slab_bytes() > 0, "mutations leak dead ranges");
+        let want: Vec<(NodeId, Vec<NodeId>, Vec<NodeId>)> = g
+            .node_ids()
+            .map(|id| (id, g.in_nbrs(id).to_vec(), g.out_nbrs(id).to_vec()))
+            .collect();
+        let stats = g.compact();
+        assert_eq!(stats.after.owned_lists, 0, "everything rebound as views");
+        assert_eq!(stats.after.dead_slab_bytes(), 0);
+        assert!(stats.reclaimed_bytes() > 0);
+        assert!(stats.after.footprint_bytes() < stats.before.footprint_bytes());
+        for (id, ins, outs) in want {
+            assert_eq!(g.in_nbrs(id), &ins[..], "in-adjacency preserved");
+            assert_eq!(g.out_nbrs(id), &outs[..], "out-adjacency preserved");
+        }
+        // Still fully dynamic afterwards.
+        assert!(g.add_edge(0, 99));
+        assert!(g.del_edge(50, 51));
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_handles_empty() {
+        let mut empty = DirectedGraph::new();
+        let stats = empty.compact();
+        assert_eq!(stats.reclaimed_bytes(), 0);
+        let mut g = chain_graph(10);
+        g.del_edge(3, 4);
+        g.compact();
+        let again = g.compact();
+        assert_eq!(
+            again.reclaimed_bytes(),
+            0,
+            "second compact finds nothing to reclaim"
+        );
+        assert_eq!(g.edge_count(), 8);
     }
 }

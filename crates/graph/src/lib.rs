@@ -29,6 +29,7 @@ pub mod weighted;
 
 pub use csr::CsrGraph;
 pub use directed::DirectedGraph;
+pub use nbrs::{AdjacencyStats, CompactStats};
 pub use traits::{DirectedTopology, Direction};
 pub use undirected::UndirectedGraph;
 pub use weighted::WeightedDigraph;

@@ -85,11 +85,135 @@ impl NbrList {
     /// Heap bytes attributable to this list. Slab ranges partition their
     /// slab, so charging each node its own range sums to the slab's true
     /// footprint (the `Arc` header is ignored as per-batch constant).
+    ///
+    /// After mutations this *understates* retention: a view's dead
+    /// sibling ranges keep the whole slab alive but are charged to
+    /// nobody. [`AdjacencyStats`] reports the honest number;
+    /// [`NbrList::compact`] reclaims the difference.
     pub(crate) fn heap_bytes(&self) -> usize {
         match self {
             NbrList::Owned(v) => v.capacity() * std::mem::size_of::<NodeId>(),
             NbrList::Slab { lo, hi, .. } => (hi - lo) as usize * std::mem::size_of::<NodeId>(),
         }
+    }
+
+    /// Identity and full length of the backing slab, if any:
+    /// `(address, slab_len)` — the key [`AdjacencyStats`] groups by.
+    pub(crate) fn slab_id(&self) -> Option<(usize, usize)> {
+        match self {
+            NbrList::Owned(_) => None,
+            NbrList::Slab { buf, .. } => Some((buf.as_ptr() as usize, buf.len())),
+        }
+    }
+
+    /// Accumulates this list into `stats`, tracking distinct slabs in
+    /// `slabs` (address → full slab length).
+    pub(crate) fn accumulate(
+        &self,
+        stats: &mut AdjacencyStats,
+        slabs: &mut std::collections::HashMap<usize, usize>,
+    ) {
+        match self.slab_id() {
+            Some((addr, slab_len)) => {
+                stats.slab_lists += 1;
+                stats.live_slab_bytes += self.len() * std::mem::size_of::<NodeId>();
+                slabs.insert(addr, slab_len);
+            }
+            None => {
+                stats.owned_lists += 1;
+                stats.owned_bytes += self.heap_bytes();
+            }
+        }
+    }
+
+    /// The long-pending compaction: rewrites every list in `lists` —
+    /// surviving slab views *and* privately-owned vectors — into one
+    /// fresh, exactly-sized shared slab and rebinds each list as a view
+    /// into it.
+    ///
+    /// Batch granularity is the whole point: a slab is only freed when
+    /// its last view drops, so compacting lists one at a time could
+    /// never release a dead range. Rewriting the full surviving set is
+    /// what lets the old slabs (dead ranges included) go, and the result
+    /// is a brand-new immutable slab — which is exactly the shape a
+    /// copy-on-write version publish wants, so graph compaction rides
+    /// the epoch machinery (see the core crate's `Catalog`).
+    pub(crate) fn compact(lists: &mut [&mut NbrList]) {
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        let mut slab = Vec::with_capacity(total);
+        let mut bounds = Vec::with_capacity(lists.len());
+        for list in lists.iter() {
+            let lo = slab.len();
+            slab.extend_from_slice(list);
+            bounds.push(lo);
+        }
+        let buf: Arc<[NodeId]> = Arc::from(slab);
+        for (list, lo) in lists.iter_mut().zip(bounds) {
+            let hi = lo + list.len();
+            **list = NbrList::slab(&buf, lo, hi);
+        }
+    }
+}
+
+/// Adjacency-storage accounting for one graph: how many lists are slab
+/// views vs privately owned, and how much slab memory is still
+/// referenced vs retained. Produced by the graphs' `adjacency_stats`;
+/// `dead_slab_bytes` is what their `compact` reclaims.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdjacencyStats {
+    /// Lists that are copy-on-write views into a shared slab.
+    pub slab_lists: usize,
+    /// Lists that own their storage (materialized by mutation).
+    pub owned_lists: usize,
+    /// Bytes of slab ranges still referenced by a live view.
+    pub live_slab_bytes: usize,
+    /// Full allocated bytes of every distinct slab kept alive.
+    pub total_slab_bytes: usize,
+    /// Bytes held by privately-owned lists (capacity, not length).
+    pub owned_bytes: usize,
+}
+
+impl AdjacencyStats {
+    /// Slab bytes kept alive but referenced by no live view — the leak
+    /// compaction exists to reclaim.
+    pub fn dead_slab_bytes(&self) -> usize {
+        self.total_slab_bytes - self.live_slab_bytes
+    }
+
+    /// Total adjacency heap retention: every live slab in full, plus
+    /// owned-vector capacity.
+    pub fn footprint_bytes(&self) -> usize {
+        self.total_slab_bytes + self.owned_bytes
+    }
+
+    /// Folds the distinct-slab map built via [`NbrList::accumulate`]
+    /// into `total_slab_bytes`.
+    pub(crate) fn finish(mut self, slabs: &std::collections::HashMap<usize, usize>) -> Self {
+        self.total_slab_bytes = slabs
+            .values()
+            .map(|len| len * std::mem::size_of::<NodeId>())
+            .sum();
+        self
+    }
+}
+
+/// What one `compact()` call did: adjacency accounting immediately
+/// before and after the rewrite.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompactStats {
+    /// Accounting before the rewrite.
+    pub before: AdjacencyStats,
+    /// Accounting after (one exact slab, no owned lists, no dead bytes).
+    pub after: AdjacencyStats,
+}
+
+impl CompactStats {
+    /// Net adjacency bytes released by the rewrite (zero when the graph
+    /// was already compact).
+    pub fn reclaimed_bytes(&self) -> usize {
+        self.before
+            .footprint_bytes()
+            .saturating_sub(self.after.footprint_bytes())
     }
 }
 
@@ -124,5 +248,53 @@ mod tests {
         let buf: Arc<[NodeId]> = Arc::from(vec![0i64; 8]);
         let view = NbrList::slab(&buf, 2, 6);
         assert_eq!(view.heap_bytes(), 4 * std::mem::size_of::<NodeId>());
+    }
+
+    #[test]
+    fn compact_rewrites_views_and_owned_into_one_slab() {
+        let buf: Arc<[NodeId]> = Arc::from(vec![1i64, 2, 3, 4, 5, 6]);
+        let mut a = NbrList::slab(&buf, 0, 2); // survives
+        let mut b = NbrList::Owned(vec![7, 8, 9]); // materialized earlier
+        let mut c = NbrList::slab(&buf, 4, 6); // survives; [2..4] is dead
+        let old_weak = Arc::downgrade(&buf);
+        drop(buf);
+        NbrList::compact(&mut [&mut a, &mut b, &mut c]);
+        assert_eq!(&*a, &[1, 2]);
+        assert_eq!(&*b, &[7, 8, 9]);
+        assert_eq!(&*c, &[5, 6]);
+        assert_eq!(
+            old_weak.upgrade(),
+            None,
+            "old slab freed once its last view is rebound"
+        );
+        let (a_id, a_len) = a.slab_id().expect("rebound as view");
+        assert_eq!(a.slab_id().map(|(p, _)| p), c.slab_id().map(|(p, _)| p));
+        assert_eq!(b.slab_id().map(|(p, _)| p), Some(a_id));
+        assert_eq!(a_len, 7, "fresh slab is exactly sized");
+    }
+
+    #[test]
+    fn compact_handles_empty_input_and_empty_lists() {
+        NbrList::compact(&mut []);
+        let mut a = NbrList::Owned(Vec::new());
+        let mut b = NbrList::Owned(vec![1]);
+        NbrList::compact(&mut [&mut a, &mut b]);
+        assert!(a.is_empty());
+        assert_eq!(&*b, &[1]);
+    }
+
+    #[test]
+    fn adjacency_stats_see_dead_ranges() {
+        let buf: Arc<[NodeId]> = Arc::from(vec![0i64; 8]);
+        let live = NbrList::slab(&buf, 0, 2);
+        drop(buf);
+        let mut stats = AdjacencyStats::default();
+        let mut slabs = std::collections::HashMap::new();
+        live.accumulate(&mut stats, &mut slabs);
+        let stats = stats.finish(&slabs);
+        let elt = std::mem::size_of::<NodeId>();
+        assert_eq!(stats.live_slab_bytes, 2 * elt);
+        assert_eq!(stats.total_slab_bytes, 8 * elt);
+        assert_eq!(stats.dead_slab_bytes(), 6 * elt);
     }
 }

@@ -1,7 +1,7 @@
 //! Dynamic undirected graph: node hash table with one sorted neighbor
 //! vector per node.
 
-use crate::nbrs::NbrList;
+use crate::nbrs::{AdjacencyStats, CompactStats, NbrList};
 use crate::NodeId;
 use ringo_concurrent::IntHashTable;
 use std::sync::Arc;
@@ -225,6 +225,34 @@ impl UndirectedGraph {
         bytes
     }
 
+    /// Adjacency-storage accounting (see
+    /// [`crate::DirectedGraph::adjacency_stats`]).
+    pub fn adjacency_stats(&self) -> AdjacencyStats {
+        let mut stats = AdjacencyStats::default();
+        let mut slabs = std::collections::HashMap::new();
+        for c in self.nodes.iter().flatten() {
+            c.nbrs.accumulate(&mut stats, &mut slabs);
+        }
+        stats.finish(&slabs)
+    }
+
+    /// Rewrites every adjacency list into one fresh, exactly-sized
+    /// shared slab (see [`crate::DirectedGraph::compact`]).
+    pub fn compact(&mut self) -> CompactStats {
+        let before = self.adjacency_stats();
+        let mut lists: Vec<&mut NbrList> = self
+            .nodes
+            .iter_mut()
+            .flatten()
+            .map(|c| &mut c.nbrs)
+            .collect();
+        NbrList::compact(&mut lists);
+        CompactStats {
+            before,
+            after: self.adjacency_stats(),
+        }
+    }
+
     /// Builds a graph from `(id, sorted deduplicated neighbors)` parts that
     /// are mutually consistent. Bulk-loading counterpart of
     /// [`crate::DirectedGraph::from_parts`].
@@ -434,5 +462,38 @@ mod tests {
         assert!(g.nbrs(99).is_empty());
         assert!(!g.del_edge(5, 6));
         assert!(!g.del_node(99));
+    }
+
+    #[test]
+    fn compact_preserves_adjacency_and_reclaims() {
+        // Path 0-1-2-...-19 in slab form: node k neighbors {k-1, k+1}.
+        let n = 20i64;
+        let ids: Vec<NodeId> = (0..n).collect();
+        let mut off = vec![0usize];
+        let mut slab = Vec::new();
+        for k in 0..n {
+            if k > 0 {
+                slab.push(k - 1);
+            }
+            if k + 1 < n {
+                slab.push(k + 1);
+            }
+            off.push(slab.len());
+        }
+        let mut g = UndirectedGraph::from_sorted_parts(ids, &off, &slab);
+        for k in 0..8 {
+            g.del_edge(k, k + 1);
+        }
+        assert!(g.adjacency_stats().dead_slab_bytes() > 0);
+        let want: Vec<(NodeId, Vec<NodeId>)> =
+            g.node_ids().map(|id| (id, g.nbrs(id).to_vec())).collect();
+        let stats = g.compact();
+        assert_eq!(stats.after.owned_lists, 0);
+        assert_eq!(stats.after.dead_slab_bytes(), 0);
+        assert!(stats.reclaimed_bytes() > 0);
+        for (id, nbrs) in want {
+            assert_eq!(g.nbrs(id), &nbrs[..]);
+        }
+        assert!(g.add_edge(0, 19));
     }
 }

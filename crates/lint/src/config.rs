@@ -335,6 +335,10 @@ const KNOB_INVENTORY: &[(&str, &str)] = &[
         "frontier engine: bottom-up to top-down crossover factor (MAX forces bottom-up)",
     ),
     (
+        "RINGO_CATALOG_GC",
+        "versioned catalog: reclamation policy (auto after publish, or manual)",
+    ),
+    (
         "RINGO_CHECK_PCT_DEPTH",
         "concurrency checker: PCT strategy change points",
     ),
@@ -349,6 +353,10 @@ const KNOB_INVENTORY: &[(&str, &str)] = &[
     (
         "RINGO_CHECK_STRATEGY",
         "concurrency checker: restrict exploration strategies",
+    ),
+    (
+        "RINGO_EPOCH_SLOTS",
+        "epoch domains: reader pin-slot count per domain",
     ),
     (
         "RINGO_LJ_SCALE",

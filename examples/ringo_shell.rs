@@ -3,6 +3,13 @@
 //! generate tables, run relational operators, convert to graphs, and
 //! apply analytics, exactly in the spirit of the §4.1 demo session.
 //!
+//! Every named object lives in the context's versioned **catalog**:
+//! commands resolve names through a pinned snapshot (one consistent
+//! epoch per command) and publish their outputs as new versions, so
+//! `ls` shows versions, `versions <name>` shows a name's history,
+//! `gc` reclaims what no pinned reader can reach, and `compact <graph>`
+//! rewrites a mutated graph's adjacency slabs as a fresh version.
+//!
 //! Run with `cargo run --release --example ringo_shell`, then e.g.:
 //!
 //! ```text
@@ -29,9 +36,10 @@
 
 use ringo::algo::Direction;
 use ringo::gen::StackOverflowConfig;
-use ringo::trace::mem::{format_bytes_delta, TrackingAllocator};
-use ringo::{Cmp, ColumnType, DirectedGraph, Predicate, Ringo, Schema, Table};
-use std::collections::HashMap;
+use ringo::trace::mem::{format_bytes, format_bytes_delta, TrackingAllocator};
+use ringo::{
+    Cmp, ColumnType, DatasetKind, DirectedGraph, Predicate, Ringo, Schema, Snapshot, Table,
+};
 use std::io::{BufRead, Write};
 
 // Every allocation flows through the tracking allocator so `timings` and
@@ -41,8 +49,6 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 
 struct Shell {
     ringo: Ringo,
-    tables: HashMap<String, Table>,
-    graphs: HashMap<String, DirectedGraph>,
 }
 
 const HELP: &str = "\
@@ -61,7 +67,7 @@ commands:
   profile <table> [clauses...]               run the plan, print per-operator profile
   stats                                      pool / allocator / flight-recorder gauges
   group <out> <table> <col> count            group sizes
-  order <table> <col> [asc|desc]             sort in place
+  order <table> <col> [asc|desc]             sort (publishes a new version)
   tograph <name> <table> <srccol> <dstcol>   build a directed graph
   totable <name> <graph>                     export a graph's edge table
   pagerank <graph> [top]                     PageRank, print top nodes
@@ -75,31 +81,34 @@ commands:
   savegraph <graph> <path>                   write SNAP-style edge list
   loadgraph <name> <path>                    read SNAP-style edge list
   info <name>                                table or graph summary
-  ls                                         list everything
+  ls                                         list the catalog (versions + epoch)
+  versions <name>                            a name's full publish history
+  gc                                         reclaim unpinned catalog versions
+  compact <graph>                            rewrite adjacency slabs as a new version
   timings                                    per-verb latency & memory aggregates
   provenance [n]                             last n op-log records (default 20)
   trace [reset]                              global ringo-trace report (RINGO_TRACE=1)
   help | quit";
 
+/// Resolves a table by name in a pinned snapshot.
+fn table<'s>(snap: &'s Snapshot, name: &str) -> Result<&'s Table, String> {
+    snap.table(name)
+        .map(|t| &**t)
+        .ok_or(format!("no table named {name:?}"))
+}
+
+/// Resolves a graph by name in a pinned snapshot.
+fn graph<'s>(snap: &'s Snapshot, name: &str) -> Result<&'s DirectedGraph, String> {
+    snap.graph(name)
+        .map(|g| &**g)
+        .ok_or(format!("no graph named {name:?}"))
+}
+
 impl Shell {
     fn new() -> Self {
         Self {
             ringo: Ringo::new(),
-            tables: HashMap::new(),
-            graphs: HashMap::new(),
         }
-    }
-
-    fn table(&self, name: &str) -> Result<&Table, String> {
-        self.tables
-            .get(name)
-            .ok_or(format!("no table named {name:?}"))
-    }
-
-    fn graph(&self, name: &str) -> Result<&DirectedGraph, String> {
-        self.graphs
-            .get(name)
-            .ok_or(format!("no graph named {name:?}"))
     }
 
     fn exec(&mut self, line: &str) -> Result<bool, String> {
@@ -113,16 +122,63 @@ impl Shell {
                 Ok(true)
             }
             ["ls"] => {
-                for (n, t) in &self.tables {
-                    println!("table {n}: {} rows x {} cols", t.n_rows(), t.n_cols());
-                }
-                for (n, g) in &self.graphs {
+                let cat = self.ringo.catalog();
+                for (name, meta) in cat.list() {
+                    let unit = match meta.kind {
+                        DatasetKind::Table => "rows",
+                        DatasetKind::Graph => "edges",
+                    };
                     println!(
-                        "graph {n}: {} nodes, {} edges",
-                        g.node_count(),
-                        g.edge_count()
+                        "{} {name}: v{} (epoch {}), {} {unit}",
+                        meta.kind, meta.version, meta.epoch, meta.cardinality
                     );
                 }
+                println!(
+                    "epoch {} | {} retired version(s) | {} pinned reader(s)",
+                    cat.epoch(),
+                    cat.retired_count(),
+                    cat.pinned_readers()
+                );
+                Ok(true)
+            }
+            ["versions", name] => {
+                let vs = self.ringo.versions(name);
+                if vs.is_empty() {
+                    return err("nothing ever published under that name");
+                }
+                for m in vs {
+                    let unit = match m.kind {
+                        DatasetKind::Table => "rows",
+                        DatasetKind::Graph => "edges",
+                    };
+                    println!(
+                        "  v{} (epoch {}): {} with {} {unit}",
+                        m.version, m.epoch, m.kind, m.cardinality
+                    );
+                }
+                Ok(true)
+            }
+            ["gc"] => {
+                let freed = self.ringo.catalog_gc();
+                let cat = self.ringo.catalog();
+                println!(
+                    "freed {freed} version(s); {} retired remain, {} pinned reader(s)",
+                    cat.retired_count(),
+                    cat.pinned_readers()
+                );
+                Ok(true)
+            }
+            ["compact", name] => {
+                let Some((version, stats)) = self.ringo.compact_graph(name) else {
+                    return err("no graph with that name");
+                };
+                println!(
+                    "graph {name}: v{version} published, {} reclaimed \
+                     ({} dead slab bytes before, {} owned lists rewritten)",
+                    format_bytes(stats.reclaimed_bytes()),
+                    format_bytes(stats.before.dead_slab_bytes()),
+                    stats.before.owned_lists
+                );
                 Ok(true)
             }
             ["gen", "so", name, rest @ ..] => {
@@ -134,15 +190,17 @@ impl Shell {
                     ..Default::default()
                 };
                 let t = self.ringo.generate_stackoverflow(&cfg);
-                println!("table {name}: {} rows", t.n_rows());
-                self.tables.insert(name.to_string(), t);
+                let rows = t.n_rows();
+                let v = self.ringo.publish_table(name, t);
+                println!("table {name}: {rows} rows (v{v})");
                 Ok(true)
             }
             ["gen", "lj", name, rest @ ..] => {
                 let scale: f64 = rest.first().and_then(|s| s.parse().ok()).unwrap_or(0.01);
                 let t = self.ringo.generate_lj_like(scale, 42);
-                println!("table {name}: {} rows", t.n_rows());
-                self.tables.insert(name.to_string(), t);
+                let rows = t.n_rows();
+                let v = self.ringo.publish_table(name, t);
+                println!("table {name}: {rows} rows (v{v})");
                 Ok(true)
             }
             ["load", name, path, schema_spec] => {
@@ -164,20 +222,23 @@ impl Shell {
                     .ringo
                     .load_table_tsv(&schema, std::path::Path::new(path))
                     .map_err(|e| e.to_string())?;
-                println!("table {name}: {} rows", t.n_rows());
-                self.tables.insert(name.to_string(), t);
+                let rows = t.n_rows();
+                let v = self.ringo.publish_table(name, t);
+                println!("table {name}: {rows} rows (v{v})");
                 Ok(true)
             }
-            ["save", table, path] => {
-                let t = self.table(table)?;
+            ["save", name, path] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
                 self.ringo
                     .save_table_tsv(t, std::path::Path::new(path))
                     .map_err(|e| e.to_string())?;
                 println!("wrote {path}");
                 Ok(true)
             }
-            ["show", table, rest @ ..] => {
-                let t = self.table(table)?;
+            ["show", name, rest @ ..] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
                 let n: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(10);
                 let names: Vec<&str> = t.schema().iter().map(|(n, _)| n).collect();
                 println!("{}", names.join("\t"));
@@ -194,31 +255,37 @@ impl Shell {
                 }
                 Ok(true)
             }
-            ["select", out, table, col, op, value] => {
-                let t = self.table(table)?;
+            ["select", out, name, col, op, value] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
                 let pred = build_predicate(t.schema(), col, op, value)?;
                 let r = self.ringo.select(t, &pred).map_err(|e| e.to_string())?;
-                println!("table {out}: {} rows", r.n_rows());
-                self.tables.insert(out.to_string(), r);
+                let rows = r.n_rows();
+                let v = self.ringo.publish_table(out, r);
+                println!("table {out}: {rows} rows (v{v})");
                 Ok(true)
             }
-            ["query", out, table, clauses @ ..] => {
-                let t = self.table(table)?;
-                let q = apply_clauses(&self.tables, self.ringo.query(t), clauses)?;
+            ["query", out, name, clauses @ ..] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
+                let q = apply_clauses(&snap, self.ringo.query(t), clauses)?;
                 let r = q.collect().map_err(|e| e.to_string())?;
-                println!("table {out}: {} rows x {} cols", r.n_rows(), r.n_cols());
-                self.tables.insert(out.to_string(), r);
+                let (rows, cols) = (r.n_rows(), r.n_cols());
+                let v = self.ringo.publish_table(out, r);
+                println!("table {out}: {rows} rows x {cols} cols (v{v})");
                 Ok(true)
             }
-            ["explain", table, clauses @ ..] => {
-                let t = self.table(table)?;
-                let q = apply_clauses(&self.tables, self.ringo.query(t), clauses)?;
+            ["explain", name, clauses @ ..] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
+                let q = apply_clauses(&snap, self.ringo.query(t), clauses)?;
                 print!("{}", q.explain().map_err(|e| e.to_string())?);
                 Ok(true)
             }
-            ["profile", table, clauses @ ..] => {
-                let t = self.table(table)?;
-                let q = apply_clauses(&self.tables, self.ringo.query(t), clauses)?;
+            ["profile", name, clauses @ ..] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
+                let q = apply_clauses(&snap, self.ringo.query(t), clauses)?;
                 let p = q.profile().map_err(|e| e.to_string())?;
                 print!("{}", p.render());
                 Ok(true)
@@ -239,6 +306,14 @@ impl Shell {
                     ringo::trace::mem::format_bytes(ringo::trace::mem::peak_bytes()),
                     ringo::trace::mem::alloc_count()
                 );
+                let cat = self.ringo.catalog();
+                println!(
+                    "catalog: epoch {}, {} entries, {} retired, {} pinned reader(s)",
+                    cat.epoch(),
+                    cat.list().len(),
+                    cat.retired_count(),
+                    cat.pinned_readers()
+                );
                 println!(
                     "flight recorder: {} (events {} recorded, {} dropped across {} threads)",
                     if ringo::trace::enabled() { "on" } else { "off" },
@@ -258,38 +333,47 @@ impl Shell {
                 Ok(true)
             }
             ["join", out, left, right, lcol, rcol] => {
-                let l = self.table(left)?;
-                let r = self.table(right)?;
+                let snap = self.ringo.snapshot();
+                let l = table(&snap, left)?;
+                let r = table(&snap, right)?;
                 let j = self
                     .ringo
                     .join(l, r, lcol, rcol)
                     .map_err(|e| e.to_string())?;
-                println!("table {out}: {} rows x {} cols", j.n_rows(), j.n_cols());
-                self.tables.insert(out.to_string(), j);
+                let (rows, cols) = (j.n_rows(), j.n_cols());
+                let v = self.ringo.publish_table(out, j);
+                println!("table {out}: {rows} rows x {cols} cols (v{v})");
                 Ok(true)
             }
-            ["group", out, table, col, "count"] => {
-                let t = self.table(table)?;
+            ["group", out, name, col, "count"] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
                 let g = self
                     .ringo
                     .group_by(t, &[col], None, ringo::AggOp::Count, "count")
                     .map_err(|e| e.to_string())?;
-                println!("table {out}: {} groups", g.n_rows());
-                self.tables.insert(out.to_string(), g);
+                let rows = g.n_rows();
+                let v = self.ringo.publish_table(out, g);
+                println!("table {out}: {rows} groups (v{v})");
                 Ok(true)
             }
-            ["order", table, col, rest @ ..] => {
+            ["order", name, col, rest @ ..] => {
                 let asc = rest.first().is_none_or(|d| *d != "desc");
-                let Shell { ringo, tables, .. } = self;
-                let t = tables
-                    .get_mut(*table)
-                    .ok_or(format!("no table named {table:?}"))?;
-                ringo.order_by(t, &[col], asc).map_err(|e| e.to_string())?;
-                println!("table {table} sorted by {col}");
+                // Copy-on-write in the catalog world: sort a private copy
+                // and publish it; pinned readers keep the unsorted version.
+                let snap = self.ringo.snapshot();
+                let mut t = table(&snap, name)?.clone();
+                self.ringo
+                    .order_by(&mut t, &[col], asc)
+                    .map_err(|e| e.to_string())?;
+                drop(snap);
+                let v = self.ringo.publish_table(name, t);
+                println!("table {name} sorted by {col} (v{v})");
                 Ok(true)
             }
-            ["describe", table] => {
-                let t = self.table(table)?;
+            ["describe", name] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
                 let d = t.describe();
                 println!("column\ttype\tcount\tdistinct\tmin\tmax\tmean");
                 for row in 0..d.n_rows() {
@@ -311,26 +395,30 @@ impl Shell {
                 }
                 Ok(true)
             }
-            ["sample", out, table, n] => {
-                let t = self.table(table)?;
+            ["sample", out, name, n] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, name)?;
                 let n: usize = n.parse().map_err(|_| "bad sample size".to_string())?;
                 let s = t.sample_rows(n, 42);
-                println!("table {out}: {} rows", s.n_rows());
-                self.tables.insert(out.to_string(), s);
+                let rows = s.n_rows();
+                let v = self.ringo.publish_table(out, s);
+                println!("table {out}: {rows} rows (v{v})");
                 Ok(true)
             }
-            ["triads", graph] => {
-                let g = self.graph(graph)?;
+            ["triads", name] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, name)?;
                 let census = self.ringo.triad_census(g);
-                for (name, count) in ringo::algo::TRIAD_NAMES.iter().zip(census.counts) {
+                for (tname, count) in ringo::algo::TRIAD_NAMES.iter().zip(census.counts) {
                     if count > 0 {
-                        println!("  {name:>4}: {count}");
+                        println!("  {tname:>4}: {count}");
                     }
                 }
                 Ok(true)
             }
-            ["savegraph", graph, path] => {
-                let g = self.graph(graph)?;
+            ["savegraph", name, path] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, name)?;
                 self.ringo
                     .save_graph(g, std::path::Path::new(path))
                     .map_err(|e| e.to_string())?;
@@ -342,37 +430,35 @@ impl Shell {
                     .ringo
                     .load_graph(std::path::Path::new(path))
                     .map_err(|e| e.to_string())?;
-                println!(
-                    "graph {name}: {} nodes, {} edges",
-                    g.node_count(),
-                    g.edge_count()
-                );
-                self.graphs.insert(name.to_string(), g);
+                let (nodes, edges) = (g.node_count(), g.edge_count());
+                let v = self.ringo.publish_graph(name, g);
+                println!("graph {name}: {nodes} nodes, {edges} edges (v{v})");
                 Ok(true)
             }
-            ["tograph", name, table, src, dst] => {
-                let t = self.table(table)?;
+            ["tograph", name, tname, src, dst] => {
+                let snap = self.ringo.snapshot();
+                let t = table(&snap, tname)?;
                 let g = self
                     .ringo
                     .to_graph(t, src, dst)
                     .map_err(|e| e.to_string())?;
-                println!(
-                    "graph {name}: {} nodes, {} edges",
-                    g.node_count(),
-                    g.edge_count()
-                );
-                self.graphs.insert(name.to_string(), g);
+                let (nodes, edges) = (g.node_count(), g.edge_count());
+                let v = self.ringo.publish_graph(name, g);
+                println!("graph {name}: {nodes} nodes, {edges} edges (v{v})");
                 Ok(true)
             }
-            ["totable", name, graph] => {
-                let g = self.graph(graph)?;
+            ["totable", name, gname] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, gname)?;
                 let t = self.ringo.to_edge_table(g);
-                println!("table {name}: {} rows", t.n_rows());
-                self.tables.insert(name.to_string(), t);
+                let rows = t.n_rows();
+                let v = self.ringo.publish_table(name, t);
+                println!("table {name}: {rows} rows (v{v})");
                 Ok(true)
             }
-            ["pagerank", graph, rest @ ..] => {
-                let g = self.graph(graph)?;
+            ["pagerank", name, rest @ ..] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, name)?;
                 let top: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(10);
                 let mut pr = self.ringo.pagerank(g);
                 pr.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -381,14 +467,16 @@ impl Shell {
                 }
                 Ok(true)
             }
-            ["triangles", graph] => {
-                let g = self.graph(graph)?;
+            ["triangles", name] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, name)?;
                 let u = g.to_undirected();
                 println!("{} triangles", self.ringo.count_triangles(&u));
                 Ok(true)
             }
-            ["wcc", graph] => {
-                let g = self.graph(graph)?;
+            ["wcc", name] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, name)?;
                 let c = self.ringo.wcc(g);
                 println!(
                     "{} weak components, largest {}",
@@ -397,8 +485,9 @@ impl Shell {
                 );
                 Ok(true)
             }
-            ["scc", graph] => {
-                let g = self.graph(graph)?;
+            ["scc", name] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, name)?;
                 let c = self.ringo.scc(g);
                 println!(
                     "{} strong components, largest {}",
@@ -408,7 +497,8 @@ impl Shell {
                 Ok(true)
             }
             ["info", name] => {
-                if let Ok(t) = self.table(name) {
+                let snap = self.ringo.snapshot();
+                if let Ok(t) = table(&snap, name) {
                     println!(
                         "table {name}: {} rows x {} cols, ~{} bytes",
                         t.n_rows(),
@@ -418,12 +508,22 @@ impl Shell {
                     for (cn, ty) in t.schema().iter() {
                         println!("  {cn}: {ty}");
                     }
-                } else if let Ok(g) = self.graph(name) {
+                } else if let Ok(g) = graph(&snap, name) {
                     println!(
                         "graph {name}: {} nodes, {} edges, ~{} bytes",
                         g.node_count(),
                         g.edge_count(),
                         g.mem_size()
+                    );
+                    let adj = g.adjacency_stats();
+                    println!(
+                        "  adjacency: {} slab views + {} owned lists, {} live / {} slab bytes \
+                         ({} dead; `compact {name}` reclaims)",
+                        adj.slab_lists,
+                        adj.owned_lists,
+                        format_bytes(adj.live_slab_bytes),
+                        format_bytes(adj.total_slab_bytes),
+                        format_bytes(adj.dead_slab_bytes())
                     );
                 } else {
                     return err("no table or graph with that name");
@@ -493,15 +593,17 @@ impl Shell {
                 println!("trace registry and op-log cleared");
                 Ok(true)
             }
-            ["bfs", graph, src] => {
-                let g = self.graph(graph)?;
+            ["bfs", name, src] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, name)?;
                 let src: i64 = src.parse().map_err(|_| "bad node id".to_string())?;
                 let d = self.ringo.bfs(g, src, Direction::Out);
                 println!("{} nodes reachable from {src}", d.len());
                 Ok(true)
             }
-            ["bfstree", graph, src] => {
-                let g = self.graph(graph)?;
+            ["bfstree", name, src] => {
+                let snap = self.ringo.snapshot();
+                let g = graph(&snap, name)?;
                 let src: i64 = src.parse().map_err(|_| "bad node id".to_string())?;
                 let t = self.ringo.bfs_tree(g, src, Direction::Out);
                 let mut sample: Vec<(i64, i64)> = t
@@ -561,9 +663,11 @@ fn build_predicate(schema: &Schema, col: &str, op: &str, value: &str) -> Result<
 /// `where <col> <op> <value>`, `project <a,b,..>`,
 /// `join <table> <lcol> <rcol>`. Where-clause types resolve against the
 /// builder's current schema, so predicates after a join or projection
-/// see the derived columns.
+/// see the derived columns. Joined tables resolve by name from the same
+/// pinned snapshot as the query's base table, so the whole plan reads
+/// one consistent catalog version.
 fn apply_clauses<'a>(
-    tables: &'a HashMap<String, Table>,
+    snap: &'a Snapshot,
     mut q: ringo::QueryBuilder<'a>,
     clauses: &[&str],
 ) -> Result<ringo::QueryBuilder<'a>, String> {
@@ -596,10 +700,9 @@ fn apply_clauses<'a>(
                 else {
                     unreachable!("get(..3) yields 3 tokens");
                 };
-                let t = tables
-                    .get(*name)
-                    .ok_or(format!("no table named {name:?}"))?;
-                q = q.join(t, lcol, rcol);
+                q = q
+                    .join_named(snap, name, lcol, rcol)
+                    .map_err(|e| e.to_string())?;
                 i += 4;
             }
             other => {
