@@ -162,12 +162,22 @@ thread_local! {
 }
 
 /// The calling OS thread's virtual identity, if it has one.
+///
+/// Uses `try_with`: virtual primitives run from other TLS destructors
+/// (e.g. the epoch layer's claim cache releasing its slots at thread
+/// exit), and destructor order is unspecified, so this TLS may already
+/// be gone by then. A thread whose scheduler TLS is destroyed cannot be
+/// participating in a schedule, so `None` (passthrough to the real
+/// primitive) is the correct answer — `with` would panic inside a TLS
+/// destructor, which aborts the process.
 pub(crate) fn current() -> Option<Ctx> {
-    CURRENT.with(|c| c.borrow().clone())
+    CURRENT.try_with(|c| c.borrow().clone()).ok().flatten()
 }
 
 pub(crate) fn set_current(ctx: Option<Ctx>) {
-    CURRENT.with(|c| *c.borrow_mut() = ctx);
+    // Same teardown tolerance as `current`: nothing to record on a
+    // thread whose scheduler TLS is already destroyed.
+    let _ = CURRENT.try_with(|c| *c.borrow_mut() = ctx);
 }
 
 type Guard<'a> = MutexGuard<'a, ExecState>;

@@ -7,12 +7,16 @@
 //! protocol is the classic epoch scheme specialized to one writer:
 //!
 //! * a [`EpochDomain`] holds a monotonically increasing **global epoch**
-//!   and a fixed array of per-thread **pin slots** (`RINGO_EPOCH_SLOTS`,
-//!   padded to a cache line each);
+//!   and a fixed array of **pin slots** (`RINGO_EPOCH_SLOTS`, padded to
+//!   a cache line each) — one per pinning thread, plus one per live
+//!   [`OwnedEpochGuard`], which owns its slot so it can migrate threads;
 //! * a reader [`EpochDomain::pin`]s by writing the epoch it observed
-//!   into its slot and re-validating the global epoch — steady-state
-//!   this is two loads and one store, no CAS, no lock, and never blocks
-//!   on a writer;
+//!   into its thread's slot and re-validating the global epoch —
+//!   steady-state this is a handful of loads and stores, no CAS, no
+//!   lock, and never blocks on a writer. Nested pins on a thread bump a
+//!   slot-local depth count and share the outer pin's (older) epoch, so
+//!   guards may drop in any order — the slot unpins when the count
+//!   returns to zero;
 //! * the single writer publishes a new [`Versioned`] value by swinging
 //!   the current pointer (`Release`) and *then* advancing the global
 //!   epoch, recording the displaced version with the post-advance epoch;
@@ -39,17 +43,24 @@
 
 use crate::sync::{yield_now, VAtomicPtr, VAtomicU64, VAtomicUsize, VMutex};
 use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock, Weak};
 
 /// Slot value meaning "no epoch pinned".
 const UNPINNED: u64 = u64::MAX;
 
-/// Slot owner flag: free for any thread to claim.
+/// Slot owner flag: free for any thread (or owned guard) to claim.
 const FREE: usize = 0;
-/// Slot owner flag: claimed by some thread (slots are thread-affine; the
-/// claim is cached thread-locally and released on thread exit).
+/// Slot owner flag: claimed — by a thread's claim cache (borrowed pins)
+/// or by one [`OwnedEpochGuard`] (which owns its slot outright).
 const CLAIMED: usize = 1;
+/// High bit of `Slot::depth`: the owning thread's claim cache was
+/// destroyed while a borrowed guard on this thread was still live (TLS
+/// destructor order is unspecified), so releasing the slot's claim
+/// falls to that last guard's drop. Lives in the depth word so the
+/// common unpin path needs no extra load to rule it out.
+const DEPTH_ORPHANED: usize = usize::MAX / 2 + 1;
 
 /// Default pin-slot count when `RINGO_EPOCH_SLOTS` is unset: generous
 /// enough that slot claiming never becomes the bottleneck for any pool
@@ -80,11 +91,20 @@ pub fn epoch_slots() -> usize {
 #[repr(align(128))]
 #[derive(Debug, Default)]
 struct Slot {
-    /// The epoch this slot's thread has pinned, or [`UNPINNED`]. Written
-    /// only by the owning thread; read by the writer's reclamation scan.
+    /// The epoch this slot's owner has pinned, or [`UNPINNED`]. Written
+    /// by the pinning side; read by the writer's reclamation scan.
     epoch: VAtomicU64,
-    /// [`FREE`] or [`CLAIMED`]; claims are thread-affine and long-lived.
+    /// [`FREE`], [`CLAIMED`] or [`ORPHANED`].
     owner: VAtomicUsize,
+    /// Count of live borrowed guards on this slot *beyond the first*
+    /// (so the outermost pin/unpin never touches it), plus the
+    /// [`DEPTH_ORPHANED`] flag bit. Borrowed guards are `!Send`, so for
+    /// a TLS-claimed slot every access happens on the claiming thread —
+    /// a drop defers to the remaining guards while the count is
+    /// nonzero and unpins the slot otherwise, which keeps any drop
+    /// order of nested guards (LIFO or not) sound. Unused (zero) for
+    /// slots dedicated to an [`OwnedEpochGuard`].
+    depth: VAtomicUsize,
 }
 
 /// The slot array, `Arc`-shared so thread-local claim caches can release
@@ -111,9 +131,24 @@ struct Claim {
 impl Drop for Claim {
     fn drop(&mut self) {
         if let Some(array) = self.array.upgrade() {
-            // No guard can outlive its thread, so the slot is unpinned
-            // here; returning the claim lets a future thread reuse it.
-            array.slots[self.idx].owner.store(FREE, Ordering::Release);
+            let slot = &array.slots[self.idx];
+            // Borrowed guards are `!Send`, so any still-live guard on
+            // this slot belongs to this thread — this TLS destructor
+            // merely ran before the guard's drop (TLS destructor order
+            // is unspecified, e.g. a guard parked in another TLS cell).
+            // Hand the release to that last guard instead of freeing a
+            // still-pinned slot out from under it, which would let a new
+            // thread claim it and take an unprotected pin.
+            // ORDERING: Relaxed — a TLS slot's epoch and depth are
+            // written only by the owning thread, and this destructor
+            // runs on it; the orphan flag is only read back by the same
+            // thread's last guard drop.
+            if slot.epoch.load(Ordering::Relaxed) != UNPINNED {
+                let depth = slot.depth.load(Ordering::Relaxed);
+                slot.depth.store(depth | DEPTH_ORPHANED, Ordering::Relaxed);
+            } else {
+                slot.owner.store(FREE, Ordering::Release);
+            }
         }
     }
 }
@@ -155,6 +190,7 @@ impl EpochDomain {
         slots.resize_with(n.max(1), || Slot {
             epoch: VAtomicU64::new(UNPINNED),
             owner: VAtomicUsize::new(FREE),
+            depth: VAtomicUsize::new(0),
         });
         Self {
             // ORDERING: Relaxed — the id is only a uniqueness token; no
@@ -216,21 +252,44 @@ impl EpochDomain {
     pub fn pin(&self) -> EpochGuard<'_> {
         let idx = self.claim_slot();
         let slot = &self.array.slots[idx];
-        // ORDERING: Relaxed — the slot epoch is written only by this
-        // thread; this read just detects an outer pin on the same
+        // ORDERING: Relaxed — a TLS slot's epoch is written only by
+        // this thread; this read just detects an outer pin on the same
         // thread.
-        if slot.epoch.load(Ordering::Relaxed) != UNPINNED {
+        let pinned = slot.epoch.load(Ordering::Relaxed);
+        if pinned != UNPINNED {
             // Nested pin: the outer guard's older slot value already
             // protects everything retired from here on; overwriting it
             // with a newer epoch would un-protect the outer guard's
-            // version mid-use.
+            // version mid-use. Bump the extra-guard count so the slot
+            // is cleared only when the *last* guard drops, in any drop
+            // order, and report the epoch the slot actually protects.
+            // ORDERING: Relaxed — depth is same-thread traffic (the
+            // guard is `!Send`); the scan only reads `epoch`, whose
+            // cross-thread edges are the SeqCst pin protocol's.
+            let depth = slot.depth.load(Ordering::Relaxed);
+            slot.depth.store(depth + 1, Ordering::Relaxed);
             return EpochGuard {
                 domain: self,
                 idx,
-                epoch: self.global.load(Ordering::Acquire),
-                outermost: false,
+                epoch: pinned,
+                _not_send: PhantomData,
             };
         }
+        // Outermost pin: depth (extra guards beyond this one) is
+        // already 0, so only the epoch write is needed.
+        let epoch = self.pin_slot(slot);
+        EpochGuard {
+            domain: self,
+            idx,
+            epoch,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The validated pin write shared by borrowed and owned pins: store
+    /// the observed epoch, re-load, retry until they agree.
+    // LINT: hot
+    fn pin_slot(&self, slot: &Slot) -> u64 {
         let mut e = self.global.load(Ordering::Acquire);
         loop {
             slot.epoch.store(e, Ordering::SeqCst);
@@ -240,35 +299,36 @@ impl EpochDomain {
             // invisible to an in-flight scan: retry at the newer epoch.
             let seen = self.global.load(Ordering::SeqCst);
             if seen == e {
-                break;
+                return e;
             }
             e = seen;
-        }
-        EpochGuard {
-            domain: self,
-            idx,
-            epoch: e,
-            outermost: true,
         }
     }
 
     /// Like [`pin`](Self::pin), but the guard co-owns the domain, for
     /// snapshots that must outlive the borrow (the catalog's `Snapshot`).
+    ///
+    /// The returned guard is `Send`: it may migrate to, and drop on, a
+    /// different thread than the one that pinned — including after the
+    /// pinning thread has exited. To make that sound it does not share
+    /// the thread-affine TLS claim: it claims a dedicated slot here and
+    /// owns it until drop, wherever that runs. Nested `pin_owned` calls
+    /// therefore each occupy their own slot (size `RINGO_EPOCH_SLOTS`
+    /// for the peak of concurrently-pinning threads *plus* live owned
+    /// snapshots).
     pub fn pin_owned(self: &Arc<Self>) -> OwnedEpochGuard {
-        let guard = self.pin();
-        let (idx, epoch, outermost) = (guard.idx, guard.epoch, guard.outermost);
-        std::mem::forget(guard);
+        let idx = self.claim_slot_slow();
+        let epoch = self.pin_slot(&self.array.slots[idx]);
         OwnedEpochGuard {
             domain: Arc::clone(self),
             idx,
             epoch,
-            outermost,
         }
     }
 
     /// Finds this thread's slot in the claim cache, claiming one on the
-    /// first pin from this thread (and per *extra* nesting level beyond
-    /// the slot's own reentrancy handling, which needs no extra slot).
+    /// first pin from this thread (nested borrowed pins reuse it via the
+    /// slot's depth count and need no extra slot).
     // LINT: hot
     fn claim_slot(&self) -> usize {
         let cached = CLAIMS.with(|c| {
@@ -298,11 +358,13 @@ impl EpochDomain {
         idx
     }
 
-    /// First pin from this thread on this domain: scan for a free slot
-    /// and claim it with a CAS. Spins (with yields) when every slot is
-    /// claimed — capacity is a configuration matter (`RINGO_EPOCH_SLOTS`
-    /// must be at least the number of concurrently-pinning threads), not
-    /// a correctness one.
+    /// Claims a free slot with a CAS: the first pin from a thread on
+    /// this domain, and every [`pin_owned`](Self::pin_owned). Spins
+    /// (with yields) when every slot is claimed — capacity is a
+    /// configuration matter (`RINGO_EPOCH_SLOTS` must cover the peak of
+    /// concurrently-pinning threads plus live owned guards), not a
+    /// correctness one. [`ORPHANED`] slots are skipped: their release
+    /// belongs to the lingering guard.
     fn claim_slot_slow(&self) -> usize {
         loop {
             for (idx, slot) in self.array.slots.iter().enumerate() {
@@ -324,18 +386,23 @@ impl EpochDomain {
 }
 
 /// RAII pin on an [`EpochDomain`]; see [`EpochDomain::pin`].
+///
+/// `!Send`: borrowed guards share this thread's TLS-claimed slot, and
+/// the slot's depth bookkeeping is plain same-thread traffic — sound
+/// only because the guard cannot migrate. Guards on the same thread may
+/// drop in any order (the slot unpins when the last one goes). For a
+/// guard that must cross threads, use [`EpochDomain::pin_owned`].
 #[derive(Debug)]
 pub struct EpochGuard<'a> {
     domain: &'a EpochDomain,
     idx: usize,
     epoch: u64,
-    /// Whether this guard wrote the slot (outermost pin on this thread).
-    /// Nested guards piggyback on the outer pin and must not clear it.
-    outermost: bool,
+    _not_send: PhantomData<*mut ()>,
 }
 
 impl EpochGuard<'_> {
-    /// The epoch this guard observed at pin time.
+    /// The epoch this guard protects: the pin-time epoch, or for a
+    /// nested pin the (possibly older) epoch of this thread's outer pin.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -348,24 +415,43 @@ impl EpochGuard<'_> {
 impl Drop for EpochGuard<'_> {
     // LINT: hot
     fn drop(&mut self) {
-        if self.outermost {
+        let slot = &self.domain.array.slots[self.idx];
+        // ORDERING: Relaxed — depth is thread-affine (the guard is
+        // `!Send`). Drops may be non-LIFO relative to other guards on
+        // this thread: a drop that still sees siblings (depth > 0)
+        // defers to them; the drop that sees none clears the pin.
+        let depth = slot.depth.load(Ordering::Relaxed);
+        if depth == 0 {
             // ORDERING: Release — pairs with the writer scan's SeqCst
             // loads of the slot epoch; everything this reader did while
             // pinned is visible before the slot reads unpinned.
-            self.domain.array.slots[self.idx]
-                .epoch
-                .store(UNPINNED, Ordering::Release);
+            slot.epoch.store(UNPINNED, Ordering::Release);
+        } else if depth == DEPTH_ORPHANED {
+            // Last guard on a slot whose claim cache was destroyed
+            // first (see `Claim::drop`): releasing the claim fell to
+            // this guard.
+            slot.depth.store(0, Ordering::Relaxed);
+            slot.epoch.store(UNPINNED, Ordering::Release);
+            slot.owner.store(FREE, Ordering::Release);
+        } else {
+            // Sibling guards remain (the orphan bit, if set, rides
+            // along untouched: depth - 1 keeps it while any count
+            // bits remain).
+            // ORDERING: Relaxed — same thread-affine depth counter as
+            // the load above; no other thread observes it.
+            slot.depth.store(depth - 1, Ordering::Relaxed);
         }
     }
 }
 
-/// Owning variant of [`EpochGuard`]; see [`EpochDomain::pin_owned`].
+/// Owning, `Send` variant of [`EpochGuard`]; see
+/// [`EpochDomain::pin_owned`]. Owns its pin slot outright, so it may be
+/// dropped on any thread, after the pinning thread exits included.
 #[derive(Debug)]
 pub struct OwnedEpochGuard {
     domain: Arc<EpochDomain>,
     idx: usize,
     epoch: u64,
-    outermost: bool,
 }
 
 impl OwnedEpochGuard {
@@ -381,12 +467,14 @@ impl OwnedEpochGuard {
 
 impl Drop for OwnedEpochGuard {
     fn drop(&mut self) {
-        if self.outermost {
-            // ORDERING: Release — same unpin edge as `EpochGuard::drop`.
-            self.domain.array.slots[self.idx]
-                .epoch
-                .store(UNPINNED, Ordering::Release);
-        }
+        let slot = &self.domain.array.slots[self.idx];
+        // ORDERING: Release on both stores — the unpin pairs with the
+        // writer scan's SeqCst loads (same edge as `EpochGuard::drop`),
+        // and the owner release is ordered after it so a thread that
+        // re-claims this slot (AcqRel CAS in `claim_slot_slow`) never
+        // finds our stale pinned epoch in it.
+        slot.epoch.store(UNPINNED, Ordering::Release);
+        slot.owner.store(FREE, Ordering::Release);
     }
 }
 
@@ -608,6 +696,85 @@ mod tests {
         assert_eq!(d.min_pinned(), outer.epoch(), "outer pin survives inner");
         drop(outer);
         assert_eq!(cell.gc(), 1);
+    }
+
+    #[test]
+    fn nested_guard_reports_protected_epoch() {
+        let d = Arc::new(EpochDomain::with_slots(4));
+        let cell = Versioned::new(Arc::clone(&d), 0u8);
+        let outer = d.pin();
+        cell.publish(1);
+        cell.publish(2);
+        let inner = d.pin();
+        // The slot still pins the outer epoch; the nested guard must not
+        // claim a newer one than the pin actually protects.
+        assert_eq!(inner.epoch(), outer.epoch());
+        assert_eq!(d.min_pinned(), outer.epoch());
+    }
+
+    #[test]
+    fn non_lifo_guard_drop_keeps_remaining_pin() {
+        let d = Arc::new(EpochDomain::with_slots(4));
+        let cell = Versioned::new(Arc::clone(&d), vec![1u8; 32]);
+        let g1 = d.pin();
+        let g2 = d.pin();
+        let v1 = cell.load(&g2);
+        // Dropping the *first* (outermost) guard while the nested one is
+        // still live must not clear the slot.
+        drop(g1);
+        assert_eq!(d.min_pinned(), g2.epoch(), "g2 still pins");
+        cell.publish(vec![2u8; 32]);
+        assert_eq!(cell.gc(), 0, "v1 stays reachable under g2");
+        assert_eq!(v1[0], 1, "pinned version intact after non-LIFO drop");
+        drop(g2);
+        assert_eq!(cell.gc(), 1);
+    }
+
+    #[test]
+    fn owned_guards_take_dedicated_slots() {
+        let d = Arc::new(EpochDomain::with_slots(4));
+        let a = d.pin_owned();
+        let b = d.pin_owned();
+        assert_eq!(d.pinned_count(), 2, "owned pins never share a slot");
+        let g = d.pin();
+        assert_eq!(d.pinned_count(), 3);
+        // Any drop order releases exactly the dropped pin.
+        drop(a);
+        drop(g);
+        assert_eq!(d.pinned_count(), 1);
+        assert_eq!(d.min_pinned(), b.epoch());
+        drop(b);
+        assert_eq!(d.pinned_count(), 0);
+    }
+
+    #[test]
+    fn owned_guard_survives_thread_exit_and_foreign_drop() {
+        let d = Arc::new(EpochDomain::with_slots(2));
+        let cell = Arc::new(Versioned::new(Arc::clone(&d), 1u32));
+        // Pin on a thread that exits immediately: the guard migrates out
+        // while the creating thread's TLS is torn down.
+        let g = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || d.pin_owned()).join().unwrap()
+        };
+        // A new thread claiming a slot must not land on the migrated
+        // guard's (still-pinned) slot and take an unprotected pin.
+        {
+            let (d, cell) = (Arc::clone(&d), Arc::clone(&cell));
+            std::thread::spawn(move || {
+                let inner = d.pin();
+                assert_eq!(*cell.load(&inner), 1);
+            })
+            .join()
+            .unwrap();
+        }
+        cell.publish(2);
+        assert_eq!(cell.gc(), 0, "migrated guard still pins v1");
+        assert_eq!(*cell.load_owned(&g), 2);
+        // Dropped on a different thread than the one that pinned.
+        drop(g);
+        assert_eq!(cell.gc(), 1);
+        assert_eq!(d.pinned_count(), 0);
     }
 
     #[test]

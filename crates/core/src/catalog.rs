@@ -233,8 +233,21 @@ impl Catalog {
     /// root map, then a single `Release` pointer swing. Never blocks
     /// readers.
     pub fn publish(&self, name: &str, data: Dataset) -> u64 {
-        let mut sp = ringo_trace::span!("catalog.publish");
         let mut writer = lock(&self.inner.writer);
+        let version = self.publish_locked(&mut writer, name, data);
+        drop(writer);
+        if self.inner.policy == GcPolicy::Auto {
+            self.gc();
+        }
+        version
+    }
+
+    /// The publish body, with the writer lock already held — shared by
+    /// [`publish`](Self::publish) and [`compact_graph`](Self::compact_graph),
+    /// whose resolve→compact→publish sequence must hold the lock across
+    /// all three steps to stay atomic against racing publishers.
+    fn publish_locked(&self, writer: &mut WriterState, name: &str, data: Dataset) -> u64 {
+        let mut sp = ringo_trace::span!("catalog.publish");
         let mut map = {
             let guard = self.inner.domain.pin();
             RootMap::clone(self.inner.root.load(&guard))
@@ -254,10 +267,6 @@ impl Catalog {
         map.insert(name.to_string(), CatalogEntry { meta, data });
         sp.rows_out(map.len());
         self.inner.root.publish(Arc::new(map));
-        drop(writer);
-        if self.inner.policy == GcPolicy::Auto {
-            self.gc();
-        }
         version
     }
 
@@ -341,9 +350,23 @@ impl Catalog {
     /// pin drops and [`Catalog::gc`] runs.
     pub fn compact_graph(&self, name: &str) -> Option<(u64, CompactStats)> {
         let mut sp = ringo_trace::span!("catalog.compact");
-        let current = match self.get(name)? {
-            Dataset::Graph(g) => g,
-            Dataset::Table(_) => return None,
+        // The writer lock is held across resolve→compact→publish: a
+        // publish racing in between would otherwise be silently
+        // overwritten by a compacted copy of the older topology (lost
+        // update). Readers are unaffected — they never take this lock.
+        let mut writer = lock(&self.inner.writer);
+        let current = {
+            let guard = self.inner.domain.pin();
+            match self
+                .inner
+                .root
+                .load(&guard)
+                .get(name)
+                .map(|e| e.data.clone())
+            {
+                Some(Dataset::Graph(g)) => g,
+                _ => return None,
+            }
         };
         // Clone-then-compact: surviving slab views clone as cheap `Arc`
         // bumps, and the rewrite binds the clone to a brand-new slab, so
@@ -352,7 +375,11 @@ impl Catalog {
         let stats = rewritten.compact();
         sp.rows_in(stats.before.footprint_bytes());
         sp.rows_out(stats.after.footprint_bytes());
-        let version = self.publish(name, Dataset::Graph(Arc::new(rewritten)));
+        let version = self.publish_locked(&mut writer, name, Dataset::Graph(Arc::new(rewritten)));
+        drop(writer);
+        if self.inner.policy == GcPolicy::Auto {
+            self.gc();
+        }
         Some((version, stats))
     }
 
@@ -595,6 +622,48 @@ mod tests {
         assert!(cat.compact_graph("missing").is_none());
         cat.publish_table("t", table(1));
         assert!(cat.compact_graph("t").is_none(), "tables do not compact");
+    }
+
+    #[test]
+    fn compact_never_loses_a_racing_publish() {
+        // compact_graph holds the writer lock across resolve+compact+
+        // publish. A publisher of strictly growing graphs racing a
+        // compact loop must therefore leave a lineage whose cardinality
+        // never decreases — a stale compact (the pre-fix race) would
+        // re-publish a smaller, older topology after a bigger one.
+        let cat = Catalog::with_policy(GcPolicy::Auto);
+        let mut g = DirectedGraph::new();
+        g.add_edge(0, 1);
+        cat.publish_graph("g", g.clone());
+        let publisher = {
+            let cat = cat.clone();
+            std::thread::spawn(move || {
+                for i in 1..40i64 {
+                    g.add_edge(i, i + 1);
+                    cat.publish_graph("g", g.clone());
+                }
+            })
+        };
+        for _ in 0..40 {
+            cat.compact_graph("g").expect("graph stays bound");
+        }
+        publisher.join().unwrap();
+        let vs = cat.versions("g");
+        for w in vs.windows(2) {
+            assert!(
+                w[1].cardinality >= w[0].cardinality,
+                "version {} shrank from {} to {} edges: \
+                 a compact published a stale topology",
+                w[1].version,
+                w[0].cardinality,
+                w[1].cardinality
+            );
+        }
+        assert_eq!(
+            cat.get("g").expect("bound").cardinality(),
+            40,
+            "the newest topology wins"
+        );
     }
 
     #[test]
